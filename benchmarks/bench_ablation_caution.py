@@ -1,0 +1,42 @@
+"""Bench A2 — ablation of the caution sets (paper Section 4.1).
+
+Without caution sets, Algorithm 2 degenerates to Algorithm 1's
+distributivity-based pruning, which the paper warns loses plausible
+answers.  The bench counts the answers lost per workload query.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.ablation import run_caution_ablation
+from repro.experiments.reporting import table
+
+
+@pytest.mark.benchmark(group="ablation-caution")
+@pytest.mark.parametrize("e", [1, 2])
+def test_caution_sets_on_off(benchmark, cupid, oracle, e):
+    rows = benchmark.pedantic(
+        run_caution_ablation,
+        args=(cupid, oracle),
+        kwargs={"e": e},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"Ablation A2: caution sets on/off (E={e})",
+        table(
+            ["query", "paths (caution)", "paths (no caution)", "lost"],
+            [
+                (
+                    row.query_id,
+                    row.paths_with_caution,
+                    row.paths_without_caution,
+                    len(row.lost_paths),
+                )
+                for row in rows
+            ],
+        ),
+    )
+    # disabling a rescue mechanism can only shrink the answer set
+    for row in rows:
+        assert row.paths_without_caution <= row.paths_with_caution

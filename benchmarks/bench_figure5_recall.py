@@ -1,0 +1,28 @@
+"""Bench E1 — regenerates Figure 5 (average recall fraction vs E).
+
+Paper: average recall ~90%, unaffected by E.  One full sweep is timed
+(single round — the experiment is minutes-scale, not microseconds).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figure5 import render_figure5, run_figure5
+
+E_VALUES = (1, 2, 3, 4)
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_recall_sweep(benchmark, cupid, oracle):
+    result = benchmark.pedantic(
+        run_figure5,
+        args=(cupid, oracle),
+        kwargs={"e_values": E_VALUES},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 5: Average Recall Fraction", render_figure5(result))
+    # the paper's two headline observations
+    assert result.is_flat
+    for e, recall in result.recall_series:
+        assert recall == pytest.approx(0.9)

@@ -1,0 +1,38 @@
+"""Bench E2 — regenerates Figure 6 (average precision vs E, with and
+without domain knowledge).
+
+Paper: precision 100% at E=1, falling to ~55% at large E without
+domain knowledge; ~93% with the excluded auxiliary classes.  Shapes
+asserted: perfect at E=1, monotone-ish decline, and a wide DK gap.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figure6 import render_figure6, run_figure6
+
+E_VALUES = (1, 2, 3, 4)
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_precision_sweep(benchmark, cupid, oracle, knowledge):
+    result = benchmark.pedantic(
+        run_figure6,
+        args=(cupid, oracle, knowledge),
+        kwargs={"e_values": E_VALUES},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 6: Average Precision Fraction", render_figure6(result))
+
+    without = [p.average_precision for p in result.without_dk]
+    with_dk = [p.average_precision for p in result.with_dk]
+    # 100% precision at E=1, both arms (paper's headline)
+    assert without[0] == pytest.approx(1.0)
+    assert with_dk[0] == pytest.approx(1.0)
+    # substantial decline without domain knowledge
+    assert without[-1] < 0.6
+    # domain knowledge keeps precision far higher at every E > 1
+    for no_dk_point, dk_point in zip(without[1:], with_dk[1:]):
+        assert dk_point > no_dk_point
+    assert with_dk[-1] > without[-1] * 1.5

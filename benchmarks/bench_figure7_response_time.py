@@ -1,0 +1,32 @@
+"""Bench E3 — regenerates Figure 7 (response time per query at E=5).
+
+Paper (DecStation 5000/25, 1994): large per-query variance, average
+6.29 s, maximum 14.45 s, 0.17 ms per recursive call.  We report
+wall-clock seconds and the hardware-independent recursive-call counts;
+the assertion is on the *shape* — significant variance across queries,
+with some near-instant and some orders of magnitude costlier.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.figure7 import render_figure7, run_figure7
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_response_time(benchmark, cupid, oracle):
+    result = benchmark.pedantic(
+        run_figure7,
+        args=(cupid, oracle),
+        kwargs={"e": 5},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 7: Response Time Per Query (E=5)", render_figure7(result))
+
+    calls = [t.recursive_calls for t in result.timings]
+    assert len(calls) == 10
+    # the paper's variance story: cheapest and costliest queries differ
+    # by orders of magnitude
+    assert max(calls) > 50 * min(calls)
+    assert result.max_seconds >= result.average_seconds

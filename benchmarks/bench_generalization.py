@@ -1,0 +1,61 @@
+"""Bench G1 — domain generalization (paper §7's "several schemas").
+
+The same untouched algorithm and algebra against a second domain: the
+hospital schema's five-query workload must show the same operating
+point the paper reports for CUPID — perfect precision at E=1, a
+precision decline with E that domain knowledge (excluding the
+terminology hub) largely repairs, and recall unaffected by exclusions.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.harness import sweep_e
+from repro.experiments.hospital_workload import (
+    build_hospital_workload,
+    hospital_domain_knowledge,
+)
+from repro.experiments.reporting import percent, table
+from repro.schemas.hospital import build_hospital_schema
+
+E_VALUES = (1, 2, 3)
+
+
+@pytest.mark.benchmark(group="generalization")
+def test_hospital_domain(benchmark):
+    schema = build_hospital_schema()
+    oracle = build_hospital_workload()
+    knowledge = hospital_domain_knowledge()
+
+    def sweep_both():
+        return (
+            sweep_e(schema, oracle, e_values=E_VALUES),
+            sweep_e(
+                schema, oracle, e_values=E_VALUES, domain_knowledge=knowledge
+            ),
+        )
+
+    plain, with_dk = benchmark.pedantic(sweep_both, rounds=1, iterations=1)
+    emit(
+        "Generalization G1: the hospital domain (5 queries)",
+        table(
+            ["E", "recall", "precision (no DK)", "precision (DK)"],
+            [
+                (
+                    a.e,
+                    percent(a.average_recall),
+                    percent(a.average_precision),
+                    percent(b.average_precision),
+                )
+                for a, b in zip(plain, with_dk)
+            ],
+        ),
+    )
+    assert plain[0].average_precision == pytest.approx(1.0)
+    assert plain[0].average_recall == pytest.approx(1.0)
+    assert plain[-1].average_precision < 1.0
+    assert (
+        with_dk[-1].average_precision > plain[-1].average_precision
+    )
+    for a, b in zip(plain, with_dk):
+        assert a.average_recall == b.average_recall

@@ -1,0 +1,28 @@
+"""Bench E4 — regenerates the in-text statistics of Section 5.3.
+
+Paper: >500 acyclic consistent path expressions per query on average;
+only 2-3 returned at E=1; average answer length ~15 edges; schema of 92
+classes / 364 relationships.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.intext import render_intext_stats, run_intext_stats
+
+
+@pytest.mark.benchmark(group="intext")
+def test_intext_statistics(benchmark, cupid, oracle):
+    stats = benchmark.pedantic(
+        run_intext_stats,
+        args=(cupid, oracle),
+        kwargs={"enumeration_cap": 200_000},
+        rounds=1,
+        iterations=1,
+    )
+    emit("In-text statistics (Section 5.3)", render_intext_stats(stats))
+
+    assert stats.classes == 92
+    assert stats.relationships == 364
+    assert stats.consistent_exceeds_500
+    assert 1.0 <= stats.average_returned_e1 <= 3.0

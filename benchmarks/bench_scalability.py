@@ -1,0 +1,74 @@
+"""Bench A3 — scalability of the completion algorithm with schema size.
+
+The paper motivates efficiency on its 92-class schema (Section 5.4);
+this sweep runs the completion over random schemas of growing size and
+reports recursive calls and time per query, plus a repeated-timing
+microbenchmark at the CUPID-comparable size.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.completion import complete_paths
+from repro.core.target import RelationshipTarget
+from repro.experiments.reporting import table
+from repro.model.graph import SchemaGraph
+from repro.schemas.generator import GeneratorConfig, generate_schema
+
+SIZES = (25, 50, 100, 200)
+
+
+def _run_one(graph):
+    roots = [
+        cls.name
+        for cls in graph.schema.classes(include_primitives=False)
+        if graph.edges_from(cls.name)
+    ][:5]
+    target = RelationshipTarget("label")
+    calls = 0
+    for root in roots:
+        calls += complete_paths(graph, root, target, e=1).stats.recursive_calls
+    return calls
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_scalability_sweep(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for size in SIZES:
+            graph = SchemaGraph(
+                generate_schema(GeneratorConfig(classes=size, seed=42))
+            )
+            started = time.perf_counter()
+            calls = _run_one(graph)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                (
+                    size,
+                    graph.schema.relationship_count,
+                    calls,
+                    f"{elapsed:.3f}s",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation A3: scalability with schema size (5 completions each)",
+        table(["classes", "relationships", "recursive calls", "time"], rows),
+    )
+    assert len(rows) == len(SIZES)
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_cupid_scale_single_completion(benchmark, cupid_graph):
+    """Repeated timing of one representative completion at paper scale."""
+    target = RelationshipTarget("latitude")
+    result = benchmark(
+        lambda: complete_paths(cupid_graph, "simulation", target, e=1)
+    )
+    assert result.expressions == ["simulation$>site$>location.latitude"]

@@ -1,0 +1,52 @@
+"""Bench E5 — the worked examples of paper Sections 1-2 on the
+university schema, as a true microbenchmark (many rounds).
+
+``ta ~ name`` must complete to exactly the two Isa-chain paths; this
+also times the core completion fast path.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.completion import complete_paths
+from repro.core.target import RelationshipTarget
+from repro.model.graph import SchemaGraph
+
+EXPECTED = [
+    "ta@>grad@>student@>person.name",
+    "ta@>instructor@>teacher@>employee@>person.name",
+]
+
+
+@pytest.mark.benchmark(group="worked-examples")
+def test_ta_name_completion(benchmark, university):
+    graph = SchemaGraph(university)
+    target = RelationshipTarget("name")
+
+    result = benchmark(lambda: complete_paths(graph, "ta", target))
+    emit(
+        "Worked example: ta ~ name",
+        "\n".join(f"  {p}  {p.label()}" for p in result.paths),
+    )
+    assert result.expressions == EXPECTED
+
+
+@pytest.mark.benchmark(group="worked-examples")
+def test_department_ssn_completion(benchmark, university):
+    graph = SchemaGraph(university)
+    target = RelationshipTarget("ssn")
+
+    result = benchmark(lambda: complete_paths(graph, "department", target))
+    assert result.paths
+    assert all(p.edges[-1].name == "ssn" for p in result.paths)
+
+
+@pytest.mark.benchmark(group="worked-examples")
+def test_complete_expression_validation(benchmark, university):
+    from repro.core.engine import Disambiguator
+
+    engine = Disambiguator(university)
+    result = benchmark(
+        lambda: engine.complete("department.student@>person.name")
+    )
+    assert result.is_unique

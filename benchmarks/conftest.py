@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures.
+
+Heavy inputs (the CUPID schema and workload) are session-scoped.  Every
+bench emits its paper-vs-measured report via :func:`emit`, which both
+prints it (visible with ``pytest -s``) and appends it to
+``benchmarks/reports/latest.txt`` — pytest captures stdout of passing
+tests, so the file is the reliable record of a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+_REPORT_FILE = _REPORT_DIR / "latest.txt"
+_started_fresh = False
+
+from repro.experiments.workload import (
+    build_cupid_workload,
+    designer_domain_knowledge,
+)
+from repro.model.graph import SchemaGraph
+from repro.schemas.cupid import build_cupid_schema
+from repro.schemas.university import build_university_schema
+
+
+@pytest.fixture(scope="session")
+def cupid():
+    return build_cupid_schema()
+
+
+@pytest.fixture(scope="session")
+def cupid_graph(cupid):
+    return SchemaGraph(cupid)
+
+
+@pytest.fixture(scope="session")
+def oracle():
+    return build_cupid_workload()
+
+
+@pytest.fixture(scope="session")
+def knowledge():
+    return designer_domain_knowledge()
+
+
+@pytest.fixture(scope="session")
+def university():
+    return build_university_schema()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure report and append it to the report file."""
+    global _started_fresh
+    rule = "=" * 72
+    text = f"\n{rule}\n{title}\n{rule}\n{body}\n"
+    print(text)
+    _REPORT_DIR.mkdir(exist_ok=True)
+    mode = "a" if _started_fresh else "w"
+    _started_fresh = True
+    with open(_REPORT_FILE, mode) as handle:
+        handle.write(text)

@@ -1,0 +1,76 @@
+"""Explanations and Fox queries.
+
+Two layers above the core disambiguation:
+
+* :func:`repro.core.explain.explain_candidate` answers "why wasn't the
+  completion I expected returned?" by replaying the algebra;
+* :mod:`repro.query.fox` runs for/where/select queries whose paths may
+  themselves be incomplete.
+
+Run with::
+
+    python examples/explain_and_query.py
+"""
+
+from __future__ import annotations
+
+from repro import Database, build_university_schema
+from repro.core.explain import explain_candidate
+from repro.model.graph import SchemaGraph
+from repro.query.fox import run_fox
+
+
+def main() -> None:
+    schema = build_university_schema()
+    graph = SchemaGraph(schema)
+
+    # 1. Why is a candidate not an answer?
+    print("ta ~ name — explanations for four candidates:\n")
+    for candidate in (
+        "ta@>grad@>student@>person.name",          # returned
+        "ta@>grad@>student.take.name",             # connector-dominated
+        "ta@>grad@>student.take.student@>person.name",  # also dominated
+        "ta@>person.name",                         # not a real path
+    ):
+        explanation = explain_candidate(graph, "ta ~ name", candidate)
+        print(f"  [{explanation.verdict}]")
+        print(f"  {explanation.render()}\n")
+
+    # 2. Fox queries over a populated database.
+    db = Database(schema)
+    arts = db.create("department")
+    db.set_attribute(arts, "name", "arts")
+    carol = db.create("professor")
+    db.set_attribute(carol, "name", "carol")
+    db.link(arts, "professor", carol)
+
+    painting = db.create("course")
+    db.set_attribute(painting, "name", "painting-101")
+    db.link(carol, "teach", painting)
+
+    for name, ssn in (("alice", 100), ("bob", 200)):
+        student = db.create("student")
+        db.set_attribute(student, "name", name)
+        db.set_attribute(student, "ssn", ssn)
+        db.link(student, "take", painting)
+        db.link(student, "department", arts)
+
+    queries = (
+        "for s in student select s@>person.name, s.take.name",
+        "for s in student where s@>person.ssn > 150 select s@>person.name",
+        "for d in department where d$>professor exists select d ~ name",
+        'for c in course where c.teacher~name = "carol" select c.name',
+    )
+    for text in queries:
+        print(f"fox> {text}")
+        for row in run_fox(db, text):
+            rendered = "  |  ".join(
+                ", ".join(sorted(map(str, values)))
+                for values in row.values
+            )
+            print(f"     {row.binding}: {rendered}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

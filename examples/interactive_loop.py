@@ -1,0 +1,104 @@
+"""The Figure 1 loop, interactively.
+
+Populates the university database and drops into a tiny REPL: type an
+incomplete (or complete) path expression, pick the completions you
+mean, and see the evaluated answer.  The session records rejections —
+the raw material for the user-feedback learning the paper's Section 7
+proposes — and prints the tally on exit.
+
+Run with::
+
+    python examples/interactive_loop.py            # interactive
+    echo "ta ~ name" | python examples/interactive_loop.py   # scripted
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CompletionSession, Database, build_university_schema
+from repro.core.printer import format_candidates
+from repro.query.session import RecordingChooser, approve_all
+
+
+def populate(db: Database) -> None:
+    art = db.create("department")
+    db.set_attribute(art, "name", "arts")
+    cs = db.create("department")
+    db.set_attribute(cs, "name", "cs")
+
+    carol = db.create("professor")
+    db.set_attribute(carol, "name", "carol")
+    db.link(art, "professor", carol)
+
+    bob = db.create("ta")
+    db.set_attribute(bob, "name", "bob")
+    db.set_attribute(bob, "ssn", 4242)
+
+    painting = db.create("course")
+    db.set_attribute(painting, "name", "painting-101")
+    db.link(carol, "teach", painting)
+    db.link(bob, "take", painting)
+    db.link(bob, "department", cs)
+
+
+def interactive_chooser(candidates):
+    """Ask on stdin which completions to keep ('a' = all)."""
+    if len(candidates) <= 1:
+        return list(candidates)
+    print(format_candidates(candidates))
+    try:
+        answer = input("approve which? (numbers / 'a' for all) > ").strip()
+    except EOFError:
+        answer = "a"
+    if answer.lower() in ("", "a", "all"):
+        return list(candidates)
+    chosen = []
+    for token in answer.replace(",", " ").split():
+        if token.isdigit() and 1 <= int(token) <= len(candidates):
+            chosen.append(candidates[int(token) - 1])
+    return chosen
+
+
+def main() -> None:
+    schema = build_university_schema()
+    db = Database(schema)
+    populate(db)
+
+    interactive = sys.stdin.isatty()
+    chooser = RecordingChooser(
+        interactive_chooser if interactive else approve_all
+    )
+    session = CompletionSession(db, chooser=chooser)
+
+    print(f"{schema.summary()}")
+    print("Ask with incomplete path expressions, e.g.  ta ~ name")
+    print("(empty line or Ctrl-D quits)\n")
+
+    for line in sys.stdin if not interactive else iter(
+        lambda: input("query > "), ""
+    ):
+        text = line.strip()
+        if not text:
+            break
+        try:
+            interaction = session.ask(text)
+        except Exception as error:  # surface, keep the loop alive
+            print(f"  ! {error}")
+            continue
+        if not interaction.candidates:
+            print("  (no completion consistent with that)")
+            continue
+        for expression, values in interaction.results:
+            rendered = sorted(map(str, values)) if values else "(empty)"
+            print(f"  {expression} = {rendered}")
+
+    rejected = chooser.rejection_counts()
+    if rejected:
+        print("\nClasses in rejected completions (learning signal):")
+        for name, count in sorted(rejected.items(), key=lambda kv: -kv[1]):
+            print(f"  {name}: {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Regenerate the paper's evaluation figures in one command.
+
+Thin wrapper over :mod:`repro.experiments.runner`: runs the ten-query
+workload across E values, prints the Figure 5/6/7 and in-text-statistic
+reports with the paper's numbers alongside, and drops CSV series next
+to this script for external plotting.
+
+Run with::
+
+    python examples/reproduce_figures.py            # quick (E up to 3)
+    python examples/reproduce_figures.py --full     # the paper's E=5
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments.runner import run_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="sweep E to 5 as the paper does (several minutes)",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=str(Path(__file__).parent / "figure_csvs"),
+        help="where to write the CSV series",
+    )
+    args = parser.parse_args()
+    run_all(quick=not args.full, csv_dir=args.csv_dir)
+
+
+if __name__ == "__main__":
+    main()

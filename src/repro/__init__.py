@@ -1,0 +1,104 @@
+"""repro — a full reproduction of *Incomplete Path Expressions and their
+Disambiguation* (Ioannidis & Lashkari, SIGMOD 1994).
+
+The library lets users of an object-oriented data model write
+*incomplete* path expressions (``ta ~ name``) and completes them into
+the cognitively most plausible fully-specified paths, via an optimal
+path computation over the schema graph.
+
+Quickstart::
+
+    from repro import Disambiguator, build_university_schema
+
+    engine = Disambiguator(build_university_schema())
+    for path in engine.complete("ta ~ name").paths:
+        print(path)              # the two Isa-chain completions
+
+Package map:
+
+* :mod:`repro.model` — the OO data model (classes, five relationship
+  kinds, schemas, inheritance, instances);
+* :mod:`repro.algebra` — the path algebra (connectors, CON, AGG, the
+  better-than order, caution sets);
+* :mod:`repro.core` — parsing, Algorithms 1 & 2, the
+  :class:`Disambiguator` facade;
+* :mod:`repro.query` — evaluation of completed paths over instance
+  stores and the Figure 1 interactive loop;
+* :mod:`repro.schemas` — the paper's example schemas (Figure 2
+  university, synthetic CUPID) and a random generator;
+* :mod:`repro.experiments` — the evaluation harness regenerating every
+  figure and statistic of Section 5.
+"""
+
+from repro.algebra import (
+    Aggregator,
+    Connector,
+    PartialOrder,
+    PathLabel,
+    con_c,
+    default_order,
+)
+from repro.core import (
+    ClassTarget,
+    CompletionResult,
+    CompletionSearch,
+    ConcretePath,
+    Disambiguator,
+    DomainKnowledge,
+    PathExpression,
+    RelationshipTarget,
+    parse_path_expression,
+)
+from repro.model import (
+    Database,
+    RelationshipKind,
+    Schema,
+    SchemaBuilder,
+    SchemaGraph,
+    load_schema,
+    parse_schema_dsl,
+    save_schema,
+)
+from repro.query import CompletionSession, evaluate, run_query
+from repro.schemas import (
+    build_cupid_schema,
+    build_parts_schema,
+    build_university_schema,
+    generate_schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregator",
+    "ClassTarget",
+    "CompletionResult",
+    "CompletionSearch",
+    "CompletionSession",
+    "ConcretePath",
+    "Connector",
+    "Database",
+    "Disambiguator",
+    "DomainKnowledge",
+    "PartialOrder",
+    "PathExpression",
+    "PathLabel",
+    "RelationshipKind",
+    "RelationshipTarget",
+    "Schema",
+    "SchemaBuilder",
+    "SchemaGraph",
+    "__version__",
+    "build_cupid_schema",
+    "build_parts_schema",
+    "build_university_schema",
+    "con_c",
+    "default_order",
+    "evaluate",
+    "generate_schema",
+    "load_schema",
+    "parse_path_expression",
+    "parse_schema_dsl",
+    "run_query",
+    "save_schema",
+]

@@ -1,0 +1,62 @@
+"""Path algebra: connectors, CON, AGG, the better-than order, caution sets.
+
+This package implements Section 3 of the paper — the labeled path
+algebra that the completion algorithm (``repro.core.completion``) runs
+on top of.
+"""
+
+from repro.algebra.agg import Aggregator, agg, agg_star, dominates
+from repro.algebra.caution import CautionSets, compute_caution_sets
+from repro.algebra.con_table import BASE_TABLE, con_c, con_c_sequence
+from repro.algebra.connectors import (
+    ALL_CONNECTORS,
+    PRIMARY_CONNECTORS,
+    SECONDARY_CONNECTORS,
+    Connector,
+    connector_for_kind,
+    parse_connector,
+)
+from repro.algebra.labels import IDENTITY_LABEL, PathLabel, con
+from repro.algebra.order import (
+    DEFAULT_ORDER,
+    PartialOrder,
+    default_order,
+    flat_order,
+    rank_order,
+    total_order,
+)
+from repro.algebra.semantic_length import (
+    SemanticLengthState,
+    collapse_runs,
+    semantic_length_of,
+)
+
+__all__ = [
+    "ALL_CONNECTORS",
+    "Aggregator",
+    "BASE_TABLE",
+    "CautionSets",
+    "Connector",
+    "DEFAULT_ORDER",
+    "IDENTITY_LABEL",
+    "PRIMARY_CONNECTORS",
+    "PartialOrder",
+    "PathLabel",
+    "SECONDARY_CONNECTORS",
+    "SemanticLengthState",
+    "agg",
+    "agg_star",
+    "collapse_runs",
+    "con",
+    "con_c",
+    "con_c_sequence",
+    "compute_caution_sets",
+    "connector_for_kind",
+    "default_order",
+    "dominates",
+    "flat_order",
+    "parse_connector",
+    "rank_order",
+    "semantic_length_of",
+    "total_order",
+]

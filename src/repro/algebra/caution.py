@@ -1,0 +1,113 @@
+"""Caution sets (paper Section 4.1).
+
+AGG does not distribute over CON (property 6 fails), so the classic
+transitive-closure optimization — skip re-exploring a shared subpath when
+the new prefix label is no better than an already-seen one — can lose
+plausible answers.  The paper's fix: the *caution set* of a label L1 is
+the set of labels L2 such that
+
+* L2 is better than L1 (``L2 < L1``), and
+* some continuation L3 exists for which ``CON(L1, L3)`` and
+  ``CON(L2, L3)`` are incomparable — i.e. extending both by the same
+  suffix makes the "loser" L1 produce an answer the winner does not
+  subsume.
+
+Algorithm 2's pruning condition then re-explores a node even when the
+new label is dominated, whenever the dominating labels intersect the new
+label's caution set.
+
+Because comparability is decided primarily on connectors, caution sets
+are computed at the connector level by brute force over the closed
+alphabet (14^3 = 2744 compositions, done once per partial order and
+cached).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.algebra.con_table import con_c
+from repro.algebra.connectors import ALL_CONNECTORS, Connector
+from repro.algebra.labels import PathLabel
+from repro.algebra.order import PartialOrder
+
+__all__ = ["CautionSets", "compute_caution_sets"]
+
+
+def compute_caution_sets(
+    order: PartialOrder,
+) -> dict[Connector, frozenset[Connector]]:
+    """Brute-force the connector-level caution sets for ``order``.
+
+    ``result[c1]`` contains every connector c2 that is better than c1 but
+    whose future compositions can diverge from c1's into incomparability.
+    """
+    sets: dict[Connector, frozenset[Connector]] = {}
+    for c1 in ALL_CONNECTORS:
+        dangerous: set[Connector] = set()
+        for c2 in ALL_CONNECTORS:
+            if not order.better(c2, c1):
+                continue
+            for c3 in ALL_CONNECTORS:
+                extended1 = con_c(c1, c3)
+                extended2 = con_c(c2, c3)
+                if extended1 is extended2:
+                    continue
+                if order.incomparable(extended1, extended2):
+                    dangerous.add(c2)
+                    break
+        sets[c1] = frozenset(dangerous)
+    return sets
+
+
+class CautionSets:
+    """Cached caution sets plus the intersection test of Algorithm 2.
+
+    Parameters
+    ----------
+    order:
+        The better-than partial order the sets are computed against.
+    """
+
+    _cache: dict[int, dict[Connector, frozenset[Connector]]] = {}
+
+    def __init__(self, order: PartialOrder) -> None:
+        self.order = order
+        cached = CautionSets._cache.get(id(order))
+        if cached is None:
+            cached = compute_caution_sets(order)
+            CautionSets._cache[id(order)] = cached
+        self._sets = cached
+
+    def of(self, connector: Connector) -> frozenset[Connector]:
+        """The caution set of a connector."""
+        return self._sets[connector]
+
+    def of_label(self, label: PathLabel) -> frozenset[Connector]:
+        """The caution set of a label (connector-level)."""
+        return self._sets[label.connector]
+
+    def intersects(
+        self, label: PathLabel, best: Iterable[PathLabel]
+    ) -> bool:
+        """The ``caution[l_u] ∩ best[u] != ∅`` test of Algorithm 2.
+
+        True when some already-best label at the node lies in the caution
+        set of the newly arrived label, meaning the node must be
+        re-explored despite the new label being dominated.
+        """
+        dangerous = self._sets[label.connector]
+        if not dangerous:
+            return False
+        return any(other.connector in dangerous for other in best)
+
+    def nonempty_connectors(self) -> list[Connector]:
+        """Connectors with a nonempty caution set (for diagnostics)."""
+        return [c for c, s in self._sets.items() if s]
+
+    def __repr__(self) -> str:
+        nonempty = len(self.nonempty_connectors())
+        return (
+            f"CautionSets(order={self.order.name!r}, "
+            f"nonempty={nonempty}/{len(self._sets)})"
+        )

@@ -1,0 +1,156 @@
+"""The connector composition function ``CON_c`` (paper Table 1).
+
+``con_c(r, c)`` answers: if class A is ``r``-related to class X and X is
+``c``-related to class B, what (possibly indirect) relationship holds
+from A to B?
+
+The paper prints the table for the eight non-Possibly connectors and
+states the Possibly rule in prose: *once any argument is a Possibly
+connector, the result is the Possibly version of the plain result*.
+(Isa and May-Be can never result from a composition involving a Possibly
+argument, so the rule is total.)
+
+The printed table in our source text is partially garbled; the base
+table below is reconstructed from the legible entries, the worked
+examples of Section 3.3.1, the identity property of ``@>``, and the
+definitional compositions
+
+* ``.SB  =  $> ; <$``   (Shares-SubParts-With),
+* ``.SP  =  <$ ; $>``   (Shares-SuperParts-With),
+
+which force most remaining entries via associativity.  The test suite
+machine-checks associativity over all 14^3 triples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.algebra.connectors import Connector
+
+__all__ = ["con_c", "con_c_sequence", "BASE_TABLE"]
+
+_ISA = Connector.ISA
+_MAY = Connector.MAY_BE
+_HP = Connector.HAS_PART
+_PO = Connector.IS_PART_OF
+_AS = Connector.ASSOC
+_SB = Connector.SHARES_SUBPARTS
+_SP = Connector.SHARES_SUPERPARTS
+_IN = Connector.INDIRECT_ASSOC
+
+# Row connector -> column connector -> result, for the 8 base connectors.
+# Row = the relationship accumulated so far; column = the next step.
+BASE_TABLE: dict[Connector, dict[Connector, Connector]] = {
+    _ISA: {  # @> is the identity of CON (property 4)
+        _ISA: _ISA, _MAY: _MAY, _HP: _HP, _PO: _PO,
+        _AS: _AS, _SB: _SB, _SP: _SP, _IN: _IN,
+    },
+    _MAY: {  # a May-Be prefix makes everything after it only Possibly hold
+        _ISA: _MAY,
+        _MAY: _MAY,
+        _HP: _HP.possibly,
+        _PO: _PO.possibly,
+        _AS: _AS.possibly,
+        _SB: _SB.possibly,
+        _SP: _SP.possibly,
+        _IN: _IN.possibly,
+    },
+    _HP: {
+        _ISA: _HP,              # parts that are all B => has-part B
+        _MAY: _HP.possibly,     # parts that may be B  => possibly-has-part
+        _HP: _HP,               # has-part is transitive
+        _PO: _SB,               # engine $> screw <$ chassis => .SB
+        _AS: _IN,
+        _SB: _SB,               # $> ; ($> ; <$)  =  ($> ; $>) ; <$  =  .SB
+        _SP: _IN,
+        _IN: _IN,
+    },
+    _PO: {
+        _ISA: _PO,
+        _MAY: _PO.possibly,
+        _HP: _SP,               # motor <$ assembly $> shaft => .SP
+        _PO: _PO,               # is-part-of is transitive
+        _AS: _IN,
+        _SB: _IN,
+        _SP: _SP,               # <$ ; (<$ ; $>)  =  (<$ ; <$) ; $>  =  .SP
+        _IN: _IN,
+    },
+    _AS: {
+        _ISA: _AS,
+        _MAY: _AS.possibly,     # course . teacher <@ professor => .*
+        _HP: _IN,
+        _PO: _IN,
+        _AS: _IN,               # dept . student . course => dept .. course
+        _SB: _IN,
+        _SP: _IN,
+        _IN: _IN,
+    },
+    _SB: {
+        _ISA: _SB,
+        _MAY: _SB.possibly,
+        _HP: _IN,               # ($> ; <$) ; $>  =  $> ; .SP  =  ..
+        _PO: _SB,               # ($> ; <$) ; <$  =  $> ; <$  =  .SB
+        _AS: _IN,
+        _SB: _IN,
+        _SP: _IN,
+        _IN: _IN,
+    },
+    _SP: {
+        _ISA: _SP,
+        _MAY: _SP.possibly,
+        _HP: _SP,               # (<$ ; $>) ; $>  =  <$ ; $>  =  .SP
+        _PO: _IN,               # (<$ ; $>) ; <$  =  <$ ; .SB  =  ..
+        _AS: _IN,
+        _SB: _IN,
+        _SP: _IN,
+        _IN: _IN,
+    },
+    _IN: {
+        _ISA: _IN,
+        _MAY: _IN.possibly,
+        _HP: _IN, _PO: _IN, _AS: _IN, _SB: _IN, _SP: _IN, _IN: _IN,
+    },
+}
+
+
+# The full 14x14 table, expanded once at import time (the completion
+# algorithm calls con_c on its innermost loop).
+_FULL_TABLE: dict[Connector, dict[Connector, Connector]] = {}
+
+
+def _expand_full_table() -> None:
+    for first in Connector:
+        row: dict[Connector, Connector] = {}
+        for second in Connector:
+            result = BASE_TABLE[first.base][second.base]
+            if first.is_possibly or second.is_possibly:
+                result = result.possibly
+            row[second] = result
+        _FULL_TABLE[first] = row
+
+
+_expand_full_table()
+
+
+def con_c(first: Connector, second: Connector) -> Connector:
+    """Compose two connectors (the paper's ``CON_c``).
+
+    ``first`` labels the path so far, ``second`` the next step.  Closed
+    over the full 14-connector alphabet: Possibly arguments are composed
+    via their bases and the result re-starred (the paper's prose rule).
+    """
+    return _FULL_TABLE[first][second]
+
+
+def con_c_sequence(connectors: Iterable[Connector]) -> Connector:
+    """Fold ``con_c`` over a connector sequence, left to right.
+
+    The empty sequence yields the identity ``@>`` (property 4).
+    Associativity (property 1, machine-checked in the tests) guarantees
+    that any other fold order gives the same answer.
+    """
+    result = Connector.ISA
+    for connector in connectors:
+        result = con_c(result, connector)
+    return result

@@ -1,0 +1,214 @@
+"""The connector alphabet Sigma of the path algebra (paper Section 3.3.1).
+
+Primary connectors label single schema edges:
+
+=========  =======================================
+``@>``     Isa
+``<@``     May-Be
+``$>``     Has-Part
+``<$``     Is-Part-Of
+``.``      Is-Associated-With
+=========  =======================================
+
+Composing primary connectors with ``CON_c`` escapes this set, so the
+paper introduces *secondary* connectors for the indirect relationships
+that arise:
+
+=========  =======================================
+``.SB``    Shares-SubParts-With
+``.SP``    Shares-SuperParts-With
+``..``     Is-Indirectly-Associated-With
+=========  =======================================
+
+Finally, every connector except Isa and May-Be has a *Possibly* version,
+written with a trailing ``*`` (the paper uses a star glyph): once any
+composition step involves a May-Be, the relationship only *possibly*
+holds.  The closed alphabet Sigma therefore has 14 members.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.errors import UnknownConnectorError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (model imports us)
+    from repro.model.kinds import RelationshipKind
+
+__all__ = [
+    "Connector",
+    "PRIMARY_CONNECTORS",
+    "SECONDARY_CONNECTORS",
+    "ALL_CONNECTORS",
+    "connector_for_kind",
+    "parse_connector",
+]
+
+
+class Connector(enum.Enum):
+    """A member of the closed connector alphabet Sigma."""
+
+    # -- primary (label single schema edges) ---------------------------
+    ISA = "@>"
+    MAY_BE = "<@"
+    HAS_PART = "$>"
+    IS_PART_OF = "<$"
+    ASSOC = "."
+    # -- secondary (arise from composition) ----------------------------
+    SHARES_SUBPARTS = ".SB"
+    SHARES_SUPERPARTS = ".SP"
+    INDIRECT_ASSOC = ".."
+    # -- Possibly versions ----------------------------------------------
+    POSSIBLY_HAS_PART = "$>*"
+    POSSIBLY_IS_PART_OF = "<$*"
+    POSSIBLY_ASSOC = ".*"
+    POSSIBLY_SHARES_SUBPARTS = ".SB*"
+    POSSIBLY_SHARES_SUPERPARTS = ".SP*"
+    POSSIBLY_INDIRECT_ASSOC = "..*"
+
+    # ------------------------------------------------------------------
+    # Classification.
+    #
+    # These are *plain attributes*, precomputed once at import time (see
+    # ``_finalize_members`` below) because they sit on the completion
+    # algorithm's innermost loop where property-call overhead dominates:
+    #
+    # ``symbol``        textual symbol (paper notation, ``*`` = star)
+    # ``is_possibly``   True for the Possibly variants
+    # ``is_primary``    True for the five edge-labeling connectors
+    # ``is_taxonomic``  True for Isa / May-Be (semantic length 0)
+    # ``base``          the plain (non-Possibly) version
+    # ``inverse_base``  base connector of the inverse relationship
+    # ``strength_rank`` cognitive strength of the base (0 strongest):
+    #                   taxonomic < part-whole < association < sharing
+    #                   < indirect association (see DESIGN.md Section 4)
+    # ``sort_rank``     ``2*strength + possibly``: deterministic total
+    #                   sorting key (NOT the better-than partial order)
+    # ------------------------------------------------------------------
+
+    index: int
+    symbol: str
+    is_possibly: bool
+    is_primary: bool
+    is_taxonomic: bool
+    base: "Connector"
+    inverse_base: "Connector"
+    strength_rank: int
+    sort_rank: int
+
+    @property
+    def possibly(self) -> "Connector":
+        """The Possibly version of this connector.
+
+        Isa and May-Be have no Possibly version (paper Section 3.3.1);
+        requesting one raises :class:`ValueError`.
+        """
+        if self.is_possibly:
+            return self
+        if self.is_taxonomic:
+            raise ValueError(f"{self.symbol} has no Possibly version")
+        return _POSSIBLY_OF[self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Connector({self.value!r})"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: The five primary connectors, in the paper's Sigma' order.
+PRIMARY_CONNECTORS = (
+    Connector.ISA,
+    Connector.MAY_BE,
+    Connector.HAS_PART,
+    Connector.IS_PART_OF,
+    Connector.ASSOC,
+)
+
+#: The secondary connectors Sigma'' (including the Possibly variants).
+SECONDARY_CONNECTORS = tuple(
+    c for c in Connector if c not in PRIMARY_CONNECTORS
+)
+
+#: The full closed alphabet Sigma (14 connectors).
+ALL_CONNECTORS = tuple(Connector)
+
+_POSSIBLY_OF = {
+    Connector.HAS_PART: Connector.POSSIBLY_HAS_PART,
+    Connector.IS_PART_OF: Connector.POSSIBLY_IS_PART_OF,
+    Connector.ASSOC: Connector.POSSIBLY_ASSOC,
+    Connector.SHARES_SUBPARTS: Connector.POSSIBLY_SHARES_SUBPARTS,
+    Connector.SHARES_SUPERPARTS: Connector.POSSIBLY_SHARES_SUPERPARTS,
+    Connector.INDIRECT_ASSOC: Connector.POSSIBLY_INDIRECT_ASSOC,
+}
+
+_BASE_OF = {possibly: base for base, possibly in _POSSIBLY_OF.items()}
+
+_INVERSE_BASE = {
+    Connector.ISA: Connector.MAY_BE,
+    Connector.MAY_BE: Connector.ISA,
+    Connector.HAS_PART: Connector.IS_PART_OF,
+    Connector.IS_PART_OF: Connector.HAS_PART,
+    Connector.ASSOC: Connector.ASSOC,
+    Connector.SHARES_SUBPARTS: Connector.SHARES_SUPERPARTS,
+    Connector.SHARES_SUPERPARTS: Connector.SHARES_SUBPARTS,
+    Connector.INDIRECT_ASSOC: Connector.INDIRECT_ASSOC,
+}
+
+_RANK = {
+    Connector.ISA: 0,
+    Connector.MAY_BE: 0,
+    Connector.HAS_PART: 1,
+    Connector.IS_PART_OF: 1,
+    Connector.ASSOC: 2,
+    Connector.SHARES_SUBPARTS: 3,
+    Connector.SHARES_SUPERPARTS: 3,
+    Connector.INDIRECT_ASSOC: 4,
+}
+
+def _finalize_members() -> None:
+    """Precompute the hot-path attributes on every member (import time)."""
+    taxonomic = (Connector.ISA, Connector.MAY_BE)
+    for position, connector in enumerate(Connector):
+        connector.index = position  # stable small-int id for bitmask use
+        connector.symbol = connector.value
+        connector.is_possibly = connector.value.endswith("*")
+        connector.is_primary = connector in PRIMARY_CONNECTORS
+        connector.is_taxonomic = connector in taxonomic
+        connector.base = _BASE_OF.get(connector, connector)
+    for connector in Connector:
+        connector.inverse_base = _INVERSE_BASE[connector.base]
+        connector.strength_rank = _RANK[connector.base]
+        connector.sort_rank = 2 * connector.strength_rank + (
+            1 if connector.is_possibly else 0
+        )
+
+
+_finalize_members()
+
+# Keyed by RelationshipKind.name to avoid importing repro.model here
+# (repro.model.graph imports this module; a value-level import would be
+# circular).  The two enums share their member names by construction.
+_KIND_NAME_TO_CONNECTOR = {
+    "ISA": Connector.ISA,
+    "MAY_BE": Connector.MAY_BE,
+    "HAS_PART": Connector.HAS_PART,
+    "IS_PART_OF": Connector.IS_PART_OF,
+    "IS_ASSOCIATED_WITH": Connector.ASSOC,
+}
+
+_BY_SYMBOL = {c.value: c for c in Connector}
+
+
+def connector_for_kind(kind: "RelationshipKind") -> Connector:
+    """The primary connector labeling edges of the given kind."""
+    return _KIND_NAME_TO_CONNECTOR[kind.name]
+
+
+def parse_connector(symbol: str) -> Connector:
+    """Parse a connector symbol, raising on unknown input."""
+    try:
+        return _BY_SYMBOL[symbol]
+    except KeyError:
+        raise UnknownConnectorError(symbol) from None

@@ -1,0 +1,115 @@
+"""Path labels and the ``CON`` function (paper Sections 3.2-3.3).
+
+A path label pairs the connector describing the end-to-end relationship
+of a path with the path's semantic length.  Per the paper's footnote 3,
+the label also carries the connectors of the path's first and last
+(collapsed) edges, which the semantic-length computation needs; they
+affect nothing else.
+
+``CON`` composes labels: the connector part via ``CON_c`` (Table 1), the
+semantic length via :class:`~repro.algebra.semantic_length.SemanticLengthState`.
+The identity element Theta is the label of the empty path, ``[@>, 0]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+from repro.algebra.con_table import con_c, con_c_sequence
+from repro.algebra.connectors import Connector
+from repro.algebra.semantic_length import SemanticLengthState, semantic_length_of
+
+__all__ = ["PathLabel", "IDENTITY_LABEL", "con"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PathLabel:
+    """The label ``[connector, semantic length]`` of a path.
+
+    Instances are immutable and hashable.  Equality includes the boundary
+    state (so labels compose correctly); the AGG comparisons only ever
+    look at :attr:`connector` and :attr:`semantic_length` (which is
+    materialized as a plain field because the traversal reads it on its
+    innermost loop).
+    """
+
+    connector: Connector
+    state: SemanticLengthState
+    semantic_length: int = dataclasses.field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "semantic_length", self.state.length)
+
+    @classmethod
+    def identity(cls) -> "PathLabel":
+        """Theta, the label of the empty path: ``[@>, 0]``."""
+        return cls(Connector.ISA, SemanticLengthState.empty())
+
+    @classmethod
+    def for_edge(cls, connector: Connector) -> "PathLabel":
+        """Label of a single edge with the given primary connector."""
+        return cls(connector, SemanticLengthState.for_edge(connector))
+
+    @classmethod
+    def of_path(cls, connectors: Iterable[Connector]) -> "PathLabel":
+        """Label of a whole path given its edge connector sequence."""
+        connectors = list(connectors)
+        return cls(
+            con_c_sequence(connectors), SemanticLengthState.of(connectors)
+        )
+
+    @property
+    def is_identity(self) -> bool:
+        """True for Theta, the empty-path label."""
+        return self.connector is Connector.ISA and self.state.is_empty
+
+    def extend(self, edge_connector: Connector) -> "PathLabel":
+        """CON with a single following edge (the algorithm's inner step)."""
+        return PathLabel(
+            con_c(self.connector, edge_connector),
+            self.state.extend(edge_connector),
+        )
+
+    def join(self, other: "PathLabel") -> "PathLabel":
+        """General CON of two path labels (associative; property 1)."""
+        return PathLabel(
+            con_c(self.connector, other.connector),
+            self.state.join(other.state),
+        )
+
+    @property
+    def key(self) -> tuple[Connector, int]:
+        """The ``(connector, semantic length)`` pair AGG compares on."""
+        return (self.connector, self.semantic_length)
+
+    def __str__(self) -> str:
+        return f"[{self.connector.symbol},{self.semantic_length}]"
+
+
+#: Theta — identity of CON, annihilator of AGG (on realizable labels).
+IDENTITY_LABEL = PathLabel.identity()
+
+
+def con(first: PathLabel, second: PathLabel) -> PathLabel:
+    """Function-style alias for :meth:`PathLabel.join` (paper's ``CON``)."""
+    return first.join(second)
+
+
+def label_of_connector_sequence(connectors: Iterable[Connector]) -> PathLabel:
+    """Back-compat alias for :meth:`PathLabel.of_path` used in tests."""
+    return PathLabel.of_path(connectors)
+
+
+def check_against_closed_form(connectors: list[Connector]) -> bool:
+    """True if the incremental state matches the closed-form length.
+
+    Used by the property-based tests: the incremental seam arithmetic of
+    :class:`SemanticLengthState` must agree with
+    :func:`~repro.algebra.semantic_length.semantic_length_of` on every
+    sequence.
+    """
+    return (
+        PathLabel.of_path(connectors).semantic_length
+        == semantic_length_of(connectors)
+    )

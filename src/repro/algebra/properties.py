@@ -1,0 +1,165 @@
+"""Machine checks for the algebraic properties of CON and AGG.
+
+The paper (Sections 3.1 and 3.5) lists seven properties.  For this
+implementation:
+
+1. CON associativity — holds; checked exhaustively over 14^3 triples.
+2. AGG 'associativity' — holds at the connector level (maximal-element
+   filtering under a genuine partial order is order-insensitive).
+3. AGG fixpoint on singletons — holds by construction.
+4. ``[@>, 0]`` is the identity of CON — checked exhaustively.
+5. Theta annihilates AGG — holds for *realizable* path labels: in a
+   schema with acyclic Isa, every nonempty cycle's label is provably
+   dominated by Theta (see :func:`check_annihilator_on_cycles`).
+6. AGG distributivity over CON — FAILS, exactly as the paper says; the
+   checker returns the witnesses, which the caution sets must cover.
+7. CON monotonic w.r.t. AGG — extending a path never improves its label.
+
+These checkers are used by the test suite and by the ablation harness to
+validate alternative partial orders before benchmarking them.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.algebra.con_table import con_c
+from repro.algebra.connectors import ALL_CONNECTORS, Connector
+from repro.algebra.labels import PathLabel
+from repro.algebra.order import PartialOrder
+from repro.algebra.semantic_length import semantic_length_of
+
+__all__ = [
+    "check_con_associativity",
+    "check_con_identity",
+    "check_monotonicity",
+    "check_distributivity_failures",
+    "check_partial_order_axioms",
+    "check_paper_incomparability_constraints",
+    "check_annihilator_on_cycles",
+]
+
+
+def check_con_associativity() -> list[tuple[Connector, Connector, Connector]]:
+    """Property 1: return all triples where CON_c is not associative."""
+    violations = []
+    for a, b, c in itertools.product(ALL_CONNECTORS, repeat=3):
+        left = con_c(con_c(a, b), c)
+        right = con_c(a, con_c(b, c))
+        if left is not right:
+            violations.append((a, b, c))
+    return violations
+
+
+def check_con_identity() -> list[Connector]:
+    """Property 4: connectors for which ``@>`` fails to act as identity."""
+    identity = Connector.ISA
+    return [
+        c
+        for c in ALL_CONNECTORS
+        if con_c(identity, c) is not c or con_c(c, identity) is not c
+    ]
+
+
+def check_monotonicity(order: PartialOrder) -> list[tuple[Connector, Connector]]:
+    """Property 7: pairs where extension strictly improves the connector.
+
+    For monotonicity, ``CON_c(c1, c2)`` must never be strictly better
+    than ``c1`` — otherwise a longer path could beat its own prefix and
+    branch-and-bound pruning would be unsound.
+    """
+    return [
+        (c1, c2)
+        for c1, c2 in itertools.product(ALL_CONNECTORS, repeat=2)
+        if order.better(con_c(c1, c2), c1)
+    ]
+
+
+def check_distributivity_failures(
+    order: PartialOrder,
+) -> list[tuple[Connector, Connector, Connector]]:
+    """Property 6 witnesses: triples ``(c1, c2, c3)`` with ``c2 < c1``
+    whose common extension by ``c3`` becomes incomparable.
+
+    The paper expects this list to be NONempty — distributivity fails —
+    and the caution sets must contain every witness pair.
+    """
+    failures = []
+    for c1, c2, c3 in itertools.product(ALL_CONNECTORS, repeat=3):
+        if not order.better(c2, c1):
+            continue
+        extended1 = con_c(c1, c3)
+        extended2 = con_c(c2, c3)
+        if extended1 is extended2:
+            continue
+        if order.incomparable(extended1, extended2):
+            failures.append((c1, c2, c3))
+    return failures
+
+
+def check_partial_order_axioms(order: PartialOrder) -> list[str]:
+    """Strict-partial-order axioms: irreflexive, antisymmetric, transitive."""
+    problems: list[str] = []
+    for c in ALL_CONNECTORS:
+        if order.better(c, c):
+            problems.append(f"reflexive: {c.symbol}")
+    for c1, c2 in itertools.combinations(ALL_CONNECTORS, 2):
+        if order.better(c1, c2) and order.better(c2, c1):
+            problems.append(f"symmetric: {c1.symbol} <> {c2.symbol}")
+    for a, b, c in itertools.product(ALL_CONNECTORS, repeat=3):
+        if order.better(a, b) and order.better(b, c) and not order.better(a, c):
+            problems.append(
+                f"intransitive: {a.symbol} < {b.symbol} < {c.symbol}"
+            )
+    return problems
+
+
+def check_paper_incomparability_constraints(order: PartialOrder) -> list[str]:
+    """The incomparability facts stated under Figure 3.
+
+    Every connector is incomparable to itself, to its inverse, and to its
+    Possibly version.
+    """
+    problems: list[str] = []
+    for c in ALL_CONNECTORS:
+        if order.comparable(c, c):
+            problems.append(f"self-comparable: {c.symbol}")
+        inverse = c.inverse_base if not c.is_possibly else None
+        if inverse is not None and order.comparable(c, inverse):
+            problems.append(f"inverse-comparable: {c.symbol} vs {inverse.symbol}")
+        if not c.is_taxonomic:
+            twin = c.possibly if not c.is_possibly else c.base
+            if order.comparable(c, twin):
+                problems.append(
+                    f"possibly-comparable: {c.symbol} vs {twin.symbol}"
+                )
+    return problems
+
+
+def check_annihilator_on_cycles(
+    cycle_connectors: list[list[Connector]], order: PartialOrder
+) -> list[list[Connector]]:
+    """Property 5 on realizable cycles: Theta must dominate each label.
+
+    Given concrete connector sequences of cyclic paths drawn from a valid
+    schema (acyclic Isa), verify AGG({label, Theta}) = {Theta}.  Returns
+    the offending sequences.
+    """
+    from repro.algebra.agg import Aggregator  # local import: avoid cycle
+
+    aggregator = Aggregator(order, e=1)
+    offenders = []
+    for connectors in cycle_connectors:
+        label = PathLabel.of_path(connectors)
+        kept = aggregator.aggregate([label, PathLabel.identity()])
+        if len(kept) != 1 or not kept[0].is_identity:
+            offenders.append(connectors)
+    return offenders
+
+
+def semantic_length_agreement(connectors: list[Connector]) -> bool:
+    """Incremental vs closed-form semantic length must agree."""
+    return (
+        PathLabel.of_path(connectors).semantic_length
+        == semantic_length_of(connectors)
+    )

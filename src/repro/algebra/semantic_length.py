@@ -1,0 +1,168 @@
+"""Semantic length of paths (paper Section 3.3.2).
+
+The semantic length of a path measures the semantic distance between the
+concepts at its two ends.  It is defined by a conceptual restructuring of
+the path's connector sequence:
+
+1. any maximal contiguous run of one of ``@>``, ``<@``, ``$>``, ``<$``
+   (the connectors on which ``CON_c`` is idempotent) is replaced by a
+   single edge with the same connector;
+2. in the result, the first (or last) edge of any maximal contiguous
+   series of interchanged ``@>`` and ``<@`` connectors is removed.
+
+The semantic length is the number of edges remaining.  Consequences:
+
+* a single Isa or May-Be edge has semantic length 0;
+* chains of the same part-whole connector count once;
+* ``.`` edges always contribute their actual count;
+* alternating Isa/May-Be blocks of k collapsed edges contribute k - 1.
+
+Paper examples (verified in the tests)::
+
+    teacher.teach.student.department$>professor            -> 4
+    stuff@>employee<@teacher<@instructor<@ta@>grad@>student -> 2
+
+This module provides a closed-form computation over concrete connector
+sequences and an incremental :class:`SemanticLengthState` that composes
+associatively — the paper's footnote 3 notes that labels must carry the
+connectors of the first and last edge for exactly this purpose.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+from repro.algebra.connectors import Connector
+
+__all__ = [
+    "COLLAPSIBLE",
+    "collapse_runs",
+    "semantic_length_of",
+    "SemanticLengthState",
+]
+
+#: Connectors whose maximal runs collapse to a single edge (step 1).
+COLLAPSIBLE = frozenset(
+    {
+        Connector.ISA,
+        Connector.MAY_BE,
+        Connector.HAS_PART,
+        Connector.IS_PART_OF,
+    }
+)
+
+_TAXONOMIC = frozenset({Connector.ISA, Connector.MAY_BE})
+
+
+def collapse_runs(connectors: Iterable[Connector]) -> list[Connector]:
+    """Apply restructuring step 1: collapse runs of collapsible connectors."""
+    collapsed: list[Connector] = []
+    for connector in connectors:
+        if (
+            collapsed
+            and connector in COLLAPSIBLE
+            and collapsed[-1] is connector
+        ):
+            continue
+        collapsed.append(connector)
+    return collapsed
+
+
+def semantic_length_of(connectors: Sequence[Connector]) -> int:
+    """Closed-form semantic length of a concrete connector sequence.
+
+    Equals the collapsed edge count minus the number of maximal
+    alternating ``@>``/``<@`` blocks (each block donates one free edge —
+    restructuring step 2).
+    """
+    collapsed = collapse_runs(connectors)
+    blocks = 0
+    in_block = False
+    for connector in collapsed:
+        if connector in _TAXONOMIC:
+            if not in_block:
+                blocks += 1
+                in_block = True
+        else:
+            in_block = False
+    return len(collapsed) - blocks
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SemanticLengthState:
+    """Incrementally composable semantic length of a path.
+
+    Besides the ``length`` itself, the state carries the first and last
+    *collapsed* edge connectors of the path — the boundary information
+    the paper's footnote 3 says a label needs so that semantic length can
+    be computed as part of ``CON``.
+
+    The empty path is represented by ``first is None`` (and then
+    ``last is None`` and ``length == 0``).
+    """
+
+    length: int = 0
+    first: Connector | None = None
+    last: Connector | None = None
+
+    @classmethod
+    def empty(cls) -> "SemanticLengthState":
+        """State of the empty path (semantic length 0)."""
+        return cls()
+
+    @classmethod
+    def for_edge(cls, connector: Connector) -> "SemanticLengthState":
+        """State of a single-edge path.
+
+        Isa/May-Be edges have semantic length 0 (they form a singleton
+        alternating block, whose one edge is removed by step 2).
+        """
+        length = 0 if connector in _TAXONOMIC else 1
+        return cls(length=length, first=connector, last=connector)
+
+    @classmethod
+    def of(cls, connectors: Iterable[Connector]) -> "SemanticLengthState":
+        """Fold a whole connector sequence into a state."""
+        state = cls.empty()
+        for connector in connectors:
+            state = state.extend(connector)
+        return state
+
+    @property
+    def is_empty(self) -> bool:
+        return self.first is None
+
+    def extend(self, connector: Connector) -> "SemanticLengthState":
+        """Append one edge to the path."""
+        return self.join(SemanticLengthState.for_edge(connector))
+
+    def join(self, other: "SemanticLengthState") -> "SemanticLengthState":
+        """Concatenate two path states (the semantic-length half of CON).
+
+        The seam adjustment covers the two restructuring interactions:
+
+        * equal collapsible connectors at the seam merge into one run
+          (collapsible non-taxonomic: one edge disappears, -1; taxonomic:
+          the alternating blocks also merge, net 0);
+        * distinct taxonomic connectors at the seam merge two alternating
+          blocks into one, forfeiting one of the two free edges (+1).
+        """
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        seam_left = self.last
+        seam_right = other.first
+        assert seam_left is not None and seam_right is not None
+        adjustment = 0
+        if seam_left is seam_right and seam_left in COLLAPSIBLE:
+            if seam_left not in _TAXONOMIC:
+                adjustment = -1
+        elif seam_left in _TAXONOMIC and seam_right in _TAXONOMIC:
+            adjustment = 1
+        return SemanticLengthState(
+            length=self.length + other.length + adjustment,
+            first=self.first,
+            last=other.last,
+        )

@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script.  Subcommands::
+
+    repro complete  [--schema FILE | --builtin NAME] [-e N]
+                    [--exclude CLS ...] [--verbose] EXPRESSION
+    repro enumerate [--schema FILE | --builtin NAME] [--limit N] EXPRESSION
+    repro profile   [--schema FILE | --builtin NAME] [--suggest-hubs]
+    repro query     --db FILE QUERY
+    repro convert   INPUT OUTPUT          # schema DSL <-> JSON by extension
+    repro experiments [--quick]
+
+Schemas are loaded from ``.json`` (repro-schema documents) or any other
+extension (treated as DSL text); ``--builtin`` selects one of the
+bundled schemas (``university``, ``cupid``, ``parts``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.domain import DomainKnowledge
+from repro.core.engine import Disambiguator
+from repro.core.enumerate import enumerate_consistent_paths
+from repro.core.parser import parse_path_expression
+from repro.core.printer import format_result
+from repro.core.target import RelationshipTarget
+from repro.errors import ReproError
+from repro.model.analysis import profile_schema, suggest_hub_exclusions
+from repro.model.dsl import parse_schema_dsl, schema_to_dsl
+from repro.model.graph import SchemaGraph
+from repro.model.persistence import load_database
+from repro.model.schema import Schema
+from repro.model.serialization import load_schema, save_schema
+from repro.query.language import run_query
+from repro.schemas.cupid import build_cupid_schema
+from repro.schemas.hospital import build_hospital_schema
+from repro.schemas.parts import build_parts_schema
+from repro.schemas.university import build_university_schema
+
+__all__ = ["main", "build_parser"]
+
+_BUILTINS = {
+    "university": build_university_schema,
+    "cupid": build_cupid_schema,
+    "hospital": build_hospital_schema,
+    "parts": build_parts_schema,
+}
+
+
+def _load_schema_arg(args: argparse.Namespace) -> Schema:
+    if getattr(args, "builtin", None):
+        return _BUILTINS[args.builtin]()
+    path = Path(args.schema)
+    if path.suffix == ".json":
+        return load_schema(path)
+    return parse_schema_dsl(path.read_text())
+
+
+def _add_schema_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--schema", metavar="FILE", help="schema file (.json or DSL text)"
+    )
+    group.add_argument(
+        "--builtin",
+        choices=sorted(_BUILTINS),
+        help="use a bundled example schema",
+    )
+
+
+def _cmd_complete(args: argparse.Namespace) -> int:
+    schema = _load_schema_arg(args)
+    knowledge = (
+        DomainKnowledge.excluding(*args.exclude)
+        if args.exclude
+        else DomainKnowledge.none()
+    )
+    engine = Disambiguator(
+        schema, e=args.e, domain_knowledge=knowledge
+    )
+    result = engine.complete(args.expression)
+    print(format_result(result, verbose=args.verbose))
+    return 0 if result.paths else 1
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    schema = _load_schema_arg(args)
+    expression = parse_path_expression(args.expression)
+    if not expression.is_simple_incomplete:
+        print(
+            "enumerate expects the simple incomplete form  root ~ name",
+            file=sys.stderr,
+        )
+        return 2
+    graph = SchemaGraph(schema)
+    paths = enumerate_consistent_paths(
+        graph,
+        expression.root,
+        RelationshipTarget(expression.last_name),
+        max_paths=args.limit,
+        max_visits=args.limit * 100 if args.limit else None,
+    )
+    for path in paths:
+        print(f"{path}  {path.label()}")
+    suffix = " (truncated)" if args.limit and len(paths) >= args.limit else ""
+    print(f"-- {len(paths)} consistent acyclic path(s){suffix}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    schema = _load_schema_arg(args)
+    print(profile_schema(schema).render())
+    if args.suggest_hubs:
+        hubs = suggest_hub_exclusions(schema)
+        if hubs:
+            print("suggested auxiliary-class exclusions: " + ", ".join(hubs))
+        else:
+            print("no auxiliary hub candidates found")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    database = load_database(args.db)
+    result = run_query(database, args.query)
+    for expression, values in result.per_completion:
+        rendered = sorted(map(str, values)) if values else "(empty)"
+        print(f"{expression} = {rendered}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    schema = _load_schema_arg(args)
+    engine = Disambiguator(schema, e=args.e)
+    explanation = engine.explain(args.query, args.candidate)
+    print(f"[{explanation.verdict}]")
+    print(explanation.render())
+    return 0
+
+
+def _cmd_fox(args: argparse.Namespace) -> int:
+    from repro.query.fox import run_fox
+
+    database = load_database(args.db)
+    rows = run_fox(database, args.query)
+    for row in rows:
+        rendered = "  |  ".join(
+            ", ".join(sorted(map(str, values))) if values else "(empty)"
+            for values in row.values
+        )
+        print(f"{row.binding}: {rendered}")
+    print(f"-- {len(rows)} row(s)")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    source = Path(args.input)
+    destination = Path(args.output)
+    schema = (
+        load_schema(source)
+        if source.suffix == ".json"
+        else parse_schema_dsl(source.read_text())
+    )
+    if destination.suffix == ".json":
+        save_schema(schema, destination)
+    else:
+        destination.write_text(schema_to_dsl(schema))
+    print(f"wrote {destination} ({schema.summary()})")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(quick=args.quick)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Incomplete path expressions and their disambiguation "
+            "(SIGMOD 1994 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    complete = subparsers.add_parser(
+        "complete", help="disambiguate a (possibly incomplete) expression"
+    )
+    _add_schema_options(complete)
+    complete.add_argument("expression")
+    complete.add_argument(
+        "-e", type=int, default=1, help="AGG* relaxation parameter (>=1)"
+    )
+    complete.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="CLASS",
+        help=(
+            "domain knowledge: a class excluded from completions "
+            "(repeatable)"
+        ),
+    )
+    complete.add_argument("--verbose", action="store_true")
+    complete.set_defaults(handler=_cmd_complete)
+
+    enumerate_parser = subparsers.add_parser(
+        "enumerate", help="list all consistent acyclic completions"
+    )
+    _add_schema_options(enumerate_parser)
+    enumerate_parser.add_argument("expression")
+    enumerate_parser.add_argument("--limit", type=int, default=1000)
+    enumerate_parser.set_defaults(handler=_cmd_enumerate)
+
+    profile = subparsers.add_parser(
+        "profile", help="structural profile of a schema"
+    )
+    _add_schema_options(profile)
+    profile.add_argument("--suggest-hubs", action="store_true")
+    profile.set_defaults(handler=_cmd_profile)
+
+    query = subparsers.add_parser(
+        "query", help="run a query against a saved database"
+    )
+    query.add_argument("--db", required=True, metavar="FILE")
+    query.add_argument("query")
+    query.set_defaults(handler=_cmd_query)
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="why is a candidate completion (not) an answer to a query?",
+    )
+    _add_schema_options(explain)
+    explain.add_argument("query", help="incomplete expression, e.g. 'ta ~ name'")
+    explain.add_argument("candidate", help="complete candidate expression")
+    explain.add_argument("-e", type=int, default=1)
+    explain.set_defaults(handler=_cmd_explain)
+
+    fox = subparsers.add_parser(
+        "fox", help="run a for/where/select query against a saved database"
+    )
+    fox.add_argument("--db", required=True, metavar="FILE")
+    fox.add_argument("query")
+    fox.set_defaults(handler=_cmd_fox)
+
+    convert = subparsers.add_parser(
+        "convert", help="convert a schema between DSL and JSON"
+    )
+    convert.add_argument("input")
+    convert.add_argument("output")
+    convert.set_defaults(handler=_cmd_convert)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate every figure of the paper"
+    )
+    experiments.add_argument("--quick", action="store_true")
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""The paper's primary contribution: incomplete path expressions and
+their disambiguation (Sections 2.2, 3, 4).
+
+Public surface: :class:`~repro.core.engine.Disambiguator` for everyday
+use, :class:`~repro.core.completion.CompletionSearch` (Algorithm 2) and
+:func:`~repro.core.algorithm1.traditional_path_computation` (Algorithm
+1) for direct access, plus the AST/parser and the exhaustive enumerator.
+"""
+
+from repro.core.algorithm1 import Algorithm1Result, traditional_path_computation
+from repro.core.ast import ConcretePath, PathExpression, Step, TILDE
+from repro.core.completion import (
+    CompletionResult,
+    CompletionSearch,
+    complete_paths,
+)
+from repro.core.domain import DomainKnowledge
+from repro.core.engine import Disambiguator
+from repro.core.explain import Explanation, explain_candidate
+from repro.core.enumerate import (
+    count_consistent_paths,
+    enumerate_consistent_paths,
+    iter_consistent_paths,
+)
+from repro.core.inheritance_criterion import apply_preemption, preempts
+from repro.core.multi import GeneralCompletionResult, complete_general
+from repro.core.parser import parse_path_expression, tokenize
+from repro.core.ranking import (
+    RankedPath,
+    rank_with_focus,
+    rank_with_penalties,
+)
+from repro.core.printer import (
+    format_candidates,
+    format_path,
+    format_path_verbose,
+    format_result,
+)
+from repro.core.stats import TraversalStats
+from repro.core.target import (
+    ClassTarget,
+    RelationshipTarget,
+    Target,
+    target_for_expression,
+)
+
+__all__ = [
+    "Algorithm1Result",
+    "ClassTarget",
+    "CompletionResult",
+    "CompletionSearch",
+    "ConcretePath",
+    "Disambiguator",
+    "DomainKnowledge",
+    "Explanation",
+    "GeneralCompletionResult",
+    "PathExpression",
+    "RankedPath",
+    "RelationshipTarget",
+    "Step",
+    "TILDE",
+    "Target",
+    "TraversalStats",
+    "apply_preemption",
+    "complete_general",
+    "complete_paths",
+    "count_consistent_paths",
+    "enumerate_consistent_paths",
+    "explain_candidate",
+    "format_candidates",
+    "format_path",
+    "format_path_verbose",
+    "format_result",
+    "iter_consistent_paths",
+    "parse_path_expression",
+    "preempts",
+    "rank_with_focus",
+    "rank_with_penalties",
+    "target_for_expression",
+    "tokenize",
+    "traditional_path_computation",
+]

@@ -1,0 +1,127 @@
+"""Algorithm 1 — the traditional path-computation DFS (paper Section 4).
+
+The paper presents this as the reference algorithm for problems where
+AGG and CON satisfy all of properties 1-6 plus monotonicity: it returns
+only the optimal *labels* of paths from a source node S to a target node
+T, pruning with the distributivity test (its line 9) and without caution
+sets.
+
+It exists here for two purposes:
+
+* a baseline in the ablation experiments — running it with the paper's
+  (non-distributive) AGG/CON quantifies exactly which plausible answers
+  the caution-set enhancement saves;
+* a didactic reference implementation matching the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.algebra.agg import Aggregator
+from repro.algebra.labels import PathLabel
+from repro.algebra.order import DEFAULT_ORDER, PartialOrder
+from repro.core.stats import TraversalStats
+from repro.core.target import Target
+from repro.model.graph import SchemaGraph
+
+__all__ = ["Algorithm1Result", "traditional_path_computation"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Algorithm1Result:
+    """Optimal labels from S to T, plus traversal statistics."""
+
+    root: str
+    target_description: str
+    labels: tuple[PathLabel, ...]
+    stats: TraversalStats
+
+
+def traditional_path_computation(
+    graph: SchemaGraph,
+    root: str,
+    target: Target,
+    order: PartialOrder | None = None,
+) -> Algorithm1Result:
+    """Run the paper's Algorithm 1 and return the optimal label set.
+
+    Line mapping (paper pseudocode -> this code): visited flags are the
+    ``visited`` set; ``best[T]`` is ``best_target``; the line-7/8/9
+    conditions appear in the same order inside the edge loop.
+    """
+    order = order if order is not None else DEFAULT_ORDER
+    aggregator = Aggregator(order, e=1)
+    graph.schema.get_class(root)
+
+    stats = TraversalStats()
+    started = time.perf_counter()
+    visited: set[str] = set()
+    best: dict[str, list[PathLabel]] = {}
+    best_target: list[PathLabel] = []
+
+    # Iterative DFS with explicit frames (node, label, edge index).
+    stack: list[tuple[str, PathLabel, int]] = []
+
+    def enter(node: str, label: PathLabel) -> None:
+        nonlocal best_target
+        visited.add(node)
+        stats.recursive_calls += 1
+        # Lines 2-4: if T in children[v], fold the completing labels in.
+        for edge in graph.edges_from(node):
+            if target.is_completing_edge(edge) and edge.target not in visited:
+                candidate = label.extend(edge.connector)
+                best_target = aggregator.aggregate([candidate, *best_target])
+                stats.complete_paths_found += 1
+        stack.append((node, label, 0))
+
+    def run() -> None:
+        enter(root, PathLabel.identity())
+        while stack:
+            node, label, edge_index = stack.pop()
+            edges = graph.edges_from(node)
+            advanced = False
+            while edge_index < len(edges):
+                edge = edges[edge_index]
+                edge_index += 1
+                if target.is_completing_edge(edge):
+                    continue
+                child = edge.target
+                stats.edges_considered += 1
+                if child in visited:  # line 7: acyclicity
+                    stats.pruned_visited += 1
+                    continue
+                child_label = label.extend(edge.connector)
+                # Line 8: monotonic bound against best[T].  Algorithm 1
+                # uses the set-change test (AGG({l_u} ∪ best[T]) != best[T]).
+                if best_target and not aggregator.improves(
+                    child_label, best_target
+                ):
+                    stats.pruned_target_bound += 1
+                    continue
+                # Line 9: 'distributivity' bound against best[u].
+                child_best = best.get(child, [])
+                if child_best and not aggregator.improves(
+                    child_label, child_best
+                ):
+                    stats.pruned_best_bound += 1
+                    continue
+                best[child] = aggregator.aggregate(
+                    [child_label, *child_best]
+                )  # line 10
+                stack.append((node, label, edge_index))
+                enter(child, child_label)  # line 11
+                advanced = True
+                break
+            if not advanced:
+                visited.discard(node)  # line 13
+
+    run()
+    stats.elapsed_seconds = time.perf_counter() - started
+    return Algorithm1Result(
+        root=root,
+        target_description=target.describe(),
+        labels=tuple(best_target),
+        stats=stats,
+    )

@@ -1,0 +1,338 @@
+r"""Algorithm 2 — depth-first search for path-expression completion
+(paper Section 4.5).
+
+This is the paper's Algorithm 1 (a traditional path-computation DFS)
+enhanced with:
+
+* **caution sets** (Section 4.1): because AGG does not distribute over
+  CON, a dominated label may still need exploration when a dominating
+  label at the node sits in its caution set;
+* **path reconstruction** (Section 4.2): the pruning tests use
+  set-membership (``l_u ∈ AGG*(...)``) rather than set-change, so paths
+  tied with the current best are still explored and reported;
+* **the Inheritance Semantics Criterion** (Section 4.3): applied inside
+  ``update(paths)`` whenever a complete path is recorded;
+* **AGG\*** (Section 4.4): the ``E`` parameter relaxes the semantic-length
+  cut to the E lowest distinct lengths.
+
+The traversal is iterative rather than recursive (real schemas produce
+search stacks deeper than CPython's recursion limit), but mirrors the
+paper's ``traverse`` routine line by line; ``stats.recursive_calls``
+counts what would be recursive invocations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.algebra.agg import Aggregator
+from repro.algebra.caution import CautionSets
+from repro.algebra.labels import PathLabel
+from repro.algebra.order import DEFAULT_ORDER, PartialOrder
+from repro.core.ast import ConcretePath
+from repro.core.inheritance_criterion import apply_preemption
+from repro.core.stats import TraversalStats
+from repro.core.target import Target
+from repro.model.graph import SchemaGraph
+
+__all__ = ["CompletionSearch", "CompletionResult", "complete_paths"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CompletionResult:
+    """Outcome of one completion search.
+
+    ``paths`` are the optimal consistent completions, best label first
+    (ties broken by semantic length, then actual length, then text).
+    ``labels`` are the surviving optimal labels (the best[T] set).
+    """
+
+    root: str
+    target_description: str
+    paths: tuple[ConcretePath, ...]
+    labels: tuple[PathLabel, ...]
+    stats: TraversalStats
+
+    @property
+    def expressions(self) -> list[str]:
+        """The completions rendered as path-expression strings."""
+        return [str(path) for path in self.paths]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.paths
+
+    @property
+    def is_unique(self) -> bool:
+        """True when the user has nothing left to choose."""
+        return len(self.paths) == 1
+
+    def __str__(self) -> str:
+        lines = [
+            f"completions of {self.root} ~ {self.target_description} "
+            f"({len(self.paths)}):"
+        ]
+        for path in self.paths:
+            lines.append(f"  {path}  {path.label()}")
+        return "\n".join(lines)
+
+
+class CompletionSearch:
+    """A reusable completion engine bound to a graph and an algebra.
+
+    Parameters
+    ----------
+    graph:
+        The schema graph to search (domain-knowledge exclusions are
+        applied by restricting the graph before constructing the search).
+    order:
+        The better-than partial order; defaults to the paper's.
+    e:
+        The AGG* relaxation parameter (E >= 1).
+    use_caution_sets:
+        Disable only for the ablation that demonstrates lost answers.
+    apply_inheritance_criterion:
+        Disable only for ablations; on by default as in the paper.
+    max_depth:
+        Optional bound on path edge count (None = unbounded, the
+        paper's setting; acyclicity already bounds depth by the class
+        count).
+    """
+
+    def __init__(
+        self,
+        graph: SchemaGraph,
+        order: PartialOrder | None = None,
+        e: int = 1,
+        use_caution_sets: bool = True,
+        apply_inheritance_criterion: bool = True,
+        max_depth: int | None = None,
+    ) -> None:
+        self.graph = graph
+        self.order = order if order is not None else DEFAULT_ORDER
+        self.aggregator = Aggregator(self.order, e=e)
+        self.caution = CautionSets(self.order) if use_caution_sets else None
+        self.apply_inheritance_criterion = apply_inheritance_criterion
+        self.max_depth = max_depth
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self, root: str, target: Target) -> CompletionResult:
+        """Find the optimal consistent completions from ``root``.
+
+        Mirrors the paper's ``traverse(S, Theta, S)`` invocation.
+        """
+        self.graph.schema.get_class(root)
+        stats = TraversalStats()
+        started = time.perf_counter()
+        state = _SearchState(
+            best_target=[],
+            complete=[],
+            stats=stats,
+        )
+        self._traverse(
+            root, PathLabel.identity(), ConcretePath.start(root), state, target
+        )
+        paths = self._finalize(state)
+        stats.elapsed_seconds = time.perf_counter() - started
+        labels = tuple(
+            self.aggregator.aggregate([path.label() for path in paths])
+        )
+        return CompletionResult(
+            root=root,
+            target_description=target.describe(),
+            paths=tuple(paths),
+            labels=labels,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # The traversal (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def _traverse(
+        self,
+        root: str,
+        root_label: PathLabel,
+        root_path: ConcretePath,
+        state: "_SearchState",
+        target: Target,
+    ) -> None:
+        """Iterative rendering of the paper's recursive ``traverse``.
+
+        Each stack frame is ``(node, label, path, next edge index)``;
+        pushing a frame corresponds to a recursive call (line 13),
+        popping a frame past its last edge to returning past line 15
+        (which clears the ``visited`` flag).
+        """
+        best: dict[str, list[PathLabel]] = state.best
+        visited: set[str] = state.visited
+        aggregator = self.aggregator
+        stats = state.stats
+
+        stack: list[tuple[str, PathLabel, ConcretePath, int]] = []
+
+        def enter(node: str, label: PathLabel, path: ConcretePath) -> None:
+            # Lines 1-5: mark visited, record any complete paths via the
+            # completing edges out of this node, run update(paths).
+            visited.add(node)
+            stats.recursive_calls += 1
+            for edge in self.graph.edges_from(node):
+                if not target.is_completing_edge(edge):
+                    continue
+                if edge.target in visited:
+                    continue  # would close a cycle; ignored per semantics
+                candidate = label.extend(edge.connector)
+                state.best_target = aggregator.aggregate(
+                    [candidate, *state.best_target]
+                )
+                if aggregator.keeps(candidate, state.best_target):
+                    state.complete.append(path.extend(edge))
+                    stats.complete_paths_found += 1
+            stack.append((node, label, path, 0))
+
+        enter(root, root_label, root_path)
+        while stack:
+            node, label, path, edge_index = stack.pop()
+            edges = self.graph.edges_from(node)
+            advanced = False
+            while edge_index < len(edges):
+                edge = edges[edge_index]
+                edge_index += 1
+                if target.is_completing_edge(edge):
+                    continue  # handled in enter(); never extended
+                child = edge.target
+                stats.edges_considered += 1
+                if child in visited:
+                    stats.pruned_visited += 1
+                    continue
+                if not self.graph.edges_from(child) and not _can_complete_at(
+                    self.graph, child, target
+                ):
+                    continue  # dead end (e.g. primitive class)
+                if (
+                    self.max_depth is not None
+                    and path.length + 1 >= self.max_depth
+                ):
+                    continue
+                child_label = label.extend(edge.connector)
+                # Line 9: bound against the best complete labels so far.
+                if state.best_target and not aggregator.keeps(
+                    child_label, state.best_target
+                ):
+                    stats.pruned_target_bound += 1
+                    continue
+                # Lines 10-11: bound against best[u], rescued by caution.
+                child_best = best.get(child, [])
+                if child_best and not aggregator.keeps(
+                    child_label, child_best
+                ):
+                    if self.caution is not None and self.caution.intersects(
+                        child_label, child_best
+                    ):
+                        stats.rescued_by_caution += 1
+                    else:
+                        stats.pruned_best_bound += 1
+                        continue
+                # Line 12: best[u] := AGG*({l_u} ∪ best[u]).
+                best[child] = aggregator.aggregate(
+                    [child_label, *child_best]
+                )
+                # Line 13: recurse — push the parent frame back with its
+                # position, then enter the child.
+                stack.append((node, label, path, edge_index))
+                enter(child, child_label, path.extend(edge))
+                advanced = True
+                break
+            if not advanced:
+                visited.discard(node)  # line 15
+
+    # ------------------------------------------------------------------
+    # Finalization: update(paths) semantics applied to the full set
+    # ------------------------------------------------------------------
+
+    def _finalize(self, state: "_SearchState") -> list[ConcretePath]:
+        """Filter recorded complete paths to the AGG*-optimal set and
+        apply the Inheritance Semantics Criterion."""
+        complete = state.complete
+        if not complete:
+            return []
+        optimal_labels = {
+            label.key
+            for label in self.aggregator.aggregate(
+                [path.label() for path in complete]
+            )
+        }
+        survivors = [
+            path for path in complete if path.label().key in optimal_labels
+        ]
+        # De-duplicate identical edge sequences (a path can be recorded
+        # twice when caution sets force re-exploration).
+        unique: dict[tuple, ConcretePath] = {}
+        for path in survivors:
+            unique.setdefault((path.root, path.edges), path)
+        survivors = list(unique.values())
+        if self.apply_inheritance_criterion:
+            survivors, removed = apply_preemption(survivors)
+            state.stats.preempted_paths = removed
+        survivors.sort(
+            key=lambda p: (
+                p.label().connector.sort_rank,
+                p.semantic_length,
+                p.length,
+                str(p),
+            )
+        )
+        return survivors
+
+    def __repr__(self) -> str:
+        return (
+            f"CompletionSearch(graph={self.graph!r}, "
+            f"order={self.order.name!r}, e={self.aggregator.e}, "
+            f"caution={'on' if self.caution else 'off'})"
+        )
+
+
+def _can_complete_at(
+    graph: SchemaGraph, node: str, target: Target
+) -> bool:
+    """True if some completing edge departs from ``node``."""
+    return any(
+        target.is_completing_edge(edge) for edge in graph.edges_from(node)
+    )
+
+
+@dataclasses.dataclass
+class _SearchState:
+    """Mutable globals of the traversal (the paper's best[], paths)."""
+
+    best_target: list[PathLabel]
+    complete: list[ConcretePath]
+    stats: TraversalStats
+    best: dict[str, list[PathLabel]] = dataclasses.field(default_factory=dict)
+    visited: set[str] = dataclasses.field(default_factory=set)
+
+
+def complete_paths(
+    graph: SchemaGraph,
+    root: str,
+    target: Target,
+    order: PartialOrder | None = None,
+    e: int = 1,
+    use_caution_sets: bool = True,
+    apply_inheritance_criterion: bool = True,
+    max_depth: int | None = None,
+) -> CompletionResult:
+    """One-shot convenience wrapper around :class:`CompletionSearch`."""
+    search = CompletionSearch(
+        graph,
+        order=order,
+        e=e,
+        use_caution_sets=use_caution_sets,
+        apply_inheritance_criterion=apply_inheritance_criterion,
+        max_depth=max_depth,
+    )
+    return search.run(root, target)

@@ -1,0 +1,114 @@
+"""Domain-specific knowledge (paper Sections 5.2, 7).
+
+The paper's second experiment let the schema designer declare that
+certain *auxiliary* classes — connected to a plethora of other classes
+but without much inherent semantic content — should never appear inside
+any completion.  That single, easily-specified form of knowledge raised
+precision from 55% to 93% at large E.
+
+:class:`DomainKnowledge` generalizes slightly (also per the paper's
+future-work list): excluded classes, individually excluded
+relationships, and optional per-class *penalties* added to the semantic
+length of paths passing through them (a mild, tunable discouragement —
+disabled unless set).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.model.graph import SchemaGraph
+from repro.model.schema import Schema
+
+__all__ = ["DomainKnowledge"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DomainKnowledge:
+    """Declarative, schema-level domain knowledge.
+
+    Parameters
+    ----------
+    excluded_classes:
+        Classes that must never appear *inside* a completion (as an
+        intermediate or final class).  The paper's Section 5.2 form.
+    excluded_relationships:
+        Individual ``(source class, relationship name)`` pairs to drop.
+    class_penalties:
+        Extra semantic-length units charged for visiting a class.  Used
+        by the ranking extensions; 0/absent means no penalty.
+    """
+
+    excluded_classes: frozenset[str] = frozenset()
+    excluded_relationships: frozenset[tuple[str, str]] = frozenset()
+    class_penalties: tuple[tuple[str, int], ...] = ()
+
+    @classmethod
+    def none(cls) -> "DomainKnowledge":
+        """The empty knowledge (the domain-independent baseline)."""
+        return cls()
+
+    @classmethod
+    def excluding(cls, *class_names: str) -> "DomainKnowledge":
+        """Convenience constructor for the paper's excluded-class form."""
+        return cls(excluded_classes=frozenset(class_names))
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            not self.excluded_classes
+            and not self.excluded_relationships
+            and not self.class_penalties
+        )
+
+    def penalties(self) -> dict[str, int]:
+        """Class-penalty mapping as a dict."""
+        return dict(self.class_penalties)
+
+    def validate_against(self, schema: Schema) -> list[str]:
+        """Names referencing classes the schema lacks (likely typos)."""
+        problems = [
+            f"excluded class {name!r} not in schema"
+            for name in sorted(self.excluded_classes)
+            if not schema.has_class(name)
+        ]
+        for source, rel_name in sorted(self.excluded_relationships):
+            if not schema.has_class(source) or not schema.has_relationship(
+                source, rel_name
+            ):
+                problems.append(
+                    f"excluded relationship {source}.{rel_name} not in schema"
+                )
+        for name, _ in self.class_penalties:
+            if not schema.has_class(name):
+                problems.append(f"penalized class {name!r} not in schema")
+        return problems
+
+    def restrict(self, graph: SchemaGraph) -> SchemaGraph:
+        """Apply the exclusions to a schema graph.
+
+        Note that the *root* of a completion may still be an excluded
+        class from the user's perspective; exclusion removes the class
+        from the traversal view entirely, which also prevents rooting
+        there — matching the paper's "never a part of the completion of
+        any incomplete path expression".
+        """
+        if not self.excluded_classes and not self.excluded_relationships:
+            return graph
+        return graph.restricted(
+            exclude_classes=self.excluded_classes,
+            exclude_relationships=self.excluded_relationships,
+        )
+
+    def merged_with(self, other: "DomainKnowledge") -> "DomainKnowledge":
+        """Union of two knowledge declarations."""
+        penalties = dict(self.class_penalties)
+        for name, penalty in other.class_penalties:
+            penalties[name] = max(penalty, penalties.get(name, 0))
+        return DomainKnowledge(
+            excluded_classes=self.excluded_classes | other.excluded_classes,
+            excluded_relationships=(
+                self.excluded_relationships | other.excluded_relationships
+            ),
+            class_penalties=tuple(sorted(penalties.items())),
+        )

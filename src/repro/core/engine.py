@@ -1,0 +1,227 @@
+"""The :class:`Disambiguator` facade — the path-expression completion
+module of the paper's Figure 1.
+
+Bundles a schema, the path algebra configuration (partial order, E,
+caution sets, inheritance criterion), and optional domain knowledge into
+one object with a single entry point, :meth:`Disambiguator.complete`:
+
+* complete input expressions are validated and passed through;
+* simple incomplete expressions (``s ~ N``) run Algorithm 2 directly;
+* general incomplete expressions (multiple ``~``, mixed connectors)
+  are delegated to :mod:`repro.core.multi`.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.order import DEFAULT_ORDER, PartialOrder
+from repro.core.ast import ConcretePath, PathExpression
+from repro.core.completion import CompletionResult, CompletionSearch
+from repro.core.domain import DomainKnowledge
+from repro.core.multi import complete_general
+from repro.core.parser import parse_path_expression
+from repro.core.stats import TraversalStats
+from repro.core.target import ClassTarget, RelationshipTarget, Target
+from repro.errors import EvaluationError, NoCompletionError
+from repro.model.graph import SchemaGraph
+from repro.model.schema import Schema
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime
+    from repro.core.explain import Explanation
+
+__all__ = ["Disambiguator"]
+
+
+class Disambiguator:
+    """Completes incomplete path expressions over one schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema to disambiguate against.
+    order:
+        Better-than partial order; defaults to the paper's Figure 3
+        reconstruction.
+    e:
+        AGG* relaxation parameter (Section 4.4); E=1 reproduces plain
+        AGG.
+    domain_knowledge:
+        Optional :class:`~repro.core.domain.DomainKnowledge`
+        (Section 5.2).
+    use_caution_sets, apply_inheritance_criterion:
+        Ablation switches; both on by default as in the paper.
+
+    Examples
+    --------
+    >>> from repro.schemas.university import build_university_schema
+    >>> engine = Disambiguator(build_university_schema())
+    >>> result = engine.complete("ta ~ name")
+    >>> len(result.paths)
+    2
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        order: PartialOrder | None = None,
+        e: int = 1,
+        domain_knowledge: DomainKnowledge | None = None,
+        use_caution_sets: bool = True,
+        apply_inheritance_criterion: bool = True,
+        max_depth: int | None = None,
+    ) -> None:
+        self.schema = schema
+        self.order = order if order is not None else DEFAULT_ORDER
+        self.e = e
+        self.domain_knowledge = (
+            domain_knowledge
+            if domain_knowledge is not None
+            else DomainKnowledge.none()
+        )
+        problems = self.domain_knowledge.validate_against(schema)
+        if problems:
+            raise EvaluationError(
+                "domain knowledge does not match schema: "
+                + "; ".join(problems)
+            )
+        self.graph = self.domain_knowledge.restrict(SchemaGraph(schema))
+        self._search = CompletionSearch(
+            self.graph,
+            order=self.order,
+            e=e,
+            use_caution_sets=use_caution_sets,
+            apply_inheritance_criterion=apply_inheritance_criterion,
+            max_depth=max_depth,
+        )
+        self.use_caution_sets = use_caution_sets
+        self.apply_inheritance_criterion = apply_inheritance_criterion
+
+    # ------------------------------------------------------------------
+    # Completion entry points
+    # ------------------------------------------------------------------
+
+    def complete(
+        self, expression: str | PathExpression
+    ) -> CompletionResult:
+        """Complete an expression given as text or AST.
+
+        Returns a :class:`~repro.core.completion.CompletionResult` whose
+        ``paths`` are the optimal completions the user is asked to
+        approve (paper Figure 1's loop).  For already-complete input the
+        result contains exactly that path, validated against the schema.
+        """
+        if isinstance(expression, str):
+            expression = parse_path_expression(expression)
+        if expression.is_complete:
+            return self._validate_complete(expression)
+        if expression.is_simple_incomplete:
+            return self._search.run(
+                expression.root, RelationshipTarget(expression.last_name)
+            )
+        general = complete_general(
+            self.graph,
+            expression,
+            order=self.order,
+            e=self.e,
+            use_caution_sets=self.use_caution_sets,
+            apply_inheritance_criterion=self.apply_inheritance_criterion,
+        )
+        return CompletionResult(
+            root=expression.root,
+            target_description=f"pattern {expression}",
+            paths=general.paths,
+            labels=tuple(
+                {path.label().key: path.label() for path in general.paths}.values()
+            ),
+            stats=general.stats,
+        )
+
+    def complete_between(self, root: str, target_class: str) -> CompletionResult:
+        """Class-to-class completion (the formalization's node target)."""
+        return self._search.run(root, ClassTarget(target_class))
+
+    def complete_to_target(self, root: str, target: Target) -> CompletionResult:
+        """Completion with an explicit target specification."""
+        return self._search.run(root, target)
+
+    def explain(
+        self, query_text: str, candidate_text: str
+    ) -> "Explanation":
+        """Why is ``candidate_text`` (not) an answer to ``query_text``?
+
+        Convenience wrapper over
+        :func:`repro.core.explain.explain_candidate` bound to this
+        engine's graph, order, and E.
+        """
+        from repro.core.explain import explain_candidate
+
+        return explain_candidate(
+            self.graph,
+            query_text,
+            candidate_text,
+            e=self.e,
+            order=self.order,
+        )
+
+    def with_e(self, e: int) -> "Disambiguator":
+        """A copy of this engine with a different E (for sweeps)."""
+        return Disambiguator(
+            self.schema,
+            order=self.order,
+            e=e,
+            domain_knowledge=self.domain_knowledge,
+            use_caution_sets=self.use_caution_sets,
+            apply_inheritance_criterion=self.apply_inheritance_criterion,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _validate_complete(
+        self, expression: PathExpression
+    ) -> CompletionResult:
+        """Resolve a complete expression's steps to schema edges."""
+        path = ConcretePath.start(expression.root)
+        for step in expression.steps:
+            anchor = path.target_class
+            if not self.schema.has_relationship(anchor, step.name):
+                raise NoCompletionError(
+                    f"class {anchor!r} has no relationship {step.name!r} "
+                    f"(in {expression})"
+                )
+            edge = next(
+                (
+                    candidate
+                    for candidate in self.graph.edges_from(anchor)
+                    if candidate.name == step.name
+                ),
+                None,
+            )
+            if edge is None:
+                raise NoCompletionError(
+                    f"relationship {anchor}.{step.name} is excluded by "
+                    "domain knowledge"
+                )
+            if edge.connector is not step.connector:
+                raise NoCompletionError(
+                    f"step {step} uses connector {step.symbol!r} but "
+                    f"{anchor}.{step.name} is a {edge.kind.name} "
+                    "relationship"
+                )
+            path = path.extend(edge)
+        label = path.label()
+        return CompletionResult(
+            root=expression.root,
+            target_description="(already complete)",
+            paths=(path,),
+            labels=(label,),
+            stats=TraversalStats(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Disambiguator(schema={self.schema.name!r}, "
+            f"order={self.order.name!r}, e={self.e}, "
+            f"domain_knowledge={'yes' if not self.domain_knowledge.is_empty else 'no'})"
+        )

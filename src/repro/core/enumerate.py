@@ -1,0 +1,156 @@
+"""Exhaustive enumeration of consistent acyclic paths.
+
+The set Ψ of paper Section 3: *all* valid acyclic complete path
+expressions consistent with an incomplete one.  Used as
+
+* the ground-truth baseline for testing Algorithm 2 (its output must be
+  a sound subset of the AGG*-optimal subset of Ψ);
+* the denominator of the in-text statistic "over 500 acyclic path
+  expressions are consistent with each incomplete path expression".
+
+Plain depth-first enumeration with a visited set; cyclic paths are
+skipped per the paper's semantics ("humans do not think circularly").
+
+Two guards keep Ψ-exploration tractable on rich schemas:
+
+* nodes from which no completing edge is reachable are pruned up front
+  (reverse reachability) — without this the DFS wanders enormous
+  acyclic subtrees that can never produce a consistent path;
+* ``max_paths`` caps the number of completions and ``max_visits`` caps
+  total node expansions, so callers can trade exactness for a bounded
+  lower-bound count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.core.ast import ConcretePath
+from repro.core.target import Target
+from repro.model.graph import SchemaGraph
+
+__all__ = [
+    "iter_consistent_paths",
+    "enumerate_consistent_paths",
+    "count_consistent_paths",
+]
+
+
+def _nodes_reaching_target(graph: SchemaGraph, target: Target) -> set[str]:
+    """Nodes from which some completing edge is reachable.
+
+    Reverse BFS from the source endpoints of every completing edge.
+    (The visited-set discipline of the enumeration can still block an
+    individual path, so this is an over-approximation — which is exactly
+    what a pruning filter needs.)
+    """
+    reverse: dict[str, set[str]] = {}
+    seeds: set[str] = set()
+    for edge in graph.edges():
+        if target.is_completing_edge(edge):
+            seeds.add(edge.source)
+        else:
+            reverse.setdefault(edge.target, set()).add(edge.source)
+    useful = set(seeds)
+    queue = deque(seeds)
+    while queue:
+        node = queue.popleft()
+        for predecessor in reverse.get(node, ()):
+            if predecessor not in useful:
+                useful.add(predecessor)
+                queue.append(predecessor)
+    return useful
+
+
+def iter_consistent_paths(
+    graph: SchemaGraph,
+    root: str,
+    target: Target,
+    max_depth: int | None = None,
+    max_visits: int | None = None,
+) -> Iterator[ConcretePath]:
+    """Yield every acyclic path from ``root`` whose last edge satisfies
+    ``target``.
+
+    Completing edges terminate a path — they are never extended, matching
+    the treatment of T in Algorithms 1 and 2.  ``max_depth`` bounds the
+    number of edges per path; ``max_visits`` bounds total node
+    expansions (None = unbounded).
+    """
+    graph.schema.get_class(root)
+    useful = _nodes_reaching_target(graph, target)
+    visited: set[str] = {root}
+    visits = 0
+
+    def walk(current: ConcretePath) -> Iterator[ConcretePath]:
+        nonlocal visits
+        if max_visits is not None and visits >= max_visits:
+            return
+        visits += 1
+        if max_depth is not None and current.length >= max_depth:
+            return
+        node = current.target_class
+        for edge in graph.edges_from(node):
+            # A completing edge that re-enters a visited class would make
+            # the whole path cyclic; the paper's semantics ignore those.
+            if target.is_completing_edge(edge) and edge.target not in visited:
+                yield current.extend(edge)
+        for edge in graph.edges_from(node):
+            if target.is_completing_edge(edge):
+                continue
+            if edge.target in visited:
+                continue
+            if edge.target not in useful:
+                continue  # can never reach a completing edge from there
+            visited.add(edge.target)
+            yield from walk(current.extend(edge))
+            visited.remove(edge.target)
+
+    if root in useful or any(
+        target.is_completing_edge(edge) for edge in graph.edges_from(root)
+    ):
+        yield from walk(ConcretePath.start(root))
+
+
+def enumerate_consistent_paths(
+    graph: SchemaGraph,
+    root: str,
+    target: Target,
+    max_depth: int | None = None,
+    max_paths: int | None = None,
+    max_visits: int | None = None,
+) -> list[ConcretePath]:
+    """Materialize the consistent-path set Ψ (optionally truncated).
+
+    When ``max_paths`` (completions) or ``max_visits`` (node
+    expansions) is reached the enumeration stops; callers that need
+    exactness must pass None for both (the defaults).
+    """
+    paths: list[ConcretePath] = []
+    for path in iter_consistent_paths(
+        graph, root, target, max_depth=max_depth, max_visits=max_visits
+    ):
+        paths.append(path)
+        if max_paths is not None and len(paths) >= max_paths:
+            break
+    return paths
+
+
+def count_consistent_paths(
+    graph: SchemaGraph,
+    root: str,
+    target: Target,
+    max_depth: int | None = None,
+    max_paths: int | None = None,
+    max_visits: int | None = None,
+) -> int:
+    """Count Ψ without materializing paths (same truncation rules)."""
+    count = 0
+    for _ in iter_consistent_paths(
+        graph, root, target, max_depth=max_depth, max_visits=max_visits
+    ):
+        count += 1
+        if max_paths is not None and count >= max_paths:
+            break
+    return count

@@ -1,0 +1,234 @@
+"""Explanations for completion outcomes.
+
+The Figure 1 loop works best when the system can say *why* a completion
+the user expected is missing, or why two candidates tie.  Given an
+incomplete query and a candidate complete expression, `explain` places
+the candidate in one of a few precise verdicts by replaying the algebra:
+
+* ``returned`` — it is in the answer set;
+* ``inconsistent`` — wrong root or final relationship name;
+* ``invalid`` — not a real path in the schema;
+* ``cyclic`` — visits a class twice (ignored by the paper's semantics);
+* ``connector_dominated`` — a returned answer's connector is strictly
+  better under the Figure 3 order (witness shown);
+* ``length_dominated`` — connectors incomparable, but its semantic
+  length falls outside the AGG* window for the current E (witness and
+  the E that would admit it shown);
+* ``tied_but_pruned`` — its label ties the optimum, but the search's
+  best[]-bound dropped this realization (the DESIGN.md §4 corner).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.algebra.agg import Aggregator
+from repro.algebra.labels import PathLabel
+from repro.algebra.order import PartialOrder
+from repro.core.ast import ConcretePath, PathExpression
+from repro.core.completion import CompletionResult, CompletionSearch
+from repro.core.parser import parse_path_expression
+from repro.core.target import RelationshipTarget
+from repro.errors import PathExpressionError
+from repro.model.graph import SchemaGraph
+
+__all__ = ["Explanation", "explain_candidate"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Explanation:
+    """The verdict on one candidate completion."""
+
+    verdict: str
+    candidate: str
+    candidate_label: PathLabel | None
+    witness: str | None = None
+    witness_label: PathLabel | None = None
+    admitting_e: int | None = None
+
+    def render(self) -> str:
+        """One-paragraph human-readable explanation."""
+        if self.verdict == "returned":
+            return (
+                f"{self.candidate} is in the answer set "
+                f"(label {self.candidate_label})."
+            )
+        if self.verdict == "inconsistent":
+            return (
+                f"{self.candidate} is not consistent with the query: its "
+                "root or final relationship name differs."
+            )
+        if self.verdict == "invalid":
+            return f"{self.candidate} is not a valid path in this schema."
+        if self.verdict == "cyclic":
+            return (
+                f"{self.candidate} visits a class twice; cyclic paths are "
+                "ignored (people do not think circularly)."
+            )
+        if self.verdict == "connector_dominated":
+            return (
+                f"{self.candidate} carries label {self.candidate_label}, "
+                f"but {self.witness} carries {self.witness_label}, whose "
+                "connector denotes a strictly stronger relationship."
+            )
+        if self.verdict == "length_dominated":
+            suffix = (
+                f" Raising E to {self.admitting_e} would admit it."
+                if self.admitting_e is not None
+                else ""
+            )
+            return (
+                f"{self.candidate} has label {self.candidate_label}; "
+                f"{self.witness} ({self.witness_label}) is semantically "
+                f"closer, and the current E window keeps only the nearest "
+                f"lengths.{suffix}"
+            )
+        if self.verdict == "tied_but_pruned":
+            return (
+                f"{self.candidate} ties the optimal label "
+                f"({self.candidate_label}) but this realization was "
+                "dropped by the search's best[]-bound (a documented "
+                "corner of the paper's Algorithm 2; see DESIGN.md)."
+            )
+        return f"{self.candidate}: {self.verdict}"
+
+
+def _resolve(
+    graph: SchemaGraph, expression: PathExpression
+) -> ConcretePath | None:
+    path = ConcretePath.start(expression.root)
+    for step in expression.steps:
+        edge = next(
+            (
+                candidate
+                for candidate in graph.edges_from(path.target_class)
+                if candidate.name == step.name
+                and candidate.connector is step.connector
+            ),
+            None,
+        )
+        if edge is None:
+            return None
+        path = path.extend(edge)
+    return path
+
+
+def explain_candidate(
+    graph: SchemaGraph,
+    query_text: str,
+    candidate_text: str,
+    e: int = 1,
+    order: PartialOrder | None = None,
+    result: CompletionResult | None = None,
+) -> Explanation:
+    """Explain why ``candidate_text`` is or is not an answer to
+    ``query_text`` (a simple incomplete expression ``root ~ name``).
+
+    Pass a precomputed ``result`` to avoid re-running the search.
+    """
+    query = parse_path_expression(query_text)
+    if not query.is_simple_incomplete:
+        raise PathExpressionError(
+            "explain expects the simple incomplete form root ~ name"
+        )
+    candidate = parse_path_expression(candidate_text)
+    if candidate.is_incomplete:
+        raise PathExpressionError("the candidate must be complete")
+
+    aggregator = Aggregator(order, e=e)
+    if result is None:
+        search = CompletionSearch(graph, order=order, e=e)
+        result = search.run(query.root, RelationshipTarget(query.last_name))
+
+    rendered = str(candidate)
+    if rendered in result.expressions:
+        concrete = _resolve(graph, candidate)
+        return Explanation(
+            verdict="returned",
+            candidate=rendered,
+            candidate_label=concrete.label() if concrete else None,
+        )
+
+    if (
+        candidate.root != query.root
+        or not candidate.steps
+        or candidate.last_name != query.last_name
+    ):
+        return Explanation(
+            verdict="inconsistent", candidate=rendered, candidate_label=None
+        )
+
+    concrete = _resolve(graph, candidate)
+    if concrete is None:
+        return Explanation(
+            verdict="invalid", candidate=rendered, candidate_label=None
+        )
+    if not concrete.is_acyclic:
+        return Explanation(
+            verdict="cyclic",
+            candidate=rendered,
+            candidate_label=concrete.label(),
+        )
+
+    label = concrete.label()
+    order = aggregator.order
+    # find the strongest witness among the returned answers
+    for path in result.paths:
+        winner = path.label()
+        if order.better(winner.connector, label.connector):
+            return Explanation(
+                verdict="connector_dominated",
+                candidate=rendered,
+                candidate_label=label,
+                witness=str(path),
+                witness_label=winner,
+            )
+    for path in result.paths:
+        winner = path.label()
+        if (
+            order.incomparable(winner.connector, label.connector)
+            and winner.semantic_length < label.semantic_length
+        ):
+            admitting = _admitting_e(
+                graph, query, label, order
+            )
+            return Explanation(
+                verdict="length_dominated",
+                candidate=rendered,
+                candidate_label=label,
+                witness=str(path),
+                witness_label=winner,
+                admitting_e=admitting,
+            )
+    if any(
+        path.label().key == label.key for path in result.paths
+    ) or aggregator.keeps(label, [p.label() for p in result.paths]):
+        return Explanation(
+            verdict="tied_but_pruned",
+            candidate=rendered,
+            candidate_label=label,
+        )
+    return Explanation(
+        verdict="not_returned",
+        candidate=rendered,
+        candidate_label=label,
+    )
+
+
+def _admitting_e(
+    graph: SchemaGraph,
+    query: PathExpression,
+    label: PathLabel,
+    order: PartialOrder,
+    max_e: int = 8,
+) -> int | None:
+    """Smallest E (≤ max_e) at which the candidate's label would appear
+    in the answer's label set, or None."""
+    for e in range(2, max_e + 1):
+        search = CompletionSearch(graph, order=order, e=e)
+        result = search.run(
+            query.root, RelationshipTarget(query.last_name)
+        )
+        if any(path.label().key == label.key for path in result.paths):
+            return e
+    return None

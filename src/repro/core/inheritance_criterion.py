@@ -1,0 +1,78 @@
+"""The Inheritance Semantics Criterion (paper Section 4.3).
+
+Traditional inheritance resolves a relationship name on the *nearest*
+class up the Isa chain.  In path terms: given two complete paths
+
+* ``ψ1 = s @>n_1 ... @>n_j  φ1 N`` and
+* ``ψ2 = s @>n_1 ... @>n_j ... @>n_k  φ2 N``   (k > j, φ1, φ2 ≠ @>),
+
+ψ1 *preempts* ψ2 — the root should inherit ``N`` from ``n_j``, not from
+the more remote superclass ``n_k``.  No CON/AGG formulation can express
+this (it constrains full path expressions, not path prefixes), so the
+completion algorithm applies it as a post-condition whenever complete
+paths are recorded.
+
+Concretely: ψ1 preempts ψ2 iff
+
+* both end with a non-Isa edge named N;
+* ψ1 minus its last edge is a prefix of ψ2;
+* the portion of ψ2 between that prefix and its own last edge consists
+  of one or more Isa edges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.algebra.connectors import Connector
+from repro.core.ast import ConcretePath
+
+__all__ = ["preempts", "apply_preemption"]
+
+
+def preempts(shorter: ConcretePath, longer: ConcretePath) -> bool:
+    """True if ``shorter`` preempts ``longer`` per the criterion."""
+    if shorter.root != longer.root:
+        return False
+    if not shorter.edges or not longer.edges:
+        return False
+    last_short = shorter.edges[-1]
+    last_long = longer.edges[-1]
+    if last_short.name != last_long.name:
+        return False
+    if (
+        last_short.connector is Connector.ISA
+        or last_long.connector is Connector.ISA
+    ):
+        return False
+    prefix_length = shorter.length - 1
+    if longer.length <= shorter.length:
+        return False
+    if longer.edges[:prefix_length] != shorter.edges[:prefix_length]:
+        return False
+    between = longer.edges[prefix_length : longer.length - 1]
+    if not between:
+        return False
+    return all(edge.connector is Connector.ISA for edge in between)
+
+
+def apply_preemption(
+    paths: Sequence[ConcretePath],
+) -> tuple[list[ConcretePath], int]:
+    """Remove every path preempted by another in the set.
+
+    Returns the surviving paths (original order) and the number removed.
+    Preemption is applied against the *full* set, not iteratively: a
+    path preempted by another path is removed even if the preemptor is
+    itself preempted by a third (traditional nearest-declaration
+    semantics makes chains collapse to the nearest anyway).
+    """
+    removed: set[int] = set()
+    for i, shorter in enumerate(paths):
+        for j, longer in enumerate(paths):
+            if i == j or j in removed:
+                continue
+            if preempts(shorter, longer):
+                removed.add(j)
+    survivors = [path for k, path in enumerate(paths) if k not in removed]
+    return survivors, len(removed)

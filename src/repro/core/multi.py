@@ -1,0 +1,183 @@
+"""General incomplete path expressions: multiple ``~`` and mixed
+connectors (the generalization the paper delegates to reference [17]).
+
+An expression like ``dept ~ student . take ~ name`` alternates explicit
+steps with ``~`` gaps.  Completion proceeds segment by segment:
+
+* an **explicit step** ``<connector> name`` is matched against the
+  single schema edge out of the current anchor class with that name and
+  kind (the paper: "all other connectors are matched by a single edge");
+* a **tilde step** ``~ name`` runs the single-gap completion algorithm
+  from the current anchor class targeting the relationship name, and
+  forks the partial path over each optimal sub-completion.
+
+Partial paths that become globally cyclic (revisit a class across
+segment boundaries) are dropped, keeping the paper's acyclicity
+semantics for the whole expression.  The final candidate set is ranked
+by AGG* over the full-path labels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.algebra.agg import Aggregator
+from repro.algebra.connectors import connector_for_kind
+from repro.algebra.order import DEFAULT_ORDER, PartialOrder
+from repro.core.ast import ConcretePath, PathExpression
+from repro.core.completion import CompletionSearch
+from repro.core.stats import TraversalStats
+from repro.core.target import RelationshipTarget
+from repro.errors import NoCompletionError, PathExpressionError
+from repro.model.graph import SchemaEdge, SchemaGraph
+
+__all__ = ["complete_general", "GeneralCompletionResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneralCompletionResult:
+    """Outcome of completing a general incomplete expression."""
+
+    expression: PathExpression
+    paths: tuple[ConcretePath, ...]
+    stats: TraversalStats
+
+    @property
+    def expressions(self) -> list[str]:
+        return [str(path) for path in self.paths]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.paths
+
+
+def _match_explicit_step(
+    graph: SchemaGraph, anchor: str, step
+) -> SchemaEdge | None:
+    """The single edge matching an explicit step at ``anchor``.
+
+    Matches on relationship name; if the step's connector kind differs
+    from the edge's, the step is rejected (None).
+    """
+    for edge in graph.edges_from(anchor):
+        if edge.name != step.name:
+            continue
+        if connector_for_kind(edge.kind) is not step.connector:
+            return None
+        return edge
+    return None
+
+
+def complete_general(
+    graph: SchemaGraph,
+    expression: PathExpression,
+    order: PartialOrder | None = None,
+    e: int = 1,
+    use_caution_sets: bool = True,
+    apply_inheritance_criterion: bool = True,
+) -> GeneralCompletionResult:
+    """Complete an arbitrary incomplete path expression.
+
+    Complete inputs are validated against the schema and returned as the
+    single candidate.  Raises
+    :class:`~repro.errors.NoCompletionError` when no consistent
+    completion exists.
+    """
+    order = order if order is not None else DEFAULT_ORDER
+    aggregator = Aggregator(order, e=e)
+    graph.schema.get_class(expression.root)
+    if not expression.steps:
+        raise PathExpressionError("expression has no steps to complete")
+
+    stats = TraversalStats()
+    search = CompletionSearch(
+        graph,
+        order=order,
+        e=e,
+        use_caution_sets=use_caution_sets,
+        apply_inheritance_criterion=apply_inheritance_criterion,
+    )
+
+    partials: list[ConcretePath] = [ConcretePath.start(expression.root)]
+    for step in expression.steps:
+        next_partials: list[ConcretePath] = []
+        if step.is_tilde:
+            # Group partials by anchor so each sub-completion runs once.
+            by_anchor: dict[str, list[ConcretePath]] = {}
+            for partial in partials:
+                by_anchor.setdefault(partial.target_class, []).append(partial)
+            for anchor, group in by_anchor.items():
+                sub = search.run(anchor, RelationshipTarget(step.name))
+                _accumulate(stats, sub.stats)
+                for sub_path in sub.paths:
+                    for partial in group:
+                        combined = _concatenate(partial, sub_path)
+                        if combined is not None:
+                            next_partials.append(combined)
+        else:
+            for partial in partials:
+                edge = _match_explicit_step(
+                    graph, partial.target_class, step
+                )
+                if edge is None:
+                    continue
+                if edge.target in partial.classes():
+                    continue  # would make the whole path cyclic
+                next_partials.append(partial.extend(edge))
+        partials = next_partials
+        if not partials:
+            break
+
+    if not partials:
+        raise NoCompletionError(
+            f"no completion consistent with {expression}"
+        )
+
+    # Rank full paths by AGG* on their overall labels.
+    optimal_keys = {
+        label.key
+        for label in aggregator.aggregate([p.label() for p in partials])
+    }
+    survivors = [p for p in partials if p.label().key in optimal_keys]
+    unique: dict[tuple, ConcretePath] = {}
+    for path in survivors:
+        unique.setdefault((path.root, path.edges), path)
+    ranked = sorted(
+        unique.values(),
+        key=lambda p: (
+            p.label().connector.sort_rank,
+            p.semantic_length,
+            p.length,
+            str(p),
+        ),
+    )
+    return GeneralCompletionResult(
+        expression=expression, paths=tuple(ranked), stats=stats
+    )
+
+
+def _concatenate(
+    prefix: ConcretePath, suffix: ConcretePath
+) -> ConcretePath | None:
+    """Join two concrete paths; None when the result would be cyclic."""
+    if suffix.root != prefix.target_class:
+        raise PathExpressionError(
+            f"cannot join path ending at {prefix.target_class!r} with "
+            f"path rooted at {suffix.root!r}"
+        )
+    combined = prefix
+    for edge in suffix.edges:
+        combined = combined.extend(edge)
+    return combined if combined.is_acyclic else None
+
+
+def _accumulate(total: TraversalStats, part: TraversalStats) -> None:
+    total.recursive_calls += part.recursive_calls
+    total.edges_considered += part.edges_considered
+    total.complete_paths_found += part.complete_paths_found
+    total.pruned_visited += part.pruned_visited
+    total.pruned_target_bound += part.pruned_target_bound
+    total.pruned_best_bound += part.pruned_best_bound
+    total.rescued_by_caution += part.rescued_by_caution
+    total.preempted_paths += part.preempted_paths
+    total.elapsed_seconds += part.elapsed_seconds

@@ -1,0 +1,69 @@
+"""Rendering helpers for path expressions and completion results.
+
+The AST classes already stringify (``str(expression)``); this module
+adds the multi-line, aligned presentations used by the examples, the
+interactive session, and the experiment reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.ast import ConcretePath
+from repro.core.completion import CompletionResult
+
+__all__ = [
+    "format_path",
+    "format_candidates",
+    "format_result",
+    "format_path_verbose",
+]
+
+
+def format_path(path: ConcretePath) -> str:
+    """Compact one-line rendering: the path-expression string."""
+    return str(path)
+
+
+def format_path_verbose(path: ConcretePath) -> str:
+    """One line per step, with classes and kinds spelled out."""
+    lines = [f"{path.root}"]
+    for edge in path.edges:
+        lines.append(
+            f"  {edge.kind.symbol} {edge.name}  ->  {edge.target}"
+            f"  ({edge.kind.name.replace('_', '-').title()})"
+        )
+    label = path.label()
+    lines.append(
+        f"  label {label}  (actual length {path.length}, "
+        f"semantic length {path.semantic_length})"
+    )
+    return "\n".join(lines)
+
+
+def format_candidates(
+    paths: Sequence[ConcretePath], numbered: bool = True
+) -> str:
+    """Numbered candidate list for presentation to the user."""
+    if not paths:
+        return "(no completions)"
+    lines = []
+    for index, path in enumerate(paths, start=1):
+        prefix = f"  [{index}] " if numbered else "  "
+        lines.append(f"{prefix}{path}  {path.label()}")
+    return "\n".join(lines)
+
+
+def format_result(result: CompletionResult, verbose: bool = False) -> str:
+    """Full report of a completion run, including statistics."""
+    header = (
+        f"{result.root} ~ {result.target_description}: "
+        f"{len(result.paths)} completion(s)"
+    )
+    body = (
+        "\n".join(format_path_verbose(p) for p in result.paths)
+        if verbose
+        else format_candidates(result.paths)
+    )
+    footer = f"  [{result.stats}]"
+    return "\n".join([header, body, footer])

@@ -1,0 +1,111 @@
+"""Post-ranking extensions (paper Section 7 future work).
+
+The paper sketches two refinements beyond the domain-independent core:
+
+* **class penalties** — a mild, tunable form of domain knowledge:
+  visiting a low-content class charges extra semantic length instead of
+  excluding it outright (:func:`rank_with_penalties`);
+* **focus preference** — "when confronted with two homonymous concepts
+  of widely differing sizes, humans tend to prefer the more specific or
+  focused concept": among completions that tie on label, prefer the
+  path through more *specific* classes, measured by Isa depth
+  (:func:`rank_with_focus`).
+
+Both are pure re-rankers over a
+:class:`~repro.core.completion.CompletionResult` — the core algorithm
+stays untouched, exactly as the paper positions these as layers on top
+of path labels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.ast import ConcretePath
+from repro.core.completion import CompletionResult
+from repro.core.domain import DomainKnowledge
+from repro.model.inheritance import ancestors
+from repro.model.schema import Schema
+
+__all__ = ["RankedPath", "rank_with_penalties", "rank_with_focus"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RankedPath:
+    """A completion with its adjusted score components."""
+
+    path: ConcretePath
+    adjusted_length: int
+    focus_score: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.path}  (adjusted length {self.adjusted_length})"
+
+
+def rank_with_penalties(
+    result: CompletionResult,
+    knowledge: DomainKnowledge,
+    keep_best_only: bool = False,
+) -> list[RankedPath]:
+    """Re-rank completions by semantic length plus class penalties.
+
+    Every intermediate or final class visited (the root is free — the
+    user named it) adds its penalty to the path's semantic length.
+    With ``keep_best_only`` the list is cut to the minimum adjusted
+    length, mirroring AGG's secondary criterion.
+    """
+    penalties = knowledge.penalties()
+    ranked = []
+    for path in result.paths:
+        extra = sum(
+            penalties.get(name, 0) for name in path.classes()[1:]
+        )
+        ranked.append(
+            RankedPath(
+                path=path,
+                adjusted_length=path.semantic_length + extra,
+            )
+        )
+    ranked.sort(key=lambda r: (r.adjusted_length, str(r.path)))
+    if keep_best_only and ranked:
+        best = ranked[0].adjusted_length
+        ranked = [r for r in ranked if r.adjusted_length == best]
+    return ranked
+
+
+def _specificity(schema: Schema, class_name: str) -> int:
+    """Isa depth of a class: more ancestors = more specific."""
+    if not schema.has_class(class_name):
+        return 0
+    return len(ancestors(schema, class_name))
+
+
+def rank_with_focus(
+    result: CompletionResult, schema: Schema
+) -> list[RankedPath]:
+    """Order label-tied completions by specificity (most focused first).
+
+    The focus score of a path is the summed Isa depth of its visited
+    classes; a higher score means the path stays among more specific
+    concepts.  Primary label order is preserved — focus only breaks
+    ties within a ``(connector, semantic length)`` class.
+    """
+    ranked = [
+        RankedPath(
+            path=path,
+            adjusted_length=path.semantic_length,
+            focus_score=sum(
+                _specificity(schema, name) for name in path.classes()
+            ),
+        )
+        for path in result.paths
+    ]
+    ranked.sort(
+        key=lambda r: (
+            r.path.label().connector.sort_rank,
+            r.adjusted_length,
+            -r.focus_score,
+            str(r.path),
+        )
+    )
+    return ranked

@@ -1,0 +1,54 @@
+"""Traversal statistics (paper Section 5.4).
+
+The paper measures algorithm cost in *recursive calls* (each call is one
+class-node exploration; 0.17 ms each on the original DecStation) plus
+wall-clock response time.  :class:`TraversalStats` records those and the
+pruning breakdown, so the benchmarks can report both the
+hardware-independent and the wall-clock views.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["TraversalStats"]
+
+
+@dataclasses.dataclass
+class TraversalStats:
+    """Counters collected by one run of a completion traversal."""
+
+    recursive_calls: int = 0
+    edges_considered: int = 0
+    complete_paths_found: int = 0
+    pruned_visited: int = 0
+    pruned_target_bound: int = 0
+    pruned_best_bound: int = 0
+    rescued_by_caution: int = 0
+    preempted_paths: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def seconds_per_call(self) -> float:
+        """Average cost of one recursive call (the paper's 0.17 ms
+        figure, on our hardware)."""
+        if self.recursive_calls == 0:
+            return 0.0
+        return self.elapsed_seconds / self.recursive_calls
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for reports."""
+        return dataclasses.asdict(self) | {
+            "seconds_per_call": self.seconds_per_call
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"calls={self.recursive_calls} edges={self.edges_considered} "
+            f"complete={self.complete_paths_found} "
+            f"pruned(visited/target/best)="
+            f"{self.pruned_visited}/{self.pruned_target_bound}/"
+            f"{self.pruned_best_bound} "
+            f"caution-rescues={self.rescued_by_caution} "
+            f"time={self.elapsed_seconds * 1000:.2f}ms"
+        )

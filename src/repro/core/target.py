@@ -1,0 +1,94 @@
+"""Target specifications for path completion.
+
+The paper's incomplete expression ``ξ = s ~ N`` targets a relationship
+*name* N (the completion must end with a relationship named N), while
+its formal path-computation treatment simplifies to class-to-class paths
+(target a node T).  Both forms are supported:
+
+* :class:`RelationshipTarget` — the completion's last edge must carry
+  the given relationship name (the ``s ~ N`` form);
+* :class:`ClassTarget` — the completion's last edge must arrive at the
+  given class (the formalization's node-target form).
+
+A target classifies edges as *completing*: a path is complete exactly
+when its last edge is completing, and completing edges are never
+extended further (Algorithm 1/2 exclude T from the recursion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.ast import ConcretePath, PathExpression
+from repro.errors import PathExpressionError
+from repro.model.graph import SchemaEdge, SchemaGraph
+
+__all__ = [
+    "Target",
+    "ClassTarget",
+    "RelationshipTarget",
+    "target_for_expression",
+]
+
+
+class Target:
+    """Interface for completion targets."""
+
+    def is_completing_edge(self, edge: SchemaEdge) -> bool:
+        """True if traversing ``edge`` finishes a consistent path."""
+        raise NotImplementedError
+
+    def exists_in(self, graph: SchemaGraph) -> bool:
+        """True if at least one completing edge exists in the graph."""
+        return any(
+            self.is_completing_edge(edge) for edge in graph.edges()
+        )
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassTarget(Target):
+    """Complete upon arriving at a given class (the paper's node T)."""
+
+    class_name: str
+
+    def is_completing_edge(self, edge: SchemaEdge) -> bool:
+        return edge.target == self.class_name
+
+    def describe(self) -> str:
+        return f"class {self.class_name!r}"
+
+
+@dataclasses.dataclass(frozen=True)
+class RelationshipTarget(Target):
+    """Complete upon traversing an edge with a given relationship name
+    (the ``s ~ N`` form of the paper)."""
+
+    relationship_name: str
+
+    def is_completing_edge(self, edge: SchemaEdge) -> bool:
+        return edge.name == self.relationship_name
+
+    def describe(self) -> str:
+        return f"relationship name {self.relationship_name!r}"
+
+
+def target_for_expression(expression: PathExpression) -> RelationshipTarget:
+    """The target of a simple incomplete expression ``s ~ N``."""
+    if not expression.is_simple_incomplete:
+        raise PathExpressionError(
+            f"{expression} is not of the simple form s ~ N; "
+            "use repro.core.multi for the general case"
+        )
+    return RelationshipTarget(expression.last_name)
+
+
+def is_consistent(path: ConcretePath, root: str, target: Target) -> bool:
+    """Consistency check (paper Section 2.2.2): a complete path is
+    consistent with ``s ~ N`` when its root is ``s`` and its last edge
+    satisfies the target."""
+    if path.root != root or not path.edges:
+        return False
+    return target.is_completing_edge(path.edges[-1])

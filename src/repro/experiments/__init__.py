@@ -1,0 +1,76 @@
+"""Evaluation harness: metrics, the simulated designer oracle, the ten
+workload queries, the Figure 5/6/7 and in-text-statistics regenerators,
+and the ablation studies."""
+
+from repro.experiments.ablation import (
+    run_caution_ablation,
+    run_exhaustive_comparison,
+    run_order_ablation,
+)
+from repro.experiments.export import (
+    export_figure6_csv,
+    export_figure7_csv,
+    export_outcomes_csv,
+    export_sweep_csv,
+)
+from repro.experiments.figure5 import Figure5Result, render_figure5, run_figure5
+from repro.experiments.figure6 import Figure6Result, render_figure6, run_figure6
+from repro.experiments.figure7 import Figure7Result, render_figure7, run_figure7
+from repro.experiments.hospital_workload import (
+    build_hospital_workload,
+    hospital_domain_knowledge,
+)
+from repro.experiments.harness import (
+    QueryOutcome,
+    SweepPoint,
+    run_workload,
+    sweep_e,
+)
+from repro.experiments.intext import (
+    InTextStats,
+    render_intext_stats,
+    run_intext_stats,
+)
+from repro.experiments.metrics import EffectivenessPoint, precision, recall
+from repro.experiments.oracle import DesignerOracle, WorkloadQuery
+from repro.experiments.workload import (
+    ABSTRACT_UMBRELLA_CLASSES,
+    build_cupid_workload,
+    designer_domain_knowledge,
+)
+
+__all__ = [
+    "ABSTRACT_UMBRELLA_CLASSES",
+    "DesignerOracle",
+    "EffectivenessPoint",
+    "Figure5Result",
+    "Figure6Result",
+    "Figure7Result",
+    "InTextStats",
+    "QueryOutcome",
+    "SweepPoint",
+    "WorkloadQuery",
+    "build_cupid_workload",
+    "build_hospital_workload",
+    "designer_domain_knowledge",
+    "export_figure6_csv",
+    "export_figure7_csv",
+    "export_outcomes_csv",
+    "export_sweep_csv",
+    "hospital_domain_knowledge",
+    "precision",
+    "recall",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_intext_stats",
+    "run_caution_ablation",
+    "run_exhaustive_comparison",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_intext_stats",
+    "run_order_ablation",
+    "run_workload",
+    "sweep_e",
+]

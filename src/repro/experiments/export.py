@@ -1,0 +1,111 @@
+"""CSV export of experiment results.
+
+The harness prints text figures; downstream plotting wants flat files.
+Each exporter writes one CSV with a stable header so the paper's
+figures can be regenerated in any plotting stack.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.experiments.figure6 import Figure6Result
+from repro.experiments.figure7 import Figure7Result
+from repro.experiments.harness import QueryOutcome, SweepPoint
+
+__all__ = [
+    "export_sweep_csv",
+    "export_figure6_csv",
+    "export_figure7_csv",
+    "export_outcomes_csv",
+]
+
+
+def export_sweep_csv(
+    points: Sequence[SweepPoint], path: str | Path
+) -> None:
+    """Figure 5 series: one row per E value."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["e", "average_recall", "average_precision", "average_returned"]
+        )
+        for point in points:
+            writer.writerow(
+                [
+                    point.e,
+                    f"{point.average_recall:.6f}",
+                    f"{point.average_precision:.6f}",
+                    f"{point.average_returned:.3f}",
+                ]
+            )
+
+
+def export_figure6_csv(result: Figure6Result, path: str | Path) -> None:
+    """Figure 6: both precision arms, one row per E value."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["e", "precision_without_dk", "precision_with_dk"]
+        )
+        for no_dk, dk in zip(result.without_dk, result.with_dk):
+            writer.writerow(
+                [
+                    no_dk.e,
+                    f"{no_dk.average_precision:.6f}",
+                    f"{dk.average_precision:.6f}",
+                ]
+            )
+
+
+def export_figure7_csv(result: Figure7Result, path: str | Path) -> None:
+    """Figure 7: one row per query, ordered by processing complexity."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["query_id", "expression", "recursive_calls", "elapsed_seconds"]
+        )
+        for timing in result.timings:
+            writer.writerow(
+                [
+                    timing.query_id,
+                    timing.text,
+                    timing.recursive_calls,
+                    f"{timing.elapsed_seconds:.6f}",
+                ]
+            )
+
+
+def export_outcomes_csv(
+    outcomes: Sequence[QueryOutcome], path: str | Path
+) -> None:
+    """Raw per-query outcomes at one setting (for custom analyses)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "query_id",
+                "e",
+                "recall",
+                "precision",
+                "returned_count",
+                "intent_count",
+                "recursive_calls",
+                "elapsed_seconds",
+            ]
+        )
+        for outcome in outcomes:
+            writer.writerow(
+                [
+                    outcome.query.query_id,
+                    outcome.e,
+                    f"{outcome.recall:.6f}",
+                    f"{outcome.precision:.6f}",
+                    outcome.returned_count,
+                    len(outcome.intent),
+                    outcome.recursive_calls,
+                    f"{outcome.elapsed_seconds:.6f}",
+                ]
+            )

@@ -1,0 +1,119 @@
+"""Shared experiment runner: execute a workload at a given E, with or
+without domain knowledge, and collect recall/precision/cost per query.
+
+Every figure module (:mod:`figure5`, :mod:`figure6`, :mod:`figure7`) and
+the in-text statistics module build on :func:`run_workload` /
+:func:`sweep_e`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.domain import DomainKnowledge
+from repro.core.engine import Disambiguator
+from repro.experiments.metrics import average, precision, recall
+from repro.experiments.oracle import DesignerOracle, WorkloadQuery
+from repro.model.schema import Schema
+
+__all__ = ["QueryOutcome", "SweepPoint", "run_workload", "sweep_e"]
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryOutcome:
+    """Result of running one workload query at one setting."""
+
+    query: WorkloadQuery
+    e: int
+    returned: tuple[str, ...]
+    intent: frozenset[str]
+    recall: float
+    precision: float
+    recursive_calls: int
+    elapsed_seconds: float
+
+    @property
+    def returned_count(self) -> int:
+        return len(self.returned)
+
+    @property
+    def mean_returned_length(self) -> float:
+        """Average edge count of the returned completions.
+
+        Length is recovered from the expression text by counting steps
+        (each connector introduces one step).
+        """
+        if not self.returned:
+            return 0.0
+        import re
+
+        counts = [
+            len(re.findall(r"@>|<@|\$>|<\$|\.", text))
+            for text in self.returned
+        ]
+        return sum(counts) / len(counts)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """Workload averages at one E setting (a point on Figures 5/6)."""
+
+    e: int
+    average_recall: float
+    average_precision: float
+    average_returned: float
+    outcomes: tuple[QueryOutcome, ...]
+
+
+def run_workload(
+    schema: Schema,
+    oracle: DesignerOracle,
+    e: int = 1,
+    domain_knowledge: DomainKnowledge | None = None,
+) -> list[QueryOutcome]:
+    """Run every workload query once and score it against the oracle."""
+    engine = Disambiguator(schema, e=e, domain_knowledge=domain_knowledge)
+    outcomes: list[QueryOutcome] = []
+    for query in oracle:
+        result = engine.complete(query.text)
+        returned = tuple(result.expressions)
+        intent = frozenset(query.final_intent(returned))
+        outcomes.append(
+            QueryOutcome(
+                query=query,
+                e=e,
+                returned=returned,
+                intent=intent,
+                recall=recall(intent, returned),
+                precision=precision(intent, returned),
+                recursive_calls=result.stats.recursive_calls,
+                elapsed_seconds=result.stats.elapsed_seconds,
+            )
+        )
+    return outcomes
+
+
+def sweep_e(
+    schema: Schema,
+    oracle: DesignerOracle,
+    e_values: tuple[int, ...] = (1, 2, 3, 4, 5),
+    domain_knowledge: DomainKnowledge | None = None,
+) -> list[SweepPoint]:
+    """Run the workload across E settings (the Figures 5/6 x-axis)."""
+    points: list[SweepPoint] = []
+    for e in e_values:
+        outcomes = run_workload(
+            schema, oracle, e=e, domain_knowledge=domain_knowledge
+        )
+        points.append(
+            SweepPoint(
+                e=e,
+                average_recall=average([o.recall for o in outcomes]),
+                average_precision=average([o.precision for o in outcomes]),
+                average_returned=average(
+                    [float(o.returned_count) for o in outcomes]
+                ),
+                outcomes=tuple(outcomes),
+            )
+        )
+    return points

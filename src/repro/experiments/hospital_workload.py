@@ -1,0 +1,73 @@
+"""A second-domain mini-workload (paper §7: "several schemas").
+
+Five ad-hoc incomplete queries a clinical data manager might pose on
+the hospital schema, with intents calibrated the same way as the CUPID
+workload: the strongest/shortest completions are what the user means,
+and obviously-plausible alternates are accepted when shown.  This is
+the generalization check — the same algorithm, untouched, against a
+different domain's vocabulary and shape.
+"""
+
+from __future__ import annotations
+
+from repro.core.domain import DomainKnowledge
+from repro.experiments.oracle import DesignerOracle, WorkloadQuery
+from repro.schemas.hospital import HOSPITAL_AUXILIARY_CLASSES
+
+__all__ = ["build_hospital_workload", "hospital_domain_knowledge"]
+
+
+def hospital_domain_knowledge() -> DomainKnowledge:
+    """Exclude the terminology registry (the schema's auxiliary hub)."""
+    return DomainKnowledge.excluding(*HOSPITAL_AUXILIARY_CLASSES)
+
+
+def build_hospital_workload() -> DesignerOracle:
+    """The five hospital queries with calibrated intents."""
+    queries = (
+        WorkloadQuery(
+            query_id="h1",
+            text="ward ~ name",
+            intended=("ward.name",),
+            note="the ward's own name (attribute shadowing test)",
+        ),
+        WorkloadQuery(
+            query_id="h2",
+            text="surgeon ~ description",
+            intended=(
+                "surgeon@>physician.admits.diagnosis.description",
+            ),
+            also_plausible=(
+                "surgeon.performs.admission.diagnosis.description",
+            ),
+            note="diagnoses of the surgeon's admitted patients",
+        ),
+        WorkloadQuery(
+            query_id="h3",
+            text="nurse ~ label",
+            intended=("nurse.assigned_ward$>room$>bed.label",),
+            note="bed labels on the nurse's assigned ward",
+        ),
+        WorkloadQuery(
+            query_id="h4",
+            text="patient ~ value",
+            intended=(
+                "patient.admission.order<@lab_order.result.value",
+            ),
+            note="lab result values across the patient's admissions",
+        ),
+        WorkloadQuery(
+            query_id="h5",
+            text="hospital ~ dose",
+            intended=(
+                "hospital$>pharmacy$>drug_stock.drug.ordered_in.dose",
+                "hospital$>campus$>building$>ward$>room$>bed.admission"
+                ".order<@medication_order.dose",
+            ),
+            note=(
+                "consciously ambiguous: doses of stocked drugs vs doses "
+                "ordered for admitted patients"
+            ),
+        ),
+    )
+    return DesignerOracle(queries)

@@ -1,0 +1,57 @@
+"""Effectiveness metrics (paper Section 5.1).
+
+Let U be the set of complete path expressions the user *meant* and S the
+set the system returned.  Then
+
+* recall    = |U ∩ S| / |U|  — proportion of relevant answers retrieved;
+* precision = |U ∩ S| / |S|  — proportion of retrieved answers relevant.
+
+Path expressions are compared as canonical strings (the renderer is
+deterministic, so string equality is path equality).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+__all__ = ["recall", "precision", "EffectivenessPoint", "average"]
+
+
+def recall(intended: Iterable[str], returned: Iterable[str]) -> float:
+    """``|U ∩ S| / |U|``; vacuously 1.0 when U is empty."""
+    intended = set(intended)
+    if not intended:
+        return 1.0
+    return len(intended & set(returned)) / len(intended)
+
+
+def precision(intended: Iterable[str], returned: Iterable[str]) -> float:
+    """``|U ∩ S| / |S|``; vacuously 1.0 when S is empty.
+
+    (An empty answer contains no irrelevant items; the recall metric is
+    the one that punishes empty answers.)
+    """
+    returned = set(returned)
+    if not returned:
+        return 1.0
+    return len(set(intended) & returned) / len(returned)
+
+
+@dataclasses.dataclass(frozen=True)
+class EffectivenessPoint:
+    """Recall/precision of one query at one parameter setting."""
+
+    query_id: str
+    e: int
+    recall: float
+    precision: float
+    returned_count: int
+    intended_count: int
+
+
+def average(values: Sequence[float]) -> float:
+    """Plain average; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,91 @@
+"""The simulated schema designer (substitution for the human subject).
+
+The paper's experiment used the CUPID schema's designer as the human
+subject: he proposed ten incomplete path expressions and specified the
+intended completions U₀ for each; occasionally he accepted a returned
+path from S - U₀ as equally plausible, producing the final U used for
+recall/precision.
+
+We cannot re-run a human, so :class:`DesignerOracle` encodes the same
+*behaviour*, calibrated to the published findings:
+
+* the intended completions are, for most queries, the strongest/shortest
+  paths — the paper found precision 100% at E=1, i.e. the designer's
+  intent coincided with least-semantic-length answers;
+* roughly 10% of intents are idiosyncratic paths "unlikely to be
+  captured by a generic algorithm" (the flat 90% recall);
+* a small ``also_plausible`` set models the overlooked-but-accepted
+  answers (U = U₀ ∪ (S ∩ also_plausible)).
+
+See DESIGN.md Section 3 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+__all__ = ["WorkloadQuery", "DesignerOracle"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadQuery:
+    """One of the designer's ad-hoc incomplete path expressions.
+
+    Parameters
+    ----------
+    query_id:
+        Short identifier (``q01`` ... ``q10``).
+    text:
+        The incomplete path expression as typed.
+    intended:
+        U₀ — canonical strings of the completions the designer meant.
+        May include idiosyncratic paths the algorithm cannot find.
+    also_plausible:
+        Paths the designer would accept as equally plausible if shown
+        (folded into U only when actually returned).
+    note:
+        What the query asks, in prose (for reports).
+    """
+
+    query_id: str
+    text: str
+    intended: tuple[str, ...]
+    also_plausible: tuple[str, ...] = ()
+    note: str = ""
+
+    def final_intent(self, returned: Iterable[str]) -> set[str]:
+        """U given the system's S (the paper's U₀-extension rule)."""
+        returned = set(returned)
+        return set(self.intended) | (returned & set(self.also_plausible))
+
+
+class DesignerOracle:
+    """Holds a workload and answers intent questions about it."""
+
+    def __init__(self, queries: Iterable[WorkloadQuery]) -> None:
+        self.queries: tuple[WorkloadQuery, ...] = tuple(queries)
+        ids = [query.query_id for query in self.queries]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate query ids in workload")
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def query(self, query_id: str) -> WorkloadQuery:
+        """Look a query up by id."""
+        for query in self.queries:
+            if query.query_id == query_id:
+                return query
+        raise KeyError(query_id)
+
+    def intended_union(self) -> set[str]:
+        """All intended completions across the workload."""
+        return {
+            expression
+            for query in self.queries
+            for expression in query.intended
+        }

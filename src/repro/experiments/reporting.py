@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results.
+
+The original figures are line charts; the offline environment has no
+plotting stack, so the harness prints the same series as aligned tables
+plus a small ASCII bar chart — enough to eyeball the shapes the paper
+reports (flat recall, falling precision, per-query time variance).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["table", "bar_chart", "percent"]
+
+
+def percent(value: float) -> str:
+    """Format a 0..1 fraction as a percentage string."""
+    return f"{value * 100:5.1f}%"
+
+
+def table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(
+            value.ljust(widths[index]) for index, value in enumerate(row)
+        ).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = [fmt(list(headers)), separator]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart (one row per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 0.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar_length = 0 if peak == 0 else round(width * value / peak)
+        lines.append(
+            f"{label.ljust(label_width)} | "
+            f"{'#' * bar_length}{' ' * (width - bar_length)} "
+            f"{value:.3g}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""The object-oriented data model substrate (paper Section 2).
+
+Classes, the five relationship kinds, schemas-as-graphs, inheritance
+semantics, a fluent builder, JSON and DSL (de)serialization, and an
+in-memory object store for evaluating completed path expressions.
+"""
+
+from repro.model.analysis import (
+    SchemaProfile,
+    profile_schema,
+    suggest_hub_exclusions,
+)
+from repro.model.builder import ClassBuilder, SchemaBuilder
+from repro.model.classes import (
+    BOOLEAN,
+    ClassDef,
+    INTEGER,
+    PRIMITIVE_CLASS_NAMES,
+    REAL,
+    STRING,
+    primitive_classes,
+)
+from repro.model.dsl import parse_schema_dsl, schema_to_dsl
+from repro.model.graph import SchemaEdge, SchemaGraph
+from repro.model.inheritance import (
+    ancestors,
+    descendants,
+    effective_relationships,
+    inheritance_depth,
+    is_subclass_of,
+    resolve_inherited,
+)
+from repro.model.instances import Database, DBObject
+from repro.model.kinds import RelationshipKind
+from repro.model.persistence import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+from repro.model.relationships import Relationship
+from repro.model.schema import Schema
+from repro.model.serialization import (
+    load_schema,
+    save_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+__all__ = [
+    "BOOLEAN",
+    "ClassBuilder",
+    "ClassDef",
+    "Database",
+    "DBObject",
+    "INTEGER",
+    "PRIMITIVE_CLASS_NAMES",
+    "REAL",
+    "Relationship",
+    "RelationshipKind",
+    "STRING",
+    "Schema",
+    "SchemaBuilder",
+    "SchemaEdge",
+    "SchemaGraph",
+    "SchemaProfile",
+    "ancestors",
+    "database_from_dict",
+    "database_to_dict",
+    "descendants",
+    "effective_relationships",
+    "inheritance_depth",
+    "is_subclass_of",
+    "load_database",
+    "load_schema",
+    "parse_schema_dsl",
+    "primitive_classes",
+    "profile_schema",
+    "resolve_inherited",
+    "save_database",
+    "save_schema",
+    "suggest_hub_exclusions",
+    "schema_from_dict",
+    "schema_to_dict",
+    "schema_to_dsl",
+]

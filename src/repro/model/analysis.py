@@ -1,0 +1,163 @@
+"""Structural analysis of schemas.
+
+Reports the shape facts that drive completion behaviour — kind mix, Isa
+depth, part-whole depth, hub classes, connectivity — using
+:mod:`networkx` for the graph-theoretic measures.  The experiment
+reports use these to characterize the synthetic CUPID schema against
+the paper's description, and schema designers can use them to spot the
+auxiliary hub classes worth excluding (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+import networkx as nx
+
+from repro.model.graph import SchemaGraph
+from repro.model.inheritance import ancestors
+from repro.model.kinds import RelationshipKind
+from repro.model.schema import Schema
+
+__all__ = ["SchemaProfile", "profile_schema", "suggest_hub_exclusions"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemaProfile:
+    """Aggregated structural facts about one schema."""
+
+    name: str
+    user_classes: int
+    relationships: int
+    kind_histogram: tuple[tuple[str, int], ...]
+    max_isa_depth: int
+    max_part_depth: int
+    weakly_connected_components: int
+    diameter_of_largest_component: int
+    hub_classes: tuple[tuple[str, int], ...]  # (class, degree), descending
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        kinds = ", ".join(f"{kind}: {count}" for kind, count in self.kind_histogram)
+        hubs = ", ".join(f"{name} ({degree})" for name, degree in self.hub_classes)
+        return "\n".join(
+            [
+                f"schema {self.name}",
+                f"  user classes:        {self.user_classes}",
+                f"  relationships:       {self.relationships}",
+                f"  kind mix:            {kinds}",
+                f"  max Isa depth:       {self.max_isa_depth}",
+                f"  max part depth:      {self.max_part_depth}",
+                f"  components:          {self.weakly_connected_components}",
+                f"  diameter (largest):  {self.diameter_of_largest_component}",
+                f"  top hubs:            {hubs}",
+            ]
+        )
+
+
+def _max_chain_depth(
+    schema: Schema, kind: RelationshipKind
+) -> int:
+    """Longest simple chain of the given kind (DAG assumed for Isa; for
+    part-whole a visited set guards against cycles)."""
+    adjacency: dict[str, list[str]] = {}
+    for rel in schema.relationships():
+        if rel.kind is kind:
+            adjacency.setdefault(rel.source, []).append(rel.target)
+
+    memo: dict[str, int] = {}
+    active: set[str] = set()
+
+    def depth(node: str) -> int:
+        if node in memo:
+            return memo[node]
+        if node in active:
+            return 0  # cycle guard (possible for part-whole)
+        active.add(node)
+        best = 0
+        for child in adjacency.get(node, ()):
+            best = max(best, 1 + depth(child))
+        active.discard(node)
+        memo[node] = best
+        return best
+
+    return max((depth(node) for node in adjacency), default=0)
+
+
+def profile_schema(schema: Schema, hub_count: int = 5) -> SchemaProfile:
+    """Compute the structural profile of a schema."""
+    kinds = Counter(rel.kind.symbol for rel in schema.relationships())
+    graph = SchemaGraph(schema)
+    exported = graph.to_networkx()
+
+    undirected = exported.to_undirected()
+    components = list(nx.connected_components(undirected))
+    if components:
+        largest = max(components, key=len)
+        subgraph = undirected.subgraph(largest)
+        # diameter over the simple-graph view (multi-edges collapse)
+        diameter = nx.diameter(nx.Graph(subgraph)) if len(largest) > 1 else 0
+    else:  # pragma: no cover - schemas always have the primitives
+        diameter = 0
+
+    degrees = Counter()
+    for rel in schema.relationships():
+        degrees[rel.source] += 1
+        if not schema.get_class(rel.target).primitive:
+            degrees[rel.target] += 1
+    hubs = tuple(degrees.most_common(hub_count))
+
+    return SchemaProfile(
+        name=schema.name,
+        user_classes=schema.user_class_count,
+        relationships=schema.relationship_count,
+        kind_histogram=tuple(sorted(kinds.items())),
+        max_isa_depth=_max_chain_depth(schema, RelationshipKind.ISA),
+        max_part_depth=_max_chain_depth(schema, RelationshipKind.HAS_PART),
+        weakly_connected_components=len(components),
+        diameter_of_largest_component=diameter,
+        hub_classes=hubs,
+    )
+
+
+def suggest_hub_exclusions(
+    schema: Schema,
+    degree_threshold: int = 8,
+    max_outgoing_kinds: int = 1,
+) -> list[str]:
+    """Heuristically propose auxiliary classes to exclude (Section 5.2).
+
+    A candidate hub is a class with unusually high degree whose own
+    outgoing relationships are of few kinds (pure connector classes:
+    lots of associations, no structure of their own) and which declares
+    no attributes of substance beyond bookkeeping.  The suggestion is a
+    *starting point* for a designer, mirroring how the paper's schema
+    designer identified "auxiliary classes connected to a plethora of
+    other classes but without much inherent semantic content".
+    """
+    suggestions: list[str] = []
+    for cls in schema.classes(include_primitives=False):
+        outgoing = schema.relationships_from(cls.name)
+        incoming = schema.relationships_into(cls.name)
+        degree = len(outgoing) + len(incoming)
+        if degree < degree_threshold:
+            continue
+        non_attribute = [
+            rel
+            for rel in outgoing
+            if not schema.get_class(rel.target).primitive
+        ]
+        kinds = {rel.kind for rel in non_attribute}
+        # pure association hubs (no Isa/part structure of their own)
+        if len(kinds) <= max_outgoing_kinds and kinds <= {
+            RelationshipKind.IS_ASSOCIATED_WITH
+        }:
+            suggestions.append(cls.name)
+    return sorted(suggestions)
+
+
+def isa_depth_of(schema: Schema, class_name: str) -> int:
+    """Number of (transitive) ancestors — the specificity measure used
+    by the focus ranker."""
+    return len(ancestors(schema, class_name))

@@ -1,0 +1,123 @@
+"""Fluent schema construction API.
+
+:class:`SchemaBuilder` makes declaring the paper's example schemas read
+almost like the prose: ``builder.cls("student").isa("person")`` etc.
+Every relationship method takes the *source-perspective* kind and
+installs the inverse automatically (the paper assumes inverses are
+always present).
+"""
+
+from __future__ import annotations
+
+from repro.model.kinds import RelationshipKind
+from repro.model.schema import Schema
+
+__all__ = ["SchemaBuilder", "ClassBuilder"]
+
+
+class ClassBuilder:
+    """Builder scoped to one class; returned by :meth:`SchemaBuilder.cls`."""
+
+    def __init__(self, builder: "SchemaBuilder", name: str) -> None:
+        self._builder = builder
+        self.name = name
+
+    def _relate(
+        self,
+        kind: RelationshipKind,
+        target: str,
+        name: str = "",
+        inverse_name: str = "",
+        add_inverse: bool = True,
+    ) -> "ClassBuilder":
+        self._builder.ensure_class(target)
+        self._builder.schema.add_relationship(
+            self.name,
+            target,
+            kind,
+            name=name,
+            inverse_name=inverse_name,
+            add_inverse=add_inverse,
+        )
+        return self
+
+    def isa(self, superclass: str, name: str = "", inverse_name: str = "") -> "ClassBuilder":
+        """Declare ``self Isa superclass`` (inverse: May-Be)."""
+        return self._relate(
+            RelationshipKind.ISA, superclass, name=name, inverse_name=inverse_name
+        )
+
+    def has_part(
+        self, part: str, name: str = "", inverse_name: str = ""
+    ) -> "ClassBuilder":
+        """Declare ``self Has-Part part`` (inverse: Is-Part-Of)."""
+        return self._relate(
+            RelationshipKind.HAS_PART, part, name=name, inverse_name=inverse_name
+        )
+
+    def part_of(
+        self, whole: str, name: str = "", inverse_name: str = ""
+    ) -> "ClassBuilder":
+        """Declare ``self Is-Part-Of whole`` (inverse: Has-Part)."""
+        return self._relate(
+            RelationshipKind.IS_PART_OF, whole, name=name, inverse_name=inverse_name
+        )
+
+    def assoc(
+        self, other: str, name: str = "", inverse_name: str = ""
+    ) -> "ClassBuilder":
+        """Declare ``self Is-Associated-With other`` (self-inverse kind)."""
+        return self._relate(
+            RelationshipKind.IS_ASSOCIATED_WITH,
+            other,
+            name=name,
+            inverse_name=inverse_name,
+        )
+
+    def attr(self, name: str, primitive: str = "C") -> "ClassBuilder":
+        """Declare an attribute (association into a primitive class)."""
+        self._builder.schema.add_attribute(self.name, name, primitive)
+        return self
+
+    def cls(self, name: str, doc: str = "") -> "ClassBuilder":
+        """Switch to (creating and) building another class."""
+        return self._builder.cls(name, doc=doc)
+
+    def build(self) -> Schema:
+        """Finish and return the schema (validates Isa acyclicity)."""
+        return self._builder.build()
+
+
+class SchemaBuilder:
+    """Entry point for fluent schema construction.
+
+    Examples
+    --------
+    >>> schema = (
+    ...     SchemaBuilder("uni")
+    ...     .cls("person").attr("name")
+    ...     .cls("student").isa("person")
+    ...     .build()
+    ... )
+    >>> schema.user_class_count
+    2
+    """
+
+    def __init__(self, name: str = "schema") -> None:
+        self.schema = Schema(name)
+
+    def ensure_class(self, name: str) -> None:
+        """Create the class if it does not exist yet (primitives exist)."""
+        if not self.schema.has_class(name):
+            self.schema.add_class(name)
+
+    def cls(self, name: str, doc: str = "") -> ClassBuilder:
+        """Create (if needed) and scope to the named class."""
+        if not self.schema.has_class(name):
+            self.schema.add_class(name, doc=doc)
+        return ClassBuilder(self, name)
+
+    def build(self) -> Schema:
+        """Validate and return the schema."""
+        self.schema.validate()
+        return self.schema

@@ -1,0 +1,89 @@
+"""Class definitions of the object-oriented data model (paper Section 2.1).
+
+Real-world entities are modeled by objects grouped into *classes*.  Four
+primitive classes are system-provided — Integers ``I``, Reals ``R``,
+Character strings ``C``, and Booleans ``B`` — and every other class is
+user-defined.  Primitive classes cannot be the root of a path expression
+and never have outgoing relationships.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "ClassDef",
+    "PRIMITIVE_CLASS_NAMES",
+    "INTEGER",
+    "REAL",
+    "STRING",
+    "BOOLEAN",
+    "primitive_classes",
+    "is_valid_class_name",
+]
+
+#: Names of the four system-provided primitive classes.
+PRIMITIVE_CLASS_NAMES = frozenset({"I", "R", "C", "B"})
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
+
+
+def is_valid_class_name(name: str) -> bool:
+    """Return True if ``name`` is a legal class name.
+
+    Class names are identifiers that may also contain dashes (the paper
+    uses names like ``teaching-asst``).  Connector characters are excluded
+    so that path expressions stay parseable.
+    """
+    return bool(_NAME_RE.match(name))
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassDef:
+    """A class in a schema.
+
+    Parameters
+    ----------
+    name:
+        Unique name of the class within its schema.
+    primitive:
+        True for the four system-provided classes (I, R, C, B).
+    doc:
+        Optional human-readable description, carried through
+        serialization for tooling.
+    """
+
+    name: str
+    primitive: bool = False
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not is_valid_class_name(self.name):
+            raise SchemaError(f"invalid class name {self.name!r}")
+        if self.primitive and self.name not in PRIMITIVE_CLASS_NAMES:
+            raise SchemaError(
+                f"{self.name!r} is not one of the primitive classes "
+                f"{sorted(PRIMITIVE_CLASS_NAMES)}"
+            )
+        if not self.primitive and self.name in PRIMITIVE_CLASS_NAMES:
+            raise SchemaError(
+                f"{self.name!r} is reserved for a primitive class"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The four system-provided primitive classes.
+INTEGER = ClassDef("I", primitive=True, doc="system-provided integers")
+REAL = ClassDef("R", primitive=True, doc="system-provided reals")
+STRING = ClassDef("C", primitive=True, doc="system-provided character strings")
+BOOLEAN = ClassDef("B", primitive=True, doc="system-provided booleans")
+
+
+def primitive_classes() -> tuple[ClassDef, ClassDef, ClassDef, ClassDef]:
+    """Return the four primitive classes, in I, R, C, B order."""
+    return (INTEGER, REAL, STRING, BOOLEAN)

@@ -1,0 +1,211 @@
+"""A small line-oriented text DSL for declaring schemas.
+
+Intended for fixtures, docs, and quick experimentation; the format is
+two-pass (classes first, then relationships), so forward references
+work.  Grammar (one declaration per line, ``#`` comments)::
+
+    schema <name>
+
+    class <name> [isa <super> [<super> ...]]
+        attr <name> [: I|R|C|B]
+        isa <target> [as <relname>] [inverse <invname>]
+        haspart <target> [as <relname>] [inverse <invname>]
+        partof <target> [as <relname>] [inverse <invname>]
+        assoc <target> [as <relname>] [inverse <invname>]
+
+Indentation is cosmetic — a relationship line applies to the most recent
+``class`` line.  Example::
+
+    schema university
+    class person
+        attr name
+        attr ssn : I
+    class student isa person
+        assoc course as take inverse student
+"""
+
+from __future__ import annotations
+
+from repro.errors import DslSyntaxError
+from repro.model.kinds import RelationshipKind
+from repro.model.schema import Schema
+
+__all__ = ["parse_schema_dsl", "schema_to_dsl"]
+
+_KIND_KEYWORDS = {
+    "isa": RelationshipKind.ISA,
+    "haspart": RelationshipKind.HAS_PART,
+    "partof": RelationshipKind.IS_PART_OF,
+    "assoc": RelationshipKind.IS_ASSOCIATED_WITH,
+}
+
+
+def _strip_comment(line: str) -> str:
+    index = line.find("#")
+    return line if index < 0 else line[:index]
+
+
+def parse_schema_dsl(text: str) -> Schema:
+    """Parse DSL text into a validated :class:`Schema`."""
+    lines = [
+        (number, _strip_comment(raw).strip())
+        for number, raw in enumerate(text.splitlines(), start=1)
+    ]
+    lines = [(number, line) for number, line in lines if line]
+
+    schema_name = "schema"
+    class_decls: list[tuple[int, list[str]]] = []
+    body_lines: list[tuple[int, str, list[str]]] = []  # (line, class, tokens)
+    current_class: str | None = None
+
+    # Pass 1: collect class names so forward references resolve.
+    for number, line in lines:
+        tokens = line.split()
+        keyword = tokens[0].lower()
+        if keyword == "schema":
+            if len(tokens) != 2:
+                raise DslSyntaxError("expected: schema <name>", number)
+            schema_name = tokens[1]
+        elif keyword == "class":
+            if len(tokens) < 2:
+                raise DslSyntaxError("expected: class <name> ...", number)
+            class_decls.append((number, tokens[1:]))
+            current_class = tokens[1]
+        else:
+            if current_class is None:
+                raise DslSyntaxError(
+                    f"{keyword!r} before any class declaration", number
+                )
+            body_lines.append((number, current_class, tokens))
+
+    schema = Schema(schema_name)
+    for number, tokens in class_decls:
+        name = tokens[0]
+        if not schema.has_class(name):
+            schema.add_class(name)
+
+    # Pass 2: class-header isa clauses, then body relationships.
+    for number, tokens in class_decls:
+        name, rest = tokens[0], tokens[1:]
+        if not rest:
+            continue
+        if rest[0].lower() != "isa":
+            raise DslSyntaxError(
+                f"unexpected {rest[0]!r} after class name", number
+            )
+        supers = rest[1:]
+        if not supers:
+            raise DslSyntaxError("isa clause names no superclass", number)
+        for superclass in supers:
+            _require_class(schema, superclass, number)
+            schema.add_relationship(name, superclass, RelationshipKind.ISA)
+
+    for number, source, tokens in body_lines:
+        _parse_body_line(schema, source, tokens, number)
+
+    schema.validate()
+    return schema
+
+
+def _require_class(schema: Schema, name: str, line: int) -> None:
+    if not schema.has_class(name):
+        raise DslSyntaxError(f"unknown class {name!r}", line)
+
+
+def _parse_body_line(
+    schema: Schema, source: str, tokens: list[str], number: int
+) -> None:
+    keyword = tokens[0].lower()
+    if keyword == "attr":
+        _parse_attr(schema, source, tokens[1:], number)
+        return
+    kind = _KIND_KEYWORDS.get(keyword)
+    if kind is None:
+        raise DslSyntaxError(f"unknown declaration {keyword!r}", number)
+    rest = tokens[1:]
+    if not rest:
+        raise DslSyntaxError(f"{keyword} names no target class", number)
+    target = rest[0]
+    _require_class(schema, target, number)
+    name = ""
+    inverse_name = ""
+    index = 1
+    while index < len(rest):
+        modifier = rest[index].lower()
+        if modifier == "as" and index + 1 < len(rest):
+            name = rest[index + 1]
+            index += 2
+        elif modifier == "inverse" and index + 1 < len(rest):
+            inverse_name = rest[index + 1]
+            index += 2
+        else:
+            raise DslSyntaxError(f"unexpected token {rest[index]!r}", number)
+    schema.add_relationship(
+        source, target, kind, name=name, inverse_name=inverse_name
+    )
+
+
+def _parse_attr(
+    schema: Schema, source: str, rest: list[str], number: int
+) -> None:
+    # Accept "attr name", "attr name : I", and "attr name: I".
+    joined = " ".join(rest)
+    if ":" in joined:
+        name_part, _, type_part = joined.partition(":")
+        name = name_part.strip()
+        primitive = type_part.strip() or "C"
+    else:
+        name = joined.strip()
+        primitive = "C"
+    if not name:
+        raise DslSyntaxError("attr needs a name", number)
+    if primitive not in {"I", "R", "C", "B"}:
+        raise DslSyntaxError(
+            f"attr type must be one of I R C B, got {primitive!r}", number
+        )
+    schema.add_attribute(source, name, primitive)
+
+
+def schema_to_dsl(schema: Schema) -> str:
+    """Render a schema back to DSL text (best effort, lossless for
+    schemas expressible in the DSL — i.e. whose inverses are paired)."""
+    out: list[str] = [f"schema {schema.name}", ""]
+    emitted: set[tuple[str, str]] = set()
+    for cls in schema.classes(include_primitives=False):
+        out.append(f"class {cls.name}")
+        for rel in schema.relationships_from(cls.name):
+            if rel.key in emitted:
+                continue
+            if schema.get_class(rel.target).primitive:
+                suffix = "" if rel.target == "C" else f" : {rel.target}"
+                out.append(f"    attr {rel.name}{suffix}")
+                emitted.add(rel.key)
+                continue
+            keyword = {
+                RelationshipKind.ISA: "isa",
+                RelationshipKind.MAY_BE: None,  # rendered from the Isa side
+                RelationshipKind.HAS_PART: "haspart",
+                RelationshipKind.IS_PART_OF: None,  # from the Has-Part side
+                RelationshipKind.IS_ASSOCIATED_WITH: "assoc",
+            }[rel.kind]
+            if keyword is None:
+                continue
+            line = f"    {keyword} {rel.target}"
+            if not rel.has_default_name:
+                line += f" as {rel.name}"
+            inverse = next(
+                (
+                    other
+                    for other in schema.relationships_from(rel.target)
+                    if other.is_inverse_of(rel) and other.key not in emitted
+                ),
+                None,
+            )
+            if inverse is not None:
+                if inverse.name != rel.source:
+                    line += f" inverse {inverse.name}"
+                emitted.add(inverse.key)
+            out.append(line)
+            emitted.add(rel.key)
+        out.append("")
+    return "\n".join(out)

@@ -1,0 +1,198 @@
+"""The schema graph used by the path computation (paper Sections 2.1, 3.2).
+
+A schema *is* a directed graph — classes are nodes, relationships are
+edges — but the completion algorithm needs a view optimized for
+traversal: adjacency lists of labeled edges, cheap child ordering, and
+an export to :mod:`networkx` for analyses (connectivity, diameter,
+candidate-path counting cross-checks).
+
+Each edge carries the label of paper Section 3.2: the connector of its
+relationship kind and its semantic length (0 for Isa/May-Be, 1
+otherwise).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import networkx as nx
+
+from repro.algebra.connectors import Connector, connector_for_kind
+from repro.model.kinds import RelationshipKind
+from repro.model.relationships import Relationship
+from repro.model.schema import Schema
+
+__all__ = ["SchemaEdge", "SchemaGraph"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemaEdge:
+    """A traversable edge of the schema graph.
+
+    Wraps a :class:`~repro.model.relationships.Relationship` together
+    with its path-algebra label components.
+    """
+
+    relationship: Relationship
+
+    @property
+    def source(self) -> str:
+        return self.relationship.source
+
+    @property
+    def target(self) -> str:
+        return self.relationship.target
+
+    @property
+    def name(self) -> str:
+        return self.relationship.name
+
+    @property
+    def kind(self) -> RelationshipKind:
+        return self.relationship.kind
+
+    @property
+    def connector(self) -> Connector:
+        """The primary connector labeling this edge."""
+        return connector_for_kind(self.relationship.kind)
+
+    @property
+    def semantic_length(self) -> int:
+        """Semantic length of the edge (0 for Isa/May-Be, 1 otherwise)."""
+        return self.relationship.kind.semantic_length
+
+    def __str__(self) -> str:
+        return f"{self.source}{self.kind.symbol}{self.name}"
+
+
+class SchemaGraph:
+    """Adjacency view of a schema for path computations.
+
+    Parameters
+    ----------
+    schema:
+        The schema to wrap.  The graph snapshots the schema's
+        relationships at construction time; rebuild it after schema
+        edits.
+    exclude_classes:
+        Optional set of class names whose nodes are removed from the
+        traversal view.  This implements the paper's Section 5.2 domain
+        knowledge ("certain classes should never be part of any
+        completion"): edges into or out of excluded classes are dropped.
+    exclude_relationships:
+        Optional set of ``(source, name)`` pairs to drop individually.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        exclude_classes: frozenset[str] | set[str] = frozenset(),
+        exclude_relationships: (
+            frozenset[tuple[str, str]] | set[tuple[str, str]]
+        ) = frozenset(),
+    ) -> None:
+        self.schema = schema
+        self.exclude_classes = frozenset(exclude_classes)
+        self.exclude_relationships = frozenset(exclude_relationships)
+        self._adjacency: dict[str, list[SchemaEdge]] = {
+            cls.name: [] for cls in schema
+        }
+        for rel in schema.relationships():
+            if rel.source in self.exclude_classes:
+                continue
+            if rel.target in self.exclude_classes:
+                continue
+            if rel.key in self.exclude_relationships:
+                continue
+            self._adjacency[rel.source].append(SchemaEdge(rel))
+        # Sort children best-connector-first to aid branch-and-bound
+        # (paper: "children[v] ... sorted in the order of best-to-worst
+        # label of the edge").
+        for edges in self._adjacency.values():
+            edges.sort(key=lambda e: (e.connector.sort_rank, e.semantic_length))
+
+    def nodes(self) -> list[str]:
+        """All node (class) names, excluded ones removed."""
+        return [
+            name
+            for name in self._adjacency
+            if name not in self.exclude_classes
+        ]
+
+    def edges_from(self, node: str) -> list[SchemaEdge]:
+        """Outgoing edges of ``node``, best label first."""
+        return self._adjacency.get(node, [])
+
+    def edges(self) -> list[SchemaEdge]:
+        """All edges in the traversal view."""
+        return [edge for edges in self._adjacency.values() for edge in edges]
+
+    def edges_named(self, name: str) -> list[SchemaEdge]:
+        """All edges whose relationship name is ``name``."""
+        return [edge for edge in self.edges() if edge.name == name]
+
+    def out_degree(self, node: str) -> int:
+        """Number of outgoing edges of ``node``."""
+        return len(self.edges_from(node))
+
+    def restricted(
+        self,
+        exclude_classes: frozenset[str] | set[str] = frozenset(),
+        exclude_relationships: (
+            frozenset[tuple[str, str]] | set[tuple[str, str]]
+        ) = frozenset(),
+    ) -> "SchemaGraph":
+        """A new graph with additional exclusions applied."""
+        return SchemaGraph(
+            self.schema,
+            exclude_classes=self.exclude_classes | frozenset(exclude_classes),
+            exclude_relationships=(
+                self.exclude_relationships | frozenset(exclude_relationships)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # networkx interop
+    # ------------------------------------------------------------------
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export the traversal view as a :class:`networkx.MultiDiGraph`.
+
+        Edge attributes: ``name``, ``kind`` (the symbol string),
+        ``semantic_length``.  Useful for structural analyses; the
+        completion algorithm itself runs on the native adjacency.
+        """
+        graph = nx.MultiDiGraph(name=self.schema.name)
+        graph.add_nodes_from(self.nodes())
+        for edge in self.edges():
+            graph.add_edge(
+                edge.source,
+                edge.target,
+                key=edge.name,
+                name=edge.name,
+                kind=edge.kind.symbol,
+                semantic_length=edge.semantic_length,
+            )
+        return graph
+
+    def structural_stats(self) -> dict[str, float]:
+        """Size and shape statistics used in experiment reports."""
+        graph = self.to_networkx()
+        degrees = [graph.out_degree(node) for node in graph.nodes]
+        return {
+            "nodes": graph.number_of_nodes(),
+            "edges": graph.number_of_edges(),
+            "max_out_degree": max(degrees) if degrees else 0,
+            "mean_out_degree": (
+                sum(degrees) / len(degrees) if degrees else 0.0
+            ),
+            "weakly_connected_components": (
+                nx.number_weakly_connected_components(graph)
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SchemaGraph({self.schema.name!r}, nodes={len(self.nodes())}, "
+            f"edges={len(self.edges())})"
+        )

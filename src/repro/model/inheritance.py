@@ -1,0 +1,122 @@
+"""Inheritance semantics over a schema (paper Section 2.1).
+
+An *Isa* relationship makes a subclass inherit all the relationships of
+its superclass; the subclass may refine them and add its own.  Multiple
+inheritance is allowed.  This module computes:
+
+* ancestor / descendant closures of the Isa graph;
+* the *effective* relationships of a class — its own plus everything
+  inherited, with subclass declarations shadowing (refining) inherited
+  ones of the same name, and nearer ancestors shadowing farther ones;
+* linearized ancestor orders used to detect multiple-inheritance
+  ambiguities (the case the paper's Inheritance Semantics Criterion
+  leaves to the user).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.model.relationships import Relationship
+from repro.model.schema import Schema
+
+__all__ = [
+    "ancestors",
+    "descendants",
+    "is_subclass_of",
+    "effective_relationships",
+    "resolve_inherited",
+    "inheritance_depth",
+]
+
+
+def ancestors(schema: Schema, name: str) -> list[str]:
+    """All (transitive) superclasses of ``name`` in BFS order.
+
+    BFS order means nearer ancestors come first, which is the shadowing
+    order used by :func:`effective_relationships`.  The class itself is
+    not included.
+    """
+    seen: dict[str, None] = {}
+    queue = deque(schema.isa_parents(name))
+    while queue:
+        current = queue.popleft()
+        if current in seen:
+            continue
+        seen[current] = None
+        queue.extend(schema.isa_parents(current))
+    return list(seen)
+
+
+def descendants(schema: Schema, name: str) -> list[str]:
+    """All (transitive) subclasses of ``name`` in BFS order."""
+    seen: dict[str, None] = {}
+    queue = deque(schema.isa_children(name))
+    while queue:
+        current = queue.popleft()
+        if current in seen:
+            continue
+        seen[current] = None
+        queue.extend(schema.isa_children(current))
+    return list(seen)
+
+
+def is_subclass_of(schema: Schema, sub: str, sup: str) -> bool:
+    """True if ``sub`` is ``sup`` or a transitive subclass of it."""
+    return sub == sup or sup in ancestors(schema, sub)
+
+
+def inheritance_depth(schema: Schema, sub: str, sup: str) -> int | None:
+    """Length of the shortest Isa chain from ``sub`` up to ``sup``.
+
+    Returns 0 when the two names are equal and None when ``sup`` is not
+    an ancestor of ``sub``.
+    """
+    if sub == sup:
+        return 0
+    depth = 1
+    frontier = set(schema.isa_parents(sub))
+    seen = set(frontier)
+    while frontier:
+        if sup in frontier:
+            return depth
+        next_frontier: set[str] = set()
+        for node in frontier:
+            for parent in schema.isa_parents(node):
+                if parent not in seen:
+                    seen.add(parent)
+                    next_frontier.add(parent)
+        frontier = next_frontier
+        depth += 1
+    return None
+
+
+def effective_relationships(schema: Schema, name: str) -> dict[str, Relationship]:
+    """The relationships visible on ``name``, inherited ones included.
+
+    A relationship declared on the class itself shadows any inherited
+    relationship of the same name; among ancestors, nearer ones shadow
+    farther ones (BFS order).  When two *equally near* ancestors both
+    supply a name, the first-declared Isa edge wins here — the completion
+    algorithm itself surfaces such multiple-inheritance conflicts to the
+    user instead (paper Section 4.3).
+    """
+    effective: dict[str, Relationship] = {}
+    for rel in schema.relationships_from(name):
+        effective[rel.name] = rel
+    for ancestor in ancestors(schema, name):
+        for rel in schema.relationships_from(ancestor):
+            effective.setdefault(rel.name, rel)
+    return effective
+
+
+def resolve_inherited(
+    schema: Schema, name: str, relationship_name: str
+) -> Relationship | None:
+    """Resolve ``relationship_name`` on ``name`` through inheritance.
+
+    Returns the declaring :class:`Relationship` (which may live on an
+    ancestor class) or None if no class on the Isa-upward closure declares
+    it.
+    """
+    return effective_relationships(schema, name).get(relationship_name)

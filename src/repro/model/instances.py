@@ -1,0 +1,256 @@
+"""Object instances — the database underneath a schema.
+
+Completed path expressions must be *evaluable* (the paper's Figure 1
+feeds them to a path-expression evaluator), so the substrate includes a
+small in-memory object store:
+
+* objects belong to exactly one *most-specific* class and are implicitly
+  instances of all its Isa ancestors (inclusion semantics);
+* relationship links are stored per declaring relationship and are kept
+  symmetric with their inverse automatically;
+* attribute values (associations into primitive classes) are plain
+  Python values.
+
+The evaluator (:mod:`repro.query.evaluator`) traverses these links;
+Isa steps keep the object, May-Be steps filter to instances of the
+subclass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.errors import (
+    EvaluationError,
+    InstanceError,
+    UnknownObjectError,
+)
+from repro.model.inheritance import ancestors, is_subclass_of
+from repro.model.kinds import RelationshipKind
+from repro.model.relationships import Relationship
+from repro.model.schema import Schema
+
+__all__ = ["DBObject", "Database"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DBObject:
+    """A stored object: an opaque id plus its most-specific class."""
+
+    oid: int
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"{self.class_name}#{self.oid}"
+
+
+class Database:
+    """An in-memory object database conforming to a schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema instances must conform to.
+
+    Examples
+    --------
+    >>> from repro.schemas.university import build_university_schema
+    >>> db = Database(build_university_schema())
+    >>> alice = db.create("student")
+    >>> db.set_attribute(alice, "name", "alice")  # inherited from person
+    >>> db.get_attribute(alice, "name")
+    'alice'
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._next_oid = itertools.count(1)
+        self._objects: dict[int, DBObject] = {}
+        self._extents: dict[str, set[int]] = defaultdict(set)
+        # links[(source_class, rel_name)][oid] -> set of target oids
+        self._links: dict[tuple[str, str], dict[int, set[int]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._attributes: dict[tuple[int, str], object] = {}
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+
+    def create(self, class_name: str) -> DBObject:
+        """Create an object whose most-specific class is ``class_name``."""
+        cls = self.schema.get_class(class_name)
+        if cls.primitive:
+            raise InstanceError(
+                f"cannot instantiate primitive class {class_name!r}"
+            )
+        obj = DBObject(next(self._next_oid), class_name)
+        self._objects[obj.oid] = obj
+        self._extents[class_name].add(obj.oid)
+        for ancestor in ancestors(self.schema, class_name):
+            self._extents[ancestor].add(obj.oid)
+        return obj
+
+    def create_many(self, class_name: str, count: int) -> list[DBObject]:
+        """Create ``count`` objects of the given class."""
+        return [self.create(class_name) for _ in range(count)]
+
+    def get(self, oid: int) -> DBObject:
+        """Fetch an object by id."""
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise UnknownObjectError(oid) from None
+
+    def extent(self, class_name: str) -> set[DBObject]:
+        """All instances of a class, subclass instances included."""
+        self.schema.get_class(class_name)
+        return {self._objects[oid] for oid in self._extents[class_name]}
+
+    def is_instance(self, obj: DBObject, class_name: str) -> bool:
+        """True if ``obj`` is a (possibly inherited) instance."""
+        return obj.oid in self._extents[class_name]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+
+    def _resolve_relationship(
+        self, obj: DBObject, name: str
+    ) -> Relationship:
+        """Resolve a relationship name on the object's class, inherited
+        relationships included."""
+        from repro.model.inheritance import resolve_inherited
+
+        rel = resolve_inherited(self.schema, obj.class_name, name)
+        if rel is None:
+            raise EvaluationError(
+                f"class {obj.class_name!r} has no relationship {name!r} "
+                "(own or inherited)"
+            )
+        return rel
+
+    def link(self, source: DBObject, name: str, target: DBObject) -> None:
+        """Add a relationship link and its inverse link (when declared).
+
+        ``name`` may be inherited.  Both endpoints must be instances of
+        the declaring relationship's classes.
+        """
+        rel = self._resolve_relationship(source, name)
+        if rel.kind.is_taxonomic:
+            raise InstanceError(
+                "Isa/May-Be relationships are class-level; objects are not "
+                "linked through them"
+            )
+        if not self.is_instance(source, rel.source):
+            raise InstanceError(f"{source} is not a {rel.source}")
+        if not is_subclass_of(self.schema, target.class_name, rel.target):
+            raise InstanceError(f"{target} is not a {rel.target}")
+        self._links[rel.key][source.oid].add(target.oid)
+        inverse = next(
+            (
+                other
+                for other in self.schema.relationships_from(rel.target)
+                if other.is_inverse_of(rel)
+            ),
+            None,
+        )
+        if inverse is not None:
+            self._links[inverse.key][target.oid].add(source.oid)
+
+    def linked(self, source: DBObject, name: str) -> set[DBObject]:
+        """Objects reachable from ``source`` via the named relationship.
+
+        Resolution walks the declaring class chain (inheritance); links
+        stored on any ancestor's declaration are found.
+        """
+        rel = self._resolve_relationship(source, name)
+        oids = self._links[rel.key].get(source.oid, set())
+        return {self._objects[oid] for oid in oids}
+
+    def link_count(self) -> int:
+        """Total number of stored directed links."""
+        return sum(
+            len(targets)
+            for by_source in self._links.values()
+            for targets in by_source.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Iteration (used by persistence and analysis)
+    # ------------------------------------------------------------------
+
+    def objects(self) -> list[DBObject]:
+        """All stored objects, by ascending id."""
+        return [self._objects[oid] for oid in sorted(self._objects)]
+
+    def iter_links(self) -> Iterable[tuple[tuple[str, str], int, int]]:
+        """Yield ``(relationship key, source oid, target oid)`` for every
+        stored directed link (inverse directions included)."""
+        for key in sorted(self._links):
+            by_source = self._links[key]
+            for source_oid in sorted(by_source):
+                for target_oid in sorted(by_source[source_oid]):
+                    yield key, source_oid, target_oid
+
+    def iter_attributes(self) -> Iterable[tuple[int, str, str, object]]:
+        """Yield ``(oid, declaring class, attribute name, value)``."""
+        for (oid, qualified), value in sorted(
+            self._attributes.items(), key=lambda item: item[0]
+        ):
+            owner, _, name = qualified.partition(".")
+            yield oid, owner, name, value
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+
+    def set_attribute(self, obj: DBObject, name: str, value: object) -> None:
+        """Set an attribute (association into a primitive class)."""
+        rel = self._resolve_relationship(obj, name)
+        if not self.schema.get_class(rel.target).primitive:
+            raise InstanceError(
+                f"{rel.name!r} targets class {rel.target!r}; use link()"
+            )
+        _check_primitive_value(rel.target, value, name)
+        self._attributes[(obj.oid, rel.key[0] + "." + rel.key[1])] = value
+
+    def get_attribute(self, obj: DBObject, name: str) -> object:
+        """Read an attribute value (None if unset)."""
+        rel = self._resolve_relationship(obj, name)
+        return self._attributes.get(
+            (obj.oid, rel.key[0] + "." + rel.key[1])
+        )
+
+    def attribute_values(
+        self, objects: Iterable[DBObject], name: str
+    ) -> set[object]:
+        """Attribute values over a set of objects, unset ones skipped."""
+        values = set()
+        for obj in objects:
+            value = self.get_attribute(obj, name)
+            if value is not None:
+                values.add(value)
+        return values
+
+
+def _check_primitive_value(primitive: str, value: object, name: str) -> None:
+    expected: tuple[type, ...] = {
+        "I": (int,),
+        "R": (int, float),
+        "C": (str,),
+        "B": (bool,),
+    }[primitive]
+    # bool is an int subclass; keep I strictly integral but non-boolean.
+    if primitive == "I" and isinstance(value, bool):
+        raise InstanceError(f"attribute {name!r} expects an integer")
+    if not isinstance(value, expected):
+        raise InstanceError(
+            f"attribute {name!r} expects {primitive}, got {type(value).__name__}"
+        )

@@ -1,0 +1,91 @@
+"""Relationship kinds of the object-oriented data model (paper Section 2.1).
+
+The paper's model has five kinds of binary relationships between classes:
+
+========================  ==========  =======================================
+Kind                      Connector   Meaning
+========================  ==========  =======================================
+``ISA``                   ``@>``      subclass to superclass (inclusion +
+                                      specialization; inherits relationships)
+``MAY_BE``                ``<@``      superclass to subclass (inverse of Isa)
+``HAS_PART``              ``$>``      super-part class to sub-part class
+``IS_PART_OF``            ``<$``      sub-part class to super-part class
+``IS_ASSOCIATED_WITH``    ``.``       mutual association unrelated to
+                                      structure (self-inverse kind)
+========================  ==========  =======================================
+
+Each kind knows its inverse kind, its connector symbol, and its *semantic
+length* contribution (0 for the taxonomic kinds Isa/May-Be, 1 otherwise —
+paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["RelationshipKind", "KIND_BY_SYMBOL"]
+
+
+class RelationshipKind(enum.Enum):
+    """The five primary relationship kinds of the paper's data model."""
+
+    ISA = "@>"
+    MAY_BE = "<@"
+    HAS_PART = "$>"
+    IS_PART_OF = "<$"
+    IS_ASSOCIATED_WITH = "."
+
+    @property
+    def symbol(self) -> str:
+        """Connector symbol used in path-expression syntax."""
+        return self.value
+
+    @property
+    def inverse(self) -> "RelationshipKind":
+        """The kind of the inverse relationship.
+
+        Isa/May-Be and Has-Part/Is-Part-Of are mutual inverses;
+        Is-Associated-With is its own inverse (paper Section 2.1).
+        """
+        return _INVERSES[self]
+
+    @property
+    def semantic_length(self) -> int:
+        """Semantic length of a single edge of this kind (Section 3.2)."""
+        if self in (RelationshipKind.ISA, RelationshipKind.MAY_BE):
+            return 0
+        return 1
+
+    @property
+    def is_taxonomic(self) -> bool:
+        """True for the inheritance kinds Isa and May-Be."""
+        return self in (RelationshipKind.ISA, RelationshipKind.MAY_BE)
+
+    @property
+    def is_structural(self) -> bool:
+        """True for the part-whole kinds Has-Part and Is-Part-Of."""
+        return self in (RelationshipKind.HAS_PART, RelationshipKind.IS_PART_OF)
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "RelationshipKind":
+        """Return the kind whose connector symbol is ``symbol``.
+
+        Raises ``KeyError`` for unknown symbols; the parser wraps this in a
+        friendlier error.
+        """
+        return KIND_BY_SYMBOL[symbol]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RelationshipKind.{self.name}"
+
+
+_INVERSES = {
+    RelationshipKind.ISA: RelationshipKind.MAY_BE,
+    RelationshipKind.MAY_BE: RelationshipKind.ISA,
+    RelationshipKind.HAS_PART: RelationshipKind.IS_PART_OF,
+    RelationshipKind.IS_PART_OF: RelationshipKind.HAS_PART,
+    RelationshipKind.IS_ASSOCIATED_WITH: RelationshipKind.IS_ASSOCIATED_WITH,
+}
+
+#: Mapping from connector symbol to kind, used by the parsers.
+KIND_BY_SYMBOL = {kind.value: kind for kind in RelationshipKind}

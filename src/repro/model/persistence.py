@@ -1,0 +1,122 @@
+"""Persistence for instance databases.
+
+Dumps a :class:`~repro.model.instances.Database` to a versioned JSON
+document and restores it — object ids are preserved, every directed
+link record is stored (reloading through :meth:`Database.link` re-adds
+inverses idempotently, since link storage is set-valued), and attribute
+values round-trip with their primitive types.
+
+Format::
+
+    {
+      "format": "repro-database",
+      "version": 1,
+      "schema": { ...repro-schema document... },
+      "objects": [{"oid": 1, "class": "student"}, ...],
+      "links": [{"source": 1, "relationship": ["student", "take"],
+                 "target": 2}, ...],
+      "attributes": [{"oid": 1, "owner": "person", "name": "name",
+                      "value": "alice"}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import SerializationError
+from repro.model.instances import Database
+from repro.model.schema import Schema
+from repro.model.serialization import schema_from_dict, schema_to_dict
+
+__all__ = [
+    "database_to_dict",
+    "database_from_dict",
+    "save_database",
+    "load_database",
+]
+
+_FORMAT = "repro-database"
+_VERSION = 1
+
+
+def database_to_dict(database: Database) -> dict:
+    """Serialize a database (with its schema) to a plain dictionary."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "schema": schema_to_dict(database.schema),
+        "objects": [
+            {"oid": obj.oid, "class": obj.class_name}
+            for obj in database.objects()
+        ],
+        "links": [
+            {
+                "source": source_oid,
+                "relationship": list(key),
+                "target": target_oid,
+            }
+            for key, source_oid, target_oid in database.iter_links()
+        ],
+        "attributes": [
+            {"oid": oid, "owner": owner, "name": name, "value": value}
+            for oid, owner, name, value in database.iter_attributes()
+        ],
+    }
+
+
+def database_from_dict(
+    document: dict, schema: Schema | None = None
+) -> Database:
+    """Restore a database; ``schema`` overrides the embedded one."""
+    if document.get("format") != _FORMAT:
+        raise SerializationError(
+            f"not a {_FORMAT} document: format={document.get('format')!r}"
+        )
+    if document.get("version") != _VERSION:
+        raise SerializationError(
+            f"unsupported version {document.get('version')!r}"
+        )
+    if schema is None:
+        schema = schema_from_dict(document["schema"])
+    database = Database(schema)
+    try:
+        id_map: dict[int, object] = {}
+        for entry in sorted(document["objects"], key=lambda e: e["oid"]):
+            obj = database.create(entry["class"])
+            if obj.oid != entry["oid"]:
+                raise SerializationError(
+                    f"object id drift: stored {entry['oid']}, got {obj.oid}"
+                )
+            id_map[entry["oid"]] = obj
+        for entry in document["links"]:
+            source = id_map[entry["source"]]
+            target = id_map[entry["target"]]
+            _declaring_class, rel_name = entry["relationship"]
+            # link() re-adds the inverse; set-valued storage makes the
+            # stored inverse record a no-op.
+            database.link(source, rel_name, target)
+        for entry in document["attributes"]:
+            database.set_attribute(
+                id_map[entry["oid"]], entry["name"], entry["value"]
+            )
+    except KeyError as exc:
+        raise SerializationError(f"missing field {exc}") from exc
+    return database
+
+
+def save_database(database: Database, path: str | Path) -> None:
+    """Write a database (with its schema) to a JSON file."""
+    Path(path).write_text(
+        json.dumps(database_to_dict(database), indent=2) + "\n"
+    )
+
+
+def load_database(path: str | Path, schema: Schema | None = None) -> Database:
+    """Read a database from a JSON file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return database_from_dict(document, schema=schema)

@@ -1,0 +1,104 @@
+"""Relationship declarations of the data model (paper Section 2.1).
+
+A relationship is a directed, named edge between two classes, of one of
+the five kinds in :mod:`repro.model.kinds`.  Per the paper:
+
+* a relationship's name defaults to the name of its *target* class;
+* for every relationship, its inverse is assumed present in the schema as
+  well — :func:`Relationship.make_inverse` constructs it;
+* the pair ``(source class, name)`` identifies a relationship uniquely,
+  which is what lets path expressions name steps unambiguously.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import InvalidRelationshipError
+from repro.model.classes import is_valid_class_name
+from repro.model.kinds import RelationshipKind
+
+__all__ = ["Relationship", "default_inverse_name"]
+
+
+def default_inverse_name(source: str) -> str:
+    """Default name of the inverse of a relationship out of ``source``.
+
+    The paper's convention names a relationship after its target class; the
+    inverse therefore defaults to the name of the original source class.
+    """
+    return source
+
+
+@dataclasses.dataclass(frozen=True)
+class Relationship:
+    """A directed, named, kinded edge of the schema graph.
+
+    Parameters
+    ----------
+    source:
+        Name of the source class.
+    target:
+        Name of the target class.
+    kind:
+        One of the five :class:`~repro.model.kinds.RelationshipKind` values.
+    name:
+        Relationship name; defaults to the target class name when empty
+        (the paper's convention).
+    doc:
+        Optional human-readable description.
+    """
+
+    source: str
+    target: str
+    kind: RelationshipKind
+    name: str = ""
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", self.target)
+        if not is_valid_class_name(self.name):
+            raise InvalidRelationshipError(
+                f"invalid relationship name {self.name!r}"
+            )
+        if self.kind.is_taxonomic and self.source == self.target:
+            raise InvalidRelationshipError(
+                f"class {self.source!r} cannot be Isa/May-Be related to itself"
+            )
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The identifying ``(source, name)`` pair."""
+        return (self.source, self.name)
+
+    @property
+    def has_default_name(self) -> bool:
+        """True when the relationship is named after its target class."""
+        return self.name == self.target
+
+    def make_inverse(self, name: str = "") -> "Relationship":
+        """Construct the inverse relationship (paper Section 2.1).
+
+        The inverse runs target-to-source with the inverse kind.  Its name
+        defaults to the original source class name.
+        """
+        return Relationship(
+            source=self.target,
+            target=self.source,
+            kind=self.kind.inverse,
+            name=name or default_inverse_name(self.source),
+            doc=f"inverse of {self.source}.{self.name}" if not self.doc else self.doc,
+        )
+
+    def is_inverse_of(self, other: "Relationship") -> bool:
+        """True if ``other`` connects the same classes in reverse with the
+        inverse kind (names are not required to correspond)."""
+        return (
+            self.source == other.target
+            and self.target == other.source
+            and self.kind == other.kind.inverse
+        )
+
+    def __str__(self) -> str:
+        return f"{self.source} {self.kind.symbol}{self.name} -> {self.target}"

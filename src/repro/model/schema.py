@@ -1,0 +1,359 @@
+"""The schema container (paper Section 2.1).
+
+A :class:`Schema` is a set of classes plus a set of directed, named,
+kinded relationships between them — exactly the directed graph the paper
+draws (rectangles for user classes, circles for primitives).  The four
+primitive classes are always present.
+
+Relationships are identified by ``(source class, name)``.  Following the
+paper, :meth:`Schema.add_relationship` installs the inverse relationship
+automatically unless told otherwise, and names default to the target
+class name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import (
+    DuplicateClassError,
+    DuplicateRelationshipError,
+    InheritanceCycleError,
+    InvalidRelationshipError,
+    PrimitiveClassError,
+    SchemaError,
+    UnknownClassError,
+    UnknownRelationshipError,
+)
+from repro.model.classes import ClassDef, PRIMITIVE_CLASS_NAMES, primitive_classes
+from repro.model.kinds import RelationshipKind
+from repro.model.relationships import Relationship
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """A database schema: classes and the relationships between them.
+
+    Parameters
+    ----------
+    name:
+        Optional schema name, used in reports and serialization.
+
+    Examples
+    --------
+    >>> schema = Schema("tiny")
+    >>> _ = schema.add_class("person")
+    >>> _ = schema.add_class("student")
+    >>> _ = schema.add_relationship(
+    ...     "student", "person", RelationshipKind.ISA)
+    >>> sorted(r.name for r in schema.relationships_from("student"))
+    ['person']
+    """
+
+    def __init__(self, name: str = "schema") -> None:
+        self.name = name
+        self._classes: dict[str, ClassDef] = {}
+        self._relationships: dict[tuple[str, str], Relationship] = {}
+        # Outgoing relationship keys per source class, in insertion order.
+        self._outgoing: dict[str, list[tuple[str, str]]] = {}
+        for cls in primitive_classes():
+            self._install_class(cls)
+
+    # ------------------------------------------------------------------
+    # Classes
+    # ------------------------------------------------------------------
+
+    def _install_class(self, cls: ClassDef) -> None:
+        self._classes[cls.name] = cls
+        self._outgoing.setdefault(cls.name, [])
+
+    def add_class(self, name: str, doc: str = "") -> ClassDef:
+        """Add a user-defined class and return its definition.
+
+        Raises :class:`~repro.errors.DuplicateClassError` if a class with
+        this name already exists (including the primitives).
+        """
+        if name in self._classes:
+            raise DuplicateClassError(name)
+        cls = ClassDef(name, primitive=False, doc=doc)
+        self._install_class(cls)
+        return cls
+
+    def add_classes(self, names: Iterable[str]) -> list[ClassDef]:
+        """Add several user-defined classes at once."""
+        return [self.add_class(name) for name in names]
+
+    def has_class(self, name: str) -> bool:
+        """True if a class with this name exists."""
+        return name in self._classes
+
+    def get_class(self, name: str) -> ClassDef:
+        """Return the class definition, raising on unknown names."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownClassError(name) from None
+
+    def classes(self, include_primitives: bool = True) -> list[ClassDef]:
+        """All classes, optionally excluding the four primitives."""
+        values = self._classes.values()
+        if include_primitives:
+            return list(values)
+        return [cls for cls in values if not cls.primitive]
+
+    @property
+    def class_names(self) -> list[str]:
+        """Names of all classes, primitives included."""
+        return list(self._classes)
+
+    @property
+    def user_class_count(self) -> int:
+        """Number of user-defined (non-primitive) classes."""
+        return len(self._classes) - len(PRIMITIVE_CLASS_NAMES)
+
+    # ------------------------------------------------------------------
+    # Relationships
+    # ------------------------------------------------------------------
+
+    def add_relationship(
+        self,
+        source: str,
+        target: str,
+        kind: RelationshipKind,
+        name: str = "",
+        inverse_name: str = "",
+        add_inverse: bool = True,
+        doc: str = "",
+    ) -> Relationship:
+        """Declare a relationship (and, by default, its inverse).
+
+        Parameters
+        ----------
+        source, target:
+            Names of existing classes.
+        kind:
+            Relationship kind; the inverse gets the inverse kind.
+        name:
+            Relationship name; defaults to the target class name.
+        inverse_name:
+            Name for the auto-installed inverse; defaults to the source
+            class name.
+        add_inverse:
+            The paper assumes every relationship's inverse is present;
+            pass False to opt out (e.g. for attribute-like edges into
+            primitive classes, whose inverses are rarely meaningful).
+        """
+        source_cls = self.get_class(source)
+        self.get_class(target)
+        if source_cls.primitive:
+            raise PrimitiveClassError(source, "add a relationship from")
+        rel = Relationship(source, target, kind, name=name, doc=doc)
+        self._install_relationship(rel)
+        if add_inverse:
+            if self.get_class(target).primitive:
+                raise PrimitiveClassError(
+                    target, "add an (inverse) relationship from"
+                )
+            self._install_relationship(rel.make_inverse(inverse_name))
+        return rel
+
+    def refine_relationship(
+        self,
+        subclass: str,
+        name: str,
+        new_target: str,
+        add_inverse: bool = True,
+        inverse_name: str = "",
+    ) -> Relationship:
+        """Refine an inherited relationship on a subclass (Section 2.1).
+
+        The paper: "The subclass may refine (redefine) these
+        relationships."  Refinement is covariant: the new target must be
+        the inherited target or one of its subclasses, and the kind is
+        inherited unchanged.  The refining declaration then shadows the
+        inherited one (see :mod:`repro.model.inheritance`).
+        """
+        from repro.model.inheritance import is_subclass_of, resolve_inherited
+
+        inherited = resolve_inherited(self, subclass, name)
+        if inherited is None:
+            raise UnknownRelationshipError(subclass, name)
+        if inherited.source == subclass:
+            raise InvalidRelationshipError(
+                f"{subclass}.{name} is declared on the class itself; "
+                "nothing to refine"
+            )
+        if not is_subclass_of(self, new_target, inherited.target):
+            raise InvalidRelationshipError(
+                f"refinement of {inherited.source}.{name} must target "
+                f"{inherited.target!r} or a subclass of it, "
+                f"got {new_target!r}"
+            )
+        target_is_primitive = self.get_class(new_target).primitive
+        return self.add_relationship(
+            subclass,
+            new_target,
+            inherited.kind,
+            name=name,
+            inverse_name=inverse_name,
+            add_inverse=add_inverse and not target_is_primitive,
+            doc=f"refines {inherited.source}.{name}",
+        )
+
+    def add_attribute(
+        self, source: str, name: str, primitive: str = "C"
+    ) -> Relationship:
+        """Shorthand for an association into a primitive class.
+
+        Attributes (e.g. ``person.name`` into strings) are plain
+        Is-Associated-With relationships whose target is a primitive class
+        and which have no inverse.
+        """
+        if primitive not in PRIMITIVE_CLASS_NAMES:
+            raise SchemaError(
+                f"attribute target must be a primitive class, got {primitive!r}"
+            )
+        return self.add_relationship(
+            source,
+            primitive,
+            RelationshipKind.IS_ASSOCIATED_WITH,
+            name=name,
+            add_inverse=False,
+        )
+
+    def _install_relationship(self, rel: Relationship) -> None:
+        if rel.key in self._relationships:
+            raise DuplicateRelationshipError(*rel.key)
+        self._relationships[rel.key] = rel
+        self._outgoing[rel.source].append(rel.key)
+
+    def has_relationship(self, source: str, name: str) -> bool:
+        """True if ``source`` declares a relationship named ``name``."""
+        return (source, name) in self._relationships
+
+    def get_relationship(self, source: str, name: str) -> Relationship:
+        """Return the relationship identified by ``(source, name)``."""
+        try:
+            return self._relationships[(source, name)]
+        except KeyError:
+            raise UnknownRelationshipError(source, name) from None
+
+    def relationships(self) -> list[Relationship]:
+        """All declared relationships (inverses included)."""
+        return list(self._relationships.values())
+
+    def relationships_from(self, source: str) -> list[Relationship]:
+        """Outgoing relationships of ``source``, in declaration order."""
+        self.get_class(source)
+        return [self._relationships[key] for key in self._outgoing[source]]
+
+    def relationships_named(self, name: str) -> list[Relationship]:
+        """Every relationship in the schema with the given name."""
+        return [r for r in self._relationships.values() if r.name == name]
+
+    def relationships_into(self, target: str) -> list[Relationship]:
+        """All relationships whose target class is ``target``."""
+        return [r for r in self._relationships.values() if r.target == target]
+
+    @property
+    def relationship_count(self) -> int:
+        """Total number of declared relationships (inverses included)."""
+        return len(self._relationships)
+
+    def relationship_names(self) -> set[str]:
+        """The set of all relationship names in the schema."""
+        return {r.name for r in self._relationships.values()}
+
+    # ------------------------------------------------------------------
+    # Inheritance helpers (thin wrappers; full logic in model.inheritance)
+    # ------------------------------------------------------------------
+
+    def isa_parents(self, name: str) -> list[str]:
+        """Direct superclasses of ``name`` (targets of its Isa edges)."""
+        return [
+            r.target
+            for r in self.relationships_from(name)
+            if r.kind is RelationshipKind.ISA
+        ]
+
+    def isa_children(self, name: str) -> list[str]:
+        """Direct subclasses of ``name`` (sources of Isa edges into it)."""
+        self.get_class(name)
+        return [
+            r.source
+            for r in self._relationships.values()
+            if r.kind is RelationshipKind.ISA and r.target == name
+        ]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self, require_inverses: bool = False) -> list[str]:
+        """Check structural invariants; return a list of problem strings.
+
+        Raises nothing — callers decide whether warnings are fatal.  The
+        Isa-acyclicity check *does* raise
+        :class:`~repro.errors.InheritanceCycleError` because a cyclic
+        inheritance graph breaks every downstream algorithm.
+        """
+        problems: list[str] = []
+        self._check_isa_acyclic()
+        if require_inverses:
+            for rel in self._relationships.values():
+                if self.get_class(rel.target).primitive:
+                    continue
+                if not any(
+                    other.is_inverse_of(rel)
+                    for other in self.relationships_from(rel.target)
+                ):
+                    problems.append(f"missing inverse for {rel}")
+        return problems
+
+    def _check_isa_acyclic(self) -> None:
+        """Raise if Isa edges form a cycle (three-color DFS)."""
+        state: dict[str, int] = {}  # 0 absent, 1 on stack, 2 done
+
+        def visit(node: str, stack: list[str]) -> None:
+            state[node] = 1
+            stack.append(node)
+            for parent in self.isa_parents(node):
+                mark = state.get(parent, 0)
+                if mark == 1:
+                    cycle = stack[stack.index(parent):] + [parent]
+                    raise InheritanceCycleError(cycle)
+                if mark == 0:
+                    visit(parent, stack)
+            stack.pop()
+            state[node] = 2
+
+        for name in self._classes:
+            if state.get(name, 0) == 0:
+                visit(name, [])
+
+    # ------------------------------------------------------------------
+    # Dunder / display
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __iter__(self) -> Iterator[ClassDef]:
+        return iter(self._classes.values())
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schema({self.name!r}, classes={self.user_class_count}, "
+            f"relationships={self.relationship_count})"
+        )
+
+    def summary(self) -> str:
+        """One-line size summary in the paper's reporting style."""
+        return (
+            f"{self.name}: {self.user_class_count} user-defined classes, "
+            f"{self.relationship_count} relationships"
+        )

@@ -1,0 +1,108 @@
+"""JSON (de)serialization of schemas.
+
+The document format is versioned and explicit: every relationship is
+stored individually (inverses included), so a round-trip reproduces the
+schema exactly, including non-default names and declaration order.
+
+Format::
+
+    {
+      "format": "repro-schema",
+      "version": 1,
+      "name": "...",
+      "classes": [{"name": "...", "doc": "..."}, ...],
+      "relationships": [
+        {"source": "...", "target": "...", "kind": "@>",
+         "name": "...", "doc": "..."},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import SerializationError
+from repro.model.kinds import KIND_BY_SYMBOL
+from repro.model.schema import Schema
+
+__all__ = ["schema_to_dict", "schema_from_dict", "save_schema", "load_schema"]
+
+_FORMAT = "repro-schema"
+_VERSION = 1
+
+
+def schema_to_dict(schema: Schema) -> dict:
+    """Serialize a schema to a plain dictionary."""
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "name": schema.name,
+        "classes": [
+            {"name": cls.name, "doc": cls.doc}
+            for cls in schema.classes(include_primitives=False)
+        ],
+        "relationships": [
+            {
+                "source": rel.source,
+                "target": rel.target,
+                "kind": rel.kind.symbol,
+                "name": rel.name,
+                "doc": rel.doc,
+            }
+            for rel in schema.relationships()
+        ],
+    }
+
+
+def schema_from_dict(document: dict) -> Schema:
+    """Deserialize a schema from a dictionary produced by
+    :func:`schema_to_dict`."""
+    if document.get("format") != _FORMAT:
+        raise SerializationError(
+            f"not a {_FORMAT} document: format={document.get('format')!r}"
+        )
+    if document.get("version") != _VERSION:
+        raise SerializationError(
+            f"unsupported version {document.get('version')!r}"
+        )
+    schema = Schema(document.get("name", "schema"))
+    try:
+        for entry in document["classes"]:
+            schema.add_class(entry["name"], doc=entry.get("doc", ""))
+        for entry in document["relationships"]:
+            kind = KIND_BY_SYMBOL.get(entry["kind"])
+            if kind is None:
+                raise SerializationError(
+                    f"unknown relationship kind {entry['kind']!r}"
+                )
+            # Inverses are stored explicitly; never auto-add on load.
+            schema.add_relationship(
+                entry["source"],
+                entry["target"],
+                kind,
+                name=entry.get("name", ""),
+                add_inverse=False,
+                doc=entry.get("doc", ""),
+            )
+    except KeyError as exc:
+        raise SerializationError(f"missing field {exc}") from exc
+    schema.validate()
+    return schema
+
+
+def save_schema(schema: Schema, path: str | Path) -> None:
+    """Write a schema to a JSON file."""
+    document = schema_to_dict(schema)
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+
+
+def load_schema(path: str | Path) -> Schema:
+    """Read a schema from a JSON file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return schema_from_dict(document)

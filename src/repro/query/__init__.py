@@ -1,0 +1,31 @@
+"""Query substrate: the evaluator, a tiny query language, and the
+interactive completion loop of the paper's Figure 1."""
+
+from repro.query.evaluator import evaluate, evaluate_from
+from repro.query.fox import FoxQuery, FoxRow, parse_fox, run_fox
+from repro.query.language import Query, QueryResult, parse_query, run_query
+from repro.query.session import (
+    CompletionSession,
+    Interaction,
+    RecordingChooser,
+    approve_all,
+    approve_first,
+)
+
+__all__ = [
+    "CompletionSession",
+    "FoxQuery",
+    "FoxRow",
+    "Interaction",
+    "Query",
+    "QueryResult",
+    "RecordingChooser",
+    "approve_all",
+    "approve_first",
+    "evaluate",
+    "evaluate_from",
+    "parse_fox",
+    "parse_query",
+    "run_fox",
+    "run_query",
+]

@@ -1,0 +1,114 @@
+"""Path-expression evaluation over an instance database (paper Fig. 1).
+
+A complete path expression, when evaluated, returns all objects (or
+primitive values) reachable from each object in the path-expression
+root.  Step semantics per relationship kind:
+
+* ``@>`` (Isa): identity — every instance of the subclass *is* an
+  instance of the superclass;
+* ``<@`` (May-Be): filter — keep the objects that are also instances of
+  the subclass;
+* ``$>``, ``<$``, ``.``: follow the stored relationship links;
+* a final association into a primitive class yields attribute values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.ast import ConcretePath, PathExpression
+from repro.core.parser import parse_path_expression
+from repro.errors import EvaluationError
+from repro.model.graph import SchemaGraph
+from repro.model.instances import Database, DBObject
+from repro.model.kinds import RelationshipKind
+
+__all__ = ["evaluate", "evaluate_from"]
+
+
+def _resolve_to_concrete(
+    database: Database, expression: PathExpression
+) -> ConcretePath:
+    """Bind a complete expression's steps to schema edges."""
+    if expression.is_incomplete:
+        raise EvaluationError(
+            f"cannot evaluate incomplete expression {expression}; "
+            "complete it first with repro.core.Disambiguator"
+        )
+    graph = SchemaGraph(database.schema)
+    path = ConcretePath.start(expression.root)
+    for step in expression.steps:
+        anchor = path.target_class
+        edge = next(
+            (e for e in graph.edges_from(anchor) if e.name == step.name),
+            None,
+        )
+        if edge is None:
+            raise EvaluationError(
+                f"class {anchor!r} has no relationship {step.name!r}"
+            )
+        if edge.connector is not step.connector:
+            raise EvaluationError(
+                f"step {step} disagrees with schema kind "
+                f"{edge.kind.symbol} for {anchor}.{step.name}"
+            )
+        path = path.extend(edge)
+    return path
+
+
+def evaluate(
+    database: Database, expression: str | PathExpression | ConcretePath
+) -> set[DBObject] | set[object]:
+    """Evaluate a complete path expression over the root class extent.
+
+    Returns a set of :class:`~repro.model.instances.DBObject` — or a set
+    of primitive values when the last step is an attribute.
+    """
+    path = _as_concrete(database, expression)
+    return evaluate_from(database, path, database.extent(path.root))
+
+
+def evaluate_from(
+    database: Database,
+    expression: str | PathExpression | ConcretePath,
+    roots: Iterable[DBObject],
+) -> set[DBObject] | set[object]:
+    """Evaluate starting from an explicit set of root objects."""
+    path = _as_concrete(database, expression)
+    current: set[DBObject] = set(roots)
+    for index, edge in enumerate(path.edges):
+        is_last = index == len(path.edges) - 1
+        target_primitive = database.schema.get_class(edge.target).primitive
+        if target_primitive:
+            if not is_last:
+                raise EvaluationError(
+                    f"attribute step {edge.name!r} must be last in {path}"
+                )
+            return database.attribute_values(current, edge.name)
+        if edge.kind is RelationshipKind.ISA:
+            # Inclusion: the same objects, now viewed as the superclass.
+            continue
+        if edge.kind is RelationshipKind.MAY_BE:
+            current = {
+                obj
+                for obj in current
+                if database.is_instance(obj, edge.target)
+            }
+            continue
+        next_objects: set[DBObject] = set()
+        for obj in current:
+            next_objects |= database.linked(obj, edge.name)
+        current = next_objects
+        if not current:
+            break
+    return current
+
+
+def _as_concrete(
+    database: Database, expression: str | PathExpression | ConcretePath
+) -> ConcretePath:
+    if isinstance(expression, ConcretePath):
+        return expression
+    if isinstance(expression, str):
+        expression = parse_path_expression(expression)
+    return _resolve_to_concrete(database, expression)

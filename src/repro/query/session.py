@@ -1,0 +1,140 @@
+"""The interactive completion loop of the paper's Figure 1.
+
+The flow: the user poses a (possibly incomplete) path expression; the
+completion module returns the plausible completions; the user approves a
+subset; the evaluator runs the approved expressions.  The *chooser* is
+pluggable so the loop works both interactively and in scripted
+experiments:
+
+* :func:`approve_all` — accept every returned completion;
+* :func:`approve_first` — accept the single top-ranked completion;
+* :class:`RecordingChooser` — wrap another chooser and keep a feedback
+  log (the raw material for the learning extension the paper's Section 7
+  proposes);
+* any ``callable(list[ConcretePath]) -> list[ConcretePath]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Sequence
+
+from repro.core.ast import ConcretePath
+from repro.core.engine import Disambiguator
+from repro.model.instances import Database
+from repro.query.evaluator import evaluate
+
+__all__ = [
+    "CompletionSession",
+    "Interaction",
+    "approve_all",
+    "approve_first",
+    "RecordingChooser",
+]
+
+Chooser = Callable[[Sequence[ConcretePath]], list[ConcretePath]]
+
+
+def approve_all(candidates: Sequence[ConcretePath]) -> list[ConcretePath]:
+    """Accept every completion the system proposes."""
+    return list(candidates)
+
+
+def approve_first(candidates: Sequence[ConcretePath]) -> list[ConcretePath]:
+    """Accept only the top-ranked completion (empty stays empty)."""
+    return list(candidates[:1])
+
+
+class RecordingChooser:
+    """Wrap a chooser and log (candidates, chosen) pairs.
+
+    The log is the user-feedback stream the paper's future-work section
+    wants to learn from; :meth:`rejection_counts` summarizes it as a
+    per-class rejection tally (a candidate signal for auto-derived
+    excluded classes).
+    """
+
+    def __init__(self, inner: Chooser) -> None:
+        self.inner = inner
+        self.log: list[tuple[list[ConcretePath], list[ConcretePath]]] = []
+
+    def __call__(
+        self, candidates: Sequence[ConcretePath]
+    ) -> list[ConcretePath]:
+        chosen = self.inner(candidates)
+        self.log.append((list(candidates), chosen))
+        return chosen
+
+    def rejection_counts(self) -> dict[str, int]:
+        """How often each class appeared in rejected completions."""
+        counts: dict[str, int] = {}
+        for candidates, chosen in self.log:
+            chosen_keys = {(path.root, path.edges) for path in chosen}
+            for path in candidates:
+                if (path.root, path.edges) in chosen_keys:
+                    continue
+                for name in path.classes():
+                    counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+@dataclasses.dataclass(frozen=True)
+class Interaction:
+    """One round of the Figure 1 loop."""
+
+    input_text: str
+    candidates: tuple[ConcretePath, ...]
+    approved: tuple[ConcretePath, ...]
+    results: tuple[tuple[str, frozenset], ...]
+
+    @property
+    def values(self) -> frozenset:
+        combined: frozenset = frozenset()
+        for _, results in self.results:
+            combined |= results
+        return combined
+
+
+class CompletionSession:
+    """Drives the complete -> approve -> evaluate loop.
+
+    Parameters
+    ----------
+    database:
+        The instance store to evaluate against (its schema drives the
+        completion).
+    chooser:
+        Approval policy; defaults to :func:`approve_all`.
+    engine:
+        Optional preconfigured :class:`~repro.core.engine.Disambiguator`.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        chooser: Chooser | None = None,
+        engine: Disambiguator | None = None,
+    ) -> None:
+        self.database = database
+        self.chooser: Chooser = chooser if chooser is not None else approve_all
+        self.engine = (
+            engine if engine is not None else Disambiguator(database.schema)
+        )
+        self.history: list[Interaction] = []
+
+    def ask(self, text: str) -> Interaction:
+        """Run one full round for the given (possibly incomplete) input."""
+        completion = self.engine.complete(text)
+        approved = self.chooser(completion.paths)
+        results = tuple(
+            (str(path), frozenset(evaluate(self.database, path)))
+            for path in approved
+        )
+        interaction = Interaction(
+            input_text=text,
+            candidates=completion.paths,
+            approved=tuple(approved),
+            results=results,
+        )
+        self.history.append(interaction)
+        return interaction

@@ -1,0 +1,31 @@
+"""Schema corpus: the paper's Figure 2 university schema, a part-whole
+demo schema, the synthetic CUPID-scale schema, and a random generator.
+"""
+
+from repro.schemas.cupid import (
+    AUXILIARY_CLASSES,
+    CUPID_CLASS_COUNT,
+    CUPID_RELATIONSHIP_COUNT,
+    build_cupid_schema,
+)
+from repro.schemas.generator import GeneratorConfig, generate_schema
+from repro.schemas.hospital import (
+    HOSPITAL_AUXILIARY_CLASSES,
+    build_hospital_schema,
+)
+from repro.schemas.parts import build_parts_schema
+from repro.schemas.university import UNIVERSITY_EXAMPLES, build_university_schema
+
+__all__ = [
+    "AUXILIARY_CLASSES",
+    "CUPID_CLASS_COUNT",
+    "CUPID_RELATIONSHIP_COUNT",
+    "GeneratorConfig",
+    "HOSPITAL_AUXILIARY_CLASSES",
+    "UNIVERSITY_EXAMPLES",
+    "build_cupid_schema",
+    "build_hospital_schema",
+    "build_parts_schema",
+    "build_university_schema",
+    "generate_schema",
+]

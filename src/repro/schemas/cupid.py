@@ -1,0 +1,408 @@
+"""A synthetic stand-in for the paper's CUPID schema.
+
+The paper evaluates on the Moose schema of the input parameters of
+CUPID, a Fortran plant-growth simulator: **92 user-defined classes and
+364 relationships**, designed by a Soil Sciences researcher.  That
+schema is not published, so this module builds a deterministic synthetic
+equivalent with the same size and the same structural character the
+paper describes:
+
+* a deep part-whole decomposition of a plant-environment simulation's
+  inputs (the spine — experimental-science schemas are dominated by
+  Has-Part);
+* Isa layers grouping instruments, parameters, profiles, specs, and
+  physical processes;
+* cross-cutting associations between the physics and the structure;
+* a handful of *auxiliary hub* classes (units registry, reference
+  table, metadata) associated with a plethora of other classes but with
+  little semantic content — exactly the classes the paper's schema
+  designer later excluded via domain knowledge (Section 5.2).
+
+The build asserts the published size: 92 user classes, 364
+relationships (inverses counted, as declared in the schema).
+"""
+
+from __future__ import annotations
+
+from repro.model.kinds import RelationshipKind
+from repro.model.schema import Schema
+
+__all__ = [
+    "build_cupid_schema",
+    "CUPID_CLASS_COUNT",
+    "CUPID_RELATIONSHIP_COUNT",
+    "AUXILIARY_CLASSES",
+]
+
+#: Published size of the original CUPID schema (paper Section 5.2).
+CUPID_CLASS_COUNT = 92
+CUPID_RELATIONSHIP_COUNT = 364
+
+#: The auxiliary hub classes the domain-knowledge experiment excludes.
+AUXILIARY_CLASSES = ("units_registry", "reference_table", "metadata")
+
+# ---------------------------------------------------------------------------
+# Structure tables (parent -> children) for the part-whole spine.
+# ---------------------------------------------------------------------------
+
+_PART_TREE: dict[str, tuple[str, ...]] = {
+    "experiment": ("simulation",),
+    "simulation": (
+        "site",
+        "atmosphere",
+        "soil_profile",
+        "crop",
+        "management",
+        "numerics",
+        "output_spec",
+    ),
+    "site": ("location", "weather_station", "field"),
+    "weather_station": (
+        "thermometer",
+        "pyranometer",
+        "anemometer",
+        "hygrometer",
+        "rain_gauge",
+    ),
+    "field": ("plot",),
+    "atmosphere": (
+        "radiation_regime",
+        "wind_profile",
+        "temperature_profile",
+        "humidity_profile",
+        "co2_profile",
+    ),
+    "radiation_regime": ("solar_radiation", "longwave_radiation"),
+    "soil_profile": (
+        "soil_surface",
+        "soil_layer",
+        "root_zone",
+        "drainage_system",
+    ),
+    "soil_surface": ("residue_layer",),
+    "soil_layer": (
+        "soil_texture",
+        "soil_moisture",
+        "soil_temperature",
+        "hydraulic_properties",
+        "thermal_properties",
+    ),
+    "root_zone": ("root_segment",),
+    "crop": ("canopy", "root_system", "phenology", "fruit"),
+    "canopy": ("canopy_layer", "canopy_geometry"),
+    "canopy_layer": ("leaf_class", "stem_segment"),
+    "leaf_class": ("leaf", "leaf_angle"),
+    "leaf": ("stomata", "cuticle"),
+    "phenology": ("growth_stage", "development_rate"),
+    "management": (
+        "irrigation_system",
+        "fertilization_plan",
+        "planting_spec",
+        "harvest_spec",
+    ),
+    "irrigation_system": ("irrigation_event",),
+    "fertilization_plan": ("fertilizer_application",),
+    "numerics": (
+        "time_grid",
+        "space_grid",
+        "solver",
+        "boundary_condition",
+        "initial_condition",
+    ),
+    "solver": ("tolerance_spec",),
+    "output_spec": ("report_spec", "plot_spec", "summary_spec"),
+}
+
+# Superclass -> subclasses (subclasses may appear in the part tree too).
+_ISA_GROUPS: dict[str, tuple[str, ...]] = {
+    "instrument": (
+        "thermometer",
+        "pyranometer",
+        "anemometer",
+        "hygrometer",
+        "rain_gauge",
+    ),
+    "parameter": (
+        "scalar_parameter",
+        "vector_parameter",
+        "table_parameter",
+        "soil_parameter",
+        "plant_parameter",
+    ),
+    "profile": (
+        "wind_profile",
+        "temperature_profile",
+        "humidity_profile",
+        "co2_profile",
+    ),
+    "spec": (
+        "planting_spec",
+        "harvest_spec",
+        "output_spec",
+        "report_spec",
+        "plot_spec",
+        "summary_spec",
+        "tolerance_spec",
+    ),
+    "process": (
+        "evapotranspiration",
+        "transpiration",
+        "evaporation",
+        "infiltration",
+        "photosynthesis",
+        "respiration",
+        "energy_balance",
+        "water_balance",
+    ),
+}
+
+# Free-standing classes not introduced by the trees above.
+_EXTRA_CLASSES: tuple[str, ...] = (
+    "dataset",
+    "measurement",
+    "calibration",
+    "scientist",
+    "documentation",
+    *AUXILIARY_CLASSES,
+)
+
+# Cross-cutting associations: (source, target, name, inverse name).
+_ASSOCIATIONS: tuple[tuple[str, str, str, str], ...] = (
+    # physics <-> structure
+    ("leaf", "photosynthesis", "photosynthesis", "leaf"),
+    ("leaf", "respiration", "respiration", "leaf"),
+    ("leaf", "transpiration", "transpiration", "leaf"),
+    ("soil_surface", "evaporation", "evaporation", "surface"),
+    ("soil_layer", "infiltration", "infiltration", "layer"),
+    ("canopy", "energy_balance", "energy_balance", "canopy"),
+    ("soil_profile", "water_balance", "water_balance", "profile"),
+    ("crop", "evapotranspiration", "evapotranspiration", "crop"),
+    # parameters parameterize processes and structures
+    ("photosynthesis", "plant_parameter", "parameters", "photosynthesis"),
+    ("respiration", "plant_parameter", "rate_parameters", "respiration"),
+    ("hydraulic_properties", "soil_parameter", "parameters", "hydraulics"),
+    ("thermal_properties", "soil_parameter", "conductivities", "thermals"),
+    ("solver", "scalar_parameter", "controls", "solver"),
+    ("time_grid", "scalar_parameter", "step_size", "time_grid"),
+    ("boundary_condition", "table_parameter", "forcing", "condition"),
+    ("initial_condition", "vector_parameter", "state", "condition"),
+    # measurement chain
+    ("instrument", "measurement", "measures", "instrument"),
+    ("measurement", "dataset", "dataset", "measurement"),
+    ("dataset", "calibration", "calibration", "dataset"),
+    ("weather_station", "dataset", "records", "station"),
+    ("scientist", "experiment", "runs", "investigator"),
+    ("scientist", "dataset", "curates", "curator"),
+    ("documentation", "experiment", "documents", "documentation"),
+    # radiation couples to the canopy and soil
+    ("solar_radiation", "canopy_layer", "intercepted_by", "radiation"),
+    ("longwave_radiation", "soil_surface", "emitted_by", "radiation"),
+    # water pathway
+    ("irrigation_event", "soil_moisture", "wets", "irrigation"),
+    ("root_segment", "soil_moisture", "extracts", "roots"),
+    ("root_system", "root_zone", "occupies", "occupant"),
+    ("stomata", "co2_profile", "exchanges", "stomata"),
+    ("fruit", "growth_stage", "matures_at", "fruit"),
+    ("plot", "crop", "grows", "plot"),
+    ("fertilizer_application", "soil_layer", "amends", "amendment"),
+)
+
+# Hub associations: the auxiliary classes connect widely but shallowly.
+_HUB_LINKS: dict[str, tuple[str, ...]] = {
+    "units_registry": (
+        "scalar_parameter",
+        "vector_parameter",
+        "table_parameter",
+        "measurement",
+        "soil_moisture",
+        "tolerance_spec",
+    ),
+    "reference_table": (
+        "soil_texture",
+        "leaf_angle",
+        "growth_stage",
+        "calibration",
+        "albedo_entry",
+    ),
+    "metadata": (
+        "experiment",
+        "simulation",
+        "dataset",
+        "documentation",
+        "site",
+    ),
+}
+
+# One more leaf class referenced only through a hub (keeps hub realism).
+_HUB_ONLY_CLASSES: tuple[str, ...] = ("albedo_entry",)
+
+# Attributes: (class, attribute name, primitive).  The list is longer
+# than needed; the builder consumes entries until the published
+# relationship count is reached exactly.
+_ATTRIBUTES: tuple[tuple[str, str, str], ...] = (
+    ("experiment", "name", "C"),
+    ("experiment", "start_date", "C"),
+    ("simulation", "name", "C"),
+    ("site", "name", "C"),
+    ("location", "latitude", "R"),
+    ("location", "longitude", "R"),
+    ("location", "elevation", "R"),
+    ("soil_layer", "depth", "R"),
+    ("soil_layer", "thickness", "R"),
+    ("soil_moisture", "value", "R"),
+    ("soil_temperature", "value", "R"),
+    ("soil_texture", "sand_fraction", "R"),
+    ("soil_texture", "clay_fraction", "R"),
+    ("leaf", "area", "R"),
+    ("leaf", "age", "I"),
+    ("leaf_angle", "value", "R"),
+    ("stomata", "conductance", "R"),
+    ("canopy", "height", "R"),
+    ("canopy_layer", "lai", "R"),
+    ("growth_stage", "name", "C"),
+    ("growth_stage", "index", "I"),
+    ("development_rate", "value", "R"),
+    ("time_grid", "step_count", "I"),
+    ("space_grid", "node_count", "I"),
+    ("tolerance_spec", "value", "R"),
+    ("irrigation_event", "amount", "R"),
+    ("irrigation_event", "day", "I"),
+    ("fertilizer_application", "amount", "R"),
+    ("plot", "area", "R"),
+    ("dataset", "name", "C"),
+    ("measurement", "value", "R"),
+    ("measurement", "timestamp", "C"),
+    ("calibration", "offset", "R"),
+    ("scientist", "name", "C"),
+    ("scalar_parameter", "value", "R"),
+    ("scalar_parameter", "name", "C"),
+    ("vector_parameter", "name", "C"),
+    ("table_parameter", "name", "C"),
+    ("units_registry", "version", "C"),
+    ("reference_table", "name", "C"),
+    ("metadata", "created", "C"),
+    ("solar_radiation", "flux", "R"),
+    ("wind_profile", "reference_height", "R"),
+    ("co2_profile", "ambient", "R"),
+    ("fruit", "dry_mass", "R"),
+    ("report_spec", "frequency", "I"),
+    ("documentation", "text", "C"),
+    ("albedo_entry", "value", "R"),
+    ("harvest_spec", "day", "I"),
+    ("planting_spec", "density", "R"),
+    ("boundary_condition", "kind", "C"),
+    ("residue_layer", "coverage", "R"),
+    ("drainage_system", "depth", "R"),
+    ("cuticle", "thickness", "R"),
+    ("stem_segment", "length", "R"),
+    ("canopy_geometry", "row_spacing", "R"),
+    ("root_segment", "length", "R"),
+    ("root_system", "depth", "R"),
+    ("anemometer", "height", "R"),
+    ("rain_gauge", "height", "R"),
+    ("thermometer", "precision", "R"),
+    ("pyranometer", "spectral_range", "C"),
+    ("hygrometer", "precision", "R"),
+    ("field", "area", "R"),
+    ("crop", "species", "C"),
+    ("phenology", "base_temperature", "R"),
+    ("soil_surface", "roughness", "R"),
+    ("soil_profile", "total_depth", "R"),
+    ("atmosphere", "reference_pressure", "R"),
+    ("longwave_radiation", "emissivity", "R"),
+    ("humidity_profile", "reference_humidity", "R"),
+    ("temperature_profile", "reference_temperature", "R"),
+    ("hydraulic_properties", "saturated_conductivity", "R"),
+    ("thermal_properties", "heat_capacity", "R"),
+    ("leaf_class", "count", "I"),
+    ("stomata", "density", "R"),
+    ("canopy_layer", "height_fraction", "R"),
+    ("space_grid", "spacing", "R"),
+    ("solver", "max_iterations", "I"),
+    ("irrigation_system", "capacity", "R"),
+    ("fertilization_plan", "total_nitrogen", "R"),
+    ("plot_spec", "format", "C"),
+    ("summary_spec", "interval", "I"),
+    ("output_spec", "directory", "C"),
+    ("location", "slope", "R"),
+    ("site", "description", "C"),
+)
+
+
+def build_cupid_schema() -> Schema:
+    """Build the synthetic CUPID schema (deterministic; asserts size)."""
+    schema = Schema("cupid")
+
+    # 1. Collect every class name from the structure tables.
+    names: dict[str, None] = {}
+    for parent, children in _PART_TREE.items():
+        names.setdefault(parent, None)
+        for child in children:
+            names.setdefault(child, None)
+    for superclass, subclasses in _ISA_GROUPS.items():
+        names.setdefault(superclass, None)
+        for subclass in subclasses:
+            names.setdefault(subclass, None)
+    for name in _EXTRA_CLASSES + _HUB_ONLY_CLASSES:
+        names.setdefault(name, None)
+    for name in names:
+        schema.add_class(name)
+
+    # 2. Part-whole spine.
+    for parent, children in _PART_TREE.items():
+        for child in children:
+            schema.add_relationship(
+                parent,
+                child,
+                RelationshipKind.HAS_PART,
+                inverse_name=parent,
+            )
+
+    # 3. Isa layers.
+    for superclass, subclasses in _ISA_GROUPS.items():
+        for subclass in subclasses:
+            schema.add_relationship(subclass, superclass, RelationshipKind.ISA)
+
+    # 4. Cross-cutting associations.
+    for source, target, name, inverse_name in _ASSOCIATIONS:
+        schema.add_relationship(
+            source,
+            target,
+            RelationshipKind.IS_ASSOCIATED_WITH,
+            name=name,
+            inverse_name=inverse_name,
+        )
+
+    # 5. Auxiliary hubs.
+    for hub, targets in _HUB_LINKS.items():
+        for target in targets:
+            schema.add_relationship(
+                hub,
+                target,
+                RelationshipKind.IS_ASSOCIATED_WITH,
+                name=target,
+                inverse_name=hub,
+            )
+
+    # 6. Attributes, consumed until the published count is reached.
+    for owner, attr_name, primitive in _ATTRIBUTES:
+        if schema.relationship_count >= CUPID_RELATIONSHIP_COUNT:
+            break
+        schema.add_attribute(owner, attr_name, primitive)
+
+    schema.validate()
+    _assert_published_size(schema)
+    return schema
+
+
+def _assert_published_size(schema: Schema) -> None:
+    if schema.user_class_count != CUPID_CLASS_COUNT:
+        raise AssertionError(
+            f"synthetic CUPID has {schema.user_class_count} classes, "
+            f"expected {CUPID_CLASS_COUNT}"
+        )
+    if schema.relationship_count != CUPID_RELATIONSHIP_COUNT:
+        raise AssertionError(
+            f"synthetic CUPID has {schema.relationship_count} "
+            f"relationships, expected {CUPID_RELATIONSHIP_COUNT}"
+        )

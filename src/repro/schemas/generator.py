@@ -1,0 +1,123 @@
+"""Random schema generation for scalability experiments.
+
+Produces schemas with a controllable size and relationship-kind mix,
+shaped like real modeling schemas (and like the paper's CUPID schema):
+a part-whole tree as the spine, Isa layers over groups of similar
+classes, and cross-cutting associations.  Deterministic for a given
+seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.model.kinds import RelationshipKind
+from repro.model.schema import Schema
+
+__all__ = ["GeneratorConfig", "generate_schema"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for :func:`generate_schema`.
+
+    ``association_factor`` is the number of cross associations per
+    class (approximately); ``isa_fraction`` the fraction of classes
+    that get a superclass layer; ``attributes_per_class`` how many
+    primitive attributes each class receives on average.
+    """
+
+    classes: int = 50
+    seed: int = 0
+    association_factor: float = 0.8
+    isa_fraction: float = 0.25
+    attributes_per_class: float = 1.0
+    max_parts_per_class: int = 4
+
+    def __post_init__(self) -> None:
+        if self.classes < 2:
+            raise ValueError("need at least 2 classes")
+
+
+def generate_schema(config: GeneratorConfig) -> Schema:
+    """Generate a random schema per ``config`` (deterministic by seed)."""
+    rng = random.Random(config.seed)
+    schema = Schema(f"random-{config.classes}-{config.seed}")
+
+    names = [f"cls_{index:03d}" for index in range(config.classes)]
+    for name in names:
+        schema.add_class(name)
+
+    # Part-whole spine: random tree over all classes (node 0 is the root).
+    children_of: dict[int, int] = {}
+    for index in range(1, len(names)):
+        # choose a parent with spare part capacity; bias toward recent
+        # nodes to get depth rather than a flat star.
+        window = names[: index]
+        candidates = [
+            position
+            for position, _ in enumerate(window)
+            if children_of.get(position, 0) < config.max_parts_per_class
+        ]
+        weights = [position + 1 for position in candidates]
+        parent = rng.choices(candidates, weights=weights, k=1)[0]
+        children_of[parent] = children_of.get(parent, 0) + 1
+        schema.add_relationship(
+            names[parent],
+            names[index],
+            RelationshipKind.HAS_PART,
+            inverse_name=names[parent],
+        )
+
+    # Isa layers: pick classes and give them fresh superclasses.
+    isa_count = int(config.classes * config.isa_fraction)
+    supers: list[str] = []
+    for index in range(isa_count):
+        super_name = f"base_{index:03d}"
+        schema.add_class(super_name)
+        supers.append(super_name)
+        subclass = rng.choice(names)
+        schema.add_relationship(subclass, super_name, RelationshipKind.ISA)
+
+    # Cross-cutting associations (skip duplicates and self-loops).
+    association_target = int(config.classes * config.association_factor)
+    everything = names + supers
+    attempts = 0
+    added = 0
+    while added < association_target and attempts < association_target * 20:
+        attempts += 1
+        source = rng.choice(everything)
+        target = rng.choice(everything)
+        if source == target:
+            continue
+        rel_name = f"rel_{added:03d}"
+        if schema.has_relationship(source, rel_name):
+            continue
+        schema.add_relationship(
+            source,
+            target,
+            RelationshipKind.IS_ASSOCIATED_WITH,
+            name=rel_name,
+            inverse_name=f"inv_{rel_name}",
+        )
+        added += 1
+
+    # Attributes.
+    attribute_total = int(config.classes * config.attributes_per_class)
+    primitive_choices = ("C", "I", "R", "B")
+    for index in range(attribute_total):
+        owner = rng.choice(everything)
+        attr_name = f"attr_{index:03d}"
+        if schema.has_relationship(owner, attr_name):
+            continue
+        schema.add_attribute(owner, attr_name, rng.choice(primitive_choices))
+
+    # Every generated schema gets a shared attribute name so that
+    # name-targeted completions are meaningful.
+    for owner in rng.sample(everything, k=max(2, len(everything) // 10)):
+        if not schema.has_relationship(owner, "label"):
+            schema.add_attribute(owner, "label", "C")
+
+    schema.validate()
+    return schema

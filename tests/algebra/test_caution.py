@@ -1,0 +1,82 @@
+"""Tests for caution sets (Section 4.1)."""
+
+from repro.algebra.caution import CautionSets, compute_caution_sets
+from repro.algebra.connectors import ALL_CONNECTORS, Connector
+from repro.algebra.labels import PathLabel
+from repro.algebra.order import DEFAULT_ORDER, flat_order
+from repro.algebra.properties import check_distributivity_failures
+
+
+def label_of(*connectors):
+    return PathLabel.of_path(list(connectors))
+
+
+class TestComputation:
+    def test_members_are_strictly_better_than_the_owner(self):
+        sets = compute_caution_sets(DEFAULT_ORDER)
+        for owner, dangerous in sets.items():
+            for member in dangerous:
+                assert DEFAULT_ORDER.better(member, owner)
+
+    def test_nonempty_for_the_default_order(self):
+        """Distributivity fails (paper Section 3.5), so some caution set
+        must be nonempty."""
+        sets = compute_caution_sets(DEFAULT_ORDER)
+        assert any(dangerous for dangerous in sets.values())
+
+    def test_covers_every_distributivity_failure(self):
+        """Each witness (c1, c2, c3) of non-distributivity must place c2
+        in caution(c1) — otherwise Algorithm 2 would prune unsafely."""
+        sets = compute_caution_sets(DEFAULT_ORDER)
+        for c1, c2, c3 in check_distributivity_failures(DEFAULT_ORDER):
+            assert c2 in sets[c1], (c1.symbol, c2.symbol, c3.symbol)
+
+    def test_flat_order_has_empty_caution_sets(self):
+        """With nothing comparable, nothing can be cautiously better."""
+        sets = compute_caution_sets(flat_order())
+        assert all(not dangerous for dangerous in sets.values())
+
+
+class TestCautionSetsObject:
+    def test_cache_shares_computation(self):
+        first = CautionSets(DEFAULT_ORDER)
+        second = CautionSets(DEFAULT_ORDER)
+        assert first.of(Connector.INDIRECT_ASSOC) == second.of(
+            Connector.INDIRECT_ASSOC
+        )
+
+    def test_intersects(self):
+        caution = CautionSets(DEFAULT_ORDER)
+        owner = None
+        for connector in ALL_CONNECTORS:
+            if caution.of(connector):
+                owner = connector
+                break
+        assert owner is not None
+        better = next(iter(caution.of(owner)))
+        dominated = label_of(*_some_path_with_connector(owner))
+        strong = label_of(*_some_path_with_connector(better))
+        assert caution.intersects(dominated, [strong])
+        assert not caution.intersects(dominated, [])
+
+    def test_of_label_matches_of_connector(self):
+        caution = CautionSets(DEFAULT_ORDER)
+        label = label_of(Connector.HAS_PART, Connector.IS_PART_OF)
+        assert caution.of_label(label) == caution.of(label.connector)
+
+    def test_repr(self):
+        assert "default" in repr(CautionSets(DEFAULT_ORDER))
+
+
+def _some_path_with_connector(target):
+    """A short primary-connector sequence whose CON equals ``target``."""
+    from itertools import product
+
+    from repro.algebra.con_table import con_c_sequence
+    from repro.algebra.connectors import PRIMARY_CONNECTORS
+
+    for length in (1, 2, 3):
+        for sequence in product(PRIMARY_CONNECTORS, repeat=length):
+            if con_c_sequence(sequence) is target:
+                return sequence
+    raise AssertionError(f"no short path realizes {target.symbol}")

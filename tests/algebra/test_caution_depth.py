@@ -1,0 +1,64 @@
+"""Depth-stability of caution sets.
+
+The caution-set definition quantifies over a single continuation label
+L3.  Because every composed label's connector is itself in Sigma (the
+alphabet is closed under CON_c), divergence after *any* number of
+continuation steps is witnessed by some single L3 — so computing the
+sets at depth 1 is complete.  These tests verify that claim directly
+by brute-forcing depth-2 continuations.
+"""
+
+import itertools
+
+from repro.algebra.caution import compute_caution_sets
+from repro.algebra.con_table import con_c
+from repro.algebra.connectors import ALL_CONNECTORS
+from repro.algebra.order import DEFAULT_ORDER, rank_order
+
+
+def _depth2_caution(order):
+    """Caution sets recomputed with two-step continuations."""
+    sets = {}
+    for c1 in ALL_CONNECTORS:
+        dangerous = set()
+        for c2 in ALL_CONNECTORS:
+            if not order.better(c2, c1):
+                continue
+            for c3, c4 in itertools.product(ALL_CONNECTORS, repeat=2):
+                left = con_c(con_c(c1, c3), c4)
+                right = con_c(con_c(c2, c3), c4)
+                if left is not right and order.incomparable(left, right):
+                    dangerous.add(c2)
+                    break
+        sets[c1] = frozenset(dangerous)
+    return sets
+
+
+class TestDepthStability:
+    def test_depth2_adds_nothing_default_order(self):
+        depth1 = compute_caution_sets(DEFAULT_ORDER)
+        depth2 = _depth2_caution(DEFAULT_ORDER)
+        for connector in ALL_CONNECTORS:
+            assert depth2[connector] <= depth1[connector], connector.symbol
+
+    def test_depth2_adds_nothing_rank_order(self):
+        order = rank_order()
+        depth1 = compute_caution_sets(order)
+        depth2 = _depth2_caution(order)
+        for connector in ALL_CONNECTORS:
+            assert depth2[connector] <= depth1[connector], connector.symbol
+
+    def test_depth1_witnesses_realizable_via_single_step(self):
+        """Every caution entry must have a single-step witness — that's
+        the definition; this is the sanity direction."""
+        sets = compute_caution_sets(DEFAULT_ORDER)
+        for c1, dangerous in sets.items():
+            for c2 in dangerous:
+                witnessed = any(
+                    con_c(c1, c3) is not con_c(c2, c3)
+                    and DEFAULT_ORDER.incomparable(
+                        con_c(c1, c3), con_c(c2, c3)
+                    )
+                    for c3 in ALL_CONNECTORS
+                )
+                assert witnessed, (c1.symbol, c2.symbol)

@@ -1,0 +1,157 @@
+"""Tests for Table 1 (CON_c), including the paper's worked examples and
+the exhaustive algebraic checks."""
+
+import itertools
+
+import pytest
+
+from repro.algebra.con_table import BASE_TABLE, con_c, con_c_sequence
+from repro.algebra.connectors import ALL_CONNECTORS, Connector
+
+ISA = Connector.ISA
+MAY = Connector.MAY_BE
+HP = Connector.HAS_PART
+PO = Connector.IS_PART_OF
+AS = Connector.ASSOC
+SB = Connector.SHARES_SUBPARTS
+SP = Connector.SHARES_SUPERPARTS
+IN = Connector.INDIRECT_ASSOC
+
+
+class TestPaperExamples:
+    """Every composition example stated in Section 3.3.1."""
+
+    def test_haspart_transitive(self):
+        # A Has-Part B, B Has-Part C => A Has-Part C
+        assert con_c(HP, HP) is HP
+
+    def test_assoc_then_maybe_is_possibly_assoc(self):
+        # course . teacher <@ professor => course .* professor
+        assert con_c(AS, MAY) is Connector.POSSIBLY_ASSOC
+
+    def test_shares_subparts(self):
+        # engine $> screw <$ chassis => engine .SB chassis
+        assert con_c(HP, PO) is SB
+
+    def test_shares_superparts(self):
+        # motor <$ assembly $> shaft => motor .SP shaft
+        assert con_c(PO, HP) is SP
+
+    def test_indirect_association(self):
+        # dept . student . course => dept .. course
+        assert con_c(AS, AS) is IN
+
+
+class TestIdentity:
+    def test_isa_is_left_identity(self):
+        for connector in ALL_CONNECTORS:
+            assert con_c(ISA, connector) is connector
+
+    def test_isa_is_right_identity(self):
+        for connector in ALL_CONNECTORS:
+            assert con_c(connector, ISA) is connector
+
+
+class TestAssociativity:
+    def test_exhaustive_over_all_triples(self):
+        """Property 1, machine-checked over all 14^3 = 2744 triples."""
+        for a, b, c in itertools.product(ALL_CONNECTORS, repeat=3):
+            left = con_c(con_c(a, b), c)
+            right = con_c(a, con_c(b, c))
+            assert left is right, (
+                f"CON_c not associative at ({a.symbol}, {b.symbol}, "
+                f"{c.symbol}): {left.symbol} != {right.symbol}"
+            )
+
+
+class TestClosure:
+    def test_sigma_closed_under_con_c(self):
+        for a, b in itertools.product(ALL_CONNECTORS, repeat=2):
+            assert con_c(a, b) in ALL_CONNECTORS
+
+    def test_base_table_covers_exactly_the_base_connectors(self):
+        bases = {c for c in ALL_CONNECTORS if not c.is_possibly}
+        assert set(BASE_TABLE) == bases
+        for row in BASE_TABLE.values():
+            assert set(row) == bases
+
+
+class TestPossiblyRule:
+    def test_any_possibly_argument_stars_the_result(self):
+        for a, b in itertools.product(ALL_CONNECTORS, repeat=2):
+            result = con_c(a, b)
+            if a.is_possibly or b.is_possibly:
+                assert result.is_possibly, (a.symbol, b.symbol, result.symbol)
+
+    def test_possibly_never_produces_taxonomic(self):
+        for a, b in itertools.product(ALL_CONNECTORS, repeat=2):
+            if a.is_possibly or b.is_possibly:
+                assert not con_c(a, b).is_taxonomic
+
+    def test_result_base_matches_base_composition(self):
+        for a, b in itertools.product(ALL_CONNECTORS, repeat=2):
+            assert con_c(a, b).base is con_c(a.base, b.base).base
+
+
+class TestMayBePrefix:
+    """A May-Be anywhere makes the downstream relationship Possibly."""
+
+    def test_maybe_then_haspart(self):
+        assert con_c(MAY, HP) is Connector.POSSIBLY_HAS_PART
+
+    def test_maybe_then_assoc(self):
+        assert con_c(MAY, AS) is Connector.POSSIBLY_ASSOC
+
+    def test_maybe_then_isa_stays_maybe(self):
+        assert con_c(MAY, ISA) is MAY
+
+    def test_maybe_transitive(self):
+        assert con_c(MAY, MAY) is MAY
+
+    def test_isa_then_maybe_is_maybe(self):
+        assert con_c(ISA, MAY) is MAY
+
+
+class TestSequences:
+    def test_empty_sequence_is_identity(self):
+        assert con_c_sequence([]) is ISA
+
+    def test_singleton(self):
+        assert con_c_sequence([HP]) is HP
+
+    def test_flagship_ta_chain(self):
+        # ta @> grad @> student @> person . name => association
+        assert con_c_sequence([ISA, ISA, ISA, AS]) is AS
+
+    def test_less_plausible_course_chain(self):
+        # ta @> grad @> student . take . name => indirect association
+        assert con_c_sequence([ISA, ISA, AS, AS]) is IN
+
+    def test_fold_order_is_irrelevant(self):
+        sequence = [HP, PO, AS, MAY, HP, ISA, PO]
+        left = con_c_sequence(sequence)
+        # fold right-to-left instead
+        right = sequence[-1]
+        for connector in reversed(sequence[:-1]):
+            right = con_c(connector, right)
+        assert left is right
+
+
+class TestDuality:
+    """The $>/<$ and .SB/.SP duality the table was reconstructed from."""
+
+    DUAL = {
+        ISA: ISA, MAY: MAY, HP: PO, PO: HP, AS: AS, SB: SP, SP: SB, IN: IN,
+    }
+
+    @pytest.mark.parametrize("a", list(BASE_TABLE))
+    @pytest.mark.parametrize("b", list(BASE_TABLE))
+    def test_dual_of_composition_is_composition_of_duals(self, a, b):
+        dual = self.DUAL
+        result = con_c(a, b)
+        if result.is_possibly:
+            expected = con_c(dual[a], dual[b])
+            assert expected.is_possibly
+            assert dual[result.base] is expected.base
+        else:
+            assert dual[result] is con_c(dual[a], dual[b])

@@ -1,0 +1,138 @@
+"""Tests for the connector alphabet Sigma."""
+
+import pytest
+
+from repro.algebra.connectors import (
+    ALL_CONNECTORS,
+    PRIMARY_CONNECTORS,
+    SECONDARY_CONNECTORS,
+    Connector,
+    connector_for_kind,
+    parse_connector,
+)
+from repro.errors import UnknownConnectorError
+from repro.model.kinds import RelationshipKind
+
+
+class TestAlphabet:
+    def test_sigma_has_fourteen_members(self):
+        assert len(ALL_CONNECTORS) == 14
+
+    def test_five_primary_connectors(self):
+        assert len(PRIMARY_CONNECTORS) == 5
+        assert {c.symbol for c in PRIMARY_CONNECTORS} == {
+            "@>", "<@", "$>", "<$", ".",
+        }
+
+    def test_primary_and_secondary_partition_sigma(self):
+        assert set(PRIMARY_CONNECTORS) | set(SECONDARY_CONNECTORS) == set(
+            ALL_CONNECTORS
+        )
+        assert not set(PRIMARY_CONNECTORS) & set(SECONDARY_CONNECTORS)
+
+    def test_six_possibly_variants(self):
+        possibly = [c for c in ALL_CONNECTORS if c.is_possibly]
+        assert len(possibly) == 6
+        assert all(c.symbol.endswith("*") for c in possibly)
+
+    def test_indexes_are_unique_and_dense(self):
+        indexes = {c.index for c in ALL_CONNECTORS}
+        assert indexes == set(range(14))
+
+
+class TestPossibly:
+    def test_possibly_of_plain(self):
+        assert Connector.HAS_PART.possibly is Connector.POSSIBLY_HAS_PART
+        assert Connector.ASSOC.possibly is Connector.POSSIBLY_ASSOC
+
+    def test_possibly_is_idempotent(self):
+        assert (
+            Connector.POSSIBLY_HAS_PART.possibly
+            is Connector.POSSIBLY_HAS_PART
+        )
+
+    def test_taxonomic_has_no_possibly(self):
+        with pytest.raises(ValueError):
+            _ = Connector.ISA.possibly
+        with pytest.raises(ValueError):
+            _ = Connector.MAY_BE.possibly
+
+    def test_base_inverts_possibly(self):
+        for connector in ALL_CONNECTORS:
+            if connector.is_possibly:
+                assert connector.base.possibly is connector
+            else:
+                assert connector.base is connector
+
+
+class TestInverseBases:
+    def test_isa_maybe_are_mutual_inverses(self):
+        assert Connector.ISA.inverse_base is Connector.MAY_BE
+        assert Connector.MAY_BE.inverse_base is Connector.ISA
+
+    def test_part_whole_are_mutual_inverses(self):
+        assert Connector.HAS_PART.inverse_base is Connector.IS_PART_OF
+        assert Connector.IS_PART_OF.inverse_base is Connector.HAS_PART
+
+    def test_sharing_are_mutual_inverses(self):
+        assert (
+            Connector.SHARES_SUBPARTS.inverse_base
+            is Connector.SHARES_SUPERPARTS
+        )
+
+    def test_assoc_kinds_are_self_inverse(self):
+        assert Connector.ASSOC.inverse_base is Connector.ASSOC
+        assert Connector.INDIRECT_ASSOC.inverse_base is Connector.INDIRECT_ASSOC
+
+    def test_possibly_inverse_goes_through_base(self):
+        assert (
+            Connector.POSSIBLY_HAS_PART.inverse_base is Connector.IS_PART_OF
+        )
+
+
+class TestRanks:
+    def test_strength_ordering_of_families(self):
+        assert Connector.ISA.strength_rank < Connector.HAS_PART.strength_rank
+        assert Connector.HAS_PART.strength_rank < Connector.ASSOC.strength_rank
+        assert (
+            Connector.ASSOC.strength_rank
+            < Connector.SHARES_SUBPARTS.strength_rank
+        )
+        assert (
+            Connector.SHARES_SUBPARTS.strength_rank
+            < Connector.INDIRECT_ASSOC.strength_rank
+        )
+
+    def test_possibly_shares_base_strength(self):
+        for connector in ALL_CONNECTORS:
+            assert connector.strength_rank == connector.base.strength_rank
+
+    def test_sort_rank_puts_possibly_half_step_down(self):
+        assert (
+            Connector.POSSIBLY_HAS_PART.sort_rank
+            == Connector.HAS_PART.sort_rank + 1
+        )
+
+
+class TestParsing:
+    def test_parse_every_symbol(self):
+        for connector in ALL_CONNECTORS:
+            assert parse_connector(connector.symbol) is connector
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(UnknownConnectorError):
+            parse_connector("~>")
+
+    def test_connector_for_every_kind(self):
+        expected = {
+            RelationshipKind.ISA: Connector.ISA,
+            RelationshipKind.MAY_BE: Connector.MAY_BE,
+            RelationshipKind.HAS_PART: Connector.HAS_PART,
+            RelationshipKind.IS_PART_OF: Connector.IS_PART_OF,
+            RelationshipKind.IS_ASSOCIATED_WITH: Connector.ASSOC,
+        }
+        for kind, connector in expected.items():
+            assert connector_for_kind(kind) is connector
+
+    def test_str_is_symbol(self):
+        assert str(Connector.SHARES_SUBPARTS) == ".SB"

@@ -1,0 +1,94 @@
+"""Tests for path labels and CON over labels."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algebra.con_table import con_c_sequence
+from repro.algebra.connectors import Connector, PRIMARY_CONNECTORS
+from repro.algebra.labels import IDENTITY_LABEL, PathLabel, con
+from repro.algebra.semantic_length import semantic_length_of
+
+primary_sequences = st.lists(
+    st.sampled_from(PRIMARY_CONNECTORS), min_size=0, max_size=10
+)
+
+
+class TestIdentity:
+    def test_identity_is_isa_zero(self):
+        assert IDENTITY_LABEL.connector is Connector.ISA
+        assert IDENTITY_LABEL.semantic_length == 0
+        assert IDENTITY_LABEL.is_identity
+
+    def test_nonempty_pure_isa_label_is_not_theta(self):
+        label = PathLabel.of_path([Connector.ISA])
+        assert label.key == IDENTITY_LABEL.key
+        assert not label.is_identity
+
+    def test_identity_is_neutral_for_join(self):
+        label = PathLabel.of_path([Connector.HAS_PART, Connector.ASSOC])
+        assert con(IDENTITY_LABEL, label) == label
+        assert con(label, IDENTITY_LABEL) == label
+
+
+class TestConstruction:
+    def test_for_edge_matches_kind_semantics(self):
+        isa = PathLabel.for_edge(Connector.ISA)
+        assert isa.semantic_length == 0
+        has_part = PathLabel.for_edge(Connector.HAS_PART)
+        assert has_part.semantic_length == 1
+
+    def test_of_path_flagship_example(self):
+        # ta@>grad@>student@>person.name
+        label = PathLabel.of_path(
+            [Connector.ISA, Connector.ISA, Connector.ISA, Connector.ASSOC]
+        )
+        assert label.connector is Connector.ASSOC
+        assert label.semantic_length == 1
+
+    def test_str_form(self):
+        label = PathLabel.for_edge(Connector.HAS_PART)
+        assert str(label) == "[$>,1]"
+
+
+class TestExtendAndJoin:
+    @given(primary_sequences)
+    @settings(max_examples=200)
+    def test_of_path_agrees_with_fold_of_extend(self, sequence):
+        folded = IDENTITY_LABEL
+        for connector in sequence:
+            folded = folded.extend(connector)
+        assert folded == PathLabel.of_path(sequence)
+
+    @given(primary_sequences, primary_sequences)
+    @settings(max_examples=200)
+    def test_join_is_concatenation(self, left, right):
+        joined = con(PathLabel.of_path(left), PathLabel.of_path(right))
+        assert joined == PathLabel.of_path(left + right)
+
+    @given(primary_sequences, primary_sequences, primary_sequences)
+    @settings(max_examples=150)
+    def test_join_is_associative(self, a, b, c):
+        la, lb, lc = map(PathLabel.of_path, (a, b, c))
+        assert con(con(la, lb), lc) == con(la, con(lb, lc))
+
+    @given(primary_sequences)
+    @settings(max_examples=200)
+    def test_components_match_their_own_ground_truths(self, sequence):
+        label = PathLabel.of_path(sequence)
+        assert label.connector is con_c_sequence(sequence)
+        assert label.semantic_length == semantic_length_of(sequence)
+
+
+class TestEquality:
+    def test_key_ignores_boundary_state(self):
+        # same (connector, length) through different edge sequences
+        first = PathLabel.of_path([Connector.ASSOC])
+        second = PathLabel.of_path(
+            [Connector.ISA, Connector.ISA, Connector.ASSOC]
+        )
+        assert first.key == second.key
+        assert first != second  # full equality keeps the boundary
+
+    def test_labels_are_hashable(self):
+        label = PathLabel.of_path([Connector.HAS_PART])
+        assert label in {label}

@@ -1,0 +1,98 @@
+"""The paper's properties 1-7 (Sections 3.1, 3.5), machine-checked."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algebra.agg import Aggregator
+from repro.algebra.connectors import Connector, PRIMARY_CONNECTORS
+from repro.algebra.labels import IDENTITY_LABEL, PathLabel
+from repro.algebra.order import DEFAULT_ORDER
+from repro.algebra.properties import (
+    check_annihilator_on_cycles,
+    check_con_associativity,
+    check_con_identity,
+    check_distributivity_failures,
+    check_monotonicity,
+    check_paper_incomparability_constraints,
+    check_partial_order_axioms,
+    semantic_length_agreement,
+)
+
+
+class TestProperty1ConAssociativity:
+    def test_no_violations(self):
+        assert check_con_associativity() == []
+
+
+class TestProperty3FixpointOnSingletons:
+    def test_agg_leaves_singletons_unchanged(self):
+        aggregator = Aggregator(e=1)
+        label = PathLabel.of_path([Connector.HAS_PART, Connector.ASSOC])
+        assert aggregator.aggregate([label]) == [label]
+
+
+class TestProperty4Identity:
+    def test_isa_zero_is_the_identity(self):
+        assert check_con_identity() == []
+
+    def test_label_level_identity(self):
+        label = PathLabel.of_path([Connector.IS_PART_OF])
+        assert IDENTITY_LABEL.join(label) == label
+        assert label.join(IDENTITY_LABEL) == label
+
+
+class TestProperty5Annihilator:
+    """Theta annihilates AGG on realizable cycle labels.
+
+    Pure-Isa (or pure-May-Be) cycles are impossible in a valid schema
+    (Isa is acyclic), so every realizable cycle mixes connectors and
+    ends up dominated by Theta.
+    """
+
+    def test_representative_cycle_shapes(self):
+        cycles = [
+            [Connector.ISA, Connector.MAY_BE],
+            [Connector.HAS_PART, Connector.IS_PART_OF],
+            [Connector.ASSOC, Connector.ASSOC],
+            [Connector.ISA, Connector.ASSOC, Connector.MAY_BE],
+            [Connector.MAY_BE, Connector.ISA],
+            [Connector.HAS_PART, Connector.HAS_PART, Connector.IS_PART_OF],
+        ]
+        assert check_annihilator_on_cycles(cycles, DEFAULT_ORDER) == []
+
+    @given(
+        st.lists(
+            st.sampled_from(PRIMARY_CONNECTORS), min_size=1, max_size=8
+        ).filter(
+            lambda seq: not all(c is Connector.ISA for c in seq)
+            and not all(c is Connector.MAY_BE for c in seq)
+        )
+    )
+    @settings(max_examples=300)
+    def test_random_realizable_cycles_are_annihilated(self, sequence):
+        assert check_annihilator_on_cycles([sequence], DEFAULT_ORDER) == []
+
+
+class TestProperty6DistributivityFails:
+    def test_failures_exist_exactly_as_the_paper_states(self):
+        assert check_distributivity_failures(DEFAULT_ORDER) != []
+
+
+class TestProperty7Monotonicity:
+    def test_no_connector_level_violations(self):
+        assert check_monotonicity(DEFAULT_ORDER) == []
+
+
+class TestOrderAxioms:
+    def test_default_order_is_strict_partial_order(self):
+        assert check_partial_order_axioms(DEFAULT_ORDER) == []
+
+    def test_default_order_satisfies_figure3_constraints(self):
+        assert check_paper_incomparability_constraints(DEFAULT_ORDER) == []
+
+
+class TestSemanticLengthAgreement:
+    @given(st.lists(st.sampled_from(PRIMARY_CONNECTORS), max_size=12))
+    @settings(max_examples=200)
+    def test_incremental_matches_closed_form(self, sequence):
+        assert semantic_length_agreement(sequence)

@@ -1,0 +1,147 @@
+"""Tests for semantic length (Section 3.3.2), including the paper's two
+worked examples and the incremental-vs-closed-form property."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algebra.connectors import Connector, PRIMARY_CONNECTORS
+from repro.algebra.semantic_length import (
+    COLLAPSIBLE,
+    SemanticLengthState,
+    collapse_runs,
+    semantic_length_of,
+)
+
+ISA = Connector.ISA
+MAY = Connector.MAY_BE
+HP = Connector.HAS_PART
+PO = Connector.IS_PART_OF
+AS = Connector.ASSOC
+
+primary_sequences = st.lists(
+    st.sampled_from(PRIMARY_CONNECTORS), min_size=0, max_size=14
+)
+
+
+class TestPaperExamples:
+    def test_teacher_chain_has_length_four(self):
+        # teacher.teach.student.department$>professor
+        assert semantic_length_of([AS, AS, AS, HP]) == 4
+
+    def test_staff_chain_has_length_two(self):
+        # staff@>employee<@teacher<@instructor<@teaching-asst@>grad@>student
+        assert semantic_length_of([ISA, MAY, MAY, MAY, ISA, ISA]) == 2
+
+    def test_single_edge_lengths_match_section_3_2(self):
+        assert semantic_length_of([ISA]) == 0
+        assert semantic_length_of([MAY]) == 0
+        assert semantic_length_of([HP]) == 1
+        assert semantic_length_of([PO]) == 1
+        assert semantic_length_of([AS]) == 1
+
+
+class TestCollapse:
+    def test_runs_of_collapsible_connectors_collapse(self):
+        assert collapse_runs([HP, HP, HP]) == [HP]
+        assert collapse_runs([ISA, ISA, MAY, MAY]) == [ISA, MAY]
+
+    def test_assoc_runs_do_not_collapse(self):
+        assert collapse_runs([AS, AS, AS]) == [AS, AS, AS]
+
+    def test_collapsible_set_is_the_four_hierarchical_connectors(self):
+        assert COLLAPSIBLE == {ISA, MAY, HP, PO}
+
+    def test_empty(self):
+        assert collapse_runs([]) == []
+
+
+class TestStepRules:
+    def test_long_part_chain_counts_once(self):
+        # "a long chain of contiguous Part-Of connectors is equivalent
+        # to a single Part-Of connector"
+        assert semantic_length_of([PO] * 7) == 1
+        assert semantic_length_of([PO]) == semantic_length_of([PO] * 7)
+
+    def test_pure_isa_chain_is_free(self):
+        assert semantic_length_of([ISA] * 5) == 0
+
+    def test_alternating_isa_maybe_charges_all_but_one(self):
+        assert semantic_length_of([ISA, MAY]) == 1
+        assert semantic_length_of([ISA, MAY, ISA]) == 2
+        assert semantic_length_of([MAY, ISA, MAY, ISA]) == 3
+
+    def test_isolated_isa_between_others_is_free(self):
+        # $> @> $> : the singleton isa block donates its one edge
+        assert semantic_length_of([HP, ISA, HP]) == 2
+
+    def test_two_separate_isa_blocks_each_get_one_free_edge(self):
+        seq = [ISA, MAY, AS, ISA, MAY]
+        # collapsed: same; blocks: [isa,may] and [isa,may]
+        # edges 5 - 2 blocks = 3
+        assert semantic_length_of(seq) == 3
+
+    def test_assoc_contributes_actual_length(self):
+        assert semantic_length_of([AS] * 4) == 4
+
+
+class TestIncrementalState:
+    def test_empty_state(self):
+        state = SemanticLengthState.empty()
+        assert state.is_empty
+        assert state.length == 0
+
+    def test_extend_matches_closed_form_on_examples(self):
+        seq = [ISA, MAY, MAY, MAY, ISA, ISA]
+        state = SemanticLengthState.of(seq)
+        assert state.length == semantic_length_of(seq)
+
+    def test_join_of_empty_is_identity(self):
+        state = SemanticLengthState.of([HP, AS])
+        assert SemanticLengthState.empty().join(state) == state
+        assert state.join(SemanticLengthState.empty()) == state
+
+    def test_join_merges_runs_at_the_seam(self):
+        left = SemanticLengthState.of([HP])
+        right = SemanticLengthState.of([HP, AS])
+        assert left.join(right).length == semantic_length_of([HP, HP, AS])
+
+    def test_join_merges_taxonomic_blocks_at_the_seam(self):
+        left = SemanticLengthState.of([ISA])
+        right = SemanticLengthState.of([MAY])
+        assert left.join(right).length == 1
+
+    @given(primary_sequences)
+    @settings(max_examples=300)
+    def test_incremental_equals_closed_form(self, sequence):
+        assert SemanticLengthState.of(sequence).length == semantic_length_of(
+            sequence
+        )
+
+    @given(primary_sequences, primary_sequences)
+    @settings(max_examples=300)
+    def test_join_is_concatenation(self, left_seq, right_seq):
+        joined = SemanticLengthState.of(left_seq).join(
+            SemanticLengthState.of(right_seq)
+        )
+        assert joined.length == semantic_length_of(left_seq + right_seq)
+
+    @given(primary_sequences, primary_sequences, primary_sequences)
+    @settings(max_examples=200)
+    def test_join_is_associative(self, a, b, c):
+        sa = SemanticLengthState.of(a)
+        sb = SemanticLengthState.of(b)
+        sc = SemanticLengthState.of(c)
+        assert sa.join(sb).join(sc) == sa.join(sb.join(sc))
+
+    @given(primary_sequences)
+    @settings(max_examples=200)
+    def test_length_is_nonnegative_and_bounded_by_edge_count(self, sequence):
+        length = semantic_length_of(sequence)
+        assert 0 <= length <= len(sequence)
+
+    @given(primary_sequences, st.sampled_from(PRIMARY_CONNECTORS))
+    @settings(max_examples=200)
+    def test_extending_never_decreases_length(self, sequence, connector):
+        assert semantic_length_of(sequence + [connector]) >= (
+            semantic_length_of(sequence)
+        )

@@ -1,0 +1,51 @@
+"""Shared fixtures: the example schemas, their graphs, and engines.
+
+The CUPID-scale schema and anything derived from it are session-scoped —
+they are deterministic and immutable, and several experiment tests reuse
+them.  Tests that mutate a schema build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Disambiguator
+from repro.model.graph import SchemaGraph
+from repro.schemas.cupid import build_cupid_schema
+from repro.schemas.parts import build_parts_schema
+from repro.schemas.university import build_university_schema
+
+
+@pytest.fixture()
+def university():
+    return build_university_schema()
+
+
+@pytest.fixture()
+def university_graph(university):
+    return SchemaGraph(university)
+
+
+@pytest.fixture()
+def university_engine(university):
+    return Disambiguator(university)
+
+
+@pytest.fixture()
+def parts():
+    return build_parts_schema()
+
+
+@pytest.fixture(scope="session")
+def cupid():
+    return build_cupid_schema()
+
+
+@pytest.fixture(scope="session")
+def cupid_graph(cupid):
+    return SchemaGraph(cupid)
+
+
+@pytest.fixture(scope="session")
+def cupid_engine(cupid):
+    return Disambiguator(cupid)

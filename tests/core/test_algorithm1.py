@@ -1,0 +1,66 @@
+"""Tests for Algorithm 1 (the traditional path-computation baseline)."""
+
+from repro.core.algorithm1 import traditional_path_computation
+from repro.core.completion import complete_paths
+from repro.core.target import ClassTarget, RelationshipTarget
+
+
+class TestLabels:
+    def test_finds_the_optimal_label(self, university_graph):
+        result = traditional_path_computation(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        assert [str(label) for label in result.labels] == ["[.,1]"]
+
+    def test_class_target(self, university_graph):
+        result = traditional_path_computation(
+            university_graph, "ta", ClassTarget("course")
+        )
+        assert result.labels
+
+    def test_empty_for_unreachable(self, university_graph):
+        result = traditional_path_computation(
+            university_graph, "ta", RelationshipTarget("ghost")
+        )
+        assert result.labels == ()
+
+
+class TestRelationToAlgorithm2:
+    def test_label_sets_agree_on_flagship_query(self, university_graph):
+        target = RelationshipTarget("name")
+        labels1 = {
+            label.key
+            for label in traditional_path_computation(
+                university_graph, "ta", target
+            ).labels
+        }
+        labels2 = {
+            label.key
+            for label in complete_paths(
+                university_graph, "ta", target
+            ).labels
+        }
+        assert labels1 == labels2
+
+    def test_algorithm1_visits_no_more_nodes(self, university_graph):
+        """Algorithm 1's stricter (set-change) pruning explores at most
+        as much as Algorithm 2's membership-based pruning."""
+        target = RelationshipTarget("name")
+        calls1 = traditional_path_computation(
+            university_graph, "ta", target
+        ).stats.recursive_calls
+        calls2 = complete_paths(
+            university_graph, "ta", target
+        ).stats.recursive_calls
+        assert calls1 <= calls2
+
+
+class TestStats:
+    def test_counters_populated(self, university_graph):
+        result = traditional_path_computation(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        stats = result.stats
+        assert stats.recursive_calls > 0
+        assert stats.edges_considered > 0
+        assert stats.elapsed_seconds >= 0

@@ -1,0 +1,149 @@
+"""Edge-case schemas for the completion algorithm."""
+
+import pytest
+
+from repro.core.completion import complete_paths
+from repro.core.target import ClassTarget, RelationshipTarget
+from repro.model.builder import SchemaBuilder
+from repro.model.graph import SchemaGraph
+
+
+class TestDegenerateSchemas:
+    def test_single_class_with_attribute(self):
+        schema = SchemaBuilder("one").cls("thing").attr("x").build()
+        graph = SchemaGraph(schema)
+        result = complete_paths(graph, "thing", RelationshipTarget("x"))
+        assert result.expressions == ["thing.x"]
+
+    def test_single_class_no_edges(self):
+        schema = SchemaBuilder("bare").cls("thing").build()
+        graph = SchemaGraph(schema)
+        result = complete_paths(graph, "thing", RelationshipTarget("x"))
+        assert result.is_empty
+
+    def test_pure_isa_chain(self):
+        schema = (
+            SchemaBuilder("chain")
+            .cls("a").isa("b")
+            .cls("b").isa("c")
+            .cls("c").attr("x")
+            .build()
+        )
+        graph = SchemaGraph(schema)
+        result = complete_paths(graph, "a", RelationshipTarget("x"))
+        assert result.expressions == ["a@>b@>c.x"]
+        assert result.paths[0].semantic_length == 1
+
+    def test_disconnected_component(self):
+        schema = (
+            SchemaBuilder("split")
+            .cls("a").attr("x")
+            .cls("island").attr("y")
+            .build()
+        )
+        graph = SchemaGraph(schema)
+        assert complete_paths(
+            graph, "a", RelationshipTarget("y")
+        ).is_empty
+
+    def test_parallel_edges_same_classes(self):
+        """Two distinct relationships between the same class pair must
+        both surface when their labels tie."""
+        schema = (
+            SchemaBuilder("parallel")
+            .cls("a")
+            .assoc("b", name="first", inverse_name="back1")
+            .cls("a")
+            .assoc("b", name="second", inverse_name="back2")
+            .cls("b").attr("x")
+            .build()
+        )
+        graph = SchemaGraph(schema)
+        result = complete_paths(graph, "a", RelationshipTarget("x"))
+        assert set(result.expressions) == {
+            "a.first.x",
+            "a.second.x",
+        }
+
+    def test_target_edge_also_reachable_longer(self):
+        """Direct one-hop answer dominates multi-hop same-name answers."""
+        schema = (
+            SchemaBuilder("short")
+            .cls("a").attr("x")
+            .cls("a").assoc("b", name="via", inverse_name="back")
+            .cls("b").attr("x")
+            .build()
+        )
+        graph = SchemaGraph(schema)
+        result = complete_paths(graph, "a", RelationshipTarget("x"))
+        assert result.expressions == ["a.x"]
+
+    def test_root_equals_class_target(self):
+        """A class-target completion back to the root needs a genuine
+        cycle and therefore returns nothing."""
+        schema = (
+            SchemaBuilder("selfish")
+            .cls("a").assoc("b", name="out", inverse_name="back")
+            .build()
+        )
+        graph = SchemaGraph(schema)
+        result = complete_paths(graph, "a", ClassTarget("a"))
+        assert result.is_empty
+
+    def test_deep_linear_chain_is_not_recursion_limited(self):
+        """A 500-deep part chain exceeds CPython's default recursion
+        limit; the iterative traversal must handle it."""
+        builder = SchemaBuilder("deep")
+        for index in range(500):
+            builder.cls(f"n{index}").has_part(
+                f"n{index + 1}", inverse_name=f"n{index}"
+            )
+        builder.cls("n500").attr("x")
+        schema = builder.build()
+        graph = SchemaGraph(schema)
+        result = complete_paths(graph, "n0", RelationshipTarget("x"))
+        assert len(result.paths) == 1
+        assert result.paths[0].length == 501
+        assert result.paths[0].semantic_length == 2  # $>-chain + attr
+
+    def test_wide_star_fanout(self):
+        builder = SchemaBuilder("star")
+        for index in range(60):
+            builder.cls("hub").assoc(
+                f"leaf{index}", name=f"to{index}", inverse_name="hub"
+            )
+            builder.cls(f"leaf{index}").attr("x")
+        schema = builder.build()
+        graph = SchemaGraph(schema)
+        result = complete_paths(graph, "hub", RelationshipTarget("x"))
+        assert len(result.paths) == 60
+
+
+class TestMayBeHandling:
+    def test_maybe_only_route(self):
+        """When the only route goes through May-Be, the Possibly label
+        is returned rather than nothing."""
+        schema = (
+            SchemaBuilder("maybe")
+            .cls("sub").isa("sup")
+            .cls("sub").attr("x")
+            .build()
+        )
+        graph = SchemaGraph(schema)
+        result = complete_paths(graph, "sup", RelationshipTarget("x"))
+        assert result.expressions == ["sup<@sub.x"]
+        label = result.paths[0].label()
+        assert label.connector.is_possibly
+
+    def test_isa_route_beats_maybe_route(self):
+        schema = (
+            SchemaBuilder("both")
+            .cls("mid").isa("top")
+            .cls("bottom").isa("mid")
+            .cls("top").attr("x")
+            .build()
+        )
+        graph = SchemaGraph(schema)
+        # from mid: up to top (isa, strong) — never down via may-be
+        result = complete_paths(graph, "mid", RelationshipTarget("x"))
+        assert result.expressions == ["mid@>top.x"]

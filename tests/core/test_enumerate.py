@@ -1,0 +1,84 @@
+"""Tests for exhaustive consistent-path enumeration."""
+
+from repro.core.enumerate import (
+    count_consistent_paths,
+    enumerate_consistent_paths,
+)
+from repro.core.target import ClassTarget, RelationshipTarget
+
+
+class TestEnumeration:
+    def test_all_paths_are_consistent_and_acyclic(self, university_graph):
+        paths = enumerate_consistent_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        assert paths
+        for path in paths:
+            assert path.root == "ta"
+            assert path.edges[-1].name == "name"
+            assert path.is_acyclic
+
+    def test_no_duplicates(self, university_graph):
+        paths = enumerate_consistent_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        rendered = [str(path) for path in paths]
+        assert len(rendered) == len(set(rendered))
+
+    def test_contains_the_paper_completions(self, university_graph):
+        rendered = {
+            str(path)
+            for path in enumerate_consistent_paths(
+                university_graph, "ta", RelationshipTarget("name")
+            )
+        }
+        assert "ta@>grad@>student@>person.name" in rendered
+        assert (
+            "ta@>instructor@>teacher@>employee@>person.name" in rendered
+        )
+        assert "ta@>grad@>student.take.name" in rendered
+        assert "ta@>grad@>student.department.name" in rendered
+
+    def test_count_matches_enumeration(self, university_graph):
+        target = RelationshipTarget("name")
+        assert count_consistent_paths(
+            university_graph, "ta", target
+        ) == len(
+            enumerate_consistent_paths(university_graph, "ta", target)
+        )
+
+    def test_class_target(self, university_graph):
+        paths = enumerate_consistent_paths(
+            university_graph, "ta", ClassTarget("course")
+        )
+        assert paths
+        assert all(path.edges[-1].target == "course" for path in paths)
+
+    def test_max_depth_bounds_edge_count(self, university_graph):
+        paths = enumerate_consistent_paths(
+            university_graph, "ta", RelationshipTarget("name"), max_depth=4
+        )
+        assert paths
+        assert all(path.length <= 4 for path in paths)
+
+    def test_max_paths_truncates(self, university_graph):
+        paths = enumerate_consistent_paths(
+            university_graph, "ta", RelationshipTarget("name"), max_paths=3
+        )
+        assert len(paths) == 3
+
+    def test_unreachable_target_yields_nothing(self, university_graph):
+        assert (
+            enumerate_consistent_paths(
+                university_graph, "ta", RelationshipTarget("ghost")
+            )
+            == []
+        )
+
+    def test_completing_edges_are_terminal(self, university_graph):
+        """A path must not continue past an edge that satisfies the
+        target; e.g. for ~name no 'name' edge may appear mid-path."""
+        for path in enumerate_consistent_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        ):
+            assert all(edge.name != "name" for edge in path.edges[:-1])

@@ -1,0 +1,117 @@
+"""Tests for completion explanations."""
+
+import pytest
+
+from repro.core.explain import explain_candidate
+from repro.errors import PathExpressionError
+
+
+class TestVerdicts:
+    def test_returned(self, university_graph):
+        explanation = explain_candidate(
+            university_graph, "ta ~ name", "ta@>grad@>student@>person.name"
+        )
+        assert explanation.verdict == "returned"
+        assert "answer set" in explanation.render()
+
+    def test_connector_dominated(self, university_graph):
+        explanation = explain_candidate(
+            university_graph, "ta ~ name", "ta@>grad@>student.take.name"
+        )
+        assert explanation.verdict == "connector_dominated"
+        assert str(explanation.candidate_label) == "[..,2]"
+        assert str(explanation.witness_label) == "[.,1]"
+        assert "stronger" in explanation.render()
+
+    def test_length_dominated_with_admitting_e(self, university_graph):
+        explanation = explain_candidate(
+            university_graph,
+            "department ~ ssn",
+            "department.student@>person.ssn",
+            e=1,
+        )
+        assert explanation.verdict in (
+            "length_dominated",
+            "tied_but_pruned",
+        )
+        if explanation.verdict == "length_dominated":
+            assert explanation.admitting_e is not None
+
+    def test_tied_but_pruned_on_the_q10_case(self, cupid_graph):
+        explanation = explain_candidate(
+            cupid_graph,
+            "phenology ~ dry_mass",
+            "phenology$>growth_stage.fruit.dry_mass",
+        )
+        assert explanation.verdict == "tied_but_pruned"
+        assert "best[]-bound" in explanation.render()
+
+    def test_inconsistent_wrong_name(self, university_graph):
+        explanation = explain_candidate(
+            university_graph, "ta ~ name", "ta@>grad@>student@>person.ssn"
+        )
+        assert explanation.verdict == "inconsistent"
+
+    def test_inconsistent_wrong_root(self, university_graph):
+        explanation = explain_candidate(
+            university_graph, "ta ~ name", "student@>person.name"
+        )
+        assert explanation.verdict == "inconsistent"
+
+    def test_invalid_path(self, university_graph):
+        explanation = explain_candidate(
+            university_graph, "ta ~ name", "ta@>person.name"
+        )
+        assert explanation.verdict == "invalid"
+
+    def test_cyclic_path(self, university_graph):
+        explanation = explain_candidate(
+            university_graph,
+            "student ~ name",
+            "student.take.student.take.name",
+        )
+        assert explanation.verdict == "cyclic"
+
+
+class TestEngineConvenience:
+    def test_disambiguator_explain(self, university_engine):
+        explanation = university_engine.explain(
+            "ta ~ name", "ta@>grad@>student.take.name"
+        )
+        assert explanation.verdict == "connector_dominated"
+
+    def test_engine_e_is_used(self, university):
+        from repro.core.engine import Disambiguator
+
+        wide = Disambiguator(university, e=2)
+        explanation = wide.explain(
+            "department ~ ssn", "department.student@>person.ssn"
+        )
+        assert explanation.verdict == "returned"
+
+
+class TestInputValidation:
+    def test_query_must_be_simple(self, university_graph):
+        with pytest.raises(PathExpressionError):
+            explain_candidate(
+                university_graph, "ta~x~y", "ta@>grad@>student@>person.name"
+            )
+
+    def test_candidate_must_be_complete(self, university_graph):
+        with pytest.raises(PathExpressionError):
+            explain_candidate(university_graph, "ta ~ name", "ta ~ name")
+
+    def test_precomputed_result_is_honored(self, university_graph):
+        from repro.core.completion import complete_paths
+        from repro.core.target import RelationshipTarget
+
+        result = complete_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        explanation = explain_candidate(
+            university_graph,
+            "ta ~ name",
+            "ta@>instructor@>teacher@>employee@>person.name",
+            result=result,
+        )
+        assert explanation.verdict == "returned"

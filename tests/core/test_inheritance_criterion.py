@@ -1,0 +1,149 @@
+"""Tests for the Inheritance Semantics Criterion (Section 4.3)."""
+
+import pytest
+
+from repro.core.ast import ConcretePath
+from repro.core.completion import complete_paths
+from repro.core.inheritance_criterion import apply_preemption, preempts
+from repro.core.target import RelationshipTarget
+from repro.model.builder import SchemaBuilder
+from repro.model.graph import SchemaGraph
+
+
+@pytest.fixture()
+def shadowing_schema():
+    """student refines person's name; ta sits below grad below student."""
+    return (
+        SchemaBuilder("shadow")
+        .cls("person").attr("name")
+        .cls("student").isa("person").attr("name")
+        .cls("grad").isa("student")
+        .build()
+    )
+
+
+def _path(graph, root, steps):
+    path = ConcretePath.start(root)
+    for source, name in steps:
+        edge = next(
+            e for e in graph.edges_from(source) if e.name == name
+        )
+        path = path.extend(edge)
+    return path
+
+
+class TestPreempts:
+    def test_own_declaration_preempts_inherited(self, shadowing_schema):
+        graph = SchemaGraph(shadowing_schema)
+        own = _path(graph, "student", [("student", "name")])
+        inherited = _path(
+            graph, "student", [("student", "person"), ("person", "name")]
+        )
+        assert preempts(own, inherited)
+        assert not preempts(inherited, own)
+
+    def test_nearer_ancestor_preempts_farther(self, shadowing_schema):
+        graph = SchemaGraph(shadowing_schema)
+        near = _path(
+            graph, "grad", [("grad", "student"), ("student", "name")]
+        )
+        far = _path(
+            graph,
+            "grad",
+            [("grad", "student"), ("student", "person"), ("person", "name")],
+        )
+        assert preempts(near, far)
+
+    def test_divergent_isa_chains_do_not_preempt(self, university_graph):
+        grad_chain = _path(
+            university_graph,
+            "ta",
+            [
+                ("ta", "grad"),
+                ("grad", "student"),
+                ("student", "person"),
+                ("person", "name"),
+            ],
+        )
+        instructor_chain = _path(
+            university_graph,
+            "ta",
+            [
+                ("ta", "instructor"),
+                ("instructor", "teacher"),
+                ("teacher", "employee"),
+                ("employee", "person"),
+                ("person", "name"),
+            ],
+        )
+        assert not preempts(grad_chain, instructor_chain)
+        assert not preempts(instructor_chain, grad_chain)
+
+    def test_different_final_names_do_not_preempt(self, university_graph):
+        name_path = _path(
+            university_graph,
+            "student",
+            [("student", "person"), ("person", "name")],
+        )
+        ssn_path = _path(
+            university_graph,
+            "student",
+            [("student", "person"), ("person", "ssn")],
+        )
+        assert not preempts(name_path, ssn_path)
+
+    def test_non_isa_gap_does_not_preempt(self, university_graph):
+        """The edges between the fork and the final step must be Isa."""
+        short = _path(
+            university_graph, "student", [("student", "department")]
+        )
+        long = _path(
+            university_graph,
+            "student",
+            [("student", "take"), ("course", "name")],
+        )
+        assert not preempts(short, long)
+
+    def test_irreflexive(self, shadowing_schema):
+        graph = SchemaGraph(shadowing_schema)
+        path = _path(graph, "student", [("student", "name")])
+        assert not preempts(path, path)
+
+
+class TestApplyPreemption:
+    def test_removes_preempted_paths(self, shadowing_schema):
+        graph = SchemaGraph(shadowing_schema)
+        own = _path(graph, "student", [("student", "name")])
+        inherited = _path(
+            graph, "student", [("student", "person"), ("person", "name")]
+        )
+        survivors, removed = apply_preemption([inherited, own])
+        assert removed == 1
+        assert survivors == [own]
+
+    def test_no_preemption_keeps_everything(self, university_graph):
+        paths = complete_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        ).paths
+        survivors, removed = apply_preemption(list(paths))
+        assert removed == 0
+        assert len(survivors) == len(paths)
+
+
+class TestInsideCompletion:
+    def test_completion_applies_the_criterion(self, shadowing_schema):
+        graph = SchemaGraph(shadowing_schema)
+        result = complete_paths(graph, "grad", RelationshipTarget("name"))
+        assert result.expressions == ["grad@>student.name"]
+        assert result.stats.preempted_paths >= 1
+
+    def test_criterion_can_be_disabled(self, shadowing_schema):
+        graph = SchemaGraph(shadowing_schema)
+        result = complete_paths(
+            graph,
+            "grad",
+            RelationshipTarget("name"),
+            apply_inheritance_criterion=False,
+        )
+        assert "grad@>student.name" in result.expressions
+        assert "grad@>student@>person.name" in result.expressions

@@ -1,0 +1,81 @@
+"""Tests for general incomplete expressions (multiple ~ / mixed
+connectors) — the paper's [17] generalization."""
+
+import pytest
+
+from repro.core.multi import complete_general
+from repro.core.parser import parse_path_expression
+from repro.errors import NoCompletionError, PathExpressionError
+
+
+def general(graph, text, **kwargs):
+    return complete_general(graph, parse_path_expression(text), **kwargs)
+
+
+class TestSingleTildeAgreement:
+    def test_matches_the_direct_algorithm(self, university_graph):
+        from repro.core.completion import complete_paths
+        from repro.core.target import RelationshipTarget
+
+        direct = complete_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        viageneral = general(university_graph, "ta ~ name")
+        assert set(viageneral.expressions) == set(direct.expressions)
+
+
+class TestMixedConnectors:
+    def test_explicit_prefix_then_tilde(self, university_graph):
+        result = general(university_graph, "ta@>grad~name")
+        assert "ta@>grad@>student@>person.name" in result.expressions
+        # the instructor chain is excluded by the explicit prefix
+        assert all(
+            expression.startswith("ta@>grad")
+            for expression in result.expressions
+        )
+
+    def test_tilde_then_explicit_suffix(self, university_graph):
+        result = general(university_graph, "ta~take.name")
+        # courses taken: must route through student's take
+        assert result.expressions == [
+            "ta@>grad@>student.take.name"
+        ]
+
+    def test_two_tildes(self, university_graph):
+        result = general(university_graph, "ta~take~name")
+        assert result.paths
+        for expression in result.expressions:
+            assert expression.startswith("ta")
+            assert expression.endswith(".name")
+            assert ".take" in expression
+
+    def test_complete_input_passes_through(self, university_graph):
+        result = general(university_graph, "student.take.teacher")
+        assert result.expressions == ["student.take.teacher"]
+
+
+class TestSemantics:
+    def test_results_are_acyclic(self, university_graph):
+        result = general(university_graph, "ta~take~name")
+        assert all(path.is_acyclic for path in result.paths)
+
+    def test_explicit_step_with_wrong_connector_fails(self, university_graph):
+        with pytest.raises(NoCompletionError):
+            general(university_graph, "student$>take.name")
+
+    def test_unsatisfiable_expression_raises(self, university_graph):
+        with pytest.raises(NoCompletionError):
+            general(university_graph, "ta~ghost")
+
+    def test_empty_expression_rejected(self, university_graph):
+        with pytest.raises(PathExpressionError):
+            general(university_graph, "ta")
+
+    def test_e_parameter_widens_results(self, university_graph):
+        small = general(university_graph, "department~ssn", e=1)
+        large = general(university_graph, "department~ssn", e=3)
+        assert set(small.expressions) <= set(large.expressions)
+
+    def test_stats_accumulated_across_segments(self, university_graph):
+        result = general(university_graph, "ta~take~name")
+        assert result.stats.recursive_calls > 0

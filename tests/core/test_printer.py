@@ -1,0 +1,74 @@
+"""Tests for rendering helpers."""
+
+from repro.core.completion import complete_paths
+from repro.core.printer import (
+    format_candidates,
+    format_path,
+    format_path_verbose,
+    format_result,
+)
+from repro.core.target import RelationshipTarget
+
+
+class TestFormatting:
+    def test_format_path_is_expression_syntax(self, university_graph):
+        result = complete_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        assert format_path(result.paths[0]) == str(result.paths[0])
+
+    def test_verbose_lists_every_step(self, university_graph):
+        result = complete_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        rendered = format_path_verbose(result.paths[0])
+        assert "grad" in rendered
+        assert "semantic length" in rendered
+        assert "Isa" in rendered
+
+    def test_candidates_are_numbered(self, university_graph):
+        result = complete_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        rendered = format_candidates(result.paths)
+        assert "[1]" in rendered
+        assert "[2]" in rendered
+
+    def test_empty_candidates(self):
+        assert "no completions" in format_candidates([])
+
+    def test_result_report(self, university_graph):
+        result = complete_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        rendered = format_result(result)
+        assert "2 completion(s)" in rendered
+        assert "calls=" in rendered
+
+    def test_result_report_verbose(self, university_graph):
+        result = complete_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        assert "semantic length" in format_result(result, verbose=True)
+
+
+class TestStats:
+    def test_stats_string(self, university_graph):
+        result = complete_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        )
+        text = str(result.stats)
+        assert "calls=" in text
+        assert "time=" in text
+
+    def test_seconds_per_call(self, university_graph):
+        stats = complete_paths(
+            university_graph, "ta", RelationshipTarget("name")
+        ).stats
+        assert stats.seconds_per_call >= 0
+        assert stats.as_dict()["recursive_calls"] == stats.recursive_calls
+
+    def test_zero_calls_guard(self):
+        from repro.core.stats import TraversalStats
+
+        assert TraversalStats().seconds_per_call == 0.0

@@ -1,0 +1,66 @@
+"""Tests for the Section 7 post-ranking extensions."""
+
+import pytest
+
+from repro.core.domain import DomainKnowledge
+from repro.core.engine import Disambiguator
+from repro.core.ranking import rank_with_focus, rank_with_penalties
+
+
+@pytest.fixture()
+def tied_result(university):
+    """ta ~ name: two completions with identical labels."""
+    return Disambiguator(university).complete("ta ~ name")
+
+
+class TestPenalties:
+    def test_no_penalties_preserves_lengths(self, tied_result):
+        ranked = rank_with_penalties(tied_result, DomainKnowledge.none())
+        assert [r.adjusted_length for r in ranked] == [1, 1]
+
+    def test_penalty_demotes_paths_through_the_class(self, tied_result):
+        knowledge = DomainKnowledge(class_penalties=(("employee", 3),))
+        ranked = rank_with_penalties(tied_result, knowledge)
+        # the instructor chain passes through employee -> demoted
+        assert "grad" in str(ranked[0].path)
+        assert ranked[0].adjusted_length == 1
+        assert ranked[1].adjusted_length == 4
+
+    def test_keep_best_only(self, tied_result):
+        knowledge = DomainKnowledge(class_penalties=(("employee", 3),))
+        ranked = rank_with_penalties(
+            tied_result, knowledge, keep_best_only=True
+        )
+        assert len(ranked) == 1
+        assert "grad" in str(ranked[0].path)
+
+    def test_root_class_is_never_charged(self, university):
+        result = Disambiguator(university).complete("ta ~ name")
+        knowledge = DomainKnowledge(class_penalties=(("ta", 100),))
+        ranked = rank_with_penalties(result, knowledge)
+        assert all(r.adjusted_length == 1 for r in ranked)
+
+
+class TestFocus:
+    def test_preserves_primary_label_order(self, university):
+        result = Disambiguator(university, e=3).complete("department ~ ssn")
+        ranked = rank_with_focus(result, university)
+        lengths = [r.adjusted_length for r in ranked]
+        assert lengths == sorted(lengths)
+
+    def test_breaks_ties_toward_specific_classes(self, tied_result, university):
+        ranked = rank_with_focus(tied_result, university)
+        # the instructor chain visits instructor/teacher/employee (Isa
+        # depths 2/1/... summed higher) vs grad/student -> it is the
+        # more specific, focused route and ranks first
+        scores = [r.focus_score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_scores_are_isa_depth_sums(self, tied_result, university):
+        ranked = rank_with_focus(tied_result, university)
+        for entry in ranked:
+            assert entry.focus_score > 0
+
+    def test_str_rendering(self, tied_result):
+        ranked = rank_with_penalties(tied_result, DomainKnowledge.none())
+        assert "adjusted length" in str(ranked[0])

@@ -1,0 +1,83 @@
+"""Tests for completion targets."""
+
+import pytest
+
+from repro.core.ast import ConcretePath
+from repro.core.parser import parse_path_expression
+from repro.core.target import (
+    ClassTarget,
+    RelationshipTarget,
+    is_consistent,
+    target_for_expression,
+)
+from repro.errors import PathExpressionError
+
+
+def _edge(graph, source, name):
+    return next(e for e in graph.edges_from(source) if e.name == name)
+
+
+class TestRelationshipTarget:
+    def test_matches_edges_by_name(self, university_graph):
+        target = RelationshipTarget("name")
+        assert target.is_completing_edge(
+            _edge(university_graph, "person", "name")
+        )
+        assert target.is_completing_edge(
+            _edge(university_graph, "course", "name")
+        )
+        assert not target.is_completing_edge(
+            _edge(university_graph, "student", "take")
+        )
+
+    def test_exists_in(self, university_graph):
+        assert RelationshipTarget("name").exists_in(university_graph)
+        assert not RelationshipTarget("ghost").exists_in(university_graph)
+
+
+class TestClassTarget:
+    def test_matches_edges_by_target_class(self, university_graph):
+        target = ClassTarget("course")
+        assert target.is_completing_edge(
+            _edge(university_graph, "student", "take")
+        )
+        assert not target.is_completing_edge(
+            _edge(university_graph, "ta", "grad")
+        )
+
+    def test_describe(self):
+        assert "course" in ClassTarget("course").describe()
+        assert "name" in RelationshipTarget("name").describe()
+
+
+class TestTargetForExpression:
+    def test_simple_incomplete(self):
+        expression = parse_path_expression("ta ~ name")
+        target = target_for_expression(expression)
+        assert target.relationship_name == "name"
+
+    def test_general_expression_rejected(self):
+        expression = parse_path_expression("ta~take~name")
+        with pytest.raises(PathExpressionError):
+            target_for_expression(expression)
+
+
+class TestConsistency:
+    def test_paper_definition(self, university_graph):
+        # consistent with ta ~ name: root is ta, last name is name
+        path = ConcretePath.start("ta")
+        for source, name in (
+            ("ta", "grad"),
+            ("grad", "student"),
+            ("student", "person"),
+            ("person", "name"),
+        ):
+            path = path.extend(_edge(university_graph, source, name))
+        assert is_consistent(path, "ta", RelationshipTarget("name"))
+        assert not is_consistent(path, "grad", RelationshipTarget("name"))
+        assert not is_consistent(path, "ta", RelationshipTarget("take"))
+
+    def test_empty_path_is_never_consistent(self):
+        assert not is_consistent(
+            ConcretePath.start("ta"), "ta", RelationshipTarget("name")
+        )

@@ -1,0 +1,89 @@
+"""Tests for the ablation studies (on fast settings)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    candidate_orders,
+    run_caution_ablation,
+    run_exhaustive_comparison,
+    run_order_ablation,
+)
+from repro.experiments.oracle import DesignerOracle, WorkloadQuery
+
+
+@pytest.fixture()
+def mini_oracle():
+    return DesignerOracle(
+        [
+            WorkloadQuery(
+                query_id="u1",
+                text="ta ~ name",
+                intended=(
+                    "ta@>grad@>student@>person.name",
+                    "ta@>instructor@>teacher@>employee@>person.name",
+                ),
+            ),
+            WorkloadQuery(
+                query_id="u2",
+                text="ta ~ teach",
+                intended=("ta@>instructor@>teacher.teach",),
+            ),
+        ]
+    )
+
+
+class TestOrderAblation:
+    def test_five_candidate_orders(self):
+        names = [order.name for order in candidate_orders()]
+        assert names == ["default", "rank", "rank-strict", "flat", "total"]
+
+    def test_default_order_wins_on_the_mini_workload(
+        self, university, mini_oracle
+    ):
+        rows = run_order_ablation(university, mini_oracle, e=1)
+        by_name = {row.order_name: row for row in rows}
+        default = by_name["default"]
+        assert default.average_recall == 1.0
+        assert default.average_precision == 1.0
+        # the flat (shortest-only) order must not beat the default
+        assert by_name["flat"].average_precision <= default.average_precision
+        assert by_name["flat"].average_recall <= default.average_recall
+
+    def test_total_order_cannot_return_both_isa_chains(
+        self, university, mini_oracle
+    ):
+        """Forcing totality breaks the multiple-completion behaviour the
+        paper's Section 4.3 requires for multiple inheritance...
+        unless the tie is between equal keys.  At minimum it must not
+        beat the default."""
+        rows = run_order_ablation(university, mini_oracle, e=1)
+        by_name = {row.order_name: row for row in rows}
+        assert (
+            by_name["total"].average_recall
+            <= by_name["default"].average_recall
+        )
+
+
+class TestCautionAblation:
+    def test_disabling_caution_never_adds_paths(self, university, mini_oracle):
+        rows = run_caution_ablation(university, mini_oracle, e=1)
+        for row in rows:
+            assert row.paths_without_caution <= row.paths_with_caution
+            assert len(row.lost_paths) == (
+                row.paths_with_caution - row.paths_without_caution
+            )
+
+
+class TestExhaustiveComparison:
+    def test_algorithm_agrees_with_ground_truth(
+        self, university, mini_oracle
+    ):
+        rows = run_exhaustive_comparison(university, mini_oracle, e=1)
+        for row in rows:
+            assert row.agrees
+            assert row.algorithm_calls < row.enumerated_paths * 100
+
+    def test_enumeration_larger_than_answer(self, university, mini_oracle):
+        rows = run_exhaustive_comparison(university, mini_oracle, e=1)
+        for row in rows:
+            assert row.enumerated_paths >= row.algorithm_paths

@@ -1,0 +1,93 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    export_figure6_csv,
+    export_figure7_csv,
+    export_outcomes_csv,
+    export_sweep_csv,
+)
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.harness import run_workload, sweep_e
+from repro.experiments.oracle import DesignerOracle, WorkloadQuery
+
+
+@pytest.fixture()
+def mini_oracle():
+    return DesignerOracle(
+        [
+            WorkloadQuery(
+                query_id="u1",
+                text="ta ~ name",
+                intended=(
+                    "ta@>grad@>student@>person.name",
+                    "ta@>instructor@>teacher@>employee@>person.name",
+                ),
+            ),
+        ]
+    )
+
+
+def _read(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestSweepExport:
+    def test_rows_match_points(self, university, mini_oracle, tmp_path):
+        points = sweep_e(university, mini_oracle, e_values=(1, 2))
+        path = tmp_path / "sweep.csv"
+        export_sweep_csv(points, path)
+        rows = _read(path)
+        assert rows[0] == [
+            "e", "average_recall", "average_precision", "average_returned",
+        ]
+        assert len(rows) == 3
+        assert rows[1][0] == "1"
+        assert float(rows[1][1]) == 1.0
+
+
+class TestFigure6Export:
+    def test_both_arms_exported(self, university, mini_oracle, tmp_path):
+        from repro.core.domain import DomainKnowledge
+
+        result = run_figure6(
+            university,
+            mini_oracle,
+            DomainKnowledge.excluding("course"),
+            e_values=(1,),
+        )
+        path = tmp_path / "fig6.csv"
+        export_figure6_csv(result, path)
+        rows = _read(path)
+        assert rows[0][1:] == ["precision_without_dk", "precision_with_dk"]
+        assert len(rows) == 2
+
+
+class TestFigure7Export:
+    def test_one_row_per_query(self, university, mini_oracle, tmp_path):
+        result = run_figure7(university, mini_oracle, e=1)
+        path = tmp_path / "fig7.csv"
+        export_figure7_csv(result, path)
+        rows = _read(path)
+        assert len(rows) == 2
+        assert rows[1][0] == "u1"
+        assert int(rows[1][2]) > 0
+
+
+class TestOutcomesExport:
+    def test_raw_outcomes(self, university, mini_oracle, tmp_path):
+        outcomes = run_workload(university, mini_oracle, e=1)
+        path = tmp_path / "outcomes.csv"
+        export_outcomes_csv(outcomes, path)
+        rows = _read(path)
+        assert len(rows) == 2
+        header = rows[0]
+        assert "recall" in header and "precision" in header
+        record = dict(zip(header, rows[1]))
+        assert record["query_id"] == "u1"
+        assert float(record["recall"]) == 1.0

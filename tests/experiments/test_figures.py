@@ -1,0 +1,117 @@
+"""Tests for the figure regenerators.
+
+The headline E=1 point and the curve *shapes* are asserted on the real
+CUPID workload (E swept only to 2 here to keep the suite fast; the
+benchmarks sweep the full range).
+"""
+
+import pytest
+
+from repro.experiments.figure5 import render_figure5, run_figure5
+from repro.experiments.figure6 import render_figure6, run_figure6
+from repro.experiments.figure7 import render_figure7, run_figure7
+from repro.experiments.intext import render_intext_stats, run_intext_stats
+from repro.experiments.workload import (
+    build_cupid_workload,
+    designer_domain_knowledge,
+)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return build_cupid_workload()
+
+
+class TestFigure5:
+    def test_recall_is_90_percent_and_flat(self, cupid, oracle):
+        result = run_figure5(cupid, oracle, e_values=(1, 2))
+        assert result.recall_series == [(1, 0.9), (2, 0.9)]
+        assert result.is_flat
+
+    def test_rendering(self, cupid, oracle):
+        result = run_figure5(cupid, oracle, e_values=(1,))
+        text = render_figure5(result)
+        assert "Figure 5" in text
+        assert "90" in text
+
+
+class TestFigure6:
+    def test_precision_100_at_e1_and_declining(self, cupid, oracle):
+        result = run_figure6(
+            cupid, oracle, designer_domain_knowledge(), e_values=(1, 2)
+        )
+        assert result.without_dk[0].average_precision == 1.0
+        assert result.with_dk[0].average_precision == 1.0
+        assert (
+            result.without_dk[1].average_precision
+            < result.without_dk[0].average_precision
+        )
+
+    def test_domain_knowledge_improves_precision(self, cupid, oracle):
+        result = run_figure6(
+            cupid, oracle, designer_domain_knowledge(), e_values=(1, 2)
+        )
+        assert result.dk_improves_precision
+        assert (
+            result.with_dk[1].average_precision
+            > result.without_dk[1].average_precision
+        )
+
+    def test_domain_knowledge_does_not_change_recall(self, cupid, oracle):
+        from repro.experiments.harness import sweep_e
+
+        plain = sweep_e(cupid, oracle, e_values=(1, 2))
+        with_dk = sweep_e(
+            cupid,
+            oracle,
+            e_values=(1, 2),
+            domain_knowledge=designer_domain_knowledge(),
+        )
+        for a, b in zip(plain, with_dk):
+            assert a.average_recall == b.average_recall == 0.9
+
+    def test_rendering(self, cupid, oracle):
+        result = run_figure6(
+            cupid, oracle, designer_domain_knowledge(), e_values=(1,)
+        )
+        text = render_figure6(result)
+        assert "Figure 6" in text
+        assert "units_registry" in text
+
+
+class TestFigure7:
+    def test_timings_sorted_by_complexity(self, cupid, oracle):
+        result = run_figure7(cupid, oracle, e=1)
+        calls = [t.recursive_calls for t in result.timings]
+        assert calls == sorted(calls)
+        assert len(result.timings) == 10
+
+    def test_aggregates(self, cupid, oracle):
+        result = run_figure7(cupid, oracle, e=1)
+        assert result.average_seconds > 0
+        assert result.max_seconds >= result.average_seconds
+        assert result.average_seconds_per_call > 0
+
+    def test_rendering(self, cupid, oracle):
+        result = run_figure7(cupid, oracle, e=1)
+        text = render_figure7(result)
+        assert "Figure 7" in text
+        assert "q0" in text
+
+
+class TestInTextStats:
+    def test_statistics(self, cupid, oracle):
+        stats = run_intext_stats(cupid, oracle, enumeration_cap=2_000)
+        assert stats.classes == 92
+        assert stats.relationships == 364
+        # the paper: "an average of over 500" consistent paths
+        assert stats.consistent_exceeds_500
+        # the paper: "only 2-3 of them are returned ... when E=1"
+        assert 1.0 <= stats.average_returned_e1 <= 3.0
+        assert stats.average_answer_length_e1 > 1.0
+
+    def test_rendering(self, cupid, oracle):
+        stats = run_intext_stats(cupid, oracle, enumeration_cap=1_000)
+        text = render_intext_stats(stats)
+        assert "92 classes" in text
+        assert "avg returned at E=1" in text

@@ -1,0 +1,85 @@
+"""Tests for the shared experiment runner (on the fast university
+schema plus the E=1 CUPID point)."""
+
+import pytest
+
+from repro.experiments.harness import run_workload, sweep_e
+from repro.experiments.oracle import DesignerOracle, WorkloadQuery
+
+
+@pytest.fixture()
+def mini_oracle():
+    """A two-query workload on the university schema."""
+    return DesignerOracle(
+        [
+            WorkloadQuery(
+                query_id="u1",
+                text="ta ~ name",
+                intended=(
+                    "ta@>grad@>student@>person.name",
+                    "ta@>instructor@>teacher@>employee@>person.name",
+                ),
+            ),
+            WorkloadQuery(
+                query_id="u2",
+                text="department ~ ssn",
+                intended=("department$>professor@>teacher@>employee@>person.ssn",),
+                also_plausible=("department.student@>person.ssn",),
+            ),
+        ]
+    )
+
+
+class TestRunWorkload:
+    def test_outcomes_scored(self, university, mini_oracle):
+        outcomes = run_workload(university, mini_oracle, e=1)
+        assert len(outcomes) == 2
+        by_id = {o.query.query_id: o for o in outcomes}
+        assert by_id["u1"].recall == 1.0
+        assert by_id["u1"].precision == 1.0
+        assert by_id["u1"].returned_count == 2
+
+    def test_also_plausible_inert_until_returned(self, university, mini_oracle):
+        outcomes = run_workload(university, mini_oracle, e=1)
+        u2 = next(o for o in outcomes if o.query.query_id == "u2")
+        # at E=1 only the professor chain returns; the also-plausible
+        # student path is not in S, so U stays at the single intent
+        assert u2.precision == 1.0
+        assert len(u2.intent) == 1
+
+    def test_also_plausible_extends_intent_when_returned(
+        self, university, mini_oracle
+    ):
+        outcomes = run_workload(university, mini_oracle, e=2)
+        u2 = next(o for o in outcomes if o.query.query_id == "u2")
+        # at E=2 the student path is returned and accepted via the
+        # U0-extension rule: U grows to 2, precision = 2/|S|
+        assert "department.student@>person.ssn" in u2.returned
+        assert len(u2.intent) == 2
+        assert u2.precision == pytest.approx(2 / len(u2.returned))
+
+    def test_mean_returned_length(self, university, mini_oracle):
+        outcomes = run_workload(university, mini_oracle, e=1)
+        u1 = next(o for o in outcomes if o.query.query_id == "u1")
+        assert u1.mean_returned_length == pytest.approx(4.5)
+
+    def test_cost_counters(self, university, mini_oracle):
+        for outcome in run_workload(university, mini_oracle, e=1):
+            assert outcome.recursive_calls > 0
+            assert outcome.elapsed_seconds >= 0
+
+
+class TestSweep:
+    def test_points_cover_requested_es(self, university, mini_oracle):
+        points = sweep_e(university, mini_oracle, e_values=(1, 2))
+        assert [point.e for point in points] == [1, 2]
+
+    def test_averages_bounded(self, university, mini_oracle):
+        for point in sweep_e(university, mini_oracle, e_values=(1, 2)):
+            assert 0.0 <= point.average_recall <= 1.0
+            assert 0.0 <= point.average_precision <= 1.0
+            assert point.average_returned >= 1.0
+
+    def test_returned_grows_with_e(self, university, mini_oracle):
+        points = sweep_e(university, mini_oracle, e_values=(1, 3))
+        assert points[1].average_returned >= points[0].average_returned

@@ -1,0 +1,86 @@
+"""Tests for the second-domain (hospital) workload — the paper's §7
+generalization check."""
+
+import pytest
+
+from repro.core.engine import Disambiguator
+from repro.experiments.harness import run_workload, sweep_e
+from repro.experiments.hospital_workload import (
+    build_hospital_workload,
+    hospital_domain_knowledge,
+)
+from repro.schemas.hospital import build_hospital_schema
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    return build_hospital_schema()
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return build_hospital_workload()
+
+
+class TestSchema:
+    def test_size_and_validity(self, hospital):
+        assert hospital.user_class_count == 29
+        assert hospital.validate() == []
+
+    def test_diamond_inheritance(self, hospital):
+        from repro.model.inheritance import ancestors
+
+        assert set(hospital.isa_parents("chief_resident")) == {
+            "resident",
+            "administrator",
+        }
+        assert "person" in ancestors(hospital, "chief_resident")
+
+    def test_hub_is_detectable(self, hospital):
+        from repro.model.analysis import suggest_hub_exclusions
+
+        assert "code_registry" in suggest_hub_exclusions(
+            hospital, degree_threshold=8
+        )
+
+
+class TestIntentValidity:
+    def test_intents_resolve(self, hospital, oracle):
+        engine = Disambiguator(hospital)
+        for query in oracle:
+            for text in query.intended + query.also_plausible:
+                assert engine.complete(text).expressions == [text]
+
+
+class TestEffectiveness:
+    def test_perfect_operating_point_at_e1(self, hospital, oracle):
+        outcomes = run_workload(hospital, oracle, e=1)
+        for outcome in outcomes:
+            assert outcome.recall == 1.0, outcome.query.query_id
+            assert outcome.precision == 1.0, outcome.query.query_id
+
+    def test_precision_declines_with_e(self, hospital, oracle):
+        points = sweep_e(hospital, oracle, e_values=(1, 2))
+        assert points[0].average_precision == 1.0
+        assert points[1].average_precision < 1.0
+        assert points[1].average_recall == 1.0  # recall stays perfect
+
+    def test_domain_knowledge_improves_precision(self, hospital, oracle):
+        plain = sweep_e(hospital, oracle, e_values=(2,))
+        with_dk = sweep_e(
+            hospital,
+            oracle,
+            e_values=(2,),
+            domain_knowledge=hospital_domain_knowledge(),
+        )
+        assert (
+            with_dk[0].average_precision > plain[0].average_precision
+        )
+        assert with_dk[0].average_recall == plain[0].average_recall
+
+    def test_attribute_query_is_connector_stable(self, hospital):
+        """ward ~ name stays a singleton at every E — the connector
+        filter, not the length window, is doing the work."""
+        for e in (1, 2, 3):
+            result = Disambiguator(hospital, e=e).complete("ward ~ name")
+            assert result.expressions == ["ward.name"]

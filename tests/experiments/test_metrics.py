@@ -1,0 +1,60 @@
+"""Tests for recall/precision metrics."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.experiments.metrics import average, precision, recall
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall({"a", "b"}, {"a", "b", "c"}) == 1.0
+
+    def test_half(self):
+        assert recall({"a", "b"}, {"a"}) == 0.5
+
+    def test_zero(self):
+        assert recall({"a"}, {"b"}) == 0.0
+
+    def test_empty_intent_is_vacuously_perfect(self):
+        assert recall(set(), {"a"}) == 1.0
+
+
+class TestPrecision:
+    def test_perfect(self):
+        assert precision({"a", "b", "c"}, {"a", "b"}) == 1.0
+
+    def test_half(self):
+        assert precision({"a"}, {"a", "b"}) == 0.5
+
+    def test_empty_answer_is_vacuously_clean(self):
+        assert precision({"a"}, set()) == 1.0
+
+
+class TestProperties:
+    strings = st.sets(st.sampled_from(list("abcdefgh")))
+
+    @given(strings, strings)
+    def test_bounds(self, intent, returned):
+        assert 0.0 <= recall(intent, returned) <= 1.0
+        assert 0.0 <= precision(intent, returned) <= 1.0
+
+    @given(strings)
+    def test_identity_sets_are_perfect(self, items):
+        assert recall(items, items) == 1.0
+        assert precision(items, items) == 1.0
+
+    @given(strings, strings)
+    def test_symmetry_between_the_two_metrics(self, intent, returned):
+        """recall(U, S) == precision(S, U) whenever both denominators
+        are nonempty (|U∩S| is symmetric)."""
+        if intent and returned:
+            assert recall(intent, returned) == precision(returned, intent)
+
+
+class TestAverage:
+    def test_plain(self):
+        assert average([1.0, 0.0]) == 0.5
+
+    def test_empty(self):
+        assert average([]) == 0.0

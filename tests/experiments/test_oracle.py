@@ -1,0 +1,56 @@
+"""Tests for the simulated designer oracle."""
+
+import pytest
+
+from repro.experiments.oracle import DesignerOracle, WorkloadQuery
+
+
+def make_query(qid="q1", **kwargs):
+    defaults = dict(
+        query_id=qid,
+        text="a ~ b",
+        intended=("a.x.b",),
+    )
+    defaults.update(kwargs)
+    return WorkloadQuery(**defaults)
+
+
+class TestWorkloadQuery:
+    def test_final_intent_without_extension(self):
+        query = make_query()
+        assert query.final_intent(["a.x.b", "a.y.b"]) == {"a.x.b"}
+
+    def test_also_plausible_joins_only_when_returned(self):
+        query = make_query(also_plausible=("a.z.b",))
+        assert query.final_intent(["a.x.b"]) == {"a.x.b"}
+        assert query.final_intent(["a.x.b", "a.z.b"]) == {"a.x.b", "a.z.b"}
+
+    def test_idiosyncratic_intent_survives_even_if_never_returned(self):
+        query = make_query(intended=("a.x.b", "weird.path.b"))
+        assert "weird.path.b" in query.final_intent(["a.x.b"])
+
+
+class TestOracle:
+    def test_lookup_by_id(self):
+        oracle = DesignerOracle([make_query("q1"), make_query("q2")])
+        assert oracle.query("q2").query_id == "q2"
+        with pytest.raises(KeyError):
+            oracle.query("q9")
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            DesignerOracle([make_query("q1"), make_query("q1")])
+
+    def test_iteration_and_len(self):
+        oracle = DesignerOracle([make_query("q1"), make_query("q2")])
+        assert len(oracle) == 2
+        assert [q.query_id for q in oracle] == ["q1", "q2"]
+
+    def test_intended_union(self):
+        oracle = DesignerOracle(
+            [
+                make_query("q1", intended=("p1",)),
+                make_query("q2", intended=("p2", "p3")),
+            ]
+        )
+        assert oracle.intended_union() == {"p1", "p2", "p3"}

@@ -1,0 +1,43 @@
+"""Tests for the text rendering helpers."""
+
+import pytest
+
+from repro.experiments.reporting import bar_chart, percent, table
+
+
+class TestTable:
+    def test_alignment(self):
+        rendered = table(["a", "bb"], [["xxx", 1], ["y", 22]])
+        lines = rendered.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        rendered = table(["col"], [])
+        assert "col" in rendered
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        rendered = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = rendered.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_zero_values(self):
+        rendered = bar_chart(["a"], [0.0])
+        assert "#" not in rendered
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_unit_suffix(self):
+        assert "3s" in bar_chart(["a"], [3.0], unit="s")
+
+
+class TestPercent:
+    def test_format(self):
+        assert percent(0.9) == " 90.0%"
+        assert percent(1.0) == "100.0%"

@@ -1,0 +1,84 @@
+"""Smoke test for the all-experiments runner (wiring only — the heavy
+sweeps are exercised by the benchmarks)."""
+
+import io
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.experiments.figure5 import Figure5Result
+from repro.experiments.harness import SweepPoint
+
+
+class TestRunnerWiring:
+    def test_run_all_streams_every_section(self, monkeypatch):
+        """Patch the heavy experiment functions with stubs and check the
+        report skeleton renders every section in order."""
+        point = SweepPoint(
+            e=1,
+            average_recall=0.9,
+            average_precision=1.0,
+            average_returned=1.4,
+            outcomes=(),
+        )
+
+        monkeypatch.setattr(
+            runner_module,
+            "run_figure5",
+            lambda schema, oracle, e_values: Figure5Result(points=(point,)),
+        )
+        monkeypatch.setattr(
+            runner_module, "render_figure5", lambda result: "[stub figure5]"
+        )
+        monkeypatch.setattr(
+            runner_module,
+            "run_figure6",
+            lambda *args, **kwargs: None,
+        )
+        monkeypatch.setattr(
+            runner_module, "render_figure6", lambda result: "[stub figure6]"
+        )
+        monkeypatch.setattr(
+            runner_module, "run_figure7", lambda *a, **k: None
+        )
+        monkeypatch.setattr(
+            runner_module, "render_figure7", lambda result: "[stub figure7]"
+        )
+        monkeypatch.setattr(
+            runner_module, "run_intext_stats", lambda *a, **k: None
+        )
+        monkeypatch.setattr(
+            runner_module,
+            "render_intext_stats",
+            lambda stats: "[stub intext]",
+        )
+        monkeypatch.setattr(
+            runner_module, "run_order_ablation", lambda *a, **k: []
+        )
+        monkeypatch.setattr(
+            runner_module, "run_caution_ablation", lambda *a, **k: []
+        )
+        monkeypatch.setattr(
+            runner_module, "run_exhaustive_comparison", lambda *a, **k: []
+        )
+
+        out = io.StringIO()
+        runner_module.run_all(quick=True, out=out)
+        report = out.getvalue()
+        for marker in (
+            "Schema under test",
+            "[stub figure5]",
+            "[stub figure6]",
+            "[stub figure7]",
+            "[stub intext]",
+            "ta ~ name ->",
+            "Ablation A1",
+            "Ablation A2",
+            "Ablation A4",
+            "total experiment time",
+        ):
+            assert marker in report
+
+    def test_main_rejects_unknown_flags(self):
+        with pytest.raises(SystemExit):
+            runner_module.main(["--bogus"])

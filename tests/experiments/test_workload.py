@@ -1,0 +1,109 @@
+"""Tests validating the calibrated CUPID workload against the schema and
+the algorithm — the workload's intent strings are pinned fixtures, so
+these tests fail loudly if the schema or the algorithm drifts."""
+
+import pytest
+
+from repro.core.engine import Disambiguator
+from repro.core.parser import parse_path_expression
+from repro.experiments.workload import (
+    ABSTRACT_UMBRELLA_CLASSES,
+    build_cupid_workload,
+    designer_domain_knowledge,
+)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return build_cupid_workload()
+
+
+class TestShape:
+    def test_ten_queries(self, oracle):
+        assert len(oracle) == 10
+
+    def test_all_queries_are_simple_incomplete(self, oracle):
+        for query in oracle:
+            expression = parse_path_expression(query.text)
+            assert expression.is_simple_incomplete
+
+    def test_exactly_two_idiosyncratic_intents(self, oracle):
+        """q09 and q10 carry the flat-90%-recall misses."""
+        multi_intent = [q for q in oracle if len(q.intended) > 1]
+        assert {q.query_id for q in multi_intent} == {"q02", "q09", "q10"}
+
+
+class TestIntentValidity:
+    def test_every_intent_is_a_valid_complete_expression(
+        self, cupid, oracle
+    ):
+        engine = Disambiguator(cupid)
+        for query in oracle:
+            for text in query.intended + query.also_plausible:
+                expression = parse_path_expression(text)
+                assert expression.is_complete, text
+                result = engine.complete(expression)  # validates steps
+                assert result.expressions == [text]
+
+    def test_intents_are_consistent_with_their_query(self, oracle):
+        for query in oracle:
+            incomplete = parse_path_expression(query.text)
+            for text in query.intended + query.also_plausible:
+                complete = parse_path_expression(text)
+                assert complete.root == incomplete.root, text
+                assert complete.last_name == incomplete.last_name, text
+
+
+class TestCalibration:
+    def test_findable_intents_are_returned_at_e1(self, cupid_engine, oracle):
+        idiosyncratic = {
+            "simulation<$experiment.investigator.curates.name",
+            "phenology$>growth_stage.fruit.dry_mass",
+        }
+        for query in oracle:
+            returned = set(
+                cupid_engine.complete(query.text).expressions
+            )
+            findable = set(query.intended) - idiosyncratic
+            assert findable <= returned, query.query_id
+
+    def test_idiosyncratic_intents_never_returned(self, cupid, oracle):
+        """The two engineered misses stay out of S at every E we sweep —
+        the source of the flat 90% recall."""
+        for e in (1, 2, 3):
+            engine = Disambiguator(cupid, e=e)
+            q09 = set(engine.complete("simulation ~ name").expressions)
+            assert (
+                "simulation<$experiment.investigator.curates.name" not in q09
+            )
+            q10 = set(engine.complete("phenology ~ dry_mass").expressions)
+            assert "phenology$>growth_stage.fruit.dry_mass" not in q10
+
+    def test_e1_returns_exactly_the_findable_intent_sets(
+        self, cupid_engine, oracle
+    ):
+        """Precision 100% at E=1: S is a subset of U for every query."""
+        for query in oracle:
+            returned = cupid_engine.complete(query.text).expressions
+            intent = query.final_intent(returned)
+            assert set(returned) <= intent, query.query_id
+
+
+class TestDomainKnowledge:
+    def test_validates_against_cupid(self, cupid):
+        assert designer_domain_knowledge().validate_against(cupid) == []
+
+    def test_excludes_hubs_and_umbrellas(self):
+        knowledge = designer_domain_knowledge()
+        assert "units_registry" in knowledge.excluded_classes
+        assert set(ABSTRACT_UMBRELLA_CLASSES) <= knowledge.excluded_classes
+
+    def test_no_intent_routes_through_excluded_classes(self, cupid, oracle):
+        """Exclusion must not hurt recall (the paper's observation), so
+        no intended completion may visit an excluded class."""
+        engine = Disambiguator(cupid)
+        excluded = designer_domain_knowledge().excluded_classes
+        for query in oracle:
+            for text in query.intended:
+                path = engine.complete(text).paths[0]
+                assert excluded.isdisjoint(path.classes()), text

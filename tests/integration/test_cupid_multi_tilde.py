@@ -1,0 +1,50 @@
+"""Integration: general incomplete expressions on the CUPID-scale
+schema (the [17] generalization under realistic load)."""
+
+import pytest
+
+from repro.core.engine import Disambiguator
+from repro.errors import NoCompletionError
+
+
+class TestMultiTildeOnCupid:
+    def test_anchored_middle_narrows_the_search(self, cupid):
+        engine = Disambiguator(cupid)
+        free = engine.complete("experiment ~ conductance")
+        anchored = engine.complete("experiment ~ canopy ~ conductance")
+        assert anchored.paths
+        for path in anchored.paths:
+            assert "canopy" in [edge.name for edge in path.edges]
+        # the anchored completions are consistent with the free query
+        assert {str(p) for p in anchored.paths} <= {
+            str(p) for p in free.paths
+        } | {str(p) for p in anchored.paths}
+
+    def test_explicit_prefix_plus_gap(self, cupid):
+        engine = Disambiguator(cupid)
+        result = engine.complete("experiment$>simulation$>crop ~ conductance")
+        assert result.paths
+        for expression in result.expressions:
+            assert expression.startswith("experiment$>simulation$>crop")
+            assert expression.endswith(".conductance")
+
+    def test_gap_then_explicit_attribute(self, cupid):
+        engine = Disambiguator(cupid)
+        result = engine.complete("simulation ~ location.latitude")
+        assert result.expressions == [
+            "simulation$>site$>location.latitude"
+        ]
+
+    def test_unsatisfiable_middle_raises(self, cupid):
+        engine = Disambiguator(cupid)
+        with pytest.raises(NoCompletionError):
+            engine.complete("experiment ~ nonexistent ~ conductance")
+
+    def test_all_results_acyclic_and_consistent(self, cupid):
+        engine = Disambiguator(cupid)
+        result = engine.complete("soil_profile ~ soil_layer ~ value")
+        assert result.paths
+        for path in result.paths:
+            assert path.is_acyclic
+            assert path.root == "soil_profile"
+            assert path.edges[-1].name == "value"

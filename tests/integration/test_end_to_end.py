@@ -1,0 +1,115 @@
+"""End-to-end integration: build schema -> populate database -> ask an
+incomplete query -> approve -> evaluate (the full Figure 1 loop)."""
+
+import pytest
+
+from repro import (
+    CompletionSession,
+    Database,
+    Disambiguator,
+    DomainKnowledge,
+    build_university_schema,
+    evaluate,
+    parse_schema_dsl,
+    run_query,
+)
+from repro.query.session import approve_first
+
+
+class TestFigureOneLoop:
+    def test_full_loop_on_university(self):
+        schema = build_university_schema()
+        db = Database(schema)
+        bob = db.create("ta")
+        db.set_attribute(bob, "name", "bob")
+        db.set_attribute(bob, "ssn", 42)
+
+        session = CompletionSession(db)
+        interaction = session.ask("ta ~ name")
+        assert len(interaction.candidates) == 2
+        assert interaction.values == {"bob"}
+
+        ssn = session.ask("ta ~ ssn")
+        assert ssn.values == {42}
+
+    def test_loop_with_selective_approval(self):
+        schema = build_university_schema()
+        db = Database(schema)
+        bob = db.create("ta")
+        db.set_attribute(bob, "name", "bob")
+        session = CompletionSession(db, chooser=approve_first)
+        interaction = session.ask("ta ~ name")
+        assert len(interaction.approved) == 1
+        assert interaction.values == {"bob"}
+
+
+class TestDslToQueries:
+    def test_schema_from_dsl_supports_completion_and_evaluation(self):
+        schema = parse_schema_dsl(
+            """
+            schema lab
+            class person
+                attr name
+            class researcher isa person
+            class paper
+                attr title
+            class researcher
+                assoc paper as writes inverse author
+            """
+        )
+        engine = Disambiguator(schema)
+        completions = engine.complete("researcher ~ name")
+        assert completions.expressions == ["researcher@>person.name"]
+
+        db = Database(schema)
+        ada = db.create("researcher")
+        db.set_attribute(ada, "name", "ada")
+        paper = db.create("paper")
+        db.set_attribute(paper, "title", "On Paths")
+        db.link(ada, "writes", paper)
+        assert evaluate(db, "researcher.writes.title") == {"On Paths"}
+        assert evaluate(db, "paper.author@>person.name") == {"ada"}
+
+
+class TestQueryLanguageEndToEnd:
+    def test_incomplete_query_with_filter(self):
+        schema = build_university_schema()
+        db = Database(schema)
+        for name, number in (("bob", 1), ("eve", 2)):
+            ta = db.create("ta")
+            db.set_attribute(ta, "name", name)
+            db.set_attribute(ta, "ssn", number)
+        result = run_query(db, "get ta ~ ssn where > 1")
+        assert result.values == {2}
+
+
+class TestDomainKnowledgeEndToEnd:
+    def test_exclusions_flow_through_the_engine(self):
+        schema = build_university_schema()
+        engine = Disambiguator(
+            schema,
+            e=3,
+            domain_knowledge=DomainKnowledge.excluding("course"),
+        )
+        result = engine.complete("department ~ ssn")
+        for path in result.paths:
+            assert "course" not in path.classes()
+
+
+class TestCupidEndToEnd:
+    def test_deep_completion_evaluates_on_instances(self, cupid):
+        db = Database(cupid)
+        # materialize one chain experiment -> ... -> stomata
+        chain = [
+            "experiment", "simulation", "crop", "canopy", "canopy_layer",
+            "leaf_class", "leaf", "stomata",
+        ]
+        objects = [db.create(name) for name in chain]
+        for parent, child in zip(objects, objects[1:]):
+            db.link(parent, child.class_name, child)
+        db.set_attribute(objects[-1], "conductance", 0.4)
+
+        engine = Disambiguator(cupid)
+        result = engine.complete("experiment ~ conductance")
+        assert result.is_unique
+        assert evaluate(db, result.paths[0]) == {0.4}

@@ -1,0 +1,83 @@
+"""Ground-truth validation of the multi-~ completion against brute
+force on the university schema."""
+
+import itertools
+
+import pytest
+
+from repro.algebra.agg import Aggregator
+from repro.core.ast import ConcretePath
+from repro.core.multi import complete_general
+from repro.core.parser import parse_path_expression
+from repro.model.graph import SchemaGraph
+
+
+def _all_acyclic_paths_matching(graph, expression, max_depth=8):
+    """Brute force: every acyclic concrete path matching the pattern
+    (explicit steps matched exactly, ~ segments of any length ending
+    with the named relationship)."""
+    results = []
+
+    def walk(path, step_index, gap_open):
+        if step_index == len(expression.steps):
+            results.append(path)
+            return
+        if path.length >= max_depth:
+            return
+        step = expression.steps[step_index]
+        node = path.target_class
+        visited = set(path.classes())
+        for edge in graph.edges_from(node):
+            if edge.target in visited and edge.target != path.root:
+                continue
+            if edge.target in visited:
+                continue
+            if step.is_tilde:
+                if edge.name == step.name:
+                    walk(path.extend(edge), step_index + 1, False)
+                walk(path.extend(edge), step_index, True)
+            else:
+                if (
+                    edge.name == step.name
+                    and edge.connector is step.connector
+                ):
+                    walk(path.extend(edge), step_index + 1, False)
+
+    walk(ConcretePath.start(expression.root), 0, False)
+    # dedupe (the tilde branch can reach the same completion twice)
+    unique = {}
+    for path in results:
+        unique.setdefault((path.root, path.edges), path)
+    return [p for p in unique.values() if p.is_acyclic]
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "ta~take.name",
+        "ta@>grad~name",
+        "ta~teach~name",
+        "department~ssn",
+    ],
+)
+def test_multi_completion_is_optimal_subset_of_brute_force(
+    university, text
+):
+    graph = SchemaGraph(university)
+    expression = parse_path_expression(text)
+    result = complete_general(graph, expression, e=1)
+
+    everything = _all_acyclic_paths_matching(graph, expression)
+    assert everything, text
+    aggregator = Aggregator(e=1)
+    optimal_keys = {
+        label.key
+        for label in aggregator.aggregate([p.label() for p in everything])
+    }
+    optimal = {
+        str(p) for p in everything if p.label().key in optimal_keys
+    }
+    returned = set(result.expressions)
+    # sound subset of the brute-force optimum, and nonempty
+    assert returned <= optimal, (text, returned - optimal)
+    assert returned

@@ -1,0 +1,125 @@
+"""Property-based integration: Algorithm 2 vs exhaustive ground truth on
+randomly generated schemas (soundness + nonemptiness; see DESIGN.md
+Section 4 for why completeness over incomparable ties is weaker)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.agg import Aggregator
+from repro.core.completion import complete_paths
+from repro.core.enumerate import enumerate_consistent_paths
+from repro.core.inheritance_criterion import apply_preemption
+from repro.core.target import RelationshipTarget
+from repro.model.graph import SchemaGraph
+from repro.schemas.generator import GeneratorConfig, generate_schema
+
+_GRAPH_CACHE: dict[tuple, SchemaGraph] = {}
+
+
+def _graph(classes: int, seed: int, association_factor: float) -> SchemaGraph:
+    key = (classes, seed, association_factor)
+    if key not in _GRAPH_CACHE:
+        schema = generate_schema(
+            GeneratorConfig(
+                classes=classes,
+                seed=seed,
+                association_factor=association_factor,
+            )
+        )
+        _GRAPH_CACHE[key] = SchemaGraph(schema)
+    return _GRAPH_CACHE[key]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=19),
+    root_index=st.integers(min_value=0, max_value=11),
+)
+@settings(max_examples=40, deadline=None)
+def test_algorithm_sound_and_nonempty_vs_ground_truth_at_e1(seed, root_index):
+    graph = _graph(12, seed, 0.9)
+    roots = [
+        cls.name
+        for cls in graph.schema.classes(include_primitives=False)
+        if graph.edges_from(cls.name)
+    ]
+    root = roots[root_index % len(roots)]
+    target = RelationshipTarget("label")
+
+    result = complete_paths(graph, root, target, e=1)
+    everything = enumerate_consistent_paths(graph, root, target)
+    aggregator = Aggregator(e=1)
+    optimal_keys = {
+        label.key
+        for label in aggregator.aggregate([p.label() for p in everything])
+    }
+    optimal = [p for p in everything if p.label().key in optimal_keys]
+    optimal, _ = apply_preemption(optimal)
+    optimal_set = {str(p) for p in optimal}
+
+    # soundness at E=1: every answer is a globally optimal path
+    assert set(result.expressions) <= optimal_set
+    assert {p.label().key for p in result.paths} <= optimal_keys
+    # nonemptiness: something found whenever something exists
+    assert bool(result.paths) == bool(optimal)
+    # acyclicity and consistency of every answer
+    for path in result.paths:
+        assert path.is_acyclic
+        assert path.root == root
+        assert path.edges[-1].name == "label"
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=19),
+    root_index=st.integers(min_value=0, max_value=11),
+    e=st.integers(min_value=2, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_algorithm_structural_guarantees_at_larger_e(seed, root_index, e):
+    """At E>1 the best[]-bound can drop a whole intermediate length
+    class (DESIGN.md Section 4), so global-window membership is NOT
+    guaranteed; what always holds: answers are real consistent acyclic
+    paths from the enumeration, the best found label class survives,
+    something is found whenever something exists, and the answer set
+    only grows with E."""
+    graph = _graph(12, seed, 0.9)
+    roots = [
+        cls.name
+        for cls in graph.schema.classes(include_primitives=False)
+        if graph.edges_from(cls.name)
+    ]
+    root = roots[root_index % len(roots)]
+    target = RelationshipTarget("label")
+
+    result = complete_paths(graph, root, target, e=e)
+    everything = {
+        str(p) for p in enumerate_consistent_paths(graph, root, target)
+    }
+    assert set(result.expressions) <= everything
+    assert bool(result.paths) == bool(everything)
+    narrower = complete_paths(graph, root, target, e=e - 1)
+    assert set(narrower.expressions) <= set(result.expressions)
+    for path in result.paths:
+        assert path.is_acyclic
+        assert path.root == root
+        assert path.edges[-1].name == "label"
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_algorithm_visits_far_fewer_nodes_than_enumeration(seed):
+    """The branch-and-bound must beat brute force by a wide margin on
+    non-trivial schemas (ablation A4's headline)."""
+    graph = _graph(18, seed, 1.2)
+    target = RelationshipTarget("label")
+    roots = [
+        cls.name
+        for cls in graph.schema.classes(include_primitives=False)
+        if graph.edges_from(cls.name)
+    ][:3]
+    for root in roots:
+        result = complete_paths(graph, root, target, e=1)
+        enumerated = enumerate_consistent_paths(
+            graph, root, target, max_paths=100_000
+        )
+        if len(enumerated) >= 1000:
+            assert result.stats.recursive_calls < len(enumerated)

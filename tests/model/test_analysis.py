@@ -1,0 +1,68 @@
+"""Tests for schema structural analysis."""
+
+from repro.model.analysis import (
+    isa_depth_of,
+    profile_schema,
+    suggest_hub_exclusions,
+)
+from repro.schemas.cupid import AUXILIARY_CLASSES
+
+
+class TestProfile:
+    def test_university_profile(self, university):
+        profile = profile_schema(university)
+        assert profile.user_classes == 12
+        assert profile.relationships == 33
+        assert profile.max_isa_depth == 4  # ta -> instructor -> teacher
+        # -> employee -> person
+        assert profile.max_part_depth == 2  # university $> department
+        # $> professor
+
+    def test_kind_histogram_sums_to_relationship_count(self, university):
+        profile = profile_schema(university)
+        assert sum(count for _, count in profile.kind_histogram) == (
+            university.relationship_count
+        )
+
+    def test_cupid_profile_matches_design_claims(self, cupid):
+        profile = profile_schema(cupid)
+        assert profile.user_classes == 92
+        assert profile.relationships == 364
+        assert profile.max_part_depth >= 7  # experiment..stomata chain
+        by_kind = dict(profile.kind_histogram)
+        assert by_kind["$>"] > by_kind["@>"]
+
+    def test_hubs_are_reported_by_degree(self, cupid):
+        profile = profile_schema(cupid, hub_count=8)
+        hub_names = [name for name, _ in profile.hub_classes]
+        degrees = [degree for _, degree in profile.hub_classes]
+        assert degrees == sorted(degrees, reverse=True)
+        assert "simulation" in hub_names  # the part-tree root is a hub
+
+    def test_render(self, university):
+        text = profile_schema(university).render()
+        assert "user classes" in text
+        assert "kind mix" in text
+
+
+class TestHubSuggestions:
+    def test_cupid_auxiliary_classes_are_suggested(self, cupid):
+        suggestions = suggest_hub_exclusions(cupid, degree_threshold=8)
+        for hub in AUXILIARY_CLASSES:
+            assert hub in suggestions
+
+    def test_structural_classes_are_not_suggested(self, cupid):
+        suggestions = suggest_hub_exclusions(cupid, degree_threshold=8)
+        # the part-tree spine has Has-Part structure -> never auxiliary
+        assert "simulation" not in suggestions
+        assert "crop" not in suggestions
+
+    def test_university_has_no_hub_candidates(self, university):
+        assert suggest_hub_exclusions(university, degree_threshold=8) == []
+
+
+class TestIsaDepth:
+    def test_depths(self, university):
+        assert isa_depth_of(university, "person") == 0
+        assert isa_depth_of(university, "student") == 1
+        assert isa_depth_of(university, "ta") == 6  # all six ancestors

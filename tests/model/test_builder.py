@@ -1,0 +1,80 @@
+"""Tests for the fluent schema builder."""
+
+import pytest
+
+from repro.model.builder import SchemaBuilder
+from repro.model.kinds import RelationshipKind
+
+
+class TestFluentConstruction:
+    def test_classes_created_on_demand(self):
+        schema = SchemaBuilder("t").cls("student").isa("person").build()
+        assert schema.has_class("student")
+        assert schema.has_class("person")
+
+    def test_isa_installs_maybe_inverse(self):
+        schema = SchemaBuilder("t").cls("student").isa("person").build()
+        inverse = schema.get_relationship("person", "student")
+        assert inverse.kind is RelationshipKind.MAY_BE
+
+    def test_has_part_and_part_of(self):
+        schema = (
+            SchemaBuilder("t")
+            .cls("engine").has_part("screw")
+            .cls("motor").part_of("assembly")
+            .build()
+        )
+        assert (
+            schema.get_relationship("engine", "screw").kind
+            is RelationshipKind.HAS_PART
+        )
+        assert (
+            schema.get_relationship("motor", "assembly").kind
+            is RelationshipKind.IS_PART_OF
+        )
+        # auto inverses
+        assert (
+            schema.get_relationship("screw", "engine").kind
+            is RelationshipKind.IS_PART_OF
+        )
+        assert (
+            schema.get_relationship("assembly", "motor").kind
+            is RelationshipKind.HAS_PART
+        )
+
+    def test_assoc_with_custom_names(self):
+        schema = (
+            SchemaBuilder("t")
+            .cls("student")
+            .assoc("course", name="take", inverse_name="student")
+            .build()
+        )
+        assert schema.get_relationship("student", "take").target == "course"
+        assert schema.get_relationship("course", "student").target == "student"
+
+    def test_attr(self):
+        schema = SchemaBuilder("t").cls("person").attr("age", "I").build()
+        rel = schema.get_relationship("person", "age")
+        assert rel.target == "I"
+
+    def test_chaining_switches_class_scope(self):
+        schema = (
+            SchemaBuilder("t")
+            .cls("a").attr("x")
+            .cls("b").attr("y")
+            .build()
+        )
+        assert schema.has_relationship("a", "x")
+        assert schema.has_relationship("b", "y")
+        assert not schema.has_relationship("a", "y")
+
+    def test_build_validates_isa_cycles(self):
+        builder = SchemaBuilder("t")
+        builder.cls("a").isa("b")
+        with pytest.raises(Exception):
+            builder.cls("b").isa("a").build()
+
+    def test_doc_is_carried(self):
+        builder = SchemaBuilder("t")
+        builder.cls("person", doc="a human")
+        assert builder.schema.get_class("person").doc == "a human"

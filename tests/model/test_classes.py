@@ -1,0 +1,56 @@
+"""Tests for class definitions and the primitive classes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.model.classes import (
+    BOOLEAN,
+    ClassDef,
+    INTEGER,
+    PRIMITIVE_CLASS_NAMES,
+    REAL,
+    STRING,
+    is_valid_class_name,
+    primitive_classes,
+)
+
+
+class TestPrimitives:
+    def test_the_four_primitives(self):
+        assert PRIMITIVE_CLASS_NAMES == {"I", "R", "C", "B"}
+        assert [c.name for c in primitive_classes()] == ["I", "R", "C", "B"]
+
+    def test_primitive_flags(self):
+        for cls in (INTEGER, REAL, STRING, BOOLEAN):
+            assert cls.primitive
+
+    def test_user_class_cannot_take_a_primitive_name(self):
+        with pytest.raises(SchemaError):
+            ClassDef("I")
+
+    def test_primitive_flag_restricted_to_reserved_names(self):
+        with pytest.raises(SchemaError):
+            ClassDef("thing", primitive=True)
+
+
+class TestNames:
+    def test_paper_style_names_are_valid(self):
+        for name in ("person", "teaching-asst", "soil_layer", "co2_profile"):
+            assert is_valid_class_name(name)
+
+    def test_invalid_names(self):
+        for name in ("", "1abc", "a.b", "a b", "a@b", "~x"):
+            assert not is_valid_class_name(name)
+
+    def test_constructor_rejects_invalid_names(self):
+        with pytest.raises(SchemaError):
+            ClassDef("not a name")
+
+    def test_str_is_the_name(self):
+        assert str(ClassDef("person")) == "person"
+
+    def test_classdef_is_frozen_and_hashable(self):
+        cls = ClassDef("person")
+        assert cls in {cls}
+        with pytest.raises(Exception):
+            cls.name = "other"  # type: ignore[misc]

@@ -1,0 +1,124 @@
+"""Tests for the schema text DSL."""
+
+import pytest
+
+from repro.errors import DslSyntaxError
+from repro.model.dsl import parse_schema_dsl, schema_to_dsl
+from repro.model.kinds import RelationshipKind
+
+EXAMPLE = """
+# the Figure 2 core, in DSL form
+schema mini-university
+
+class person
+    attr name
+    attr ssn : I
+
+class student isa person
+    assoc course as take inverse student
+
+class course
+    attr name
+
+class department
+    haspart professor inverse department
+
+class professor
+"""
+
+
+class TestParsing:
+    def test_schema_name(self):
+        schema = parse_schema_dsl(EXAMPLE)
+        assert schema.name == "mini-university"
+
+    def test_classes(self):
+        schema = parse_schema_dsl(EXAMPLE)
+        for name in ("person", "student", "course", "department", "professor"):
+            assert schema.has_class(name)
+
+    def test_header_isa_clause(self):
+        schema = parse_schema_dsl(EXAMPLE)
+        rel = schema.get_relationship("student", "person")
+        assert rel.kind is RelationshipKind.ISA
+        assert schema.get_relationship("person", "student").kind is (
+            RelationshipKind.MAY_BE
+        )
+
+    def test_assoc_with_names(self):
+        schema = parse_schema_dsl(EXAMPLE)
+        assert schema.get_relationship("student", "take").target == "course"
+        assert schema.get_relationship("course", "student").target == "student"
+
+    def test_attributes(self):
+        schema = parse_schema_dsl(EXAMPLE)
+        assert schema.get_relationship("person", "ssn").target == "I"
+        assert schema.get_relationship("person", "name").target == "C"
+
+    def test_haspart_with_inverse_name(self):
+        schema = parse_schema_dsl(EXAMPLE)
+        assert (
+            schema.get_relationship("professor", "department").kind
+            is RelationshipKind.IS_PART_OF
+        )
+
+    def test_forward_references_work(self):
+        text = "class a\n    assoc b\nclass b\n"
+        schema = parse_schema_dsl(text)
+        assert schema.has_relationship("a", "b")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# comment\n\nclass a  # trailing\n"
+        schema = parse_schema_dsl(text)
+        assert schema.has_class("a")
+
+    def test_multiple_superclasses_in_header(self):
+        text = "class grad\nclass instructor\nclass ta isa grad instructor\n"
+        schema = parse_schema_dsl(text)
+        assert set(schema.isa_parents("ta")) == {"grad", "instructor"}
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "attr name\n",                 # body before any class
+            "class a\n    frobnicate b\n",  # unknown keyword
+            "class a\n    isa\n",           # missing target (after class a)
+            "class a\n    assoc b extra\n",  # stray token
+            "class a\n    attr x : Q\n",    # bad attr type
+            "schema\n",                     # schema without name
+            "class a isa\n",                # header isa without superclass
+        ],
+    )
+    def test_bad_input_raises_with_line_number(self, text):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            parse_schema_dsl(text)
+        assert excinfo.value.line >= 1
+
+    def test_unknown_target_class(self):
+        with pytest.raises(DslSyntaxError):
+            parse_schema_dsl("class a\n    haspart ghost\n")
+
+
+class TestRoundTrip:
+    def test_dsl_round_trip_preserves_structure(self):
+        schema = parse_schema_dsl(EXAMPLE)
+        regenerated = parse_schema_dsl(schema_to_dsl(schema))
+        assert sorted(
+            (r.source, r.name, r.target, r.kind.symbol)
+            for r in regenerated.relationships()
+        ) == sorted(
+            (r.source, r.name, r.target, r.kind.symbol)
+            for r in schema.relationships()
+        )
+
+    def test_university_survives_dsl_round_trip(self, university):
+        regenerated = parse_schema_dsl(schema_to_dsl(university))
+        assert sorted(
+            (r.source, r.name, r.target, r.kind.symbol)
+            for r in regenerated.relationships()
+        ) == sorted(
+            (r.source, r.name, r.target, r.kind.symbol)
+            for r in university.relationships()
+        )

@@ -1,0 +1,49 @@
+"""Property-style round-trip of the DSL on generated schemas."""
+
+import pytest
+
+from repro.model.dsl import parse_schema_dsl, schema_to_dsl
+from repro.schemas.cupid import build_cupid_schema
+from repro.schemas.generator import GeneratorConfig, generate_schema
+
+
+def _signature(schema):
+    return sorted(
+        (r.source, r.name, r.target, r.kind.symbol)
+        for r in schema.relationships()
+    )
+
+
+class TestDslRoundTripsGeneratedSchemas:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_schema_survives_dsl(self, seed):
+        schema = generate_schema(
+            GeneratorConfig(classes=20, seed=seed, association_factor=0.8)
+        )
+        regenerated = parse_schema_dsl(schema_to_dsl(schema))
+        assert _signature(regenerated) == _signature(schema)
+
+    def test_cupid_survives_dsl(self):
+        schema = build_cupid_schema()
+        regenerated = parse_schema_dsl(schema_to_dsl(schema))
+        assert _signature(regenerated) == _signature(schema)
+        assert regenerated.user_class_count == 92
+        assert regenerated.relationship_count == 364
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_completions_identical_after_round_trip(self, seed):
+        from repro.core.completion import complete_paths
+        from repro.core.target import RelationshipTarget
+        from repro.model.graph import SchemaGraph
+
+        schema = generate_schema(GeneratorConfig(classes=15, seed=seed))
+        regenerated = parse_schema_dsl(schema_to_dsl(schema))
+        target = RelationshipTarget("label")
+        for root in ["cls_000", "cls_005"]:
+            original = complete_paths(
+                SchemaGraph(schema), root, target
+            ).expressions
+            recovered = complete_paths(
+                SchemaGraph(regenerated), root, target
+            ).expressions
+            assert original == recovered

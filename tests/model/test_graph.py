@@ -1,0 +1,85 @@
+"""Tests for the schema graph view."""
+
+import networkx as nx
+
+from repro.algebra.connectors import Connector
+from repro.model.graph import SchemaGraph
+
+
+class TestEdges:
+    def test_every_relationship_becomes_an_edge(self, university):
+        graph = SchemaGraph(university)
+        assert len(graph.edges()) == university.relationship_count
+
+    def test_edges_carry_paper_labels(self, university):
+        graph = SchemaGraph(university)
+        edge = next(
+            e
+            for e in graph.edges_from("department")
+            if e.name == "professor"
+        )
+        # the paper's example: label [$>, 1]
+        assert edge.connector is Connector.HAS_PART
+        assert edge.semantic_length == 1
+
+    def test_children_sorted_best_connector_first(self, university):
+        graph = SchemaGraph(university)
+        ranks = [e.connector.sort_rank for e in graph.edges_from("ta")]
+        assert ranks == sorted(ranks)
+
+    def test_edges_named(self, university):
+        graph = SchemaGraph(university)
+        names = {e.source for e in graph.edges_named("name")}
+        assert names == {"person", "course", "department", "university"}
+
+    def test_out_degree(self, university):
+        graph = SchemaGraph(university)
+        assert graph.out_degree("ta") == 2  # the two Isa edges
+        assert graph.out_degree("C") == 0
+
+
+class TestExclusions:
+    def test_excluded_class_removes_its_node_and_edges(self, university):
+        graph = SchemaGraph(university, exclude_classes={"course"})
+        assert "course" not in graph.nodes()
+        assert all(e.target != "course" for e in graph.edges())
+        assert all(e.source != "course" for e in graph.edges())
+
+    def test_excluded_relationship_is_individual(self, university):
+        graph = SchemaGraph(
+            university, exclude_relationships={("student", "take")}
+        )
+        assert all(
+            not (e.source == "student" and e.name == "take")
+            for e in graph.edges()
+        )
+        # the inverse direction survives
+        assert any(
+            e.source == "course" and e.name == "student"
+            for e in graph.edges()
+        )
+
+    def test_restricted_unions_exclusions(self, university):
+        graph = SchemaGraph(university, exclude_classes={"course"})
+        tighter = graph.restricted(exclude_classes={"university"})
+        assert "course" not in tighter.nodes()
+        assert "university" not in tighter.nodes()
+
+
+class TestNetworkxExport:
+    def test_export_shape(self, university):
+        graph = SchemaGraph(university)
+        exported = graph.to_networkx()
+        assert isinstance(exported, nx.MultiDiGraph)
+        assert exported.number_of_edges() == len(graph.edges())
+
+    def test_edge_attributes(self, university):
+        exported = SchemaGraph(university).to_networkx()
+        data = exported.get_edge_data("department", "professor")
+        assert any(attrs["kind"] == "$>" for attrs in data.values())
+
+    def test_structural_stats_keys(self, university):
+        stats = SchemaGraph(university).structural_stats()
+        assert stats["nodes"] > 0
+        assert stats["edges"] == university.relationship_count
+        assert stats["max_out_degree"] >= stats["mean_out_degree"]

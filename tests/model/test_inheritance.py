@@ -1,0 +1,102 @@
+"""Tests for inheritance semantics (ancestor closures, shadowing)."""
+
+import pytest
+
+from repro.model.inheritance import (
+    ancestors,
+    descendants,
+    effective_relationships,
+    inheritance_depth,
+    is_subclass_of,
+    resolve_inherited,
+)
+from repro.model.kinds import RelationshipKind
+from repro.model.schema import Schema
+
+
+@pytest.fixture()
+def diamond():
+    """ta multiply inherits from grad and instructor (paper Fig. 2)."""
+    s = Schema("diamond")
+    s.add_classes(
+        ["person", "student", "grad", "employee", "teacher", "instructor", "ta"]
+    )
+    s.add_relationship("student", "person", RelationshipKind.ISA)
+    s.add_relationship("grad", "student", RelationshipKind.ISA)
+    s.add_relationship("employee", "person", RelationshipKind.ISA)
+    s.add_relationship("teacher", "employee", RelationshipKind.ISA)
+    s.add_relationship("instructor", "teacher", RelationshipKind.ISA)
+    s.add_relationship("ta", "grad", RelationshipKind.ISA)
+    s.add_relationship("ta", "instructor", RelationshipKind.ISA)
+    s.add_attribute("person", "name")
+    return s
+
+
+class TestClosures:
+    def test_ancestors_bfs_order(self, diamond):
+        assert ancestors(diamond, "ta") == [
+            "grad",
+            "instructor",
+            "student",
+            "teacher",
+            "person",
+            "employee",
+        ]
+
+    def test_ancestors_of_root_class(self, diamond):
+        assert ancestors(diamond, "person") == []
+
+    def test_descendants(self, diamond):
+        assert set(descendants(diamond, "person")) == {
+            "student",
+            "grad",
+            "employee",
+            "teacher",
+            "instructor",
+            "ta",
+        }
+
+    def test_is_subclass_of_is_reflexive(self, diamond):
+        assert is_subclass_of(diamond, "ta", "ta")
+
+    def test_is_subclass_of_transitive(self, diamond):
+        assert is_subclass_of(diamond, "ta", "person")
+        assert not is_subclass_of(diamond, "person", "ta")
+
+
+class TestDepth:
+    def test_depth_zero_for_self(self, diamond):
+        assert inheritance_depth(diamond, "ta", "ta") == 0
+
+    def test_shortest_chain_wins(self, diamond):
+        # ta -> grad -> student -> person (3) vs
+        # ta -> instructor -> teacher -> employee -> person (4)
+        assert inheritance_depth(diamond, "ta", "person") == 3
+
+    def test_none_for_non_ancestor(self, diamond):
+        assert inheritance_depth(diamond, "person", "ta") is None
+
+
+class TestEffectiveRelationships:
+    def test_attribute_inherited_through_the_chain(self, diamond):
+        rel = resolve_inherited(diamond, "ta", "name")
+        assert rel is not None
+        assert rel.source == "person"
+
+    def test_own_declaration_shadows_inherited(self, diamond):
+        diamond.add_attribute("ta", "name")
+        rel = resolve_inherited(diamond, "ta", "name")
+        assert rel.source == "ta"
+
+    def test_nearer_ancestor_shadows_farther(self, diamond):
+        diamond.add_attribute("grad", "name")
+        rel = resolve_inherited(diamond, "ta", "name")
+        assert rel.source == "grad"
+
+    def test_unknown_relationship_resolves_to_none(self, diamond):
+        assert resolve_inherited(diamond, "ta", "ghost") is None
+
+    def test_effective_set_includes_own_and_inherited(self, diamond):
+        diamond.add_attribute("ta", "stipend", "R")
+        effective = effective_relationships(diamond, "ta")
+        assert {"name", "stipend"} <= set(effective)

@@ -1,0 +1,124 @@
+"""Tests for the instance store."""
+
+import pytest
+
+from repro.errors import EvaluationError, InstanceError, UnknownObjectError
+from repro.model.instances import Database
+
+
+@pytest.fixture()
+def db(university):
+    return Database(university)
+
+
+class TestObjects:
+    def test_create_and_get(self, db):
+        alice = db.create("student")
+        assert db.get(alice.oid) == alice
+        assert len(db) == 1
+
+    def test_unknown_object(self, db):
+        with pytest.raises(UnknownObjectError):
+            db.get(999)
+
+    def test_primitive_cannot_be_instantiated(self, db):
+        with pytest.raises(InstanceError):
+            db.create("C")
+
+    def test_extent_includes_subclass_instances(self, db):
+        ta = db.create("ta")
+        assert db.is_instance(ta, "ta")
+        assert db.is_instance(ta, "grad")
+        assert db.is_instance(ta, "student")
+        assert db.is_instance(ta, "person")
+        assert db.is_instance(ta, "teacher")
+        assert ta in db.extent("person")
+
+    def test_extent_excludes_siblings(self, db):
+        staff = db.create("staff")
+        assert not db.is_instance(staff, "student")
+
+    def test_create_many(self, db):
+        objs = db.create_many("course", 4)
+        assert len(objs) == 4
+        assert db.extent("course") == set(objs)
+
+
+class TestLinks:
+    def test_link_and_traverse(self, db):
+        alice = db.create("student")
+        course = db.create("course")
+        db.link(alice, "take", course)
+        assert db.linked(alice, "take") == {course}
+
+    def test_inverse_maintained_automatically(self, db):
+        alice = db.create("student")
+        course = db.create("course")
+        db.link(alice, "take", course)
+        assert db.linked(course, "student") == {alice}
+
+    def test_inherited_relationship_linkable(self, db):
+        ta = db.create("ta")
+        course = db.create("course")
+        db.link(ta, "take", course)  # inherited from student
+        assert db.linked(ta, "take") == {course}
+
+    def test_link_type_checked(self, db):
+        alice = db.create("student")
+        bob = db.create("student")
+        with pytest.raises(InstanceError):
+            db.link(alice, "take", bob)  # take targets course
+
+    def test_subclass_target_accepted(self, db):
+        department = db.create("department")
+        professor = db.create("professor")
+        db.link(department, "professor", professor)
+        assert db.linked(department, "professor") == {professor}
+
+    def test_taxonomic_relationships_not_linkable(self, db):
+        student = db.create("student")
+        person = db.create("person")
+        with pytest.raises(InstanceError):
+            db.link(student, "person", person)
+
+    def test_unknown_relationship(self, db):
+        alice = db.create("student")
+        with pytest.raises(EvaluationError):
+            db.linked(alice, "ghost")
+
+    def test_link_count(self, db):
+        alice = db.create("student")
+        course = db.create("course")
+        db.link(alice, "take", course)
+        assert db.link_count() == 2  # forward + inverse
+
+
+class TestAttributes:
+    def test_set_and_get(self, db):
+        alice = db.create("student")
+        db.set_attribute(alice, "name", "alice")  # inherited from person
+        assert db.get_attribute(alice, "name") == "alice"
+
+    def test_unset_reads_none(self, db):
+        alice = db.create("student")
+        assert db.get_attribute(alice, "name") is None
+
+    def test_type_checking(self, db):
+        alice = db.create("student")
+        with pytest.raises(InstanceError):
+            db.set_attribute(alice, "ssn", "not an int")
+        with pytest.raises(InstanceError):
+            db.set_attribute(alice, "ssn", True)  # bool is not an I
+        db.set_attribute(alice, "ssn", 123)
+        assert db.get_attribute(alice, "ssn") == 123
+
+    def test_link_relationship_rejected_as_attribute(self, db):
+        alice = db.create("student")
+        with pytest.raises(InstanceError):
+            db.set_attribute(alice, "take", "cs101")
+
+    def test_attribute_values_over_set(self, db):
+        students = db.create_many("student", 3)
+        db.set_attribute(students[0], "name", "a")
+        db.set_attribute(students[1], "name", "b")
+        assert db.attribute_values(students, "name") == {"a", "b"}

@@ -1,0 +1,169 @@
+"""Stateful property testing of the instance store.
+
+A hypothesis rule-based state machine drives a
+:class:`~repro.model.instances.Database` through random create / link /
+set-attribute sequences against the university schema, checking the
+store's invariants after every step:
+
+* extents respect the Isa closure (an object is in every ancestor's
+  extent and no sibling's);
+* links are always symmetric with their inverse relationship;
+* attribute reads return exactly what was last written;
+* persistence round-trips reproduce the exact state.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.model.inheritance import ancestors
+from repro.model.instances import Database
+from repro.model.persistence import database_from_dict, database_to_dict
+from repro.schemas.university import build_university_schema
+
+_CREATABLE = (
+    "person",
+    "student",
+    "grad",
+    "ta",
+    "employee",
+    "teacher",
+    "professor",
+    "staff",
+    "course",
+    "department",
+    "university",
+)
+
+# (source classes that may use it, relationship name, target class)
+_LINKABLE = (
+    (("student", "grad", "ta"), "take", "course"),
+    (("teacher", "professor", "instructor", "ta"), "teach", "course"),
+    (("student", "grad", "ta"), "department", "department"),
+    (("department",), "professor", "professor"),
+    (("university",), "department", "department"),
+)
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.schema = build_university_schema()
+        self.db = Database(self.schema)
+        # shadow model: oid -> class, (oid, name) -> value,
+        # (rel key, src oid) -> set of target oids
+        self.model_objects: dict[int, str] = {}
+        self.model_attributes: dict[tuple[int, str], object] = {}
+        self.model_links: dict[tuple[str, str, int], set[int]] = {}
+
+    objects = Bundle("objects")
+
+    @rule(target=objects, class_name=st.sampled_from(_CREATABLE))
+    def create(self, class_name):
+        obj = self.db.create(class_name)
+        self.model_objects[obj.oid] = class_name
+        return obj
+
+    @rule(
+        obj=objects,
+        name=st.sampled_from(["name", "ssn"]),
+        value=st.integers(min_value=0, max_value=10_000),
+    )
+    def set_attribute(self, obj, name, value):
+        from repro.model.inheritance import resolve_inherited
+
+        rel = resolve_inherited(self.schema, obj.class_name, name)
+        if rel is None or not self.schema.get_class(rel.target).primitive:
+            return  # class has no such attribute
+        stored = f"v{value}" if rel.target == "C" else value
+        self.db.set_attribute(obj, name, stored)
+        self.model_attributes[(obj.oid, name)] = stored
+
+    @rule(
+        source=objects,
+        link_spec=st.sampled_from(_LINKABLE),
+        destination=objects,
+    )
+    def link(self, source, link_spec, destination):
+        source_classes, rel_name, target_class = link_spec
+        from repro.model.inheritance import is_subclass_of
+
+        source_ok = any(
+            is_subclass_of(self.schema, source.class_name, cls)
+            for cls in source_classes
+        )
+        target_ok = is_subclass_of(
+            self.schema, destination.class_name, target_class
+        )
+        if not (source_ok and target_ok):
+            return
+        self.db.link(source, rel_name, destination)
+        from repro.model.inheritance import resolve_inherited
+
+        rel = resolve_inherited(self.schema, source.class_name, rel_name)
+        self.model_links.setdefault(
+            (rel.source, rel.name, source.oid), set()
+        ).add(destination.oid)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def extents_respect_isa_closure(self):
+        for oid, class_name in self.model_objects.items():
+            obj = self.db.get(oid)
+            assert self.db.is_instance(obj, class_name)
+            for ancestor in ancestors(self.schema, class_name):
+                assert self.db.is_instance(obj, ancestor)
+
+    @invariant()
+    def attributes_read_back(self):
+        for (oid, name), value in self.model_attributes.items():
+            assert self.db.get_attribute(self.db.get(oid), name) == value
+
+    @invariant()
+    def links_match_model_and_inverses(self):
+        for (source_class, rel_name, source_oid), targets in (
+            self.model_links.items()
+        ):
+            source = self.db.get(source_oid)
+            linked = {o.oid for o in self.db.linked(source, rel_name)}
+            assert linked == targets, (source_class, rel_name)
+            rel = self.schema.get_relationship(source_class, rel_name)
+            inverse = next(
+                (
+                    other
+                    for other in self.schema.relationships_from(rel.target)
+                    if other.is_inverse_of(rel)
+                ),
+                None,
+            )
+            if inverse is None:
+                continue
+            for target_oid in targets:
+                back = self.db.linked(self.db.get(target_oid), inverse.name)
+                assert source_oid in {o.oid for o in back}
+
+    @invariant()
+    def persistence_round_trips(self):
+        restored = database_from_dict(database_to_dict(self.db))
+        assert [(o.oid, o.class_name) for o in restored.objects()] == [
+            (o.oid, o.class_name) for o in self.db.objects()
+        ]
+        assert sorted(restored.iter_links()) == sorted(self.db.iter_links())
+        assert sorted(
+            restored.iter_attributes(), key=repr
+        ) == sorted(self.db.iter_attributes(), key=repr)
+
+
+TestDatabaseStateMachine = DatabaseMachine.TestCase
+TestDatabaseStateMachine.settings = __import__("hypothesis").settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

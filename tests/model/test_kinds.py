@@ -1,0 +1,59 @@
+"""Tests for the relationship kinds."""
+
+from repro.model.kinds import KIND_BY_SYMBOL, RelationshipKind
+
+
+class TestInverses:
+    def test_isa_maybe(self):
+        assert RelationshipKind.ISA.inverse is RelationshipKind.MAY_BE
+        assert RelationshipKind.MAY_BE.inverse is RelationshipKind.ISA
+
+    def test_part_whole(self):
+        assert RelationshipKind.HAS_PART.inverse is RelationshipKind.IS_PART_OF
+        assert RelationshipKind.IS_PART_OF.inverse is RelationshipKind.HAS_PART
+
+    def test_association_is_self_inverse(self):
+        kind = RelationshipKind.IS_ASSOCIATED_WITH
+        assert kind.inverse is kind
+
+    def test_inverse_is_involutive(self):
+        for kind in RelationshipKind:
+            assert kind.inverse.inverse is kind
+
+
+class TestSemanticLength:
+    def test_taxonomic_kinds_are_free(self):
+        assert RelationshipKind.ISA.semantic_length == 0
+        assert RelationshipKind.MAY_BE.semantic_length == 0
+
+    def test_other_kinds_cost_one(self):
+        assert RelationshipKind.HAS_PART.semantic_length == 1
+        assert RelationshipKind.IS_PART_OF.semantic_length == 1
+        assert RelationshipKind.IS_ASSOCIATED_WITH.semantic_length == 1
+
+
+class TestClassification:
+    def test_taxonomic_flags(self):
+        taxonomic = {k for k in RelationshipKind if k.is_taxonomic}
+        assert taxonomic == {RelationshipKind.ISA, RelationshipKind.MAY_BE}
+
+    def test_structural_flags(self):
+        structural = {k for k in RelationshipKind if k.is_structural}
+        assert structural == {
+            RelationshipKind.HAS_PART,
+            RelationshipKind.IS_PART_OF,
+        }
+
+
+class TestSymbols:
+    def test_symbols_match_the_paper(self):
+        assert RelationshipKind.ISA.symbol == "@>"
+        assert RelationshipKind.MAY_BE.symbol == "<@"
+        assert RelationshipKind.HAS_PART.symbol == "$>"
+        assert RelationshipKind.IS_PART_OF.symbol == "<$"
+        assert RelationshipKind.IS_ASSOCIATED_WITH.symbol == "."
+
+    def test_lookup_by_symbol(self):
+        for kind in RelationshipKind:
+            assert KIND_BY_SYMBOL[kind.symbol] is kind
+            assert RelationshipKind.from_symbol(kind.symbol) is kind

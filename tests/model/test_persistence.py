@@ -1,0 +1,100 @@
+"""Tests for database persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.model.instances import Database
+from repro.model.persistence import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+from repro.query.evaluator import evaluate
+
+
+@pytest.fixture()
+def db(university):
+    db = Database(university)
+    alice = db.create("student")
+    bob = db.create("ta")
+    course = db.create("course")
+    db.set_attribute(alice, "name", "alice")
+    db.set_attribute(bob, "name", "bob")
+    db.set_attribute(bob, "ssn", 7)
+    db.set_attribute(course, "name", "cs101")
+    db.link(alice, "take", course)
+    db.link(bob, "take", course)
+    return db
+
+
+def _signature(database):
+    return (
+        [(o.oid, o.class_name) for o in database.objects()],
+        sorted(database.iter_links()),
+        sorted(database.iter_attributes()),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        assert _signature(restored) == _signature(db)
+
+    def test_file_round_trip(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        restored = load_database(path)
+        assert _signature(restored) == _signature(db)
+
+    def test_document_is_json_serializable(self, db):
+        json.dumps(database_to_dict(db))
+
+    def test_restored_database_evaluates_identically(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        for expression in (
+            "student@>person.name",
+            "course.student@>person.name",
+            "ta@>grad@>student.take.name",
+        ):
+            assert evaluate(restored, expression) == evaluate(db, expression)
+
+    def test_restore_with_external_schema(self, db, university):
+        restored = database_from_dict(
+            database_to_dict(db), schema=university
+        )
+        assert len(restored) == len(db)
+
+    def test_inverse_links_restored(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        course = next(o for o in restored.objects() if o.class_name == "course")
+        assert len(restored.linked(course, "student")) == 2
+
+    def test_empty_database_round_trips(self, university):
+        db = Database(university)
+        restored = database_from_dict(database_to_dict(db))
+        assert len(restored) == 0
+
+
+class TestErrors:
+    def test_wrong_format(self):
+        with pytest.raises(SerializationError):
+            database_from_dict({"format": "nope", "version": 1})
+
+    def test_wrong_version(self):
+        with pytest.raises(SerializationError):
+            database_from_dict({"format": "repro-database", "version": 9})
+
+    def test_missing_field(self, db):
+        document = database_to_dict(db)
+        del document["objects"]
+        with pytest.raises(SerializationError):
+            database_from_dict(document)
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("]")
+        with pytest.raises(SerializationError):
+            load_database(path)

@@ -1,0 +1,94 @@
+"""Tests for relationship refinement (paper Section 2.1: "the subclass
+may refine (redefine) these relationships")."""
+
+import pytest
+
+from repro.errors import InvalidRelationshipError, UnknownRelationshipError
+from repro.model.builder import SchemaBuilder
+from repro.model.inheritance import resolve_inherited
+from repro.model.kinds import RelationshipKind
+
+
+@pytest.fixture()
+def schema():
+    return (
+        SchemaBuilder("refine")
+        .cls("person").attr("name")
+        .cls("course").attr("title")
+        .cls("grad_course").isa("course")
+        .cls("student").isa("person")
+        .cls("student").assoc("course", name="take", inverse_name="student")
+        .cls("grad").isa("student")
+        .build()
+    )
+
+
+class TestRefine:
+    def test_covariant_refinement(self, schema):
+        refined = schema.refine_relationship("grad", "take", "grad_course")
+        assert refined.source == "grad"
+        assert refined.target == "grad_course"
+        assert refined.kind is RelationshipKind.IS_ASSOCIATED_WITH
+        assert "refines" in refined.doc
+
+    def test_refinement_shadows_inherited(self, schema):
+        schema.refine_relationship("grad", "take", "grad_course")
+        resolved = resolve_inherited(schema, "grad", "take")
+        assert resolved.source == "grad"
+        assert resolved.target == "grad_course"
+        # the superclass still sees the original
+        assert resolve_inherited(schema, "student", "take").target == "course"
+
+    def test_same_target_allowed(self, schema):
+        refined = schema.refine_relationship("grad", "take", "course")
+        assert refined.target == "course"
+
+    def test_non_subclass_target_rejected(self, schema):
+        with pytest.raises(InvalidRelationshipError):
+            schema.refine_relationship("grad", "take", "person")
+
+    def test_unknown_relationship_rejected(self, schema):
+        with pytest.raises(UnknownRelationshipError):
+            schema.refine_relationship("grad", "ghost", "course")
+
+    def test_own_declaration_not_refinable(self, schema):
+        with pytest.raises(InvalidRelationshipError):
+            schema.refine_relationship("student", "take", "grad_course")
+
+    def test_attribute_refinement_skips_inverse(self, schema):
+        refined = schema.refine_relationship("grad", "name", "C")
+        assert refined.target == "C"
+        assert not schema.has_relationship("C", "grad")
+
+    def test_refinement_installs_inverse(self, schema):
+        schema.refine_relationship("grad", "take", "grad_course")
+        inverse = schema.get_relationship("grad_course", "grad")
+        assert inverse.target == "grad"
+
+
+class TestRefinementAndCompletion:
+    def test_completion_uses_the_preempting_refinement(self, schema):
+        """The Inheritance Semantics Criterion makes the refined
+        declaration preempt the inherited one."""
+        from repro.core.completion import complete_paths
+        from repro.core.target import RelationshipTarget
+        from repro.model.graph import SchemaGraph
+
+        schema.refine_relationship("grad", "take", "grad_course")
+        graph = SchemaGraph(schema)
+        result = complete_paths(graph, "grad", RelationshipTarget("take"))
+        assert result.expressions == ["grad.take"]
+
+    def test_evaluation_follows_the_refined_links(self, schema):
+        from repro.model.instances import Database
+        from repro.query.evaluator import evaluate
+
+        schema.refine_relationship("grad", "take", "grad_course")
+        db = Database(schema)
+        grad = db.create("grad")
+        seminar = db.create("grad_course")
+        db.set_attribute(seminar, "title", "seminar")
+        db.link(grad, "take", seminar)
+        # completions always spell out Isa traversals, so the evaluable
+        # form goes up to course where the attribute is declared
+        assert evaluate(db, "grad.take@>course.title") == {"seminar"}

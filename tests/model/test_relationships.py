@@ -1,0 +1,78 @@
+"""Tests for relationship declarations and inverse construction."""
+
+import pytest
+
+from repro.errors import InvalidRelationshipError
+from repro.model.kinds import RelationshipKind
+from repro.model.relationships import Relationship, default_inverse_name
+
+
+class TestNaming:
+    def test_name_defaults_to_target_class(self):
+        rel = Relationship("student", "person", RelationshipKind.ISA)
+        assert rel.name == "person"
+        assert rel.has_default_name
+
+    def test_explicit_name(self):
+        rel = Relationship(
+            "student",
+            "course",
+            RelationshipKind.IS_ASSOCIATED_WITH,
+            name="take",
+        )
+        assert rel.name == "take"
+        assert not rel.has_default_name
+
+    def test_key_is_source_and_name(self):
+        rel = Relationship(
+            "student", "course", RelationshipKind.IS_ASSOCIATED_WITH, "take"
+        )
+        assert rel.key == ("student", "take")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(InvalidRelationshipError):
+            Relationship(
+                "a", "b", RelationshipKind.IS_ASSOCIATED_WITH, name="no good"
+            )
+
+    def test_taxonomic_self_loop_rejected(self):
+        with pytest.raises(InvalidRelationshipError):
+            Relationship("person", "person", RelationshipKind.ISA)
+
+    def test_association_self_loop_allowed(self):
+        rel = Relationship(
+            "person", "person", RelationshipKind.IS_ASSOCIATED_WITH, "friend"
+        )
+        assert rel.target == "person"
+
+
+class TestInverses:
+    def test_make_inverse_swaps_direction_and_kind(self):
+        rel = Relationship("department", "professor", RelationshipKind.HAS_PART)
+        inverse = rel.make_inverse()
+        assert inverse.source == "professor"
+        assert inverse.target == "department"
+        assert inverse.kind is RelationshipKind.IS_PART_OF
+        assert inverse.name == default_inverse_name("department")
+
+    def test_make_inverse_with_explicit_name(self):
+        rel = Relationship(
+            "student", "course", RelationshipKind.IS_ASSOCIATED_WITH, "take"
+        )
+        inverse = rel.make_inverse("student")
+        assert inverse.name == "student"
+
+    def test_is_inverse_of(self):
+        rel = Relationship("student", "person", RelationshipKind.ISA)
+        inverse = rel.make_inverse()
+        assert inverse.is_inverse_of(rel)
+        assert rel.is_inverse_of(inverse)
+
+    def test_unrelated_pair_is_not_inverse(self):
+        first = Relationship("a", "b", RelationshipKind.HAS_PART)
+        second = Relationship("b", "a", RelationshipKind.MAY_BE)
+        assert not second.is_inverse_of(first)
+
+    def test_str_rendering(self):
+        rel = Relationship("department", "professor", RelationshipKind.HAS_PART)
+        assert str(rel) == "department $>professor -> professor"

@@ -1,0 +1,159 @@
+"""Tests for the Schema container."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateClassError,
+    DuplicateRelationshipError,
+    InheritanceCycleError,
+    PrimitiveClassError,
+    SchemaError,
+    UnknownClassError,
+    UnknownRelationshipError,
+)
+from repro.model.kinds import RelationshipKind
+from repro.model.schema import Schema
+
+
+@pytest.fixture()
+def schema():
+    s = Schema("test")
+    s.add_classes(["person", "student", "course"])
+    return s
+
+
+class TestClasses:
+    def test_primitives_always_present(self, schema):
+        for name in ("I", "R", "C", "B"):
+            assert schema.has_class(name)
+            assert schema.get_class(name).primitive
+
+    def test_user_class_count_excludes_primitives(self, schema):
+        assert schema.user_class_count == 3
+        assert len(schema) == 7
+
+    def test_duplicate_class_rejected(self, schema):
+        with pytest.raises(DuplicateClassError):
+            schema.add_class("person")
+
+    def test_unknown_class_raises(self, schema):
+        with pytest.raises(UnknownClassError):
+            schema.get_class("ghost")
+
+    def test_contains_and_iter(self, schema):
+        assert "person" in schema
+        assert "ghost" not in schema
+        assert {c.name for c in schema} >= {"person", "student", "course"}
+
+    def test_classes_filter(self, schema):
+        users = schema.classes(include_primitives=False)
+        assert all(not c.primitive for c in users)
+        assert len(users) == 3
+
+
+class TestRelationships:
+    def test_add_with_auto_inverse(self, schema):
+        schema.add_relationship("student", "person", RelationshipKind.ISA)
+        assert schema.has_relationship("student", "person")
+        assert schema.has_relationship("person", "student")
+        inverse = schema.get_relationship("person", "student")
+        assert inverse.kind is RelationshipKind.MAY_BE
+
+    def test_add_without_inverse(self, schema):
+        schema.add_relationship(
+            "student", "person", RelationshipKind.ISA, add_inverse=False
+        )
+        assert not schema.has_relationship("person", "student")
+
+    def test_duplicate_relationship_rejected(self, schema):
+        schema.add_relationship(
+            "student", "course", RelationshipKind.IS_ASSOCIATED_WITH, "take"
+        )
+        with pytest.raises(DuplicateRelationshipError):
+            schema.add_relationship(
+                "student", "course", RelationshipKind.IS_ASSOCIATED_WITH, "take"
+            )
+
+    def test_relationship_from_primitive_rejected(self, schema):
+        with pytest.raises(PrimitiveClassError):
+            schema.add_relationship(
+                "C", "person", RelationshipKind.IS_ASSOCIATED_WITH
+            )
+
+    def test_inverse_into_primitive_rejected(self, schema):
+        with pytest.raises(PrimitiveClassError):
+            schema.add_relationship(
+                "person", "C", RelationshipKind.IS_ASSOCIATED_WITH, name="name"
+            )
+
+    def test_attribute_shorthand(self, schema):
+        rel = schema.add_attribute("person", "name")
+        assert rel.target == "C"
+        assert rel.kind is RelationshipKind.IS_ASSOCIATED_WITH
+        assert not schema.has_relationship("C", "person")
+
+    def test_attribute_requires_primitive_target(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_attribute("person", "name", primitive="person")
+
+    def test_unknown_relationship_raises(self, schema):
+        with pytest.raises(UnknownRelationshipError):
+            schema.get_relationship("person", "ghost")
+
+    def test_relationships_named(self, schema):
+        schema.add_attribute("person", "name")
+        schema.add_attribute("course", "name")
+        assert len(schema.relationships_named("name")) == 2
+
+    def test_relationships_into(self, schema):
+        schema.add_relationship("student", "person", RelationshipKind.ISA)
+        into_person = schema.relationships_into("person")
+        assert [r.source for r in into_person] == ["student"]
+
+    def test_declaration_order_preserved(self, schema):
+        schema.add_attribute("person", "zz")
+        schema.add_attribute("person", "aa")
+        names = [r.name for r in schema.relationships_from("person")]
+        assert names == ["zz", "aa"]
+
+    def test_relationship_count_counts_inverses(self, schema):
+        schema.add_relationship("student", "person", RelationshipKind.ISA)
+        assert schema.relationship_count == 2
+
+
+class TestIsaHelpers:
+    def test_parents_and_children(self, schema):
+        schema.add_relationship("student", "person", RelationshipKind.ISA)
+        assert schema.isa_parents("student") == ["person"]
+        assert schema.isa_children("person") == ["student"]
+
+    def test_isa_cycle_detected(self, schema):
+        schema.add_relationship(
+            "student", "person", RelationshipKind.ISA, add_inverse=False
+        )
+        schema.add_relationship(
+            "person", "student", RelationshipKind.ISA, add_inverse=False
+        )
+        with pytest.raises(InheritanceCycleError):
+            schema.validate()
+
+
+class TestValidation:
+    def test_clean_schema_validates(self, schema):
+        schema.add_relationship("student", "person", RelationshipKind.ISA)
+        assert schema.validate() == []
+
+    def test_missing_inverse_reported_when_required(self, schema):
+        schema.add_relationship(
+            "student", "person", RelationshipKind.ISA, add_inverse=False
+        )
+        problems = schema.validate(require_inverses=True)
+        assert len(problems) == 1
+        assert "missing inverse" in problems[0]
+
+    def test_attributes_do_not_require_inverses(self, schema):
+        schema.add_attribute("person", "name")
+        assert schema.validate(require_inverses=True) == []
+
+    def test_summary_mentions_counts(self, schema):
+        assert "3 user-defined classes" in schema.summary()

@@ -1,0 +1,87 @@
+"""Tests for schema JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.model.serialization import (
+    load_schema,
+    save_schema,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.schemas.cupid import build_cupid_schema
+from repro.schemas.generator import GeneratorConfig, generate_schema
+
+
+def _schema_signature(schema):
+    return (
+        schema.name,
+        sorted(c.name for c in schema.classes(include_primitives=False)),
+        sorted(
+            (r.source, r.name, r.target, r.kind.symbol)
+            for r in schema.relationships()
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_university_round_trips(self, university):
+        restored = schema_from_dict(schema_to_dict(university))
+        assert _schema_signature(restored) == _schema_signature(university)
+
+    def test_cupid_round_trips(self):
+        schema = build_cupid_schema()
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert _schema_signature(restored) == _schema_signature(schema)
+        assert restored.relationship_count == 364
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_schemas_round_trip(self, seed):
+        schema = generate_schema(GeneratorConfig(classes=25, seed=seed))
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert _schema_signature(restored) == _schema_signature(schema)
+
+    def test_file_round_trip(self, university, tmp_path):
+        path = tmp_path / "uni.json"
+        save_schema(university, path)
+        restored = load_schema(path)
+        assert _schema_signature(restored) == _schema_signature(university)
+
+    def test_declaration_order_preserved(self, university):
+        restored = schema_from_dict(schema_to_dict(university))
+        assert [r.key for r in restored.relationships()] == [
+            r.key for r in university.relationships()
+        ]
+
+
+class TestErrors:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            schema_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SerializationError):
+            schema_from_dict({"format": "repro-schema", "version": 99})
+
+    def test_unknown_kind_rejected(self, university):
+        document = schema_to_dict(university)
+        document["relationships"][0]["kind"] = "##"
+        with pytest.raises(SerializationError):
+            schema_from_dict(document)
+
+    def test_missing_field_rejected(self, university):
+        document = schema_to_dict(university)
+        del document["relationships"][0]["source"]
+        with pytest.raises(SerializationError):
+            schema_from_dict(document)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_schema(path)
+
+    def test_document_is_json_serializable(self, university):
+        json.dumps(schema_to_dict(university))

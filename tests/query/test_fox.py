@@ -1,0 +1,169 @@
+"""Tests for the Fox-flavored select language."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.model.instances import Database
+from repro.query.fox import parse_fox, run_fox
+
+
+@pytest.fixture()
+def db(university):
+    db = Database(university)
+    alice = db.create("student")
+    bob = db.create("ta")
+    carol = db.create("professor")
+    cs101 = db.create("course")
+    art7 = db.create("course")
+    arts = db.create("department")
+
+    db.set_attribute(alice, "name", "alice")
+    db.set_attribute(alice, "ssn", 100)
+    db.set_attribute(bob, "name", "bob")
+    db.set_attribute(bob, "ssn", 200)
+    db.set_attribute(carol, "name", "carol")
+    db.set_attribute(cs101, "name", "cs101")
+    db.set_attribute(art7, "name", "art7")
+    db.set_attribute(arts, "name", "arts")
+
+    db.link(alice, "take", cs101)
+    db.link(bob, "take", art7)
+    db.link(carol, "teach", cs101)
+    db.link(arts, "professor", carol)
+    db.link(alice, "department", arts)
+    return db
+
+
+class TestParsing:
+    def test_basic_shape(self):
+        query = parse_fox("for s in student select s@>person.name")
+        assert query.variable == "s"
+        assert query.class_name == "student"
+        assert query.condition is None
+        assert query.selections == ("s@>person.name",)
+
+    def test_where_and_multiple_selections(self):
+        query = parse_fox(
+            "for s in student where s.take.name contains cs "
+            "select s@>person.name, s.take.name"
+        )
+        assert query.condition is not None
+        assert len(query.selections) == 2
+
+    def test_and_or_structure(self):
+        query = parse_fox(
+            "for s in student where s@>person.ssn < 150 and "
+            "s.take exists or s@>person.name = 'x' select s"
+        )
+        assert len(query.condition.clauses) == 2
+        assert len(query.condition.clauses[0]) == 2
+
+    def test_bad_syntax(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_fox("select x from y")
+
+    def test_empty_select(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_fox("for s in student select ")
+
+    def test_malformed_condition(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_fox("for s in student where s.take ~~ 3 select s")
+
+
+class TestRunning:
+    def test_plain_selection(self, db):
+        rows = run_fox(db, "for s in student select s@>person.name")
+        names = set().union(*(row.values[0] for row in rows))
+        assert names == {"alice", "bob"}  # ta bob is a student too
+
+    def test_where_filters_bindings(self, db):
+        rows = run_fox(
+            db,
+            "for s in student where s.take.name contains cs "
+            "select s@>person.name",
+        )
+        assert [sorted(row.values[0]) for row in rows] == [["alice"]]
+
+    def test_exists_condition(self, db):
+        rows = run_fox(
+            db,
+            "for d in department where d$>professor exists select d.name",
+        )
+        assert len(rows) == 1
+        assert rows[0].values[0] == frozenset({"arts"})
+
+    def test_numeric_comparison(self, db):
+        rows = run_fox(
+            db,
+            "for s in student where s@>person.ssn > 150 "
+            "select s@>person.name",
+        )
+        assert [row.values[0] for row in rows] == [frozenset({"bob"})]
+
+    def test_and_combines(self, db):
+        rows = run_fox(
+            db,
+            "for s in student where s@>person.ssn > 0 and "
+            's.take.name = "cs101" select s@>person.name',
+        )
+        assert len(rows) == 1
+
+    def test_or_combines(self, db):
+        rows = run_fox(
+            db,
+            "for s in student where s@>person.ssn > 150 or "
+            's.take.name = "cs101" select s@>person.name',
+        )
+        assert len(rows) == 2
+
+    def test_bare_variable_selection(self, db):
+        rows = run_fox(db, "for c in course select c")
+        assert all(
+            next(iter(row.values[0])) == row.binding for row in rows
+        )
+
+    def test_multiple_selections_align(self, db):
+        rows = run_fox(
+            db, "for s in student select s@>person.name, s.take.name"
+        )
+        by_name = {
+            next(iter(row.values[0])): row.values[1] for row in rows
+        }
+        assert by_name["alice"] == frozenset({"cs101"})
+        assert by_name["bob"] == frozenset({"art7"})
+
+    def test_incomplete_path_is_disambiguated(self, db):
+        rows = run_fox(db, "for t in ta select t ~ name")
+        assert len(rows) == 1
+        assert rows[0].values[0] == frozenset({"bob"})
+
+    def test_incomplete_path_in_condition(self, db):
+        rows = run_fox(
+            db,
+            'for c in course where c.teacher~name = "carol" select c.name',
+        )
+        assert len(rows) == 1
+        assert rows[0].values[0] == frozenset({"cs101"})
+
+    def test_rows_ordered_by_oid(self, db):
+        rows = run_fox(db, "for p in person select p")
+        oids = [row.binding.oid for row in rows]
+        assert oids == sorted(oids)
+
+    def test_wrong_variable_in_path(self, db):
+        with pytest.raises(QuerySyntaxError):
+            run_fox(db, "for s in student select x.take")
+
+    def test_unknown_class(self, db):
+        from repro.errors import UnknownClassError
+
+        with pytest.raises(UnknownClassError):
+            run_fox(db, "for s in ghost select s")
+
+    def test_type_mismatch_comparisons_are_false(self, db):
+        rows = run_fox(
+            db,
+            "for s in student where s@>person.name > 5 select s",
+        )
+        assert rows == []

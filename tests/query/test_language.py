@@ -1,0 +1,90 @@
+"""Tests for the tiny query language."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.model.instances import Database
+from repro.query.language import parse_query, run_query
+
+
+@pytest.fixture()
+def db(university):
+    db = Database(university)
+    alice = db.create("student")
+    bob = db.create("ta")
+    db.set_attribute(alice, "name", "alice")
+    db.set_attribute(alice, "ssn", 100)
+    db.set_attribute(bob, "name", "bob")
+    db.set_attribute(bob, "ssn", 200)
+    return db
+
+
+class TestParsing:
+    def test_plain_get(self):
+        query = parse_query("get student@>person.name")
+        assert query.path_text == "student@>person.name"
+        assert query.operator is None
+
+    def test_where_clause(self):
+        query = parse_query("get student@>person.ssn where < 150")
+        assert query.operator == "<"
+        assert query.literal == 150
+
+    def test_string_literal(self):
+        query = parse_query('get person.name where = "alice"')
+        assert query.literal == "alice"
+
+    def test_contains(self):
+        query = parse_query("get person.name where contains li")
+        assert query.operator == "contains"
+
+    def test_boolean_literal(self):
+        assert parse_query("get a.b where = true").literal is True
+
+    def test_float_literal(self):
+        assert parse_query("get a.b where > 1.5").literal == 1.5
+
+    def test_case_insensitive_keywords(self):
+        assert parse_query("GET a.b WHERE = 1").operator == "="
+
+    def test_bad_syntax(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("fetch a.b")
+
+    def test_bad_operator(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("get a.b where ~= 1")
+
+
+class TestRunning:
+    def test_complete_query(self, db):
+        result = run_query(db, "get student@>person.name")
+        assert result.values == {"alice", "bob"}
+
+    def test_where_filters_values(self, db):
+        result = run_query(db, "get student@>person.ssn where < 150")
+        assert result.values == {100}
+
+    def test_where_equality(self, db):
+        result = run_query(db, 'get student@>person.name where = "bob"')
+        assert result.values == {"bob"}
+
+    def test_incomplete_query_is_completed_first(self, db):
+        result = run_query(db, "get ta ~ name")
+        assert result.values == {"bob"}
+        assert len(result.completions) == 2  # both Isa chains evaluated
+
+    def test_per_completion_results(self, db):
+        result = run_query(db, "get ta ~ name")
+        for expression, values in result.per_completion:
+            assert expression.startswith("ta@>")
+            assert values == frozenset({"bob"})
+
+    def test_type_mismatch_filters_out(self, db):
+        result = run_query(db, "get student@>person.name where < 5")
+        assert result.values == frozenset()
+
+    def test_matches_helper(self):
+        query = parse_query("get a.b where != 1")
+        assert query.matches(2)
+        assert not query.matches(1)

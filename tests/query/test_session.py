@@ -1,0 +1,75 @@
+"""Tests for the interactive completion loop (Figure 1)."""
+
+import pytest
+
+from repro.model.instances import Database
+from repro.query.session import (
+    CompletionSession,
+    RecordingChooser,
+    approve_all,
+    approve_first,
+)
+
+
+@pytest.fixture()
+def db(university):
+    db = Database(university)
+    bob = db.create("ta")
+    db.set_attribute(bob, "name", "bob")
+    course = db.create("course")
+    db.set_attribute(course, "name", "cs101")
+    db.link(bob, "take", course)
+    return db
+
+
+class TestChoosers:
+    def test_approve_all(self):
+        assert approve_all([1, 2, 3]) == [1, 2, 3]
+
+    def test_approve_first(self):
+        assert approve_first([1, 2, 3]) == [1]
+        assert approve_first([]) == []
+
+    def test_recording_chooser_logs(self):
+        chooser = RecordingChooser(approve_first)
+        chosen = chooser([1, 2])
+        assert chosen == [1]
+        assert chooser.log == [([1, 2], [1])]
+
+
+class TestSession:
+    def test_incomplete_query_round(self, db):
+        session = CompletionSession(db)
+        interaction = session.ask("ta ~ name")
+        assert len(interaction.candidates) == 2
+        assert len(interaction.approved) == 2
+        assert interaction.values == {"bob"}
+
+    def test_approve_first_evaluates_one(self, db):
+        session = CompletionSession(db, chooser=approve_first)
+        interaction = session.ask("ta ~ name")
+        assert len(interaction.approved) == 1
+        assert interaction.values == {"bob"}
+
+    def test_complete_query_round(self, db):
+        session = CompletionSession(db)
+        interaction = session.ask("ta@>grad@>student.take.name")
+        assert interaction.values == {"cs101"}
+
+    def test_history_recorded(self, db):
+        session = CompletionSession(db)
+        session.ask("ta ~ name")
+        session.ask("course.name")
+        assert [i.input_text for i in session.history] == [
+            "ta ~ name",
+            "course.name",
+        ]
+
+    def test_rejection_counts_feed_future_domain_knowledge(self, db):
+        chooser = RecordingChooser(approve_first)
+        session = CompletionSession(db, chooser=chooser)
+        session.ask("ta ~ name")
+        counts = chooser.rejection_counts()
+        # the rejected instructor-chain completion passes through teacher
+        assert counts.get("teacher", 0) >= 1
+        assert counts.get("grad", 0) == 0  # approved path not counted

@@ -1,0 +1,76 @@
+"""Tests pinning the synthetic CUPID schema to the published size and
+the structural character DESIGN.md claims for it."""
+
+from repro.model.graph import SchemaGraph
+from repro.model.kinds import RelationshipKind
+from repro.schemas.cupid import (
+    AUXILIARY_CLASSES,
+    CUPID_CLASS_COUNT,
+    CUPID_RELATIONSHIP_COUNT,
+    build_cupid_schema,
+)
+
+
+class TestPublishedSize:
+    def test_class_count(self, cupid):
+        assert cupid.user_class_count == CUPID_CLASS_COUNT == 92
+
+    def test_relationship_count(self, cupid):
+        assert cupid.relationship_count == CUPID_RELATIONSHIP_COUNT == 364
+
+    def test_deterministic_build(self, cupid):
+        again = build_cupid_schema()
+        assert sorted(
+            (r.source, r.name, r.target, r.kind.symbol)
+            for r in again.relationships()
+        ) == sorted(
+            (r.source, r.name, r.target, r.kind.symbol)
+            for r in cupid.relationships()
+        )
+
+
+class TestStructuralCharacter:
+    def test_dominated_by_part_whole(self, cupid):
+        by_kind = {}
+        for rel in cupid.relationships():
+            by_kind[rel.kind] = by_kind.get(rel.kind, 0) + 1
+        part_whole = by_kind.get(RelationshipKind.HAS_PART, 0) + by_kind.get(
+            RelationshipKind.IS_PART_OF, 0
+        )
+        taxonomic = by_kind.get(RelationshipKind.ISA, 0) + by_kind.get(
+            RelationshipKind.MAY_BE, 0
+        )
+        assert part_whole > taxonomic
+        assert part_whole > 100
+
+    def test_part_tree_is_deep(self, cupid):
+        """experiment -> ... -> stomata is an 8-edge Has-Part chain."""
+        graph = SchemaGraph(cupid)
+        chain = [
+            "experiment", "simulation", "crop", "canopy", "canopy_layer",
+            "leaf_class", "leaf", "stomata",
+        ]
+        for parent, child in zip(chain, chain[1:]):
+            edge = next(
+                e for e in graph.edges_from(parent) if e.target == child
+            )
+            assert edge.kind is RelationshipKind.HAS_PART
+
+    def test_auxiliary_hubs_are_widely_connected(self, cupid):
+        graph = SchemaGraph(cupid)
+        for hub in AUXILIARY_CLASSES:
+            assert graph.out_degree(hub) >= 5
+
+    def test_isa_layers_exist(self, cupid):
+        assert set(cupid.isa_children("instrument")) >= {
+            "thermometer",
+            "anemometer",
+        }
+        assert "photosynthesis" in cupid.isa_children("process")
+
+    def test_validates(self, cupid):
+        assert cupid.validate() == []
+
+    def test_shared_attribute_names_create_ambiguity(self, cupid):
+        # 'value' is the name of many attributes — the q02 ambiguity
+        assert len(cupid.relationships_named("value")) >= 4

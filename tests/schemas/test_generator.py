@@ -1,0 +1,73 @@
+"""Tests for the random schema generator."""
+
+import pytest
+
+from repro.model.kinds import RelationshipKind
+from repro.schemas.generator import GeneratorConfig, generate_schema
+
+
+class TestDeterminism:
+    def test_same_seed_same_schema(self):
+        first = generate_schema(GeneratorConfig(classes=20, seed=7))
+        second = generate_schema(GeneratorConfig(classes=20, seed=7))
+        assert sorted(
+            (r.source, r.name, r.target, r.kind.symbol)
+            for r in first.relationships()
+        ) == sorted(
+            (r.source, r.name, r.target, r.kind.symbol)
+            for r in second.relationships()
+        )
+
+    def test_different_seeds_differ(self):
+        first = generate_schema(GeneratorConfig(classes=20, seed=0))
+        second = generate_schema(GeneratorConfig(classes=20, seed=1))
+        assert sorted(
+            (r.source, r.name, r.target) for r in first.relationships()
+        ) != sorted(
+            (r.source, r.name, r.target) for r in second.relationships()
+        )
+
+
+class TestShape:
+    @pytest.mark.parametrize("classes", [5, 25, 60])
+    def test_class_count_honored(self, classes):
+        schema = generate_schema(GeneratorConfig(classes=classes, seed=0))
+        # base_* superclass layer adds isa_fraction extra classes
+        expected_supers = int(classes * 0.25)
+        assert schema.user_class_count == classes + expected_supers
+
+    def test_part_tree_spans_all_core_classes(self):
+        schema = generate_schema(GeneratorConfig(classes=30, seed=3))
+        part_edges = [
+            r
+            for r in schema.relationships()
+            if r.kind is RelationshipKind.HAS_PART
+        ]
+        assert len(part_edges) == 29  # a tree over 30 nodes
+
+    def test_schema_validates(self):
+        for seed in range(3):
+            schema = generate_schema(GeneratorConfig(classes=15, seed=seed))
+            assert schema.validate() == []
+
+    def test_label_attribute_present_for_queries(self):
+        schema = generate_schema(GeneratorConfig(classes=30, seed=0))
+        assert schema.relationships_named("label")
+
+    def test_too_few_classes_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(classes=1)
+
+
+class TestCompletability:
+    def test_generated_schemas_support_completion(self):
+        from repro.core.completion import complete_paths
+        from repro.core.target import RelationshipTarget
+        from repro.model.graph import SchemaGraph
+
+        schema = generate_schema(GeneratorConfig(classes=20, seed=2))
+        graph = SchemaGraph(schema)
+        result = complete_paths(
+            graph, "cls_000", RelationshipTarget("label")
+        )
+        assert all(path.is_acyclic for path in result.paths)

@@ -1,0 +1,67 @@
+"""Tests for the part-whole demo schema and the Section 3.3.1 sharing
+examples on real schema paths."""
+
+from repro.algebra.connectors import Connector
+from repro.core.ast import ConcretePath
+from repro.model.graph import SchemaGraph
+
+
+def _walk(graph, root, steps):
+    path = ConcretePath.start(root)
+    for source, name in steps:
+        edge = next(e for e in graph.edges_from(source) if e.name == name)
+        path = path.extend(edge)
+    return path
+
+
+class TestSharingExamples:
+    def test_engine_shares_subparts_with_chassis(self, parts):
+        graph = SchemaGraph(parts)
+        path = _walk(
+            graph, "engine", [("engine", "screw"), ("screw", "chassis")]
+        )
+        label = path.label()
+        assert label.connector is Connector.SHARES_SUBPARTS
+        assert label.semantic_length == 2
+
+    def test_motor_shares_superparts_with_shaft(self, parts):
+        graph = SchemaGraph(parts)
+        path = _walk(
+            graph, "motor", [("motor", "assembly"), ("assembly", "shaft")]
+        )
+        label = path.label()
+        assert label.connector is Connector.SHARES_SUPERPARTS
+
+    def test_deep_part_chain_collapses(self, parts):
+        graph = SchemaGraph(parts)
+        path = _walk(
+            graph, "vehicle", [("vehicle", "engine"), ("engine", "screw")]
+        )
+        assert path.label().connector is Connector.HAS_PART
+        assert path.semantic_length == 1
+
+
+class TestCompletionOnParts:
+    def test_vehicle_gauge(self, parts):
+        from repro.core.completion import complete_paths
+        from repro.core.target import RelationshipTarget
+
+        graph = SchemaGraph(parts)
+        result = complete_paths(graph, "vehicle", RelationshipTarget("gauge"))
+        assert result.expressions == ["vehicle$>engine$>screw.gauge"] or (
+            set(result.expressions)
+            >= {"vehicle$>engine$>screw.gauge"}
+        )
+        # all returned paths share the optimal label
+        labels = {str(p.label()) for p in result.paths}
+        assert len(labels) == 1
+
+    def test_supplier_completion_prefers_direct_association(self, parts):
+        from repro.core.completion import complete_paths
+        from repro.core.target import RelationshipTarget
+
+        graph = SchemaGraph(parts)
+        result = complete_paths(
+            graph, "supplier", RelationshipTarget("gauge")
+        )
+        assert "supplier.supplies.gauge" in result.expressions

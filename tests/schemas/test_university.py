@@ -1,0 +1,51 @@
+"""Tests pinning the Figure 2 university schema to the paper."""
+
+from repro.core.parser import parse_path_expression
+from repro.model.kinds import RelationshipKind
+from repro.schemas.university import UNIVERSITY_EXAMPLES
+
+
+class TestStructure:
+    def test_multiple_inheritance_of_ta(self, university):
+        assert set(university.isa_parents("ta")) == {"grad", "instructor"}
+
+    def test_both_isa_chains_reach_person(self, university):
+        from repro.model.inheritance import is_subclass_of
+
+        for cls in ("grad", "instructor", "staff", "professor"):
+            assert is_subclass_of(university, cls, "person")
+
+    def test_department_has_part_professor(self, university):
+        rel = university.get_relationship("department", "professor")
+        assert rel.kind is RelationshipKind.HAS_PART
+
+    def test_inverses_present_for_non_attributes(self, university):
+        assert university.validate(require_inverses=True) == []
+
+    def test_name_is_genuinely_ambiguous(self, university):
+        owners = {
+            r.source for r in university.relationships_named("name")
+        }
+        assert {"person", "course", "department"} <= owners
+
+
+class TestPaperExamples:
+    def test_every_example_parses(self, university):
+        for text, _meaning in UNIVERSITY_EXAMPLES:
+            parse_path_expression(text)
+
+    def test_complete_examples_validate_against_the_schema(
+        self, university_engine
+    ):
+        for text, _meaning in UNIVERSITY_EXAMPLES:
+            expression = parse_path_expression(text)
+            if expression.is_complete and expression.steps:
+                result = university_engine.complete(expression)
+                assert result.expressions == [str(expression)]
+
+    def test_flagship_completion(self, university_engine):
+        result = university_engine.complete("ta ~ name")
+        assert result.expressions == [
+            "ta@>grad@>student@>person.name",
+            "ta@>instructor@>teacher@>employee@>person.name",
+        ]

@@ -1,0 +1,209 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.model.instances import Database
+from repro.model.persistence import save_database
+from repro.model.serialization import save_schema
+from repro.schemas.university import build_university_schema
+
+
+class TestComplete:
+    def test_builtin_university(self, capsys):
+        code = main(["complete", "--builtin", "university", "ta ~ name"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ta@>grad@>student@>person.name" in out
+        assert "2 completion(s)" in out
+
+    def test_verbose(self, capsys):
+        main(["complete", "--builtin", "university", "--verbose", "ta ~ name"])
+        assert "semantic length" in capsys.readouterr().out
+
+    def test_e_parameter(self, capsys):
+        main(["complete", "--builtin", "university", "-e", "3",
+              "department ~ ssn"])
+        out = capsys.readouterr().out
+        assert "4 completion(s)" in out
+
+    def test_exclusions(self, capsys):
+        code = main(
+            [
+                "complete",
+                "--builtin",
+                "university",
+                "--exclude",
+                "person",
+                "ta ~ name",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "person" not in out.splitlines()[1]
+
+    def test_no_completion_exit_code(self, capsys):
+        code = main(["complete", "--builtin", "university", "ta ~ ghost"])
+        assert code == 1
+
+    def test_schema_file_json(self, tmp_path, capsys):
+        path = tmp_path / "uni.json"
+        save_schema(build_university_schema(), path)
+        code = main(["complete", "--schema", str(path), "ta ~ name"])
+        assert code == 0
+
+    def test_schema_file_dsl(self, tmp_path, capsys):
+        path = tmp_path / "tiny.dsl"
+        path.write_text(
+            "schema tiny\nclass person\n    attr name\n"
+            "class student isa person\n"
+        )
+        code = main(["complete", "--schema", str(path), "student ~ name"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "student@>person.name" in out
+
+    def test_parse_error_is_reported(self, capsys):
+        code = main(["complete", "--builtin", "university", "ta !! name"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEnumerate:
+    def test_lists_and_counts(self, capsys):
+        code = main(
+            ["enumerate", "--builtin", "university", "--limit", "10",
+             "ta ~ name"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consistent acyclic path(s)" in out
+        assert out.count("\n") >= 3
+
+    def test_rejects_general_expressions(self, capsys):
+        code = main(["enumerate", "--builtin", "university", "ta~x~y"])
+        assert code == 2
+
+
+class TestProfile:
+    def test_profile_output(self, capsys):
+        code = main(["profile", "--builtin", "cupid", "--suggest-hubs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "user classes:        92" in out
+        assert "units_registry" in out
+
+    def test_profile_without_suggestions(self, capsys):
+        main(["profile", "--builtin", "university"])
+        out = capsys.readouterr().out
+        assert "suggested" not in out
+
+
+class TestQuery:
+    def test_query_saved_database(self, tmp_path, capsys):
+        schema = build_university_schema()
+        db = Database(schema)
+        bob = db.create("ta")
+        db.set_attribute(bob, "name", "bob")
+        path = tmp_path / "db.json"
+        save_database(db, path)
+
+        code = main(["query", "--db", str(path), "get ta ~ name"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "'bob'" in out
+
+    def test_missing_db_file(self, capsys):
+        code = main(["query", "--db", "/nonexistent.json", "get a.b"])
+        assert code == 2
+
+
+class TestExplain:
+    def test_explain_returned(self, capsys):
+        code = main(
+            [
+                "explain",
+                "--builtin",
+                "university",
+                "ta ~ name",
+                "ta@>grad@>student@>person.name",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[returned]" in out
+
+    def test_explain_dominated(self, capsys):
+        main(
+            [
+                "explain",
+                "--builtin",
+                "university",
+                "ta ~ name",
+                "ta@>grad@>student.take.name",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "[connector_dominated]" in out
+        assert "stronger" in out
+
+
+class TestFox:
+    def test_fox_query(self, tmp_path, capsys):
+        schema = build_university_schema()
+        db = Database(schema)
+        bob = db.create("ta")
+        db.set_attribute(bob, "name", "bob")
+        alice = db.create("student")
+        db.set_attribute(alice, "name", "alice")
+        path = tmp_path / "db.json"
+        save_database(db, path)
+
+        code = main(
+            [
+                "fox",
+                "--db",
+                str(path),
+                "for s in student select s@>person.name",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 row(s)" in out
+        assert "alice" in out and "bob" in out
+
+    def test_fox_syntax_error(self, tmp_path, capsys):
+        schema = build_university_schema()
+        path = tmp_path / "db.json"
+        save_database(Database(schema), path)
+        code = main(["fox", "--db", str(path), "nonsense"])
+        assert code == 2
+
+
+class TestConvert:
+    def test_dsl_to_json_and_back(self, tmp_path, capsys):
+        dsl = tmp_path / "s.dsl"
+        dsl.write_text("schema s\nclass a\n    attr x\n")
+        as_json = tmp_path / "s.json"
+        assert main(["convert", str(dsl), str(as_json)]) == 0
+        document = json.loads(as_json.read_text())
+        assert document["format"] == "repro-schema"
+
+        back = tmp_path / "back.dsl"
+        assert main(["convert", str(as_json), str(back)]) == 0
+        assert "class a" in back.read_text()
+
+
+class TestParser:
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_schema_and_builtin_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["complete", "--builtin", "university", "--schema", "x",
+                 "a ~ b"]
+            )
