@@ -1,0 +1,99 @@
+"""Bench E5 — the compile-once/query-many pipeline.
+
+Runs the ten CUPID workload queries twice through one
+:class:`~repro.core.compiled.CompiledSchema`: a cold pass that fills the
+shared completion cache and a warm pass served entirely from it.  The
+artifact contract under test:
+
+* warm repetition is at least 10x faster than the cold pass;
+* warm results are byte-identical to the cold ranked paths, and both
+  match an independent artifact compiled from scratch (determinism, not
+  just object identity);
+* the hit/miss counters account for every query.
+
+Timings land in ``BENCH_compiled_cache.json`` at the repo root.  Set
+``BENCH_QUICK=1`` (as CI does) to run at E=1 instead of E=3.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.compiled import CompiledSchema
+from repro.core.engine import Disambiguator
+
+_RESULT_FILE = pathlib.Path(__file__).parent.parent / "BENCH_compiled_cache.json"
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+E = 1 if QUICK else 3
+MIN_SPEEDUP = 10.0
+
+
+def _ranked_paths(batch) -> list[list[str]]:
+    return [[str(path) for path in result.paths] for result in batch.results]
+
+
+@pytest.mark.benchmark(group="compiled-cache")
+def test_compiled_cache_warm_vs_cold(cupid, oracle):
+    texts = [query.text for query in oracle.queries]
+
+    # A fresh artifact (constructor, not the registry) guarantees a
+    # genuinely cold cache regardless of what ran earlier in the session.
+    compiled = CompiledSchema(cupid)
+    engine = Disambiguator(compiled, e=E)
+
+    start = time.perf_counter()
+    cold = engine.complete_batch(texts)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = engine.complete_batch(texts)
+    warm_seconds = time.perf_counter() - start
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+
+    # Determinism across artifacts: a second from-scratch compile must
+    # produce the same ranked paths, so the cache only ever short-cuts
+    # work it would have redone identically.
+    fresh = Disambiguator(CompiledSchema(cupid), e=E).complete_batch(texts)
+
+    record = {
+        "schema": "cupid",
+        "e": E,
+        "quick": QUICK,
+        "queries": len(texts),
+        "compile_seconds": compiled.compile_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": speedup,
+        "cold_cache": {"hits": cold.stats.cache_hits, "misses": cold.stats.cache_misses},
+        "warm_cache": {"hits": warm.stats.cache_hits, "misses": warm.stats.cache_misses},
+        "fingerprint": compiled.fingerprint,
+        "python": platform.python_version(),
+    }
+    _RESULT_FILE.write_text(json.dumps(record, indent=2) + "\n")
+
+    lines = [
+        f"workload: {len(texts)} CUPID queries at E={E}"
+        + (" (quick mode)" if QUICK else ""),
+        f"compile:  {compiled.compile_seconds * 1000:8.2f} ms (one-off)",
+        f"cold:     {cold_seconds * 1000:8.2f} ms"
+        f"  ({cold.stats.cache_misses} misses, {cold.stats.cache_hits} hits)",
+        f"warm:     {warm_seconds * 1000:8.2f} ms"
+        f"  ({warm.stats.cache_misses} misses, {warm.stats.cache_hits} hits)",
+        f"speedup:  {speedup:8.1f}x (required >= {MIN_SPEEDUP:.0f}x)",
+    ]
+    emit("Compiled-schema cache: warm vs cold", "\n".join(lines))
+
+    assert speedup >= MIN_SPEEDUP
+    assert _ranked_paths(warm) == _ranked_paths(cold) == _ranked_paths(fresh)
+    assert cold.stats.cache_misses >= len(texts)
+    assert warm.stats.cache_hits == len(texts)
+    assert warm.stats.cache_misses == 0

@@ -40,6 +40,7 @@ from repro.algebra import (
 )
 from repro.core import (
     ClassTarget,
+    CompiledSchema,
     CompletionResult,
     CompletionSearch,
     ConcretePath,
@@ -47,6 +48,7 @@ from repro.core import (
     DomainKnowledge,
     PathExpression,
     RelationshipTarget,
+    compile_schema,
     parse_path_expression,
 )
 from repro.model import (
@@ -72,6 +74,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Aggregator",
     "ClassTarget",
+    "CompiledSchema",
     "CompletionResult",
     "CompletionSearch",
     "CompletionSession",
@@ -92,6 +95,7 @@ __all__ = [
     "build_cupid_schema",
     "build_parts_schema",
     "build_university_schema",
+    "compile_schema",
     "con_c",
     "default_order",
     "evaluate",

@@ -63,21 +63,35 @@ def compute_caution_sets(
 class CautionSets:
     """Cached caution sets plus the intersection test of Algorithm 2.
 
+    The per-order computation is cached by the order's *content key*
+    (:meth:`~repro.algebra.order.PartialOrder.content_key`), never by
+    ``id(order)``: a CPython id can be reused after the order is
+    garbage-collected, which would silently hand one order's caution
+    sets to another, and id-keyed entries can never be evicted safely.
+    Content keys are stable, so equal orders share one computation and
+    the cache stays bounded by the number of *distinct* orders used.
+
     Parameters
     ----------
     order:
         The better-than partial order the sets are computed against.
     """
 
-    _cache: dict[int, dict[Connector, frozenset[Connector]]] = {}
+    _cache: dict[str, dict[Connector, frozenset[Connector]]] = {}
 
     def __init__(self, order: PartialOrder) -> None:
         self.order = order
-        cached = CautionSets._cache.get(id(order))
+        key = order.content_key()
+        cached = CautionSets._cache.get(key)
         if cached is None:
             cached = compute_caution_sets(order)
-            CautionSets._cache[id(order)] = cached
+            CautionSets._cache[key] = cached
         self._sets = cached
+
+    @classmethod
+    def clear_cache(cls) -> None:
+        """Drop all cached per-order computations (for tests)."""
+        cls._cache.clear()
 
     def of(self, connector: Connector) -> frozenset[Connector]:
         """The caution set of a connector."""

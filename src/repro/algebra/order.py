@@ -25,6 +25,7 @@ are the ablation variants benchmarked in ``experiments.ablation``.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable, Iterable
 
 from repro.algebra.connectors import ALL_CONNECTORS, Connector
@@ -63,6 +64,7 @@ class PartialOrder:
             for c2 in ALL_CONNECTORS
             if c1 is not c2 and better_fn(c1, c2)
         )
+        self._content_key: str | None = None
 
     def better(self, c1: Connector, c2: Connector) -> bool:
         """True if ``c1`` is strictly better (stronger) than ``c2``."""
@@ -88,6 +90,22 @@ class PartialOrder:
     def pairs(self) -> frozenset[tuple[Connector, Connector]]:
         """All strictly-better pairs (for introspection and tests)."""
         return self._better
+
+    def content_key(self) -> str:
+        """A stable digest of the order's *content* (its better-pairs).
+
+        Two orders with identical pairs share the key regardless of how
+        or when they were constructed; the caution-set cache and the
+        :mod:`repro.core.compiled` registry key on this instead of
+        ``id()``, which is unsound once an order is garbage-collected.
+        """
+        if self._content_key is None:
+            pairs = sorted(
+                (winner.symbol, loser.symbol) for winner, loser in self._better
+            )
+            blob = ";".join(f"{w}<{l}" for w, l in pairs)
+            self._content_key = hashlib.sha256(blob.encode()).hexdigest()
+        return self._content_key
 
     def beats_map(self) -> dict[Connector, frozenset[Connector]]:
         """``map[c]`` = the connectors ``c`` strictly beats.

@@ -21,6 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.core.compiled import compile_schema
 from repro.core.domain import DomainKnowledge
 from repro.core.engine import Disambiguator
 from repro.core.enumerate import enumerate_consistent_paths
@@ -78,11 +79,15 @@ def _cmd_complete(args: argparse.Namespace) -> int:
         if args.exclude
         else DomainKnowledge.none()
     )
-    engine = Disambiguator(
-        schema, e=args.e, domain_knowledge=knowledge
-    )
+    compiled = compile_schema(schema, domain_knowledge=knowledge)
+    engine = Disambiguator(compiled, e=args.e)
     result = engine.complete(args.expression)
     print(format_result(result, verbose=args.verbose))
+    if args.verbose:
+        print(
+            f"[compiled {compiled.fingerprint[:16]}... in "
+            f"{compiled.compile_seconds * 1000:.1f}ms]"
+        )
     return 0 if result.paths else 1
 
 
@@ -113,6 +118,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     schema = _load_schema_arg(args)
     print(profile_schema(schema).render())
+    print(f"fingerprint: {schema.fingerprint()}")
     if args.suggest_hubs:
         hubs = suggest_hub_exclusions(schema)
         if hubs:

@@ -9,13 +9,19 @@ use, :class:`~repro.core.completion.CompletionSearch` (Algorithm 2) and
 
 from repro.core.algorithm1 import Algorithm1Result, traditional_path_computation
 from repro.core.ast import ConcretePath, PathExpression, Step, TILDE
+from repro.core.compiled import (
+    CompiledSchema,
+    CompletionCache,
+    compile_schema,
+    invalidate,
+)
 from repro.core.completion import (
     CompletionResult,
     CompletionSearch,
     complete_paths,
 )
 from repro.core.domain import DomainKnowledge
-from repro.core.engine import Disambiguator
+from repro.core.engine import BatchCompletionResult, Disambiguator
 from repro.core.explain import Explanation, explain_candidate
 from repro.core.enumerate import (
     count_consistent_paths,
@@ -46,7 +52,10 @@ from repro.core.target import (
 
 __all__ = [
     "Algorithm1Result",
+    "BatchCompletionResult",
     "ClassTarget",
+    "CompiledSchema",
+    "CompletionCache",
     "CompletionResult",
     "CompletionSearch",
     "ConcretePath",
@@ -62,8 +71,10 @@ __all__ = [
     "Target",
     "TraversalStats",
     "apply_preemption",
+    "compile_schema",
     "complete_general",
     "complete_paths",
+    "invalidate",
     "count_consistent_paths",
     "enumerate_consistent_paths",
     "explain_candidate",

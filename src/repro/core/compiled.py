@@ -1,0 +1,386 @@
+"""The compile-once / query-many layer.
+
+The disambiguator is an optimal-path computation over a *fixed* schema
+graph, yet the original seed had every :class:`Disambiguator`, Fox-query
+evaluator, and experiment harness privately re-derive the same
+per-schema structures (adjacency lists, partial-order closure, caution
+sets) and re-run identical completions.  Following the precompiled
+automaton/grammar designs of the best-path and context-free path-query
+literature, this module splits the pipeline into
+
+* **compile** — :class:`CompiledSchema`: one immutable artifact per
+  ``(schema content, partial order, domain knowledge)`` holding the
+  schema's content fingerprint, the frozen
+  :class:`~repro.model.graph.SchemaGraph` adjacency, the shared
+  :class:`~repro.algebra.caution.CautionSets`, memoized
+  :class:`~repro.core.completion.CompletionSearch` instances, and a
+  bounded LRU completion cache; and
+* **query** — every engine, session, and experiment shares the artifact
+  and consults the cache before traversing.
+
+Cache entries are keyed by the full tuple
+``(schema fingerprint, normalized expression text, order content key,
+E, ablation flags, max depth, domain-knowledge key)`` so results can
+never leak across schema mutations, order variants, E sweeps, ablation
+settings, or knowledge declarations.
+
+Compiles themselves are memoized: :func:`compile_schema` keeps a
+module-level registry keyed by the same content triple, so
+``Disambiguator(schema)`` constructed twice over an unchanged schema
+reuses one artifact (and therefore one warm cache).  Mutating a schema
+changes its fingerprint, which both misses the registry (a fresh
+compile) and invalidates every old cache entry (stale artifacts are
+also evicted eagerly on lookup).  :func:`invalidate` clears the
+registry explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from repro.algebra.caution import CautionSets
+from repro.algebra.order import DEFAULT_ORDER, PartialOrder
+from repro.core.completion import CompletionResult, CompletionSearch
+from repro.core.domain import DomainKnowledge
+from repro.core.target import RelationshipTarget
+from repro.errors import EvaluationError
+from repro.model.graph import SchemaGraph
+from repro.model.schema import Schema
+
+__all__ = [
+    "CompiledSchema",
+    "CompletionCache",
+    "compile_schema",
+    "domain_knowledge_key",
+    "invalidate",
+    "registry_size",
+]
+
+#: Default bound on the number of cached completion results per artifact.
+DEFAULT_CACHE_SIZE = 1024
+
+
+def domain_knowledge_key(knowledge: DomainKnowledge) -> str:
+    """A stable digest of a domain-knowledge declaration's content."""
+    hasher = hashlib.sha256()
+    for name in sorted(knowledge.excluded_classes):
+        hasher.update(f"XC|{name}\n".encode())
+    for source, rel_name in sorted(knowledge.excluded_relationships):
+        hasher.update(f"XR|{source}|{rel_name}\n".encode())
+    for name, penalty in sorted(knowledge.class_penalties):
+        hasher.update(f"P|{name}|{penalty}\n".encode())
+    return hasher.hexdigest()
+
+
+class CompletionCache:
+    """A bounded, thread-safe LRU cache of completion results.
+
+    Values are the frozen :class:`CompletionResult` objects themselves —
+    a warm lookup hands back the very object the cold run produced,
+    which is what guarantees byte-identical ranked paths.  ``hits`` and
+    ``misses`` are cumulative counters the batch entry points snapshot
+    to report warm-vs-cold behavior.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[tuple, CompletionResult] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple) -> CompletionResult | None:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: tuple, value: CompletionResult) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def info(self) -> dict[str, int]:
+        """Counter snapshot for reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompletionCache(size={len(self._data)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class CompiledSchema:
+    """One immutable compilation artifact for a schema.
+
+    Construct directly for an unshared artifact (benchmarks measuring
+    true cold cost do this); everyday code should go through
+    :func:`compile_schema`, which memoizes by content.
+
+    Parameters
+    ----------
+    schema:
+        The schema to compile.  The artifact snapshots its content; the
+        stored :attr:`fingerprint` is the mutation detector.
+    order:
+        Better-than partial order; defaults to the paper's Figure 3
+        reconstruction.
+    domain_knowledge:
+        Optional Section 5.2 knowledge; its exclusions are baked into
+        the frozen traversal graph.
+    cache_size:
+        Bound of the completion LRU cache.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        order: PartialOrder | None = None,
+        domain_knowledge: DomainKnowledge | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        started = time.perf_counter()
+        self.schema = schema
+        self.order = order if order is not None else DEFAULT_ORDER
+        self.domain_knowledge = (
+            domain_knowledge
+            if domain_knowledge is not None
+            else DomainKnowledge.none()
+        )
+        problems = self.domain_knowledge.validate_against(schema)
+        if problems:
+            raise EvaluationError(
+                "domain knowledge does not match schema: "
+                + "; ".join(problems)
+            )
+        self.fingerprint = schema.fingerprint()
+        self.order_key = self.order.content_key()
+        self.knowledge_key = domain_knowledge_key(self.domain_knowledge)
+        self.graph = self.domain_knowledge.restrict(SchemaGraph(schema))
+        self.caution_sets = CautionSets(self.order)
+        self.cache = CompletionCache(cache_size)
+        self._searches: dict[tuple, CompletionSearch] = {}
+        self._lock = threading.Lock()
+        self.compile_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """The registry identity: (fingerprint, order key, knowledge key)."""
+        return (self.fingerprint, self.order_key, self.knowledge_key)
+
+    def is_stale(self) -> bool:
+        """True when the underlying schema mutated after compilation."""
+        return self.schema.fingerprint() != self.fingerprint
+
+    # ------------------------------------------------------------------
+    # Shared search instances and the completion cache
+    # ------------------------------------------------------------------
+
+    def searcher(
+        self,
+        e: int = 1,
+        use_caution_sets: bool = True,
+        apply_inheritance_criterion: bool = True,
+        max_depth: int | None = None,
+    ) -> CompletionSearch:
+        """The shared Algorithm 2 instance for one (E, flags) setting."""
+        key = (e, use_caution_sets, apply_inheritance_criterion, max_depth)
+        with self._lock:
+            search = self._searches.get(key)
+            if search is None:
+                search = CompletionSearch(
+                    self.graph,
+                    order=self.order,
+                    e=e,
+                    use_caution_sets=use_caution_sets,
+                    apply_inheritance_criterion=apply_inheritance_criterion,
+                    max_depth=max_depth,
+                    caution_sets=self.caution_sets,
+                )
+                self._searches[key] = search
+            return search
+
+    def cache_key(
+        self,
+        text: str,
+        e: int,
+        use_caution_sets: bool,
+        apply_inheritance_criterion: bool,
+        max_depth: int | None,
+    ) -> tuple:
+        """The full cache key for one normalized expression text.
+
+        ``text`` must be the *normalized* rendering (``str()`` of the
+        parsed expression, or the ``"class:"``-prefixed form for
+        class-target completions) so spelling variants of one
+        expression share an entry.
+        """
+        return (
+            self.fingerprint,
+            text,
+            self.order_key,
+            e,
+            use_caution_sets,
+            apply_inheritance_criterion,
+            max_depth,
+            self.knowledge_key,
+        )
+
+    def complete_simple(
+        self,
+        root: str,
+        relationship_name: str,
+        e: int = 1,
+        use_caution_sets: bool = True,
+        apply_inheritance_criterion: bool = True,
+        max_depth: int | None = None,
+    ) -> CompletionResult:
+        """Cached single-gap completion ``root ~ relationship_name``.
+
+        This is both the engine's fast path for the paper's focus form
+        and the sub-completion entry :mod:`repro.core.multi` uses for
+        each ``~`` segment of a general expression — so tilde segments
+        shared across different queries hit the same cache entries.
+        """
+        text = f"{root}~{relationship_name}"
+        key = self.cache_key(
+            text, e, use_caution_sets, apply_inheritance_criterion, max_depth
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.searcher(
+            e=e,
+            use_caution_sets=use_caution_sets,
+            apply_inheritance_criterion=apply_inheritance_criterion,
+            max_depth=max_depth,
+        ).run(root, RelationshipTarget(relationship_name))
+        self.cache.put(key, result)
+        return result
+
+    def cache_info(self) -> dict[str, float]:
+        """Cache counters plus the one-off compile cost."""
+        return self.cache.info() | {"compile_seconds": self.compile_seconds}
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledSchema(schema={self.schema.name!r}, "
+            f"fingerprint={self.fingerprint[:12]}..., "
+            f"order={self.order.name!r}, cache={self.cache!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The module-level compile registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[tuple[str, str, str], CompiledSchema] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def compile_schema(
+    schema: Schema | CompiledSchema,
+    order: PartialOrder | None = None,
+    domain_knowledge: DomainKnowledge | None = None,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+) -> CompiledSchema:
+    """Compile a schema, reusing a content-equal artifact if one exists.
+
+    Passing an existing :class:`CompiledSchema` returns it unchanged
+    (so call sites can accept either form).  The registry key is the
+    content triple, so two different-but-equal schema objects share one
+    artifact and therefore one warm cache; a registered artifact whose
+    schema has since mutated is evicted and recompiled from the schema
+    handed in.
+    """
+    if isinstance(schema, CompiledSchema):
+        return schema
+    order = order if order is not None else DEFAULT_ORDER
+    knowledge = (
+        domain_knowledge
+        if domain_knowledge is not None
+        else DomainKnowledge.none()
+    )
+    key = (
+        schema.fingerprint(),
+        order.content_key(),
+        domain_knowledge_key(knowledge),
+    )
+    with _REGISTRY_LOCK:
+        compiled = _REGISTRY.get(key)
+        if compiled is not None and not compiled.is_stale():
+            return compiled
+    # Compile outside the lock (brute-forcing caution sets and freezing
+    # adjacency can take a while on large schemas); last writer wins.
+    compiled = CompiledSchema(
+        schema,
+        order=order,
+        domain_knowledge=knowledge,
+        cache_size=cache_size,
+    )
+    with _REGISTRY_LOCK:
+        existing = _REGISTRY.get(key)
+        if existing is not None and not existing.is_stale():
+            return existing  # a concurrent compile won the race
+        _REGISTRY[key] = compiled
+        return compiled
+
+
+def invalidate(schema: Schema | None = None) -> int:
+    """Drop registry entries; returns how many were removed.
+
+    With a schema, only artifacts compiled from content equal to its
+    *current* content are dropped; without one, the whole registry is
+    cleared.
+    """
+    with _REGISTRY_LOCK:
+        if schema is None:
+            removed = len(_REGISTRY)
+            _REGISTRY.clear()
+            return removed
+        fingerprint = schema.fingerprint()
+        stale = [key for key in _REGISTRY if key[0] == fingerprint]
+        for key in stale:
+            del _REGISTRY[key]
+        return len(stale)
+
+
+def registry_size() -> int:
+    """Number of live registry entries (for tests and diagnostics)."""
+    return len(_REGISTRY)
+
+
+def registered_artifacts() -> Iterable[CompiledSchema]:
+    """Snapshot of the registered artifacts (for diagnostics)."""
+    with _REGISTRY_LOCK:
+        return list(_REGISTRY.values())

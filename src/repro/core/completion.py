@@ -98,6 +98,11 @@ class CompletionSearch:
         Optional bound on path edge count (None = unbounded, the
         paper's setting; acyclicity already bounds depth by the class
         count).
+    caution_sets:
+        Optional precomputed :class:`~repro.algebra.caution.CautionSets`
+        for ``order`` — a :class:`~repro.core.compiled.CompiledSchema`
+        passes its compiled artifact here so every search it hands out
+        shares one instance.  Ignored when ``use_caution_sets`` is off.
     """
 
     def __init__(
@@ -108,11 +113,17 @@ class CompletionSearch:
         use_caution_sets: bool = True,
         apply_inheritance_criterion: bool = True,
         max_depth: int | None = None,
+        caution_sets: CautionSets | None = None,
     ) -> None:
         self.graph = graph
         self.order = order if order is not None else DEFAULT_ORDER
         self.aggregator = Aggregator(self.order, e=e)
-        self.caution = CautionSets(self.order) if use_caution_sets else None
+        if not use_caution_sets:
+            self.caution = None
+        elif caution_sets is not None:
+            self.caution = caution_sets
+        else:
+            self.caution = CautionSets(self.order)
         self.apply_inheritance_criterion = apply_inheritance_criterion
         self.max_depth = max_depth
 

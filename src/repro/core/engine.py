@@ -1,35 +1,74 @@
 """The :class:`Disambiguator` facade — the path-expression completion
 module of the paper's Figure 1.
 
-Bundles a schema, the path algebra configuration (partial order, E,
-caution sets, inheritance criterion), and optional domain knowledge into
-one object with a single entry point, :meth:`Disambiguator.complete`:
+Bundles a compiled schema artifact, the path algebra configuration
+(partial order, E, caution sets, inheritance criterion), and optional
+domain knowledge into one object with a single entry point,
+:meth:`Disambiguator.complete`:
 
 * complete input expressions are validated and passed through;
 * simple incomplete expressions (``s ~ N``) run Algorithm 2 directly;
 * general incomplete expressions (multiple ``~``, mixed connectors)
   are delegated to :mod:`repro.core.multi`.
+
+Since the compile-once/query-many refactor the engine holds no private
+per-schema state: ``Disambiguator(schema)`` compiles through the
+memoized :func:`repro.core.compiled.compile_schema` registry, and
+``Disambiguator(compiled_schema)`` shares an explicit artifact.  Every
+successful completion is stored in the artifact's bounded LRU cache, so
+any engine, session, Fox query, or experiment sharing the artifact
+reuses it; :meth:`Disambiguator.complete_batch` runs a workload through
+the cache and reports hit/miss counters.
 """
 
 from __future__ import annotations
 
-from repro.algebra.order import DEFAULT_ORDER, PartialOrder
+import dataclasses
+
+from repro.algebra.order import PartialOrder
 from repro.core.ast import ConcretePath, PathExpression
-from repro.core.completion import CompletionResult, CompletionSearch
+from repro.core.compiled import CompiledSchema, compile_schema
+from repro.core.completion import CompletionResult
 from repro.core.domain import DomainKnowledge
 from repro.core.multi import complete_general
 from repro.core.parser import parse_path_expression
 from repro.core.stats import TraversalStats
 from repro.core.target import ClassTarget, RelationshipTarget, Target
-from repro.errors import EvaluationError, NoCompletionError
-from repro.model.graph import SchemaGraph
+from repro.errors import NoCompletionError
 from repro.model.schema import Schema
 from typing import TYPE_CHECKING
+from collections.abc import Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime
     from repro.core.explain import Explanation
 
-__all__ = ["Disambiguator"]
+__all__ = ["BatchCompletionResult", "Disambiguator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchCompletionResult:
+    """Results of one :meth:`Disambiguator.complete_batch` call.
+
+    ``stats`` aggregates the per-result traversal counters (cached
+    results contribute the counters recorded by the run that produced
+    them — the hardware-independent cost is reported identically warm
+    and cold) plus the batch's own ``cache_hits`` / ``cache_misses``
+    and the artifact's one-off ``compile_seconds``.
+    """
+
+    results: tuple[CompletionResult, ...]
+    stats: TraversalStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def expressions(self) -> list[list[str]]:
+        """Per-input completions rendered as expression strings."""
+        return [result.expressions for result in self.results]
 
 
 class Disambiguator:
@@ -38,18 +77,24 @@ class Disambiguator:
     Parameters
     ----------
     schema:
-        The schema to disambiguate against.
+        The schema to disambiguate against — either a plain
+        :class:`~repro.model.schema.Schema` (compiled internally through
+        the memoized registry) or a prebuilt
+        :class:`~repro.core.compiled.CompiledSchema` to share.
     order:
         Better-than partial order; defaults to the paper's Figure 3
-        reconstruction.
+        reconstruction.  Must not be combined with a prebuilt artifact
+        (the artifact already fixes the order).
     e:
         AGG* relaxation parameter (Section 4.4); E=1 reproduces plain
         AGG.
     domain_knowledge:
         Optional :class:`~repro.core.domain.DomainKnowledge`
-        (Section 5.2).
+        (Section 5.2).  Like ``order``, baked into the artifact.
     use_caution_sets, apply_inheritance_criterion:
-        Ablation switches; both on by default as in the paper.
+        Ablation switches; both on by default as in the paper.  These
+        are per-engine (part of every cache key), so engines with
+        different ablation settings can share one artifact safely.
 
     Examples
     --------
@@ -62,7 +107,7 @@ class Disambiguator:
 
     def __init__(
         self,
-        schema: Schema,
+        schema: Schema | CompiledSchema,
         order: PartialOrder | None = None,
         e: int = 1,
         domain_knowledge: DomainKnowledge | None = None,
@@ -70,31 +115,39 @@ class Disambiguator:
         apply_inheritance_criterion: bool = True,
         max_depth: int | None = None,
     ) -> None:
-        self.schema = schema
-        self.order = order if order is not None else DEFAULT_ORDER
-        self.e = e
-        self.domain_knowledge = (
-            domain_knowledge
-            if domain_knowledge is not None
-            else DomainKnowledge.none()
-        )
-        problems = self.domain_knowledge.validate_against(schema)
-        if problems:
-            raise EvaluationError(
-                "domain knowledge does not match schema: "
-                + "; ".join(problems)
+        if isinstance(schema, CompiledSchema):
+            if order is not None and order is not schema.order:
+                raise ValueError(
+                    "order is fixed by the compiled schema; compile a new "
+                    "artifact instead of overriding it"
+                )
+            if (
+                domain_knowledge is not None
+                and domain_knowledge != schema.domain_knowledge
+            ):
+                raise ValueError(
+                    "domain knowledge is fixed by the compiled schema; "
+                    "compile a new artifact instead of overriding it"
+                )
+            self.compiled = schema
+        else:
+            self.compiled = compile_schema(
+                schema, order=order, domain_knowledge=domain_knowledge
             )
-        self.graph = self.domain_knowledge.restrict(SchemaGraph(schema))
-        self._search = CompletionSearch(
-            self.graph,
-            order=self.order,
+        self.schema = self.compiled.schema
+        self.order = self.compiled.order
+        self.domain_knowledge = self.compiled.domain_knowledge
+        self.graph = self.compiled.graph
+        self.e = e
+        self.use_caution_sets = use_caution_sets
+        self.apply_inheritance_criterion = apply_inheritance_criterion
+        self.max_depth = max_depth
+        self._search = self.compiled.searcher(
             e=e,
             use_caution_sets=use_caution_sets,
             apply_inheritance_criterion=apply_inheritance_criterion,
             max_depth=max_depth,
         )
-        self.use_caution_sets = use_caution_sets
-        self.apply_inheritance_criterion = apply_inheritance_criterion
 
     # ------------------------------------------------------------------
     # Completion entry points
@@ -109,40 +162,62 @@ class Disambiguator:
         ``paths`` are the optimal completions the user is asked to
         approve (paper Figure 1's loop).  For already-complete input the
         result contains exactly that path, validated against the schema.
+
+        Successful results are cached on the shared artifact keyed by
+        the normalized expression text (plus E, ablation flags, order,
+        and knowledge); failures are never cached.
         """
         if isinstance(expression, str):
             expression = parse_path_expression(expression)
-        if expression.is_complete:
-            return self._validate_complete(expression)
-        if expression.is_simple_incomplete:
-            return self._search.run(
-                expression.root, RelationshipTarget(expression.last_name)
-            )
-        general = complete_general(
-            self.graph,
-            expression,
-            order=self.order,
-            e=self.e,
-            use_caution_sets=self.use_caution_sets,
-            apply_inheritance_criterion=self.apply_inheritance_criterion,
-        )
-        return CompletionResult(
-            root=expression.root,
-            target_description=f"pattern {expression}",
-            paths=general.paths,
-            labels=tuple(
-                {path.label().key: path.label() for path in general.paths}.values()
-            ),
-            stats=general.stats,
-        )
+        key = self._cache_key(str(expression))
+        cached = self.compiled.cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._complete_uncached(expression)
+        self.compiled.cache.put(key, result)
+        return result
+
+    def complete_batch(
+        self, expressions: Iterable[str | PathExpression]
+    ) -> BatchCompletionResult:
+        """Complete a workload of expressions through the shared cache.
+
+        The aggregated stats carry the batch's cache hit/miss counters
+        and the artifact's compile time, so benchmarks can report
+        warm-vs-cold behavior directly.
+        """
+        hits_before = self.compiled.cache.hits
+        misses_before = self.compiled.cache.misses
+        results = tuple(self.complete(expression) for expression in expressions)
+        stats = TraversalStats()
+        for result in results:
+            stats.add(result.stats)
+        stats.cache_hits = self.compiled.cache.hits - hits_before
+        stats.cache_misses = self.compiled.cache.misses - misses_before
+        stats.compile_seconds = self.compiled.compile_seconds
+        return BatchCompletionResult(results=results, stats=stats)
 
     def complete_between(self, root: str, target_class: str) -> CompletionResult:
         """Class-to-class completion (the formalization's node target)."""
-        return self._search.run(root, ClassTarget(target_class))
+        key = self._cache_key(f"class:{root}->{target_class}")
+        cached = self.compiled.cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._search.run(root, ClassTarget(target_class))
+        self.compiled.cache.put(key, result)
+        return result
 
     def complete_to_target(self, root: str, target: Target) -> CompletionResult:
-        """Completion with an explicit target specification."""
+        """Completion with an explicit target specification.
+
+        Arbitrary :class:`~repro.core.target.Target` objects have no
+        stable content key, so this entry point bypasses the cache.
+        """
         return self._search.run(root, target)
+
+    def cache_info(self) -> dict[str, float]:
+        """Counters of the shared completion cache (plus compile time)."""
+        return self.compiled.cache_info()
 
     def explain(
         self, query_text: str, candidate_text: str
@@ -164,19 +239,57 @@ class Disambiguator:
         )
 
     def with_e(self, e: int) -> "Disambiguator":
-        """A copy of this engine with a different E (for sweeps)."""
+        """A copy of this engine with a different E (for sweeps).
+
+        The copy shares this engine's compiled artifact — E is part of
+        every cache key, so the sweep points coexist in one cache.
+        """
         return Disambiguator(
-            self.schema,
-            order=self.order,
+            self.compiled,
             e=e,
-            domain_knowledge=self.domain_knowledge,
             use_caution_sets=self.use_caution_sets,
             apply_inheritance_criterion=self.apply_inheritance_criterion,
+            max_depth=self.max_depth,
         )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _cache_key(self, text: str) -> tuple:
+        return self.compiled.cache_key(
+            text,
+            self.e,
+            self.use_caution_sets,
+            self.apply_inheritance_criterion,
+            self.max_depth,
+        )
+
+    def _complete_uncached(
+        self, expression: PathExpression
+    ) -> CompletionResult:
+        if expression.is_complete:
+            return self._validate_complete(expression)
+        if expression.is_simple_incomplete:
+            return self._search.run(
+                expression.root, RelationshipTarget(expression.last_name)
+            )
+        general = complete_general(
+            self.compiled,
+            expression,
+            e=self.e,
+            use_caution_sets=self.use_caution_sets,
+            apply_inheritance_criterion=self.apply_inheritance_criterion,
+        )
+        return CompletionResult(
+            root=expression.root,
+            target_description=f"pattern {expression}",
+            paths=general.paths,
+            labels=tuple(
+                {path.label().key: path.label() for path in general.paths}.values()
+            ),
+            stats=general.stats,
+        )
 
     def _validate_complete(
         self, expression: PathExpression

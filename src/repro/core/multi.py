@@ -20,6 +20,7 @@ by AGG* over the full-path labels.
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
 from repro.algebra.agg import Aggregator
 from repro.algebra.connectors import connector_for_kind
@@ -30,6 +31,9 @@ from repro.core.stats import TraversalStats
 from repro.core.target import RelationshipTarget
 from repro.errors import NoCompletionError, PathExpressionError
 from repro.model.graph import SchemaEdge, SchemaGraph
+
+if TYPE_CHECKING:  # pragma: no cover - imported lazily to avoid a cycle
+    from repro.core.compiled import CompiledSchema
 
 __all__ = ["complete_general", "GeneralCompletionResult"]
 
@@ -69,7 +73,7 @@ def _match_explicit_step(
 
 
 def complete_general(
-    graph: SchemaGraph,
+    graph: "SchemaGraph | CompiledSchema",
     expression: PathExpression,
     order: PartialOrder | None = None,
     e: int = 1,
@@ -78,11 +82,30 @@ def complete_general(
 ) -> GeneralCompletionResult:
     """Complete an arbitrary incomplete path expression.
 
+    ``graph`` may be a raw :class:`~repro.model.graph.SchemaGraph` (a
+    private search is built, as before the compile-once refactor) or a
+    :class:`~repro.core.compiled.CompiledSchema`, in which case every
+    ``~`` segment's sub-completion goes through the artifact's shared
+    LRU cache — tilde segments recurring across different queries are
+    traversed once.
+
     Complete inputs are validated against the schema and returned as the
     single candidate.  Raises
     :class:`~repro.errors.NoCompletionError` when no consistent
     completion exists.
     """
+    from repro.core.compiled import CompiledSchema
+
+    compiled: CompiledSchema | None = None
+    if isinstance(graph, CompiledSchema):
+        compiled = graph
+        graph = compiled.graph
+        if order is not None and order is not compiled.order:
+            raise PathExpressionError(
+                "order is fixed by the compiled schema; compile a new "
+                "artifact instead of overriding it"
+            )
+        order = compiled.order
     order = order if order is not None else DEFAULT_ORDER
     aggregator = Aggregator(order, e=e)
     graph.schema.get_class(expression.root)
@@ -90,13 +113,28 @@ def complete_general(
         raise PathExpressionError("expression has no steps to complete")
 
     stats = TraversalStats()
-    search = CompletionSearch(
-        graph,
-        order=order,
-        e=e,
-        use_caution_sets=use_caution_sets,
-        apply_inheritance_criterion=apply_inheritance_criterion,
-    )
+    if compiled is None:
+        search = CompletionSearch(
+            graph,
+            order=order,
+            e=e,
+            use_caution_sets=use_caution_sets,
+            apply_inheritance_criterion=apply_inheritance_criterion,
+        )
+
+        def complete_segment(anchor: str, name: str):
+            return search.run(anchor, RelationshipTarget(name))
+
+    else:
+
+        def complete_segment(anchor: str, name: str):
+            return compiled.complete_simple(
+                anchor,
+                name,
+                e=e,
+                use_caution_sets=use_caution_sets,
+                apply_inheritance_criterion=apply_inheritance_criterion,
+            )
 
     partials: list[ConcretePath] = [ConcretePath.start(expression.root)]
     for step in expression.steps:
@@ -107,8 +145,8 @@ def complete_general(
             for partial in partials:
                 by_anchor.setdefault(partial.target_class, []).append(partial)
             for anchor, group in by_anchor.items():
-                sub = search.run(anchor, RelationshipTarget(step.name))
-                _accumulate(stats, sub.stats)
+                sub = complete_segment(anchor, step.name)
+                stats.add(sub.stats)
                 for sub_path in sub.paths:
                     for partial in group:
                         combined = _concatenate(partial, sub_path)
@@ -169,15 +207,3 @@ def _concatenate(
     for edge in suffix.edges:
         combined = combined.extend(edge)
     return combined if combined.is_acyclic else None
-
-
-def _accumulate(total: TraversalStats, part: TraversalStats) -> None:
-    total.recursive_calls += part.recursive_calls
-    total.edges_considered += part.edges_considered
-    total.complete_paths_found += part.complete_paths_found
-    total.pruned_visited += part.pruned_visited
-    total.pruned_target_bound += part.pruned_target_bound
-    total.pruned_best_bound += part.pruned_best_bound
-    total.rescued_by_caution += part.rescued_by_caution
-    total.preempted_paths += part.preempted_paths
-    total.elapsed_seconds += part.elapsed_seconds

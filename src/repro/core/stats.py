@@ -16,7 +16,16 @@ __all__ = ["TraversalStats"]
 
 @dataclasses.dataclass
 class TraversalStats:
-    """Counters collected by one run of a completion traversal."""
+    """Counters collected by one run of a completion traversal.
+
+    The ``cache_*`` and ``compile_seconds`` fields belong to the
+    compile-once/query-many layer (:mod:`repro.core.compiled`): they
+    stay zero on raw :class:`~repro.core.completion.CompletionSearch`
+    runs and are filled in by batch entry points such as
+    :meth:`repro.core.engine.Disambiguator.complete_batch`, so warm/cold
+    benchmark reports can show how much traversal work the shared
+    completion cache absorbed.
+    """
 
     recursive_calls: int = 0
     edges_considered: int = 0
@@ -27,6 +36,18 @@ class TraversalStats:
     rescued_by_caution: int = 0
     preempted_paths: int = 0
     elapsed_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    compile_seconds: float = 0.0
+
+    def add(self, other: "TraversalStats") -> None:
+        """Accumulate another run's counters into this one."""
+        for field in dataclasses.fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
 
     @property
     def seconds_per_call(self) -> float:

@@ -14,6 +14,7 @@ otherwise).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 
 import networkx as nx
 
@@ -134,6 +135,23 @@ class SchemaGraph:
     def out_degree(self, node: str) -> int:
         """Number of outgoing edges of ``node``."""
         return len(self.edges_from(node))
+
+    def fingerprint(self) -> str:
+        """Content hash of the *traversal view*: the schema fingerprint
+        combined with the applied exclusions.
+
+        Two graphs over content-equal schemas with the same exclusions
+        share the fingerprint; note the hash reflects the schema's
+        *current* content, not the snapshot taken at construction — a
+        mismatch with a stored fingerprint is how staleness is detected.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self.schema.fingerprint().encode())
+        for name in sorted(self.exclude_classes):
+            hasher.update(f"XC|{name}\n".encode())
+        for source, rel_name in sorted(self.exclude_relationships):
+            hasher.update(f"XR|{source}|{rel_name}\n".encode())
+        return hasher.hexdigest()
 
     def restricted(
         self,

@@ -13,6 +13,7 @@ class name.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator
 
 from repro.errors import (
@@ -264,6 +265,35 @@ class Schema:
     def relationship_names(self) -> set[str]:
         """The set of all relationship names in the schema."""
         return {r.name for r in self._relationships.values()}
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the schema (hex digest).
+
+        Covers everything the completion semantics depend on: the class
+        set and each relationship's ``(source, name, target, kind)`` —
+        Isa edges included, so the inheritance structure is covered too.
+        Documentation strings, the schema's display name, and
+        declaration order are deliberately excluded: two schemas with
+        the same classes and relationships disambiguate identically and
+        therefore share a fingerprint.  Any mutation that adds, removes,
+        or retargets a class or relationship changes the digest, which
+        is what lets :mod:`repro.core.compiled` detect staleness.
+        """
+        hasher = hashlib.sha256()
+        for name in sorted(self._classes):
+            cls = self._classes[name]
+            hasher.update(f"C|{name}|{int(cls.primitive)}\n".encode())
+        for key in sorted(self._relationships):
+            rel = self._relationships[key]
+            hasher.update(
+                f"R|{rel.source}|{rel.name}|{rel.target}|"
+                f"{rel.kind.symbol}\n".encode()
+            )
+        return hasher.hexdigest()
 
     # ------------------------------------------------------------------
     # Inheritance helpers (thin wrappers; full logic in model.inheritance)

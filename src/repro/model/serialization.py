@@ -35,11 +35,17 @@ _VERSION = 1
 
 
 def schema_to_dict(schema: Schema) -> dict:
-    """Serialize a schema to a plain dictionary."""
+    """Serialize a schema to a plain dictionary.
+
+    The document carries the schema's content fingerprint so external
+    tooling can detect drift without loading; it is informational —
+    :func:`schema_from_dict` recomputes rather than trusts it.
+    """
     return {
         "format": _FORMAT,
         "version": _VERSION,
         "name": schema.name,
+        "fingerprint": schema.fingerprint(),
         "classes": [
             {"name": cls.name, "doc": cls.doc}
             for cls in schema.classes(include_primitives=False)

@@ -36,6 +36,7 @@ import re
 from collections.abc import Callable
 
 from repro.core.ast import PathExpression
+from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
 from repro.core.parser import parse_path_expression
 from repro.errors import NoCompletionError, QuerySyntaxError
@@ -195,7 +196,15 @@ def parse_fox(text: str) -> FoxQuery:
 
 class _PathEvaluator:
     """Resolves a variable-rooted (possibly incomplete) path text to the
-    concrete paths to evaluate, caching per path text."""
+    concrete paths to evaluate.
+
+    Resolution goes through the engine's shared, bounded completion
+    cache (keyed by the rebased expression text), so repeated references
+    to one path — across objects, comparisons, and even other queries or
+    sessions over the same compiled schema — are disambiguated once.
+    This replaced an unbounded per-evaluator dict that could not be
+    shared and never evicted.
+    """
 
     def __init__(
         self, database: Database, query: FoxQuery, engine: Disambiguator
@@ -203,23 +212,15 @@ class _PathEvaluator:
         self.database = database
         self.query = query
         self.engine = engine
-        self._cache: dict[str, tuple] = {}
 
     def _resolve(self, path_text: str):
-        if path_text in self._cache:
-            return self._cache[path_text]
         expression = self._substitute_variable(path_text)
-        if expression.is_incomplete:
-            result = self.engine.complete(expression)
-            if not result.paths:
-                raise NoCompletionError(
-                    f"no completion for {path_text!r} in the fox query"
-                )
-            paths = result.paths
-        else:
-            paths = self.engine.complete(expression).paths
-        self._cache[path_text] = paths
-        return paths
+        result = self.engine.complete(expression)
+        if not result.paths:
+            raise NoCompletionError(
+                f"no completion for {path_text!r} in the fox query"
+            )
+        return result.paths
 
     def _substitute_variable(self, path_text: str) -> PathExpression:
         expression = parse_path_expression(path_text)
@@ -251,14 +252,23 @@ def run_fox(
     database: Database,
     text: str,
     engine: Disambiguator | None = None,
+    compiled: "CompiledSchema | None" = None,
 ) -> list[FoxRow]:
     """Parse and run a fox query against a database.
 
-    Rows are ordered by the binding's object id.
+    Rows are ordered by the binding's object id.  Pass ``compiled`` (a
+    :class:`~repro.core.compiled.CompiledSchema`) to share one
+    compilation artifact — and one completion cache — across many
+    queries; without it the default engine still compiles through the
+    memoized registry, so repeated ``run_fox`` calls over an unchanged
+    schema share state anyway.
     """
     query = parse_fox(text)
     database.schema.get_class(query.class_name)
-    engine = engine if engine is not None else Disambiguator(database.schema)
+    if engine is None:
+        engine = Disambiguator(
+            compiled if compiled is not None else database.schema
+        )
     evaluator = _PathEvaluator(database, query, engine)
 
     rows: list[FoxRow] = []

@@ -20,6 +20,7 @@ import dataclasses
 import re
 from collections.abc import Callable
 
+from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
 from repro.errors import QuerySyntaxError
 from repro.model.instances import Database
@@ -131,10 +132,18 @@ def run_query(
     database: Database,
     text: str,
     engine: Disambiguator | None = None,
+    compiled: "CompiledSchema | None" = None,
 ) -> QueryResult:
-    """Parse, complete (if needed), evaluate, and filter a query."""
+    """Parse, complete (if needed), evaluate, and filter a query.
+
+    Pass ``compiled`` to share one compilation artifact (and completion
+    cache) across many queries over the same schema.
+    """
     query = parse_query(text)
-    engine = engine if engine is not None else Disambiguator(database.schema)
+    if engine is None:
+        engine = Disambiguator(
+            compiled if compiled is not None else database.schema
+        )
     completion = engine.complete(query.path_text)
     per_completion: list[tuple[str, frozenset]] = []
     for path in completion.paths:

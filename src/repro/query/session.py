@@ -20,6 +20,7 @@ import dataclasses
 from collections.abc import Callable, Sequence
 
 from repro.core.ast import ConcretePath
+from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
 from repro.model.instances import Database
 from repro.query.evaluator import evaluate
@@ -107,6 +108,11 @@ class CompletionSession:
         Approval policy; defaults to :func:`approve_all`.
     engine:
         Optional preconfigured :class:`~repro.core.engine.Disambiguator`.
+    compiled:
+        Optional shared :class:`~repro.core.compiled.CompiledSchema`;
+        sessions over one artifact share its completion cache.  Ignored
+        when an explicit ``engine`` is given (the engine already carries
+        its artifact).
     """
 
     def __init__(
@@ -114,12 +120,15 @@ class CompletionSession:
         database: Database,
         chooser: Chooser | None = None,
         engine: Disambiguator | None = None,
+        compiled: CompiledSchema | None = None,
     ) -> None:
         self.database = database
         self.chooser: Chooser = chooser if chooser is not None else approve_all
-        self.engine = (
-            engine if engine is not None else Disambiguator(database.schema)
-        )
+        if engine is None:
+            engine = Disambiguator(
+                compiled if compiled is not None else database.schema
+            )
+        self.engine = engine
         self.history: list[Interaction] = []
 
     def ask(self, text: str) -> Interaction:

@@ -67,6 +67,21 @@ class TestCautionSetsObject:
     def test_repr(self):
         assert "default" in repr(CautionSets(DEFAULT_ORDER))
 
+    def test_cache_keyed_by_order_content_not_identity(self):
+        """Regression: the class-level cache was once keyed by
+        ``id(order)``, which CPython reuses after garbage collection —
+        a dead order's sets could leak into an unrelated order."""
+        from repro.algebra.order import default_order
+
+        CautionSets.clear_cache()
+        first = CautionSets(default_order())
+        # A content-equal order built later (different object, possibly
+        # a recycled id) must share the computed sets...
+        second = CautionSets(default_order())
+        assert first._sets is second._sets
+        # ...which id()-keying only achieves by accident.
+        assert default_order() is not default_order()
+
 
 def _some_path_with_connector(target):
     """A short primary-connector sequence whose CON equals ``target``."""

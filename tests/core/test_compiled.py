@@ -1,0 +1,358 @@
+"""Tests for the compile-once / query-many layer
+(:mod:`repro.core.compiled`)."""
+
+import pytest
+
+from repro.algebra.caution import CautionSets
+from repro.algebra.order import default_order, flat_order, rank_order
+from repro.core.compiled import (
+    CompiledSchema,
+    CompletionCache,
+    compile_schema,
+    domain_knowledge_key,
+    invalidate,
+    registry_size,
+)
+from repro.core.domain import DomainKnowledge
+from repro.core.engine import Disambiguator
+from repro.errors import EvaluationError
+from repro.model.kinds import RelationshipKind
+from repro.model.schema import Schema
+from repro.schemas.cupid import build_cupid_schema
+from repro.schemas.university import build_university_schema
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Isolate each test from artifacts other tests registered."""
+    invalidate()
+    yield
+    invalidate()
+
+
+class TestFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        assert (
+            build_university_schema().fingerprint()
+            == build_university_schema().fingerprint()
+        )
+
+    def test_adding_a_class_changes_the_fingerprint(self):
+        schema = build_university_schema()
+        before = schema.fingerprint()
+        schema.add_class("observatory")
+        assert schema.fingerprint() != before
+
+    def test_adding_a_relationship_changes_the_fingerprint(self):
+        schema = build_university_schema()
+        before = schema.fingerprint()
+        schema.add_attribute("ta", "badge")
+        assert schema.fingerprint() != before
+
+    def test_docs_and_display_name_do_not_affect_it(self):
+        plain = Schema("one")
+        plain.add_class("person")
+        documented = Schema("two")
+        documented.add_class("person", doc="a human being")
+        assert plain.fingerprint() == documented.fingerprint()
+
+    def test_declaration_order_does_not_affect_it(self):
+        forward = Schema()
+        forward.add_classes(["a", "b"])
+        forward.add_attribute("a", "x")
+        forward.add_attribute("b", "y")
+        backward = Schema()
+        backward.add_classes(["b", "a"])
+        backward.add_attribute("b", "y")
+        backward.add_attribute("a", "x")
+        assert forward.fingerprint() == backward.fingerprint()
+
+    def test_graph_fingerprint_reflects_exclusions(self):
+        from repro.model.graph import SchemaGraph
+
+        schema = build_university_schema()
+        plain = SchemaGraph(schema)
+        restricted = plain.restricted(exclude_classes={"grad"})
+        assert plain.fingerprint() != restricted.fingerprint()
+
+    def test_serialized_documents_carry_the_fingerprint(self):
+        from repro.model.serialization import schema_to_dict
+
+        schema = build_university_schema()
+        assert schema_to_dict(schema)["fingerprint"] == schema.fingerprint()
+
+
+class TestOrderContentKey:
+    def test_equal_orders_share_a_key(self):
+        assert default_order().content_key() == default_order().content_key()
+
+    def test_different_orders_differ(self):
+        from repro.algebra.order import total_order
+
+        keys = {
+            default_order().content_key(),
+            flat_order().content_key(),
+            total_order().content_key(),
+        }
+        assert len(keys) == 3
+
+    def test_content_equal_variant_orders_share_a_key(self):
+        """`rank_order()` happens to induce the same better-pairs as the
+        default reconstruction — content keying deliberately unifies
+        them so they share caution sets and compilation artifacts."""
+        if rank_order().pairs() == default_order().pairs():
+            assert rank_order().content_key() == default_order().content_key()
+        else:  # pragma: no cover - depends on the reconstruction
+            assert rank_order().content_key() != default_order().content_key()
+
+    def test_caution_sets_are_shared_by_content_not_identity(self):
+        """The old id(order)-keyed cache could hand one order's caution
+        sets to a different order after garbage collection reused the
+        id; content keys make the identity of the object irrelevant."""
+        first = CautionSets(default_order())
+        second = CautionSets(default_order())  # distinct order object
+        assert first._sets is second._sets
+        assert default_order().content_key() in CautionSets._cache
+
+    def test_distinct_orders_do_not_collide(self):
+        assert CautionSets(default_order())._sets is not CautionSets(
+            flat_order()
+        )._sets
+
+
+class TestRegistry:
+    def test_equal_schemas_share_one_artifact(self):
+        first = compile_schema(build_university_schema())
+        second = compile_schema(build_university_schema())
+        assert first is second
+        assert registry_size() == 1
+
+    def test_same_fingerprint_means_cache_hit_across_engines(self):
+        one = Disambiguator(build_university_schema())
+        two = Disambiguator(build_university_schema())
+        assert one.compiled is two.compiled
+        hits_before = one.compiled.cache.hits
+        cold = one.complete("ta ~ name")
+        warm = two.complete("ta ~ name")
+        assert warm is cold  # the very object, hence byte-identical
+        assert one.compiled.cache.hits == hits_before + 1
+
+    def test_normalized_text_unifies_spellings(self):
+        engine = Disambiguator(build_university_schema())
+        assert engine.complete("ta ~ name") is engine.complete("ta~name")
+
+    def test_order_and_knowledge_partition_the_registry(self):
+        schema = build_university_schema()
+        base = compile_schema(schema)
+        flat = compile_schema(schema, order=flat_order())
+        knowing = compile_schema(
+            schema, domain_knowledge=DomainKnowledge.excluding("grad")
+        )
+        assert base is not flat and base is not knowing
+        assert registry_size() == 3
+
+    def test_invalidate_clears(self):
+        schema = build_university_schema()
+        compile_schema(schema)
+        assert registry_size() == 1
+        assert invalidate() == 1
+        assert registry_size() == 0
+
+    def test_invalidate_by_schema_is_selective(self):
+        university = build_university_schema()
+        compile_schema(university)
+        compile_schema(build_cupid_schema())
+        assert invalidate(university) == 1
+        assert registry_size() == 1
+
+    def test_bad_domain_knowledge_still_raises(self):
+        with pytest.raises(EvaluationError):
+            Disambiguator(
+                build_university_schema(),
+                domain_knowledge=DomainKnowledge.excluding("no_such_class"),
+            )
+
+    def test_knowledge_key_covers_every_field(self):
+        keys = {
+            domain_knowledge_key(DomainKnowledge.none()),
+            domain_knowledge_key(DomainKnowledge.excluding("a")),
+            domain_knowledge_key(
+                DomainKnowledge(excluded_relationships=frozenset({("a", "b")}))
+            ),
+            domain_knowledge_key(
+                DomainKnowledge(class_penalties=(("a", 2),))
+            ),
+        }
+        assert len(keys) == 4
+
+
+class TestMutationInvalidation:
+    def test_mutation_changes_fingerprint_and_results(self):
+        schema = build_university_schema()
+        stale_engine = Disambiguator(schema)
+        before = stale_engine.complete("ta ~ name")
+        assert len(before.paths) == 2
+
+        schema.add_attribute("ta", "name")
+        fresh_engine = Disambiguator(schema)
+        assert fresh_engine.compiled is not stale_engine.compiled
+        assert fresh_engine.compiled.fingerprint != stale_engine.compiled.fingerprint
+        after = fresh_engine.complete("ta ~ name")
+        assert "ta.name" in after.expressions
+        assert stale_engine.compiled.is_stale()
+
+    def test_stale_registry_entries_are_recompiled(self):
+        schema = build_university_schema()
+        compiled = compile_schema(schema)
+        fingerprint = compiled.fingerprint
+        schema.add_class("observatory")
+        # A content-equal *other* schema must not be handed the stale
+        # artifact (whose .schema now has different content).
+        twin = build_university_schema()
+        assert twin.fingerprint() == fingerprint
+        recompiled = compile_schema(twin)
+        assert recompiled is not compiled
+        assert not recompiled.is_stale()
+
+
+class TestCacheCorrectness:
+    @pytest.mark.parametrize(
+        "build, expression",
+        [
+            (build_university_schema, "ta ~ name"),
+            (build_university_schema, "department ~ ssn"),
+            (build_cupid_schema, "experiment ~ conductance"),
+            (build_cupid_schema, "simulation ~ value"),
+        ],
+    )
+    def test_cached_equals_uncached_path_for_path(self, build, expression):
+        cold = Disambiguator(CompiledSchema(build()))
+        warm_engine = Disambiguator(CompiledSchema(build()))
+        warm_engine.complete(expression)  # populate
+        warm = warm_engine.complete(expression)  # served from cache
+        assert warm.expressions == cold.complete(expression).expressions
+        assert [str(l) for l in warm.labels] == [
+            str(l) for l in cold.complete(expression).labels
+        ]
+
+    def test_general_expressions_are_cached_too(self):
+        engine = Disambiguator(CompiledSchema(build_university_schema()))
+        cold = engine.complete("department ~ student . take ~ name")
+        assert engine.complete("department ~ student . take ~ name") is cold
+
+    def test_tilde_segments_share_the_cache_across_queries(self):
+        compiled = CompiledSchema(build_university_schema())
+        engine = Disambiguator(compiled)
+        engine.complete("ta ~ name")
+        hits_before = compiled.cache.hits
+        # The trailing "~ name" segment anchored at ta was already
+        # traversed by the simple query above.
+        engine.complete("student ~ ta ~ name")
+        assert compiled.cache.hits > hits_before
+
+    def test_e_and_ablation_flags_partition_the_cache(self):
+        compiled = CompiledSchema(build_university_schema())
+        narrow = Disambiguator(compiled, e=1)
+        wide = Disambiguator(compiled, e=3)
+        bare = Disambiguator(compiled, use_caution_sets=False)
+        results = {
+            id(narrow.complete("department ~ ssn")),
+            id(wide.complete("department ~ ssn")),
+            id(bare.complete("department ~ ssn")),
+        }
+        assert len(results) == 3  # three entries, no cross-talk
+        assert len(wide.complete("department ~ ssn").paths) >= len(
+            narrow.complete("department ~ ssn").paths
+        )
+
+    def test_failures_are_not_cached(self):
+        from repro.errors import NoCompletionError
+
+        engine = Disambiguator(CompiledSchema(build_university_schema()))
+        with pytest.raises(NoCompletionError):
+            engine.complete("ta.no_such_relationship")
+        with pytest.raises(NoCompletionError):
+            engine.complete("ta.no_such_relationship")
+        assert len(engine.compiled.cache) == 0
+
+    def test_empty_results_are_cached(self):
+        """An empty completion set is a valid, deterministic answer."""
+        engine = Disambiguator(CompiledSchema(build_university_schema()))
+        first = engine.complete("ta ~ no_such_relationship")
+        assert first.is_empty
+        assert engine.complete("ta ~ no_such_relationship") is first
+
+    def test_complete_between_is_cached_separately(self):
+        engine = Disambiguator(CompiledSchema(build_university_schema()))
+        first = engine.complete_between("ta", "person")
+        assert engine.complete_between("ta", "person") is first
+
+
+class TestLRUBound:
+    def test_eviction_respects_the_bound(self):
+        compiled = CompiledSchema(build_university_schema(), cache_size=2)
+        engine = Disambiguator(compiled)
+        for expression in ("ta ~ name", "department ~ ssn", "student ~ gpa"):
+            engine.complete(expression)
+        assert len(compiled.cache) <= 2
+
+    def test_least_recently_used_entry_is_the_one_evicted(self):
+        cache = CompletionCache(maxsize=2)
+        cache.put(("a",), "A")
+        cache.put(("b",), "B")
+        assert cache.get(("a",)) == "A"  # refresh a
+        cache.put(("c",), "C")  # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == "A"
+        assert cache.get(("c",)) == "C"
+
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError):
+            CompletionCache(maxsize=0)
+
+
+class TestBatchAndStats:
+    def test_complete_batch_reports_hits_and_misses(self):
+        engine = Disambiguator(CompiledSchema(build_university_schema()))
+        workload = ["ta ~ name", "department ~ ssn", "ta ~ name"]
+        cold = engine.complete_batch(workload)
+        assert len(cold) == 3
+        assert cold.stats.cache_misses == 2
+        assert cold.stats.cache_hits == 1
+        warm = engine.complete_batch(workload)
+        assert warm.stats.cache_hits == 3
+        assert warm.stats.cache_misses == 0
+        assert warm.expressions == cold.expressions
+        assert warm.stats.compile_seconds == engine.compiled.compile_seconds
+
+    def test_cache_info_round_trip(self):
+        engine = Disambiguator(CompiledSchema(build_university_schema()))
+        engine.complete("ta ~ name")
+        engine.complete("ta ~ name")
+        info = engine.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["size"] == 1
+        assert info["compile_seconds"] >= 0
+
+    def test_with_e_shares_the_artifact(self):
+        engine = Disambiguator(build_university_schema())
+        assert engine.with_e(3).compiled is engine.compiled
+
+
+class TestCompiledSchemaGuards:
+    def test_order_cannot_be_overridden_on_a_compiled_artifact(self):
+        compiled = CompiledSchema(build_university_schema())
+        with pytest.raises(ValueError):
+            Disambiguator(compiled, order=flat_order())
+
+    def test_knowledge_cannot_be_overridden_on_a_compiled_artifact(self):
+        compiled = CompiledSchema(build_university_schema())
+        with pytest.raises(ValueError):
+            Disambiguator(
+                compiled, domain_knowledge=DomainKnowledge.excluding("grad")
+            )
+
+    def test_compile_schema_passes_artifacts_through(self):
+        compiled = CompiledSchema(build_university_schema())
+        assert compile_schema(compiled) is compiled
