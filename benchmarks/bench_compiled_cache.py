@@ -13,6 +13,15 @@ artifact contract under test:
 
 Timings land in ``BENCH_compiled_cache.json`` at the repo root.  Set
 ``BENCH_QUICK=1`` (as CI does) to run at E=1 instead of E=3.
+
+After the (untraced) timing passes, one extra warm pass runs under a
+:class:`~repro.obs.tracer.RecordingTracer` and a fresh
+:class:`~repro.obs.metrics.MetricsRegistry`, producing two more
+artifacts at the repo root — ``BENCH_trace.jsonl`` (the span event log)
+and ``BENCH_metrics.json`` (the metrics summary) — both validated
+against the checked-in schemas before they are written.  CI uploads the
+trace as a workflow artifact and re-validates both files to catch
+schema drift.
 """
 
 from __future__ import annotations
@@ -28,8 +37,14 @@ import pytest
 from benchmarks.conftest import emit
 from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.schema import validate_metrics_summary, validate_trace_events
+from repro.obs.tracer import RecordingTracer, use_tracer
 
-_RESULT_FILE = pathlib.Path(__file__).parent.parent / "BENCH_compiled_cache.json"
+_ROOT = pathlib.Path(__file__).parent.parent
+_RESULT_FILE = _ROOT / "BENCH_compiled_cache.json"
+_TRACE_FILE = _ROOT / "BENCH_trace.jsonl"
+_METRICS_FILE = _ROOT / "BENCH_metrics.json"
 
 QUICK = os.environ.get("BENCH_QUICK") == "1"
 E = 1 if QUICK else 3
@@ -97,3 +112,24 @@ def test_compiled_cache_warm_vs_cold(cupid, oracle):
     assert cold.stats.cache_misses >= len(texts)
     assert warm.stats.cache_hits == len(texts)
     assert warm.stats.cache_misses == 0
+
+    # One extra warm pass under real observability, after the timing
+    # runs so instrumentation cannot skew the numbers above.  The
+    # resulting artifacts are CI's schema-drift canary.
+    tracer = RecordingTracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_metrics(registry):
+        traced = engine.complete_batch(texts)
+    assert _ranked_paths(traced) == _ranked_paths(warm)
+
+    events = tracer.to_events()
+    validate_trace_events(events)
+    summary = registry.as_dict()
+    validate_metrics_summary(summary)
+    tracer.write_jsonl(_TRACE_FILE)
+    _METRICS_FILE.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    emit(
+        "Observability artifacts",
+        f"trace:   {len(events)} event(s) -> {_TRACE_FILE.name}\n"
+        f"metrics: {len(summary['counters'])} counter(s) -> {_METRICS_FILE.name}",
+    )

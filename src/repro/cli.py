@@ -13,13 +13,23 @@ Installed as the ``repro`` console script.  Subcommands::
 Schemas are loaded from ``.json`` (repro-schema documents) or any other
 extension (treated as DSL text); ``--builtin`` selects one of the
 bundled schemas (``university``, ``cupid``, ``parts``).
+
+Observability (``complete``, ``query``, ``fox``, ``experiments``):
+``--trace`` prints the nested span tree of the run; ``--trace=FILE``
+writes the JSON-lines event log to FILE instead; ``--metrics`` prints
+the schema-validated metrics summary.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracer import RecordingTracer, use_tracer
 
 from repro.core.compiled import compile_schema
 from repro.core.domain import DomainKnowledge
@@ -72,6 +82,49 @@ def _add_schema_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record tracing spans; print the span tree, or write a "
+            "JSON-lines event log to FILE if given"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics summary (counters/gauges/histograms) as JSON",
+    )
+
+
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace):
+    """Install a tracer/metrics registry per the ``--trace``/``--metrics``
+    flags and emit the requested reports when the command body is done."""
+    trace_target = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    tracer = RecordingTracer() if trace_target else None
+    registry = MetricsRegistry() if want_metrics else None
+    with contextlib.ExitStack() as stack:
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        if registry is not None:
+            stack.enter_context(use_metrics(registry))
+        yield
+    if tracer is not None:
+        if trace_target == "-":
+            print(tracer.render())
+        else:
+            count = tracer.write_jsonl(trace_target)
+            print(f"[trace: {count} event(s) written to {trace_target}]")
+    if registry is not None:
+        print(json.dumps(registry.as_dict(), indent=2, sort_keys=True))
+
+
 def _cmd_complete(args: argparse.Namespace) -> int:
     schema = _load_schema_arg(args)
     knowledge = (
@@ -79,15 +132,22 @@ def _cmd_complete(args: argparse.Namespace) -> int:
         if args.exclude
         else DomainKnowledge.none()
     )
-    compiled = compile_schema(schema, domain_knowledge=knowledge)
-    engine = Disambiguator(compiled, e=args.e)
-    result = engine.complete(args.expression)
-    print(format_result(result, verbose=args.verbose))
-    if args.verbose:
-        print(
-            f"[compiled {compiled.fingerprint[:16]}... in "
-            f"{compiled.compile_seconds * 1000:.1f}ms]"
-        )
+    with _observability(args):
+        compiled = compile_schema(schema, domain_knowledge=knowledge)
+        engine = Disambiguator(compiled, e=args.e)
+        result = engine.complete(args.expression)
+        print(format_result(result, verbose=args.verbose))
+        if args.verbose:
+            print(
+                f"[compiled {compiled.fingerprint[:16]}... in "
+                f"{compiled.compile_seconds * 1000:.1f}ms]"
+            )
+            info = engine.cache_info()
+            print(
+                f"[cache: {info['hits']:.0f} hit(s) / "
+                f"{info['misses']:.0f} miss(es), "
+                f"size {info['size']:.0f}/{info['maxsize']:.0f}]"
+            )
     return 0 if result.paths else 1
 
 
@@ -130,10 +190,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     database = load_database(args.db)
-    result = run_query(database, args.query)
-    for expression, values in result.per_completion:
-        rendered = sorted(map(str, values)) if values else "(empty)"
-        print(f"{expression} = {rendered}")
+    with _observability(args):
+        result = run_query(database, args.query)
+        for expression, values in result.per_completion:
+            rendered = sorted(map(str, values)) if values else "(empty)"
+            print(f"{expression} = {rendered}")
     return 0
 
 
@@ -150,14 +211,15 @@ def _cmd_fox(args: argparse.Namespace) -> int:
     from repro.query.fox import run_fox
 
     database = load_database(args.db)
-    rows = run_fox(database, args.query)
-    for row in rows:
-        rendered = "  |  ".join(
-            ", ".join(sorted(map(str, values))) if values else "(empty)"
-            for values in row.values
-        )
-        print(f"{row.binding}: {rendered}")
-    print(f"-- {len(rows)} row(s)")
+    with _observability(args):
+        rows = run_fox(database, args.query)
+        for row in rows:
+            rendered = "  |  ".join(
+                ", ".join(sorted(map(str, values))) if values else "(empty)"
+                for values in row.values
+            )
+            print(f"{row.binding}: {rendered}")
+        print(f"-- {len(rows)} row(s)")
     return 0
 
 
@@ -180,7 +242,8 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
 
-    run_all(quick=args.quick)
+    with _observability(args):
+        run_all(quick=args.quick)
     return 0
 
 
@@ -214,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     complete.add_argument("--verbose", action="store_true")
+    _add_obs_options(complete)
     complete.set_defaults(handler=_cmd_complete)
 
     enumerate_parser = subparsers.add_parser(
@@ -236,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--db", required=True, metavar="FILE")
     query.add_argument("query")
+    _add_obs_options(query)
     query.set_defaults(handler=_cmd_query)
 
     explain = subparsers.add_parser(
@@ -253,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fox.add_argument("--db", required=True, metavar="FILE")
     fox.add_argument("query")
+    _add_obs_options(fox)
     fox.set_defaults(handler=_cmd_fox)
 
     convert = subparsers.add_parser(
@@ -266,6 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate every figure of the paper"
     )
     experiments.add_argument("--quick", action="store_true")
+    _add_obs_options(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
 
     return parser

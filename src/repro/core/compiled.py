@@ -50,6 +50,8 @@ from repro.core.target import RelationshipTarget
 from repro.errors import EvaluationError
 from repro.model.graph import SchemaGraph
 from repro.model.schema import Schema
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "CompiledSchema",
@@ -166,28 +168,35 @@ class CompiledSchema:
         cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         started = time.perf_counter()
-        self.schema = schema
-        self.order = order if order is not None else DEFAULT_ORDER
-        self.domain_knowledge = (
-            domain_knowledge
-            if domain_knowledge is not None
-            else DomainKnowledge.none()
-        )
-        problems = self.domain_knowledge.validate_against(schema)
-        if problems:
-            raise EvaluationError(
-                "domain knowledge does not match schema: "
-                + "; ".join(problems)
+        with get_tracer().span("compile", schema=schema.name) as span:
+            self.schema = schema
+            self.order = order if order is not None else DEFAULT_ORDER
+            self.domain_knowledge = (
+                domain_knowledge
+                if domain_knowledge is not None
+                else DomainKnowledge.none()
             )
-        self.fingerprint = schema.fingerprint()
-        self.order_key = self.order.content_key()
-        self.knowledge_key = domain_knowledge_key(self.domain_knowledge)
-        self.graph = self.domain_knowledge.restrict(SchemaGraph(schema))
-        self.caution_sets = CautionSets(self.order)
-        self.cache = CompletionCache(cache_size)
-        self._searches: dict[tuple, CompletionSearch] = {}
-        self._lock = threading.Lock()
-        self.compile_seconds = time.perf_counter() - started
+            problems = self.domain_knowledge.validate_against(schema)
+            if problems:
+                raise EvaluationError(
+                    "domain knowledge does not match schema: "
+                    + "; ".join(problems)
+                )
+            self.fingerprint = schema.fingerprint()
+            self.order_key = self.order.content_key()
+            self.knowledge_key = domain_knowledge_key(self.domain_knowledge)
+            self.graph = self.domain_knowledge.restrict(SchemaGraph(schema))
+            self.caution_sets = CautionSets(self.order)
+            self.cache = CompletionCache(cache_size)
+            self._searches: dict[tuple, CompletionSearch] = {}
+            self._lock = threading.Lock()
+            self.compile_seconds = time.perf_counter() - started
+            span.set(
+                fingerprint=self.fingerprint[:16],
+                order=self.order.name,
+                seconds=self.compile_seconds,
+            )
+        get_metrics().record_compile(self.compile_seconds)
 
     # ------------------------------------------------------------------
     # Identity
@@ -276,8 +285,11 @@ class CompiledSchema:
         key = self.cache_key(
             text, e, use_caution_sets, apply_inheritance_criterion, max_depth
         )
-        cached = self.cache.get(key)
+        with get_tracer().span("cache_lookup", expression=text) as lookup:
+            cached = self.cache.get(key)
+            lookup.set(hit=cached is not None)
         if cached is not None:
+            get_metrics().record_cache(hit=True)
             return cached
         result = self.searcher(
             e=e,
@@ -286,6 +298,7 @@ class CompiledSchema:
             max_depth=max_depth,
         ).run(root, RelationshipTarget(relationship_name))
         self.cache.put(key, result)
+        get_metrics().record_cache(hit=False)
         return result
 
     def cache_info(self) -> dict[str, float]:

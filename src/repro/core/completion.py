@@ -35,6 +35,7 @@ from repro.core.inheritance_criterion import apply_preemption
 from repro.core.stats import TraversalStats
 from repro.core.target import Target
 from repro.model.graph import SchemaGraph
+from repro.obs.tracer import get_tracer
 
 __all__ = ["CompletionSearch", "CompletionResult", "complete_paths"]
 
@@ -144,9 +145,24 @@ class CompletionSearch:
             complete=[],
             stats=stats,
         )
-        self._traverse(
-            root, PathLabel.identity(), ConcretePath.start(root), state, target
-        )
+        with get_tracer().span(
+            "traverse",
+            root=root,
+            target=target.describe(),
+            e=self.aggregator.e,
+        ) as span:
+            self._traverse(
+                root, PathLabel.identity(), ConcretePath.start(root), state, target
+            )
+            span.set(
+                calls=stats.recursive_calls,
+                edges=stats.edges_considered,
+                complete_paths=stats.complete_paths_found,
+                pruned_visited=stats.pruned_visited,
+                pruned_target_bound=stats.pruned_target_bound,
+                pruned_best_bound=stats.pruned_best_bound,
+                caution_rescues=stats.rescued_by_caution,
+            )
         paths = self._finalize(state)
         stats.elapsed_seconds = time.perf_counter() - started
         labels = tuple(
@@ -271,32 +287,38 @@ class CompletionSearch:
         complete = state.complete
         if not complete:
             return []
-        optimal_labels = {
-            label.key
-            for label in self.aggregator.aggregate(
-                [path.label() for path in complete]
-            )
-        }
-        survivors = [
-            path for path in complete if path.label().key in optimal_labels
-        ]
-        # De-duplicate identical edge sequences (a path can be recorded
-        # twice when caution sets force re-exploration).
-        unique: dict[tuple, ConcretePath] = {}
-        for path in survivors:
-            unique.setdefault((path.root, path.edges), path)
-        survivors = list(unique.values())
+        tracer = get_tracer()
+        with tracer.span("agg_select", candidates=len(complete)) as span:
+            optimal_labels = {
+                label.key
+                for label in self.aggregator.aggregate(
+                    [path.label() for path in complete]
+                )
+            }
+            survivors = [
+                path for path in complete if path.label().key in optimal_labels
+            ]
+            # De-duplicate identical edge sequences (a path can be recorded
+            # twice when caution sets force re-exploration).
+            unique: dict[tuple, ConcretePath] = {}
+            for path in survivors:
+                unique.setdefault((path.root, path.edges), path)
+            survivors = list(unique.values())
+            span.set(optimal_labels=len(optimal_labels), survivors=len(survivors))
         if self.apply_inheritance_criterion:
-            survivors, removed = apply_preemption(survivors)
-            state.stats.preempted_paths = removed
-        survivors.sort(
-            key=lambda p: (
-                p.label().connector.sort_rank,
-                p.semantic_length,
-                p.length,
-                str(p),
+            with tracer.span("preemption", candidates=len(survivors)) as span:
+                survivors, removed = apply_preemption(survivors)
+                state.stats.preempted_paths = removed
+                span.set(removed=removed)
+        with tracer.span("rank", paths=len(survivors)):
+            survivors.sort(
+                key=lambda p: (
+                    p.label().connector.sort_rank,
+                    p.semantic_length,
+                    p.length,
+                    str(p),
+                )
             )
-        )
         return survivors
 
     def __repr__(self) -> str:

@@ -36,6 +36,8 @@ from repro.core.stats import TraversalStats
 from repro.core.target import ClassTarget, RelationshipTarget, Target
 from repro.errors import NoCompletionError
 from repro.model.schema import Schema
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from typing import TYPE_CHECKING
 from collections.abc import Iterable
 
@@ -167,15 +169,43 @@ class Disambiguator:
         the normalized expression text (plus E, ablation flags, order,
         and knowledge); failures are never cached.
         """
-        if isinstance(expression, str):
-            expression = parse_path_expression(expression)
-        key = self._cache_key(str(expression))
-        cached = self.compiled.cache.get(key)
-        if cached is not None:
-            return cached
-        result = self._complete_uncached(expression)
-        self.compiled.cache.put(key, result)
-        return result
+        tracer = get_tracer()
+        if not tracer.enabled:
+            # Untraced fast path.  This method is the warm-cache hot
+            # loop (microseconds per call), where even no-op span
+            # plumbing is measurable; the traced branch below is the
+            # same logic with spans.
+            if isinstance(expression, str):
+                expression = parse_path_expression(expression)
+            key = self._cache_key(str(expression))
+            cached = self.compiled.cache.get(key)
+            if cached is not None:
+                get_metrics().record_completion(cached.stats, cached=True)
+                return cached
+            result = self._complete_uncached(expression)
+            self.compiled.cache.put(key, result)
+            get_metrics().record_completion(result.stats, cached=False)
+            return result
+        with tracer.span(
+            "complete", expression=str(expression), e=self.e
+        ) as span:
+            if isinstance(expression, str):
+                with tracer.span("parse"):
+                    expression = parse_path_expression(expression)
+                span.set(expression=str(expression))
+            key = self._cache_key(str(expression))
+            with tracer.span("cache_lookup") as lookup:
+                cached = self.compiled.cache.get(key)
+                lookup.set(hit=cached is not None)
+            if cached is not None:
+                span.set(cache="hit")
+                get_metrics().record_completion(cached.stats, cached=True)
+                return cached
+            result = self._complete_uncached(expression)
+            self.compiled.cache.put(key, result)
+            span.set(cache="miss", paths=len(result.paths))
+            get_metrics().record_completion(result.stats, cached=False)
+            return result
 
     def complete_batch(
         self, expressions: Iterable[str | PathExpression]
@@ -199,13 +229,23 @@ class Disambiguator:
 
     def complete_between(self, root: str, target_class: str) -> CompletionResult:
         """Class-to-class completion (the formalization's node target)."""
-        key = self._cache_key(f"class:{root}->{target_class}")
-        cached = self.compiled.cache.get(key)
-        if cached is not None:
-            return cached
-        result = self._search.run(root, ClassTarget(target_class))
-        self.compiled.cache.put(key, result)
-        return result
+        tracer = get_tracer()
+        with tracer.span(
+            "complete", expression=f"class:{root}->{target_class}", e=self.e
+        ) as span:
+            key = self._cache_key(f"class:{root}->{target_class}")
+            with tracer.span("cache_lookup") as lookup:
+                cached = self.compiled.cache.get(key)
+                lookup.set(hit=cached is not None)
+            if cached is not None:
+                span.set(cache="hit")
+                get_metrics().record_completion(cached.stats, cached=True)
+                return cached
+            result = self._search.run(root, ClassTarget(target_class))
+            self.compiled.cache.put(key, result)
+            span.set(cache="miss", paths=len(result.paths))
+            get_metrics().record_completion(result.stats, cached=False)
+            return result
 
     def complete_to_target(self, root: str, target: Target) -> CompletionResult:
         """Completion with an explicit target specification.
@@ -213,7 +253,12 @@ class Disambiguator:
         Arbitrary :class:`~repro.core.target.Target` objects have no
         stable content key, so this entry point bypasses the cache.
         """
-        return self._search.run(root, target)
+        with get_tracer().span(
+            "complete", expression=f"{root} ~ {target.describe()}", e=self.e
+        ):
+            result = self._search.run(root, target)
+        get_metrics().record_completion(result.stats)
+        return result
 
     def cache_info(self) -> dict[str, float]:
         """Counters of the shared completion cache (plus compile time)."""

@@ -31,6 +31,7 @@ from repro.core.stats import TraversalStats
 from repro.core.target import RelationshipTarget
 from repro.errors import NoCompletionError, PathExpressionError
 from repro.model.graph import SchemaEdge, SchemaGraph
+from repro.obs.tracer import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - imported lazily to avoid a cycle
     from repro.core.compiled import CompiledSchema
@@ -136,22 +137,32 @@ def complete_general(
                 apply_inheritance_criterion=apply_inheritance_criterion,
             )
 
+    tracer = get_tracer()
     partials: list[ConcretePath] = [ConcretePath.start(expression.root)]
-    for step in expression.steps:
+    for index, step in enumerate(expression.steps):
         next_partials: list[ConcretePath] = []
         if step.is_tilde:
-            # Group partials by anchor so each sub-completion runs once.
-            by_anchor: dict[str, list[ConcretePath]] = {}
-            for partial in partials:
-                by_anchor.setdefault(partial.target_class, []).append(partial)
-            for anchor, group in by_anchor.items():
-                sub = complete_segment(anchor, step.name)
-                stats.add(sub.stats)
-                for sub_path in sub.paths:
-                    for partial in group:
-                        combined = _concatenate(partial, sub_path)
-                        if combined is not None:
-                            next_partials.append(combined)
+            with tracer.span(
+                "segment",
+                index=index,
+                step=f"~ {step.name}",
+                partials=len(partials),
+            ) as span:
+                # Group partials by anchor so each sub-completion runs once.
+                by_anchor: dict[str, list[ConcretePath]] = {}
+                for partial in partials:
+                    by_anchor.setdefault(partial.target_class, []).append(
+                        partial
+                    )
+                for anchor, group in by_anchor.items():
+                    sub = complete_segment(anchor, step.name)
+                    stats.add(sub.stats)
+                    for sub_path in sub.paths:
+                        for partial in group:
+                            combined = _concatenate(partial, sub_path)
+                            if combined is not None:
+                                next_partials.append(combined)
+                span.set(anchors=len(by_anchor), survivors=len(next_partials))
         else:
             for partial in partials:
                 edge = _match_explicit_step(
@@ -172,23 +183,26 @@ def complete_general(
         )
 
     # Rank full paths by AGG* on their overall labels.
-    optimal_keys = {
-        label.key
-        for label in aggregator.aggregate([p.label() for p in partials])
-    }
-    survivors = [p for p in partials if p.label().key in optimal_keys]
-    unique: dict[tuple, ConcretePath] = {}
-    for path in survivors:
-        unique.setdefault((path.root, path.edges), path)
-    ranked = sorted(
-        unique.values(),
-        key=lambda p: (
-            p.label().connector.sort_rank,
-            p.semantic_length,
-            p.length,
-            str(p),
-        ),
-    )
+    with tracer.span("agg_select", candidates=len(partials)) as span:
+        optimal_keys = {
+            label.key
+            for label in aggregator.aggregate([p.label() for p in partials])
+        }
+        survivors = [p for p in partials if p.label().key in optimal_keys]
+        unique: dict[tuple, ConcretePath] = {}
+        for path in survivors:
+            unique.setdefault((path.root, path.edges), path)
+        span.set(optimal_labels=len(optimal_keys), survivors=len(unique))
+    with tracer.span("rank", paths=len(unique)):
+        ranked = sorted(
+            unique.values(),
+            key=lambda p: (
+                p.label().connector.sort_rank,
+                p.semantic_length,
+                p.length,
+                str(p),
+            ),
+        )
     return GeneralCompletionResult(
         expression=expression, paths=tuple(ranked), stats=stats
     )

@@ -16,6 +16,8 @@ from repro.core.engine import Disambiguator
 from repro.experiments.metrics import average, precision, recall
 from repro.experiments.oracle import DesignerOracle, WorkloadQuery
 from repro.model.schema import Schema
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 __all__ = ["QueryOutcome", "SweepPoint", "run_workload", "sweep_e"]
 
@@ -83,13 +85,18 @@ def run_workload(
     if compiled is None:
         compiled = compile_schema(schema, domain_knowledge=domain_knowledge)
     engine = Disambiguator(compiled, e=e)
+    metrics = get_metrics()
     outcomes: list[QueryOutcome] = []
-    for query in oracle:
-        result = engine.complete(query.text)
-        returned = tuple(result.expressions)
-        intent = frozenset(query.final_intent(returned))
-        outcomes.append(
-            QueryOutcome(
+    with get_tracer().span(
+        "workload",
+        e=e,
+        knowledge=domain_knowledge is not None,
+    ) as span:
+        for query in oracle:
+            result = engine.complete(query.text)
+            returned = tuple(result.expressions)
+            intent = frozenset(query.final_intent(returned))
+            outcome = QueryOutcome(
                 query=query,
                 e=e,
                 returned=returned,
@@ -99,7 +106,14 @@ def run_workload(
                 recursive_calls=result.stats.recursive_calls,
                 elapsed_seconds=result.stats.elapsed_seconds,
             )
-        )
+            outcomes.append(outcome)
+            # The per-completion traversal feed happens inside
+            # engine.complete; the workload-level quality series is
+            # recorded here, where the oracle's scoring lives.
+            metrics.histogram("workload.recall").observe(outcome.recall)
+            metrics.histogram("workload.precision").observe(outcome.precision)
+            metrics.histogram("workload.returned").observe(len(returned))
+        span.set(queries=len(outcomes))
     return outcomes
 
 

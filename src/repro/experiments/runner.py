@@ -16,11 +16,14 @@ A full run takes a few minutes (Figure 7 at E=5 dominates); pass
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.core.compiled import compile_schema
 from repro.core.engine import Disambiguator
+from repro.obs.metrics import MetricsRegistry, get_metrics, use_metrics
+from repro.obs.schema import validate_metrics_summary
 from repro.experiments.ablation import (
     run_caution_ablation,
     run_exhaustive_comparison,
@@ -53,7 +56,26 @@ def run_all(
 
     With ``csv_dir`` set, the Figure 5/6/7 series are also exported as
     CSV files into that directory (created if needed).
+
+    The whole run records into a :mod:`repro.obs` metrics registry (the
+    ambient one if a caller installed one, a fresh one otherwise) and
+    ends with its schema-validated summary, so every figure report
+    carries the accumulated traversal/prune/cache counters behind it.
     """
+    registry = get_metrics()
+    if registry.is_noop:
+        registry = MetricsRegistry()
+    with use_metrics(registry):
+        _run_all_inner(quick=quick, out=out, csv_dir=csv_dir)
+    print(_banner("Metrics summary (repro.obs)"), file=out)
+    summary = registry.as_dict()
+    validate_metrics_summary(summary)
+    print(json.dumps(summary, indent=2, sort_keys=True), file=out)
+
+
+def _run_all_inner(
+    quick: bool = False, out=sys.stdout, csv_dir: str | None = None
+) -> None:
     started = time.perf_counter()
     schema = build_cupid_schema()
     oracle = build_cupid_workload()

@@ -1,0 +1,63 @@
+"""``repro.obs`` — observability for the disambiguation pipeline.
+
+The paper evaluates the system by *counting work* (Section 5.4:
+recursive calls at 0.17 ms each, response time per query, pruning
+effectiveness).  This package makes that visible at every layer:
+
+* :mod:`repro.obs.tracer` — nested, timed spans (``parse``,
+  ``compile``, ``traverse``, ``agg_select``, ``preemption``, ``rank``,
+  ``cache_lookup``) with per-span attributes, a human-readable tree
+  dump, and a JSON-lines event log.  The default tracer is a shared
+  no-op, so instrumented hot paths pay ~zero cost unless a caller
+  installs a :class:`~repro.obs.tracer.RecordingTracer`.
+* :mod:`repro.obs.metrics` — a registry of named counters, gauges, and
+  histograms that :class:`~repro.core.stats.TraversalStats` feeds into
+  (the stats dataclass is a carrier, not the terminal sink).  The
+  default registry is likewise a no-op.
+* :mod:`repro.obs.schema` — a dependency-free validator for the
+  checked-in JSON schemas of the metrics summary and the trace event
+  log (``python -m repro.obs.validate FILE ...``), so exported
+  artifacts cannot silently drift.
+
+Everything is ambient (:func:`use_tracer` / :func:`use_metrics` install
+into a :mod:`contextvars` context), so engines, sessions, fox queries,
+and the experiments harness need no extra plumbing parameters.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullMetricsRegistry,
+    get_metrics,
+    use_metrics,
+)
+from repro.obs.schema import (
+    SchemaValidationError,
+    load_builtin_schema,
+    validate,
+    validate_metrics_summary,
+    validate_trace_events,
+)
+from repro.obs.tracer import (
+    NullTracer,
+    RecordingTracer,
+    Span,
+    get_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "RecordingTracer",
+    "SchemaValidationError",
+    "Span",
+    "get_metrics",
+    "get_tracer",
+    "load_builtin_schema",
+    "use_metrics",
+    "use_tracer",
+    "validate",
+    "validate_metrics_summary",
+    "validate_trace_events",
+]

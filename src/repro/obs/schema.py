@@ -1,0 +1,150 @@
+"""Dependency-free validation of the exported observability formats.
+
+The container has no ``jsonschema`` package, so this module implements
+the small JSON-Schema subset the checked-in schemas actually use
+(``type``, ``enum``, ``minimum``/``maximum``, ``required``,
+``properties``, ``additionalProperties``, ``items``) and ships the two
+schemas as package data:
+
+* ``metrics_summary.schema.json`` — the
+  :meth:`~repro.obs.metrics.MetricsRegistry.as_dict` summary;
+* ``trace_event.schema.json`` — one record of the JSON-lines trace
+  log (:meth:`~repro.obs.tracer.RecordingTracer.write_jsonl`).
+
+:func:`validate` returns a list of problem strings (empty = valid);
+the ``validate_*`` wrappers add the format-specific cross-field rules a
+schema subset without ``oneOf`` cannot express (span records need
+``id``/``duration_ms``, event records need ``span``/``at_ms``).  CI
+runs ``python -m repro.obs.validate`` over the quick-bench exports so
+the formats cannot drift without the schema files changing too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = [
+    "SchemaValidationError",
+    "load_builtin_schema",
+    "validate",
+    "validate_metrics_summary",
+    "validate_trace_events",
+]
+
+_SCHEMA_DIR = Path(__file__).parent / "schemas"
+
+
+class SchemaValidationError(ReproError):
+    """An exported artifact does not match its checked-in schema."""
+
+    def __init__(self, problems: list[str]) -> None:
+        self.problems = problems
+        preview = "; ".join(problems[:5])
+        suffix = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        super().__init__(f"schema validation failed: {preview}{suffix}")
+
+
+def load_builtin_schema(name: str) -> dict:
+    """Load a checked-in schema (``metrics_summary`` or ``trace_event``)."""
+    path = _SCHEMA_DIR / f"{name}.schema.json"
+    if not path.exists():
+        raise FileNotFoundError(f"no builtin schema {name!r} at {path}")
+    return json.loads(path.read_text())
+
+
+_TYPE_CHECKS = {
+    "object": lambda value: isinstance(value, dict),
+    "array": lambda value: isinstance(value, list),
+    "string": lambda value: isinstance(value, str),
+    "integer": lambda value: isinstance(value, int)
+    and not isinstance(value, bool),
+    "number": lambda value: isinstance(value, (int, float))
+    and not isinstance(value, bool),
+    "boolean": lambda value: isinstance(value, bool),
+    "null": lambda value: value is None,
+}
+
+
+def validate(instance: object, schema: dict, path: str = "$") -> list[str]:
+    """Check ``instance`` against a schema; returns problem strings."""
+    problems: list[str] = []
+
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](instance) for t in types):
+            problems.append(
+                f"{path}: expected {' or '.join(types)}, "
+                f"got {type(instance).__name__}"
+            )
+            return problems  # deeper keywords assume the type matched
+
+    if "enum" in schema and instance not in schema["enum"]:
+        problems.append(f"{path}: {instance!r} not in {schema['enum']!r}")
+
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            problems.append(
+                f"{path}: {instance!r} < minimum {schema['minimum']!r}"
+            )
+        if "maximum" in schema and instance > schema["maximum"]:
+            problems.append(
+                f"{path}: {instance!r} > maximum {schema['maximum']!r}"
+            )
+
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                problems.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            key_path = f"{path}.{key}"
+            if key in properties:
+                problems.extend(validate(value, properties[key], key_path))
+            elif additional is False:
+                problems.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(additional, dict):
+                problems.extend(validate(value, additional, key_path))
+
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            problems.extend(
+                validate(item, schema["items"], f"{path}[{index}]")
+            )
+
+    return problems
+
+
+def validate_metrics_summary(summary: object) -> None:
+    """Raise :class:`SchemaValidationError` unless ``summary`` conforms."""
+    problems = validate(summary, load_builtin_schema("metrics_summary"))
+    if problems:
+        raise SchemaValidationError(problems)
+
+
+#: Fields each trace-record type must carry beyond the shared schema
+#: (a ``oneOf`` in spirit, expressed in code).
+_RECORD_REQUIRED = {
+    "span": ("id", "parent", "depth", "start_ms", "duration_ms"),
+    "event": ("span", "at_ms"),
+}
+
+
+def validate_trace_events(records: list) -> None:
+    """Validate a parsed JSON-lines trace log (list of record dicts)."""
+    schema = load_builtin_schema("trace_event")
+    problems: list[str] = []
+    for index, record in enumerate(records):
+        problems.extend(validate(record, schema, path=f"$[{index}]"))
+        if isinstance(record, dict):
+            for key in _RECORD_REQUIRED.get(record.get("type"), ()):
+                if key not in record:
+                    problems.append(
+                        f"$[{index}]: {record.get('type')} record missing {key!r}"
+                    )
+    if problems:
+        raise SchemaValidationError(problems)

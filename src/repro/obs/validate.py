@@ -1,0 +1,77 @@
+"""Validate exported observability artifacts against the checked-in
+schemas.
+
+Usage::
+
+    python -m repro.obs.validate FILE [FILE ...]
+
+``*.jsonl`` files are treated as JSON-lines trace logs, everything else
+as a metrics summary document.  Exit status 0 when every file conforms,
+1 otherwise — CI runs this over the quick-bench exports so a format
+drift fails the build until the schema files are updated deliberately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.schema import (
+    SchemaValidationError,
+    validate_metrics_summary,
+    validate_trace_events,
+)
+
+__all__ = ["main"]
+
+
+def _validate_file(path: str) -> list[str]:
+    """Problems found in one file (empty = valid)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            if path.endswith(".jsonl"):
+                records = [
+                    json.loads(line)
+                    for line in handle
+                    if line.strip()
+                ]
+                validate_trace_events(records)
+            else:
+                validate_metrics_summary(json.load(handle))
+    except FileNotFoundError:
+        return [f"{path}: file not found"]
+    except json.JSONDecodeError as error:
+        return [f"{path}: not valid JSON ({error})"]
+    except SchemaValidationError as error:
+        return [f"{path}: {problem}" for problem in error.problems]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="FILE",
+        help="metrics summary (.json) or trace log (.jsonl) to validate",
+    )
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.files:
+        problems = _validate_file(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            kind = "trace log" if path.endswith(".jsonl") else "metrics summary"
+            print(f"{path}: valid {kind}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

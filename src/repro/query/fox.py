@@ -41,6 +41,7 @@ from repro.core.engine import Disambiguator
 from repro.core.parser import parse_path_expression
 from repro.errors import NoCompletionError, QuerySyntaxError
 from repro.model.instances import Database, DBObject
+from repro.obs.tracer import get_tracer
 from repro.query.evaluator import evaluate_from
 
 __all__ = ["FoxQuery", "FoxRow", "parse_fox", "run_fox"]
@@ -263,35 +264,43 @@ def run_fox(
     memoized registry, so repeated ``run_fox`` calls over an unchanged
     schema share state anyway.
     """
-    query = parse_fox(text)
-    database.schema.get_class(query.class_name)
-    if engine is None:
-        engine = Disambiguator(
-            compiled if compiled is not None else database.schema
-        )
-    evaluator = _PathEvaluator(database, query, engine)
+    tracer = get_tracer()
+    with tracer.span("fox", query=text) as span:
+        with tracer.span("parse"):
+            query = parse_fox(text)
+        database.schema.get_class(query.class_name)
+        if engine is None:
+            engine = Disambiguator(
+                compiled if compiled is not None else database.schema
+            )
+        evaluator = _PathEvaluator(database, query, engine)
 
-    rows: list[FoxRow] = []
-    for obj in sorted(database.extent(query.class_name), key=lambda o: o.oid):
-        if query.condition is not None:
-            satisfied = any(
-                all(
-                    comparison.holds(
-                        evaluator.values_from(obj, comparison.path_text)
-                    )
-                    for comparison in clause
-                )
-                for clause in query.condition.clauses
-            )
-            if not satisfied:
-                continue
-        rows.append(
-            FoxRow(
-                binding=obj,
-                values=tuple(
-                    evaluator.values_from(obj, selection)
-                    for selection in query.selections
-                ),
-            )
+        rows: list[FoxRow] = []
+        bindings = sorted(
+            database.extent(query.class_name), key=lambda o: o.oid
         )
+        with tracer.span("evaluate", bindings=len(bindings)):
+            for obj in bindings:
+                if query.condition is not None:
+                    satisfied = any(
+                        all(
+                            comparison.holds(
+                                evaluator.values_from(obj, comparison.path_text)
+                            )
+                            for comparison in clause
+                        )
+                        for clause in query.condition.clauses
+                    )
+                    if not satisfied:
+                        continue
+                rows.append(
+                    FoxRow(
+                        binding=obj,
+                        values=tuple(
+                            evaluator.values_from(obj, selection)
+                            for selection in query.selections
+                        ),
+                    )
+                )
+        span.set(rows=len(rows))
     return rows

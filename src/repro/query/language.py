@@ -24,6 +24,7 @@ from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
 from repro.errors import QuerySyntaxError
 from repro.model.instances import Database
+from repro.obs.tracer import get_tracer
 from repro.query.evaluator import evaluate
 
 __all__ = ["Query", "QueryResult", "parse_query", "run_query"]
@@ -139,17 +140,22 @@ def run_query(
     Pass ``compiled`` to share one compilation artifact (and completion
     cache) across many queries over the same schema.
     """
-    query = parse_query(text)
-    if engine is None:
-        engine = Disambiguator(
-            compiled if compiled is not None else database.schema
-        )
-    completion = engine.complete(query.path_text)
-    per_completion: list[tuple[str, frozenset]] = []
-    for path in completion.paths:
-        results = evaluate(database, path)
-        filtered = frozenset(
-            value for value in results if query.matches(value)
-        )
-        per_completion.append((str(path), filtered))
+    tracer = get_tracer()
+    with tracer.span("query", query=text) as span:
+        with tracer.span("parse"):
+            query = parse_query(text)
+        if engine is None:
+            engine = Disambiguator(
+                compiled if compiled is not None else database.schema
+            )
+        completion = engine.complete(query.path_text)
+        per_completion: list[tuple[str, frozenset]] = []
+        with tracer.span("evaluate", paths=len(completion.paths)):
+            for path in completion.paths:
+                results = evaluate(database, path)
+                filtered = frozenset(
+                    value for value in results if query.matches(value)
+                )
+                per_completion.append((str(path), filtered))
+        span.set(completions=len(completion.paths))
     return QueryResult(query=query, per_completion=tuple(per_completion))

@@ -12,17 +12,32 @@ experiments:
   log (the raw material for the learning extension the paper's Section 7
   proposes);
 * any ``callable(list[ConcretePath]) -> list[ConcretePath]``.
+
+Inputs starting with ``:`` are *session commands* rather than path
+expressions:
+
+* ``:trace on`` / ``:trace off`` — record spans for subsequent asks
+  into a session-held :class:`~repro.obs.tracer.RecordingTracer`;
+* ``:trace`` — tracing status; ``:trace show`` — the recorded tree;
+* ``:metrics`` — the session's accumulated metrics summary as JSON.
+
+Command rounds return an :class:`Interaction` whose ``message`` carries
+the rendered output (candidates/results stay empty), so interactive
+front-ends print one field either way.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 from collections.abc import Callable, Sequence
 
 from repro.core.ast import ConcretePath
 from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
 from repro.model.instances import Database
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracer import RecordingTracer, get_tracer, use_tracer
 from repro.query.evaluator import evaluate
 
 __all__ = [
@@ -81,12 +96,22 @@ class RecordingChooser:
 
 @dataclasses.dataclass(frozen=True)
 class Interaction:
-    """One round of the Figure 1 loop."""
+    """One round of the Figure 1 loop.
+
+    ``message`` is empty for completion rounds; session commands
+    (``:trace ...``, ``:metrics``) put their rendered output there and
+    leave the completion fields empty.
+    """
 
     input_text: str
     candidates: tuple[ConcretePath, ...]
     approved: tuple[ConcretePath, ...]
     results: tuple[tuple[str, frozenset], ...]
+    message: str = ""
+
+    @property
+    def is_command(self) -> bool:
+        return self.input_text.startswith(":")
 
     @property
     def values(self) -> frozenset:
@@ -130,20 +155,93 @@ class CompletionSession:
             )
         self.engine = engine
         self.history: list[Interaction] = []
+        #: Session-held tracer; None until ``:trace on``.  Survives
+        #: ``:trace off`` so ``:trace show`` can still render it.
+        self.tracer: RecordingTracer | None = None
+        self.tracing = False
+        #: Metrics accumulate across the whole session unconditionally —
+        #: the registry is cheap and ``:metrics`` should always answer.
+        self.metrics = MetricsRegistry()
 
     def ask(self, text: str) -> Interaction:
-        """Run one full round for the given (possibly incomplete) input."""
-        completion = self.engine.complete(text)
-        approved = self.chooser(completion.paths)
-        results = tuple(
-            (str(path), frozenset(evaluate(self.database, path)))
-            for path in approved
-        )
-        interaction = Interaction(
+        """Run one full round for the given (possibly incomplete) input.
+
+        Inputs starting with ``:`` are dispatched as session commands.
+        """
+        if text.lstrip().startswith(":"):
+            interaction = self._command(text.strip())
+            self.history.append(interaction)
+            return interaction
+        with use_metrics(self.metrics):
+            if self.tracing and self.tracer is not None:
+                with use_tracer(self.tracer):
+                    interaction = self._round(text)
+            else:
+                interaction = self._round(text)
+        self.history.append(interaction)
+        return interaction
+
+    def _round(self, text: str) -> Interaction:
+        """The complete -> approve -> evaluate pipeline for one input."""
+        tracer = get_tracer()
+        with tracer.span("ask", input=text) as span:
+            completion = self.engine.complete(text)
+            approved = self.chooser(completion.paths)
+            with tracer.span("evaluate", paths=len(approved)):
+                results = tuple(
+                    (str(path), frozenset(evaluate(self.database, path)))
+                    for path in approved
+                )
+            span.set(candidates=len(completion.paths), approved=len(approved))
+        return Interaction(
             input_text=text,
             candidates=completion.paths,
             approved=tuple(approved),
             results=results,
         )
-        self.history.append(interaction)
-        return interaction
+
+    # ------------------------------------------------------------------
+    # Session commands
+    # ------------------------------------------------------------------
+
+    def _command(self, text: str) -> Interaction:
+        """Handle a ``:``-prefixed session command."""
+        parts = text.split()
+        name, args = parts[0], parts[1:]
+        if name == ":trace":
+            message = self._trace_command(args)
+        elif name == ":metrics":
+            message = json.dumps(self.metrics.as_dict(), indent=2, sort_keys=True)
+        else:
+            message = (
+                f"unknown session command {name!r} "
+                "(expected :trace [on|off|show] or :metrics)"
+            )
+        return Interaction(
+            input_text=text,
+            candidates=(),
+            approved=(),
+            results=(),
+            message=message,
+        )
+
+    def _trace_command(self, args: list[str]) -> str:
+        if not args:
+            spans = self.tracer.span_count if self.tracer is not None else 0
+            return (
+                f"tracing {'on' if self.tracing else 'off'} "
+                f"({spans} span(s) recorded)"
+            )
+        if args[0] == "on":
+            if self.tracer is None:
+                self.tracer = RecordingTracer()
+            self.tracing = True
+            return "tracing on"
+        if args[0] == "off":
+            self.tracing = False
+            return "tracing off"
+        if args[0] == "show":
+            if self.tracer is None or not self.tracer.roots:
+                return "no spans recorded (use ':trace on' first)"
+            return self.tracer.render()
+        return f"unknown :trace argument {args[0]!r} (expected on|off|show)"

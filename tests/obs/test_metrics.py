@@ -1,0 +1,129 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.core.stats import TraversalStats
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullMetricsRegistry,
+    get_metrics,
+    use_metrics,
+)
+from repro.obs.schema import validate_metrics_summary
+
+
+class TestPrimitives:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("calls")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("calls") is counter
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_keeps_latest(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3.5)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_histogram_snapshot(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in [1, 2, 3, 4, 100]:
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 5
+        assert snapshot["sum"] == 110
+        assert snapshot["min"] == 1
+        assert snapshot["max"] == 100
+        assert snapshot["mean"] == 22
+        assert snapshot["p50"] == 3
+
+    def test_empty_histogram_snapshot_is_zeroed(self):
+        snapshot = MetricsRegistry().histogram("h").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] == 0.0
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(TypeError):
+            registry.gauge("name")
+
+
+class TestAmbientRegistry:
+    def test_default_is_noop(self):
+        registry = get_metrics()
+        assert isinstance(registry, NullMetricsRegistry)
+        assert registry.is_noop
+        # Full interface available and inert.
+        registry.counter("x").inc()
+        registry.gauge("x").set(1)
+        registry.histogram("x").observe(1)
+        registry.record_completion(TraversalStats())
+        registry.record_compile(0.1)
+        registry.record_cache(True)
+        assert registry.as_dict()["counters"] == {}
+
+    def test_use_metrics_scopes_installation(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            assert get_metrics() is registry
+        assert get_metrics().is_noop
+
+
+class TestTraversalStatsFeed:
+    def test_record_completion_feeds_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        stats = TraversalStats(
+            recursive_calls=10,
+            edges_considered=20,
+            complete_paths_found=2,
+            pruned_visited=3,
+            pruned_target_bound=4,
+            pruned_best_bound=5,
+            rescued_by_caution=1,
+            elapsed_seconds=0.5,
+        )
+        stats.record_to(registry)
+        summary = registry.as_dict()
+        assert summary["counters"]["completions"] == 1
+        assert summary["counters"]["traversal.recursive_calls"] == 10
+        assert summary["counters"]["prune.visited"] == 3
+        assert summary["counters"]["prune.target_bound"] == 4
+        assert summary["counters"]["prune.best_bound"] == 5
+        assert summary["counters"]["prune.caution_rescues"] == 1
+        assert summary["histograms"]["query.recursive_calls"]["count"] == 1
+        assert summary["histograms"]["query.elapsed_seconds"]["sum"] == 0.5
+
+    def test_cache_hit_skips_work_counters_but_feeds_histograms(self):
+        registry = MetricsRegistry()
+        stats = TraversalStats(recursive_calls=10)
+        registry.record_completion(stats, cached=False)
+        registry.record_completion(stats, cached=True)
+        summary = registry.as_dict()
+        # Work counted once (the cold run), distribution observed twice.
+        assert summary["counters"]["traversal.recursive_calls"] == 10
+        assert summary["histograms"]["query.recursive_calls"]["count"] == 2
+        assert summary["counters"]["cache.hits"] == 1
+        assert summary["counters"]["cache.misses"] == 1
+        assert summary["gauges"]["cache.hit_ratio"] == 0.5
+
+    def test_record_cache_updates_hit_ratio(self):
+        registry = MetricsRegistry()
+        registry.record_cache(True)
+        registry.record_cache(True)
+        registry.record_cache(False)
+        assert registry.as_dict()["gauges"]["cache.hit_ratio"] == pytest.approx(
+            2 / 3
+        )
+
+    def test_summary_validates_against_checked_in_schema(self):
+        registry = MetricsRegistry()
+        registry.record_completion(TraversalStats(recursive_calls=5), cached=False)
+        registry.record_compile(0.25)
+        validate_metrics_summary(registry.as_dict())

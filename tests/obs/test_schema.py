@@ -1,0 +1,175 @@
+"""Tests for the schema validator and the validate CLI (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs.schema import (
+    SchemaValidationError,
+    load_builtin_schema,
+    validate,
+    validate_metrics_summary,
+    validate_trace_events,
+)
+from repro.obs.validate import main as validate_main
+
+
+class TestValidateSubset:
+    def test_type_mismatch(self):
+        assert validate(1, {"type": "string"})
+        assert not validate("x", {"type": "string"})
+
+    def test_type_union(self):
+        schema = {"type": ["integer", "null"]}
+        assert not validate(None, schema)
+        assert not validate(3, schema)
+        assert validate("x", schema)
+
+    def test_bool_is_not_a_number(self):
+        assert validate(True, {"type": "number"})
+        assert validate(True, {"type": "integer"})
+        assert not validate(True, {"type": "boolean"})
+
+    def test_required_and_additional(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "properties": {"a": {"type": "integer"}},
+            "additionalProperties": False,
+        }
+        assert not validate({"a": 1}, schema)
+        assert validate({}, schema)  # missing required
+        assert validate({"a": 1, "b": 2}, schema)  # unexpected key
+
+    def test_additional_properties_schema(self):
+        schema = {
+            "type": "object",
+            "additionalProperties": {"type": "number", "minimum": 0},
+        }
+        assert not validate({"x": 1.5}, schema)
+        assert validate({"x": -1}, schema)
+        assert validate({"x": "s"}, schema)
+
+    def test_enum_and_bounds(self):
+        assert validate(2, {"enum": [1, 3]})
+        assert validate(-1, {"type": "number", "minimum": 0})
+        assert validate(11, {"type": "number", "maximum": 10})
+
+    def test_items(self):
+        schema = {"type": "array", "items": {"type": "string"}}
+        assert not validate(["a", "b"], schema)
+        assert validate(["a", 1], schema)
+
+    def test_problem_paths_are_addressable(self):
+        schema = {
+            "type": "object",
+            "properties": {"inner": {"type": "array", "items": {"type": "integer"}}},
+        }
+        problems = validate({"inner": [1, "x"]}, schema)
+        assert problems == ["$.inner[1]: expected integer, got str"]
+
+
+class TestBuiltinSchemas:
+    def test_both_schemas_load(self):
+        assert load_builtin_schema("metrics_summary")["type"] == "object"
+        assert load_builtin_schema("trace_event")["type"] == "object"
+
+    def test_unknown_schema_raises(self):
+        with pytest.raises(FileNotFoundError):
+            load_builtin_schema("nope")
+
+    def test_valid_metrics_summary_passes(self):
+        validate_metrics_summary(
+            {
+                "version": 1,
+                "counters": {"completions": 2},
+                "gauges": {"cache.hit_ratio": 0.5},
+                "histograms": {
+                    "query.recursive_calls": {
+                        "count": 2,
+                        "sum": 30.0,
+                        "min": 10.0,
+                        "max": 20.0,
+                        "mean": 15.0,
+                        "p50": 10.0,
+                        "p95": 20.0,
+                    }
+                },
+            }
+        )
+
+    def test_drifted_metrics_summary_fails(self):
+        with pytest.raises(SchemaValidationError):
+            validate_metrics_summary({"version": 1, "counters": {}})
+        with pytest.raises(SchemaValidationError):
+            validate_metrics_summary(
+                {
+                    "version": 2,  # unknown version
+                    "counters": {},
+                    "gauges": {},
+                    "histograms": {},
+                }
+            )
+
+    def test_trace_event_conditional_required(self):
+        span = {
+            "type": "span",
+            "name": "traverse",
+            "attrs": {},
+            "id": 0,
+            "parent": None,
+            "depth": 0,
+            "start_ms": 0.0,
+            "duration_ms": 1.0,
+        }
+        event = {
+            "type": "event",
+            "name": "prune",
+            "attrs": {},
+            "span": 0,
+            "at_ms": 0.5,
+        }
+        validate_trace_events([span, event])
+        with pytest.raises(SchemaValidationError):
+            validate_trace_events([{"type": "span", "name": "x", "attrs": {}}])
+        with pytest.raises(SchemaValidationError):
+            validate_trace_events([dict(span, extra="nope")])
+
+
+class TestValidateCli:
+    def test_valid_files_exit_zero(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(
+            json.dumps(
+                {"version": 1, "counters": {}, "gauges": {}, "histograms": {}}
+            )
+        )
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": "s",
+                    "attrs": {},
+                    "id": 0,
+                    "parent": None,
+                    "depth": 0,
+                    "start_ms": 0.0,
+                    "duration_ms": 0.0,
+                }
+            )
+            + "\n"
+        )
+        assert validate_main([str(metrics), str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "valid metrics summary" in out
+        assert "valid trace log" in out
+
+    def test_invalid_file_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert validate_main([str(bad)]) == 1
+        assert "missing required key" in capsys.readouterr().err
+
+    def test_missing_file_exits_nonzero(self, tmp_path):
+        assert validate_main([str(tmp_path / "absent.json")]) == 1

@@ -1,0 +1,170 @@
+"""Tests for the span tracer (repro.obs.tracer)."""
+
+import io
+import json
+import threading
+import time
+
+from repro.obs.tracer import (
+    NullTracer,
+    RecordingTracer,
+    get_tracer,
+    use_tracer,
+)
+
+
+class TestNullTracer:
+    def test_default_tracer_is_noop(self):
+        tracer = get_tracer()
+        assert isinstance(tracer, NullTracer)
+        assert not tracer.enabled
+
+    def test_null_span_supports_full_interface(self):
+        with get_tracer().span("anything", key="value") as span:
+            span.set(more=1)
+            span.event("point", detail="x")
+
+    def test_null_spans_are_one_shared_object(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+
+class TestRecordingTracer:
+    def test_nesting_builds_a_tree(self):
+        tracer = RecordingTracer()
+        with tracer.span("root"):
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert [child.name for child in root.children] == ["child_a", "child_b"]
+        assert root.children[0].children[0].name == "grandchild"
+        assert tracer.span_count == 4
+
+    def test_durations_are_positive_and_nested(self):
+        tracer = RecordingTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.002)
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert inner.duration >= 0.002
+        assert outer.duration >= inner.duration
+
+    def test_attrs_and_events(self):
+        tracer = RecordingTracer()
+        with tracer.span("work", e=3) as span:
+            span.set(calls=10)
+            span.event("cache", hit=True)
+        span = tracer.roots[0]
+        assert span.attrs == {"e": 3, "calls": 10}
+        assert span.events[0][1] == "cache"
+        assert span.events[0][2] == {"hit": True}
+
+    def test_multiple_roots(self):
+        tracer = RecordingTracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_find_by_name(self):
+        tracer = RecordingTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert len(tracer.find("b")) == 2
+        assert tracer.find("missing") == []
+
+    def test_use_tracer_scopes_installation(self):
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_summary_aggregates_self_time(self):
+        tracer = RecordingTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.002)
+        summary = tracer.summary()
+        assert summary["inner"]["count"] == 1
+        assert summary["outer"]["self_seconds"] < summary["outer"]["total_seconds"]
+
+    def test_thread_safety_separate_stacks(self):
+        tracer = RecordingTracer()
+
+        def worker(name):
+            with tracer.span(name):
+                with tracer.span(f"{name}.child"):
+                    time.sleep(0.001)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Each thread produced its own root with exactly one child.
+        assert len(tracer.roots) == 4
+        for root in tracer.roots:
+            assert len(root.children) == 1
+            assert root.children[0].name == f"{root.name}.child"
+
+
+class TestExporters:
+    def _sample(self):
+        tracer = RecordingTracer()
+        with tracer.span("complete", expression="ta ~ name") as span:
+            with tracer.span("parse"):
+                pass
+            with tracer.span("traverse", root="ta") as traverse:
+                traverse.event("prune", reason="visited")
+            span.set(paths=2)
+        return tracer
+
+    def test_render_tree_shows_names_attrs_and_times(self):
+        rendered = self._sample().render()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("complete")
+        assert "ms" in lines[0]
+        assert "expression='ta ~ name'" in lines[0]
+        assert any(line.strip().startswith("parse") for line in lines)
+        assert any("* prune" in line for line in lines)
+
+    def test_jsonl_round_trip(self):
+        tracer = self._sample()
+        buffer = io.StringIO()
+        count = tracer.write_jsonl(buffer)
+        records = [
+            json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        assert len(records) == count == 4  # 3 spans + 1 event
+        spans = [r for r in records if r["type"] == "span"]
+        events = [r for r in records if r["type"] == "event"]
+        assert [span["name"] for span in spans] == [
+            "complete",
+            "parse",
+            "traverse",
+        ]
+        root = spans[0]
+        assert root["parent"] is None and root["depth"] == 0
+        for child in spans[1:]:
+            assert child["parent"] == root["id"]
+            assert child["depth"] == 1
+        assert events[0]["span"] == spans[2]["id"]
+
+    def test_jsonl_attrs_are_json_safe(self):
+        tracer = RecordingTracer()
+        with tracer.span("s", obj=object(), ok=1):
+            pass
+        record = tracer.to_events()[0]
+        json.dumps(record)  # must not raise
+        assert record["attrs"]["ok"] == 1
+        assert isinstance(record["attrs"]["obj"], str)

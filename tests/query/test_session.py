@@ -73,3 +73,69 @@ class TestSession:
         # the rejected instructor-chain completion passes through teacher
         assert counts.get("teacher", 0) >= 1
         assert counts.get("grad", 0) == 0  # approved path not counted
+
+
+class TestSessionCommands:
+    def test_trace_status_defaults_off(self, db):
+        session = CompletionSession(db)
+        interaction = session.ask(":trace")
+        assert interaction.is_command
+        assert interaction.message == "tracing off (0 span(s) recorded)"
+        assert interaction.candidates == ()
+
+    def test_trace_on_records_subsequent_asks(self, db):
+        session = CompletionSession(db)
+        assert session.ask(":trace on").message == "tracing on"
+        session.ask("ta ~ name")
+        assert session.tracer is not None
+        assert session.tracer.find("ask")
+        assert session.tracer.find("complete")
+
+    def test_trace_off_stops_recording_but_keeps_spans(self, db):
+        session = CompletionSession(db)
+        session.ask(":trace on")
+        session.ask("ta ~ name")
+        recorded = session.tracer.span_count
+        assert session.ask(":trace off").message == "tracing off"
+        session.ask("ta ~ name")
+        assert session.tracer.span_count == recorded
+        assert f"({recorded} span(s) recorded)" in session.ask(":trace").message
+
+    def test_trace_show_renders_tree(self, db):
+        session = CompletionSession(db)
+        session.ask(":trace on")
+        session.ask("ta ~ name")
+        message = session.ask(":trace show").message
+        assert "ask" in message
+        assert "ms" in message
+
+    def test_trace_show_without_spans(self, db):
+        session = CompletionSession(db)
+        message = session.ask(":trace show").message
+        assert "no spans recorded" in message
+
+    def test_metrics_accumulate_across_rounds(self, db):
+        import json
+
+        from repro.core.compiled import CompiledSchema
+
+        # A fresh (non-memoized) artifact so the completion cache starts
+        # cold regardless of what earlier tests completed.
+        session = CompletionSession(db, compiled=CompiledSchema(db.schema))
+        session.ask("ta ~ name")
+        session.ask("ta ~ name")
+        summary = json.loads(session.ask(":metrics").message)
+        assert summary["counters"]["completions"] == 2
+        assert summary["counters"]["cache.hits"] == 1
+
+    def test_unknown_command_is_reported(self, db):
+        message = CompletionSession(db).ask(":bogus").message
+        assert "unknown session command" in message
+        assert ":metrics" in message
+
+    def test_command_rounds_enter_history(self, db):
+        session = CompletionSession(db)
+        session.ask(":trace on")
+        session.ask("ta ~ name")
+        kinds = [i.is_command for i in session.history]
+        assert kinds == [True, False]

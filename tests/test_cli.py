@@ -207,3 +207,84 @@ class TestParser:
                 ["complete", "--builtin", "university", "--schema", "x",
                  "a ~ b"]
             )
+
+
+class TestObservabilityFlags:
+    def test_trace_prints_span_tree(self, capsys):
+        # A bare --trace must come after the expression (or use
+        # --trace=FILE): argparse's nargs="?" would otherwise swallow
+        # the positional.
+        # Drop memoized artifacts so the completion cache starts cold
+        # and the trace shows a full run (traverse/rank), regardless of
+        # what other tests completed on the shared university artifact.
+        from repro.core.compiled import invalidate
+
+        invalidate()
+        code = main(
+            ["complete", "--builtin", "university", "ta ~ name", "--trace"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = out.splitlines()
+        assert any(line.startswith("complete") and "ms" in line
+                   for line in lines)
+        assert any("traverse" in line for line in lines)
+        assert any("rank" in line for line in lines)
+
+    def test_trace_to_file_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs.schema import validate_trace_events
+
+        target = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "complete",
+                "--builtin",
+                "university",
+                f"--trace={target}",
+                "ta ~ name",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"event(s) written to {target}" in out
+        records = [
+            json.loads(line)
+            for line in target.read_text().splitlines()
+            if line
+        ]
+        assert records
+        validate_trace_events(records)
+
+    def test_metrics_prints_valid_summary(self, capsys):
+        from repro.obs.schema import validate_metrics_summary
+
+        code = main(
+            ["complete", "--builtin", "university", "--metrics", "ta ~ name"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        summary = json.loads(out[out.index("{"):])
+        validate_metrics_summary(summary)
+        assert summary["counters"]["completions"] == 1
+
+    def test_verbose_reports_cache_info(self, capsys):
+        main(
+            ["complete", "--builtin", "university", "--verbose", "ta ~ name"]
+        )
+        out = capsys.readouterr().out
+        assert "[cache:" in out
+        assert "hit(s)" in out
+
+    def test_query_supports_trace(self, tmp_path, capsys):
+        schema = build_university_schema()
+        db = Database(schema)
+        bob = db.create("ta")
+        db.set_attribute(bob, "name", "bob")
+        path = tmp_path / "db.json"
+        save_database(db, path)
+
+        code = main(["query", "--db", str(path), "get ta ~ name", "--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert any(line.startswith("query") for line in out.splitlines())
+        assert "evaluate" in out
