@@ -18,6 +18,12 @@ Observability (``complete``, ``query``, ``fox``, ``experiments``):
 ``--trace`` prints the nested span tree of the run; ``--trace=FILE``
 writes the JSON-lines event log to FILE instead; ``--metrics`` prints
 the schema-validated metrics summary.  See ``docs/observability.md``.
+
+Resilience (same subcommands): ``--deadline-ms`` / ``--max-nodes``
+install an ambient completion budget; on a trip the command fails with
+exit code 3 and prints the best-so-far candidates, unless
+``--partial-ok`` is given, in which case the flagged partial result is
+reported normally.  See ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import RecordingTracer, use_tracer
+from repro.resilience.budget import Budget, use_budget
 
 from repro.core.compiled import compile_schema
 from repro.core.domain import DomainKnowledge
@@ -38,7 +45,7 @@ from repro.core.enumerate import enumerate_consistent_paths
 from repro.core.parser import parse_path_expression
 from repro.core.printer import format_result
 from repro.core.target import RelationshipTarget
-from repro.errors import ReproError
+from repro.errors import BudgetExceededError, ReproError
 from repro.model.analysis import profile_schema, suggest_hub_exclusions
 from repro.model.dsl import parse_schema_dsl, schema_to_dsl
 from repro.model.graph import SchemaGraph
@@ -101,19 +108,61 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_budget_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-clock budget per completion search (milliseconds)",
+    )
+    parser.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on node expansions (recursive calls) per search",
+    )
+    parser.add_argument(
+        "--partial-ok",
+        action="store_true",
+        help=(
+            "on a tripped budget return the flagged best-so-far partial "
+            "result instead of failing"
+        ),
+    )
+
+
+def _budget_from(args: argparse.Namespace) -> Budget | None:
+    """Build the ambient budget requested by the CLI flags (or None)."""
+    deadline_ms = getattr(args, "deadline_ms", None)
+    max_nodes = getattr(args, "max_nodes", None)
+    if deadline_ms is None and max_nodes is None:
+        return None
+    return Budget.from_millis(
+        deadline_ms,
+        max_nodes=max_nodes,
+        partial_ok=getattr(args, "partial_ok", False),
+    )
+
+
 @contextlib.contextmanager
 def _observability(args: argparse.Namespace):
     """Install a tracer/metrics registry per the ``--trace``/``--metrics``
-    flags and emit the requested reports when the command body is done."""
+    flags (and the ambient budget per ``--deadline-ms``/``--max-nodes``)
+    and emit the requested reports when the command body is done."""
     trace_target = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
     tracer = RecordingTracer() if trace_target else None
     registry = MetricsRegistry() if want_metrics else None
+    budget = _budget_from(args)
     with contextlib.ExitStack() as stack:
         if tracer is not None:
             stack.enter_context(use_tracer(tracer))
         if registry is not None:
             stack.enter_context(use_metrics(registry))
+        if budget is not None:
+            stack.enter_context(use_budget(budget))
         yield
     if tracer is not None:
         if trace_target == "-":
@@ -278,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     complete.add_argument("--verbose", action="store_true")
     _add_obs_options(complete)
+    _add_budget_options(complete)
     complete.set_defaults(handler=_cmd_complete)
 
     enumerate_parser = subparsers.add_parser(
@@ -301,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--db", required=True, metavar="FILE")
     query.add_argument("query")
     _add_obs_options(query)
+    _add_budget_options(query)
     query.set_defaults(handler=_cmd_query)
 
     explain = subparsers.add_parser(
@@ -319,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     fox.add_argument("--db", required=True, metavar="FILE")
     fox.add_argument("query")
     _add_obs_options(fox)
+    _add_budget_options(fox)
     fox.set_defaults(handler=_cmd_fox)
 
     convert = subparsers.add_parser(
@@ -333,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("--quick", action="store_true")
     _add_obs_options(experiments)
+    _add_budget_options(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
 
     return parser
@@ -344,6 +397,18 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except BudgetExceededError as error:
+        print(f"error: {error}", file=sys.stderr)
+        partial = error.partial
+        if partial is not None and getattr(partial, "paths", ()):
+            print(
+                "best-so-far candidates (re-run with --partial-ok to "
+                "accept them):",
+                file=sys.stderr,
+            )
+            for path in partial.paths:
+                print(f"  {path}", file=sys.stderr)
+        return 3
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -52,6 +52,7 @@ from repro.model.graph import SchemaGraph
 from repro.model.schema import Schema
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
+from repro.resilience.budget import Budget, BudgetMeter
 
 __all__ = [
     "CompiledSchema",
@@ -109,6 +110,16 @@ class CompletionCache:
             return value
 
     def put(self, key: tuple, value: CompletionResult) -> None:
+        # The resilience hard invariant: anytime partial results (budget
+        # truncations, degraded-E answers) must never be served warm —
+        # a later un-governed query would silently inherit the
+        # truncation.  Callers check ``exhausted`` first; this raise is
+        # the backstop the chaos suite leans on.
+        if not getattr(value, "exhausted", True):
+            raise ValueError(
+                "refusing to cache a partial completion result "
+                f"(truncation_reason={value.truncation_reason!r})"
+            )
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
@@ -273,6 +284,8 @@ class CompiledSchema:
         use_caution_sets: bool = True,
         apply_inheritance_criterion: bool = True,
         max_depth: int | None = None,
+        budget: "Budget | None" = None,
+        meter: "BudgetMeter | None" = None,
     ) -> CompletionResult:
         """Cached single-gap completion ``root ~ relationship_name``.
 
@@ -280,6 +293,12 @@ class CompiledSchema:
         and the sub-completion entry :mod:`repro.core.multi` uses for
         each ``~`` segment of a general expression — so tilde segments
         shared across different queries hit the same cache entries.
+
+        ``budget``/``meter`` govern a cache *miss* exactly as in
+        :meth:`~repro.core.completion.CompletionSearch.run`; only
+        exhausted results enter the cache, so a budget can shrink what
+        gets cached but never poison it.  A warm hit is returned as-is
+        (cached results are exhaustive by invariant).
         """
         text = f"{root}~{relationship_name}"
         key = self.cache_key(
@@ -296,8 +315,9 @@ class CompiledSchema:
             use_caution_sets=use_caution_sets,
             apply_inheritance_criterion=apply_inheritance_criterion,
             max_depth=max_depth,
-        ).run(root, RelationshipTarget(relationship_name))
-        self.cache.put(key, result)
+        ).run(root, RelationshipTarget(relationship_name), budget=budget, meter=meter)
+        if result.exhausted:
+            self.cache.put(key, result)
         get_metrics().record_cache(hit=False)
         return result
 

@@ -34,10 +34,25 @@ from repro.core.ast import ConcretePath
 from repro.core.inheritance_criterion import apply_preemption
 from repro.core.stats import TraversalStats
 from repro.core.target import Target
+from repro.errors import BudgetExceededError
 from repro.model.graph import SchemaGraph
+from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
+from repro.resilience.budget import Budget, BudgetMeter, get_budget
 
 __all__ = ["CompletionSearch", "CompletionResult", "complete_paths"]
+
+
+class _BudgetTrip(Exception):
+    """Internal control flow: unwinds the traversal on a tripped meter.
+
+    Never escapes :meth:`CompletionSearch.run` — it is converted there
+    into an anytime partial result (or a
+    :class:`~repro.errors.BudgetExceededError` carrying one).
+    """
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,6 +62,15 @@ class CompletionResult:
     ``paths`` are the optimal consistent completions, best label first
     (ties broken by semantic length, then actual length, then text).
     ``labels`` are the surviving optimal labels (the best[T] set).
+
+    ``exhausted`` is the anytime flag: ``True`` means the search space
+    was fully explored at the requested parameters, so ``paths`` is
+    *the* optimal set.  ``False`` means a resource budget tripped (or
+    the degradation ladder answered at a lower E); every path is still
+    a genuinely consistent completion, but the set may be incomplete or
+    non-optimal, and ``truncation_reason`` says why
+    (:class:`~repro.resilience.budget.TruncationReason`).  Partial
+    results are never stored in the completion cache.
     """
 
     root: str
@@ -54,6 +78,8 @@ class CompletionResult:
     paths: tuple[ConcretePath, ...]
     labels: tuple[PathLabel, ...]
     stats: TraversalStats
+    exhausted: bool = True
+    truncation_reason: str | None = None
 
     @property
     def expressions(self) -> list[str]:
@@ -69,10 +95,18 @@ class CompletionResult:
         """True when the user has nothing left to choose."""
         return len(self.paths) == 1
 
+    @property
+    def is_partial(self) -> bool:
+        """True for anytime results (budget-truncated or degraded)."""
+        return not self.exhausted
+
     def __str__(self) -> str:
+        suffix = (
+            f" [partial: {self.truncation_reason}]" if self.is_partial else ""
+        )
         lines = [
             f"completions of {self.root} ~ {self.target_description} "
-            f"({len(self.paths)}):"
+            f"({len(self.paths)}){suffix}:"
         ]
         for path in self.paths:
             lines.append(f"  {path}  {path.label()}")
@@ -132,12 +166,34 @@ class CompletionSearch:
     # Public API
     # ------------------------------------------------------------------
 
-    def run(self, root: str, target: Target) -> CompletionResult:
+    def run(
+        self,
+        root: str,
+        target: Target,
+        budget: Budget | None = None,
+        meter: BudgetMeter | None = None,
+    ) -> CompletionResult:
         """Find the optimal consistent completions from ``root``.
 
         Mirrors the paper's ``traverse(S, Theta, S)`` invocation.
+
+        Resource governance: ``budget`` (or, when omitted, the ambient
+        :func:`repro.resilience.budget.get_budget`) bounds the
+        traversal.  On a trip the best-so-far completions are finalized
+        into an anytime result flagged ``exhausted=False``; under the
+        budget's ``partial_ok`` policy it is returned, otherwise
+        :class:`~repro.errors.BudgetExceededError` is raised carrying
+        it.  Pass an armed ``meter`` instead to share one budget across
+        several searches (the segments of a general expression, the
+        engine's degradation ladder); the meter's own budget then
+        supplies the policy.
         """
         self.graph.schema.get_class(root)
+        if meter is None:
+            if budget is None:
+                budget = get_budget()
+            if budget is not None and not budget.is_unlimited:
+                meter = budget.start()
         stats = TraversalStats()
         started = time.perf_counter()
         state = _SearchState(
@@ -151,8 +207,13 @@ class CompletionSearch:
             target=target.describe(),
             e=self.aggregator.e,
         ) as span:
-            self._traverse(
-                root, PathLabel.identity(), ConcretePath.start(root), state, target
+            reason = self._traverse(
+                root,
+                PathLabel.identity(),
+                ConcretePath.start(root),
+                state,
+                target,
+                meter,
             )
             span.set(
                 calls=stats.recursive_calls,
@@ -163,18 +224,28 @@ class CompletionSearch:
                 pruned_best_bound=stats.pruned_best_bound,
                 caution_rescues=stats.rescued_by_caution,
             )
+            if reason is not None:
+                span.set(truncated=reason)
         paths = self._finalize(state)
         stats.elapsed_seconds = time.perf_counter() - started
         labels = tuple(
             self.aggregator.aggregate([path.label() for path in paths])
         )
-        return CompletionResult(
+        if reason is not None:
+            stats.budget_trips += 1
+            get_metrics().counter("budget.trips").inc()
+        result = CompletionResult(
             root=root,
             target_description=target.describe(),
             paths=tuple(paths),
             labels=labels,
             stats=stats,
+            exhausted=reason is None,
+            truncation_reason=reason,
         )
+        if reason is not None and meter is not None and not meter.budget.partial_ok:
+            raise BudgetExceededError(reason, partial=result)
+        return result
 
     # ------------------------------------------------------------------
     # The traversal (Algorithm 2)
@@ -187,15 +258,19 @@ class CompletionSearch:
         root_path: ConcretePath,
         state: "_SearchState",
         target: Target,
-    ) -> None:
+        meter: BudgetMeter | None = None,
+    ) -> str | None:
         """Iterative rendering of the paper's recursive ``traverse``.
 
         Each stack frame is ``(node, label, path, next edge index)``;
         pushing a frame corresponds to a recursive call (line 13),
         popping a frame past its last edge to returning past line 15
         (which clears the ``visited`` flag).
+
+        Returns ``None`` on exhaustion, or the truncation reason when
+        ``meter`` trips — the state's recorded complete paths are then
+        the best-so-far anytime answer.
         """
-        best: dict[str, list[PathLabel]] = state.best
         visited: set[str] = state.visited
         aggregator = self.aggregator
         stats = state.stats
@@ -207,6 +282,12 @@ class CompletionSearch:
             # completing edges out of this node, run update(paths).
             visited.add(node)
             stats.recursive_calls += 1
+            if meter is not None:
+                reason = meter.tripped(
+                    stats.recursive_calls, len(state.complete), len(stack)
+                )
+                if reason is not None:
+                    raise _BudgetTrip(reason)
             for edge in self.graph.edges_from(node):
                 if not target.is_completing_edge(edge):
                     continue
@@ -220,6 +301,29 @@ class CompletionSearch:
                     state.complete.append(path.extend(edge))
                     stats.complete_paths_found += 1
             stack.append((node, label, path, 0))
+
+        try:
+            self._traverse_loop(enter, stack, root, root_label, root_path, state, target)
+        except _BudgetTrip as trip:
+            return trip.reason
+        return None
+
+    def _traverse_loop(
+        self,
+        enter,
+        stack: list,
+        root: str,
+        root_label: PathLabel,
+        root_path: ConcretePath,
+        state: "_SearchState",
+        target: Target,
+    ) -> None:
+        """The stack-driven DFS loop (split out so a budget trip unwinds
+        through one exception handler)."""
+        visited = state.visited
+        aggregator = self.aggregator
+        stats = state.stats
+        best = state.best
 
         enter(root, root_label, root_path)
         while stack:
@@ -358,6 +462,7 @@ def complete_paths(
     use_caution_sets: bool = True,
     apply_inheritance_criterion: bool = True,
     max_depth: int | None = None,
+    budget: Budget | None = None,
 ) -> CompletionResult:
     """One-shot convenience wrapper around :class:`CompletionSearch`."""
     search = CompletionSearch(
@@ -368,4 +473,4 @@ def complete_paths(
         apply_inheritance_criterion=apply_inheritance_criterion,
         max_depth=max_depth,
     )
-    return search.run(root, target)
+    return search.run(root, target, budget=budget)

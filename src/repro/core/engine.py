@@ -34,10 +34,11 @@ from repro.core.multi import complete_general
 from repro.core.parser import parse_path_expression
 from repro.core.stats import TraversalStats
 from repro.core.target import ClassTarget, RelationshipTarget, Target
-from repro.errors import NoCompletionError
+from repro.errors import BudgetExceededError, NoCompletionError
 from repro.model.schema import Schema
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
+from repro.resilience.budget import Budget, BudgetMeter, TruncationReason, get_budget
 from typing import TYPE_CHECKING
 from collections.abc import Iterable
 
@@ -97,6 +98,17 @@ class Disambiguator:
         Ablation switches; both on by default as in the paper.  These
         are per-engine (part of every cache key), so engines with
         different ablation settings can share one artifact safely.
+    budget:
+        Optional default :class:`~repro.resilience.budget.Budget`
+        governing every completion this engine runs (per-call
+        ``complete(..., budget=...)`` overrides it; with neither, the
+        ambient :func:`~repro.resilience.budget.get_budget` applies).
+        Governed cache misses run the degradation ladder: a tripped
+        E=k search is retried at k-1, ..., 1 (each rung re-armed, with
+        ``budget.degrades`` counted), and only if E=1 still trips does
+        the policy decide between raising
+        :class:`~repro.errors.BudgetExceededError` and returning the
+        flagged partial.  Non-exhausted results are never cached.
 
     Examples
     --------
@@ -116,6 +128,7 @@ class Disambiguator:
         use_caution_sets: bool = True,
         apply_inheritance_criterion: bool = True,
         max_depth: int | None = None,
+        budget: Budget | None = None,
     ) -> None:
         if isinstance(schema, CompiledSchema):
             if order is not None and order is not schema.order:
@@ -144,6 +157,7 @@ class Disambiguator:
         self.use_caution_sets = use_caution_sets
         self.apply_inheritance_criterion = apply_inheritance_criterion
         self.max_depth = max_depth
+        self.budget = budget
         self._search = self.compiled.searcher(
             e=e,
             use_caution_sets=use_caution_sets,
@@ -156,7 +170,9 @@ class Disambiguator:
     # ------------------------------------------------------------------
 
     def complete(
-        self, expression: str | PathExpression
+        self,
+        expression: str | PathExpression,
+        budget: Budget | None = None,
     ) -> CompletionResult:
         """Complete an expression given as text or AST.
 
@@ -165,16 +181,23 @@ class Disambiguator:
         approve (paper Figure 1's loop).  For already-complete input the
         result contains exactly that path, validated against the schema.
 
-        Successful results are cached on the shared artifact keyed by
-        the normalized expression text (plus E, ablation flags, order,
-        and knowledge); failures are never cached.
+        Successful exhaustive results are cached on the shared artifact
+        keyed by the normalized expression text (plus E, ablation
+        flags, order, and knowledge); failures and anytime partial or
+        degraded results are never cached.
+
+        ``budget`` overrides the engine's default budget for this call
+        (see the class docstring for the governance and degradation
+        semantics); warm cache hits are served regardless of budget —
+        the cache only ever holds exhaustive results.
         """
         tracer = get_tracer()
         if not tracer.enabled:
             # Untraced fast path.  This method is the warm-cache hot
             # loop (microseconds per call), where even no-op span
             # plumbing is measurable; the traced branch below is the
-            # same logic with spans.
+            # same logic with spans.  Budget resolution happens after
+            # the cache lookup so the warm path stays untouched.
             if isinstance(expression, str):
                 expression = parse_path_expression(expression)
             key = self._cache_key(str(expression))
@@ -182,8 +205,9 @@ class Disambiguator:
             if cached is not None:
                 get_metrics().record_completion(cached.stats, cached=True)
                 return cached
-            result = self._complete_uncached(expression)
-            self.compiled.cache.put(key, result)
+            result = self._complete_governed(expression, budget)
+            if result.exhausted:
+                self.compiled.cache.put(key, result)
             get_metrics().record_completion(result.stats, cached=False)
             return result
         with tracer.span(
@@ -201,8 +225,11 @@ class Disambiguator:
                 span.set(cache="hit")
                 get_metrics().record_completion(cached.stats, cached=True)
                 return cached
-            result = self._complete_uncached(expression)
-            self.compiled.cache.put(key, result)
+            result = self._complete_governed(expression, budget)
+            if result.exhausted:
+                self.compiled.cache.put(key, result)
+            else:
+                span.set(truncated=result.truncation_reason)
             span.set(cache="miss", paths=len(result.paths))
             get_metrics().record_completion(result.stats, cached=False)
             return result
@@ -242,7 +269,10 @@ class Disambiguator:
                 get_metrics().record_completion(cached.stats, cached=True)
                 return cached
             result = self._search.run(root, ClassTarget(target_class))
-            self.compiled.cache.put(key, result)
+            if result.exhausted:
+                self.compiled.cache.put(key, result)
+            else:
+                span.set(truncated=result.truncation_reason)
             span.set(cache="miss", paths=len(result.paths))
             get_metrics().record_completion(result.stats, cached=False)
             return result
@@ -310,21 +340,108 @@ class Disambiguator:
             self.max_depth,
         )
 
-    def _complete_uncached(
-        self, expression: PathExpression
+    def _effective_budget(self, budget: Budget | None) -> Budget | None:
+        """Per-call override, else engine default, else ambient."""
+        if budget is not None:
+            return budget
+        if self.budget is not None:
+            return self.budget
+        return get_budget()
+
+    def _complete_governed(
+        self, expression: PathExpression, budget: Budget | None
     ) -> CompletionResult:
+        """Run one uncached completion under the effective budget.
+
+        Ungoverned calls go straight to :meth:`_complete_uncached`.
+        Governed calls walk the degradation ladder: every rung gets a
+        freshly armed meter (the deadline restarts — the ladder trades
+        total latency for the chance of *an* exhaustive answer), and a
+        rung that finishes below the requested E returns its result
+        flagged ``exhausted=False`` with reason ``degraded:e=k``.  If
+        the E=1 rung still trips, ``partial_ok`` decides between
+        returning the flagged best-so-far and raising
+        :class:`~repro.errors.BudgetExceededError` around it.
+        """
+        budget = self._effective_budget(budget)
+        if budget is None or budget.is_unlimited:
+            return self._complete_uncached(expression)
+        armed = budget.allowing_partial()
+        metrics = get_metrics()
+        tracer = get_tracer()
+        e = self.e
+        while True:
+            result = self._complete_uncached(
+                expression, e=e, meter=armed.start()
+            )
+            if result.exhausted:
+                if e != self.e:
+                    result = dataclasses.replace(
+                        result,
+                        exhausted=False,
+                        truncation_reason=TruncationReason.degraded(e),
+                    )
+                return result
+            if e > 1:
+                # Rung down: a lower E prunes harder, so the same
+                # budget may suffice for an exhaustive (if relaxed)
+                # answer.
+                with tracer.span(
+                    "degrade",
+                    expression=str(expression),
+                    from_e=e,
+                    to_e=e - 1,
+                    reason=result.truncation_reason,
+                ):
+                    e -= 1
+                    metrics.counter("budget.degrades").inc()
+                continue
+            if budget.partial_ok:
+                return result
+            raise BudgetExceededError(
+                result.truncation_reason or TruncationReason.DEADLINE,
+                partial=result,
+            )
+
+    def _complete_uncached(
+        self,
+        expression: PathExpression,
+        e: int | None = None,
+        meter: BudgetMeter | None = None,
+    ) -> CompletionResult:
+        """One completion straight through the search (no result cache).
+
+        ``e`` overrides the engine's relaxation for one call (ladder
+        rungs); ``meter`` is a shared armed budget meter — per the
+        :meth:`CompletionSearch.run` contract it must come from an
+        ``allowing_partial()`` budget, so trips surface as flags here.
+        """
+        e = self.e if e is None else e
         if expression.is_complete:
             return self._validate_complete(expression)
         if expression.is_simple_incomplete:
-            return self._search.run(
-                expression.root, RelationshipTarget(expression.last_name)
+            search = (
+                self._search
+                if e == self.e
+                else self.compiled.searcher(
+                    e=e,
+                    use_caution_sets=self.use_caution_sets,
+                    apply_inheritance_criterion=self.apply_inheritance_criterion,
+                    max_depth=self.max_depth,
+                )
+            )
+            return search.run(
+                expression.root,
+                RelationshipTarget(expression.last_name),
+                meter=meter,
             )
         general = complete_general(
             self.compiled,
             expression,
-            e=self.e,
+            e=e,
             use_caution_sets=self.use_caution_sets,
             apply_inheritance_criterion=self.apply_inheritance_criterion,
+            meter=meter,
         )
         return CompletionResult(
             root=expression.root,
@@ -334,6 +451,8 @@ class Disambiguator:
                 {path.label().key: path.label() for path in general.paths}.values()
             ),
             stats=general.stats,
+            exhausted=general.exhausted,
+            truncation_reason=general.truncation_reason,
         )
 
     def _validate_complete(

@@ -29,9 +29,10 @@ from repro.core.ast import ConcretePath, PathExpression
 from repro.core.completion import CompletionSearch
 from repro.core.stats import TraversalStats
 from repro.core.target import RelationshipTarget
-from repro.errors import NoCompletionError, PathExpressionError
+from repro.errors import BudgetExceededError, NoCompletionError, PathExpressionError
 from repro.model.graph import SchemaEdge, SchemaGraph
 from repro.obs.tracer import get_tracer
+from repro.resilience.budget import Budget, BudgetMeter, get_budget
 
 if TYPE_CHECKING:  # pragma: no cover - imported lazily to avoid a cycle
     from repro.core.compiled import CompiledSchema
@@ -41,11 +42,20 @@ __all__ = ["complete_general", "GeneralCompletionResult"]
 
 @dataclasses.dataclass(frozen=True)
 class GeneralCompletionResult:
-    """Outcome of completing a general incomplete expression."""
+    """Outcome of completing a general incomplete expression.
+
+    ``exhausted``/``truncation_reason`` carry the anytime contract of
+    :class:`~repro.core.completion.CompletionResult`: a budget trip in
+    any segment flags the whole result, and candidates are only
+    reported when every segment was at least reached (prefixes are not
+    completions).
+    """
 
     expression: PathExpression
     paths: tuple[ConcretePath, ...]
     stats: TraversalStats
+    exhausted: bool = True
+    truncation_reason: str | None = None
 
     @property
     def expressions(self) -> list[str]:
@@ -80,6 +90,8 @@ def complete_general(
     e: int = 1,
     use_caution_sets: bool = True,
     apply_inheritance_criterion: bool = True,
+    budget: Budget | None = None,
+    meter: BudgetMeter | None = None,
 ) -> GeneralCompletionResult:
     """Complete an arbitrary incomplete path expression.
 
@@ -94,6 +106,20 @@ def complete_general(
     single candidate.  Raises
     :class:`~repro.errors.NoCompletionError` when no consistent
     completion exists.
+
+    One ``budget`` (explicit, or the ambient
+    :func:`repro.resilience.budget.get_budget`) governs the whole
+    expression: all segment sub-completions share one armed meter, so
+    the deadline and node caps bound total work, not per-segment work.
+    On a trip the result is flagged ``exhausted=False``; candidates are
+    only reported if the final segment was reached (shorter prefixes
+    are not completions).  Under a ``partial_ok=False`` policy the
+    flagged result is raised inside a
+    :class:`~repro.errors.BudgetExceededError` instead.  A caller
+    passing an armed ``meter`` must have armed it from
+    ``budget.allowing_partial()`` and applies its own policy to the
+    returned flags (this is how the engine's degradation ladder drives
+    the rungs).
     """
     from repro.core.compiled import CompiledSchema
 
@@ -113,6 +139,17 @@ def complete_general(
     if not expression.steps:
         raise PathExpressionError("expression has no steps to complete")
 
+    # Arm one shared meter; sub-searches run in partial mode so a trip
+    # surfaces as a flag (not an exception) and this function applies
+    # the caller's policy once, over the whole expression.
+    raise_on_trip = False
+    if meter is None:
+        if budget is None:
+            budget = get_budget()
+        if budget is not None and not budget.is_unlimited:
+            raise_on_trip = not budget.partial_ok
+            meter = budget.allowing_partial().start()
+
     stats = TraversalStats()
     if compiled is None:
         search = CompletionSearch(
@@ -124,7 +161,7 @@ def complete_general(
         )
 
         def complete_segment(anchor: str, name: str):
-            return search.run(anchor, RelationshipTarget(name))
+            return search.run(anchor, RelationshipTarget(name), meter=meter)
 
     else:
 
@@ -135,9 +172,12 @@ def complete_general(
                 e=e,
                 use_caution_sets=use_caution_sets,
                 apply_inheritance_criterion=apply_inheritance_criterion,
+                meter=meter,
             )
 
     tracer = get_tracer()
+    truncation: str | None = None
+    final_index = len(expression.steps) - 1
     partials: list[ConcretePath] = [ConcretePath.start(expression.root)]
     for index, step in enumerate(expression.steps):
         next_partials: list[ConcretePath] = []
@@ -162,6 +202,10 @@ def complete_general(
                             combined = _concatenate(partial, sub_path)
                             if combined is not None:
                                 next_partials.append(combined)
+                    if not sub.exhausted:
+                        truncation = sub.truncation_reason
+                        span.set(truncated=truncation)
+                        break
                 span.set(anchors=len(by_anchor), survivors=len(next_partials))
         else:
             for partial in partials:
@@ -173,11 +217,21 @@ def complete_general(
                 if edge.target in partial.classes():
                     continue  # would make the whole path cyclic
                 next_partials.append(partial.extend(edge))
+        if truncation is not None and index != final_index:
+            # Tripped before the last segment: the surviving prefixes
+            # are not completions — the anytime answer is empty.
+            partials = []
+            break
         partials = next_partials
         if not partials:
             break
+        if meter is not None and truncation is None:
+            truncation = meter.check_deadline_now()
+            if truncation is not None and index != final_index:
+                partials = []
+                break
 
-    if not partials:
+    if not partials and truncation is None:
         raise NoCompletionError(
             f"no completion consistent with {expression}"
         )
@@ -203,9 +257,16 @@ def complete_general(
                 str(p),
             ),
         )
-    return GeneralCompletionResult(
-        expression=expression, paths=tuple(ranked), stats=stats
+    result = GeneralCompletionResult(
+        expression=expression,
+        paths=tuple(ranked),
+        stats=stats,
+        exhausted=truncation is None,
+        truncation_reason=truncation,
     )
+    if truncation is not None and raise_on_trip:
+        raise BudgetExceededError(truncation, partial=result)
+    return result
 
 
 def _concatenate(

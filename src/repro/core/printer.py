@@ -66,4 +66,11 @@ def format_result(result: CompletionResult, verbose: bool = False) -> str:
         else format_candidates(result.paths)
     )
     footer = f"  [{result.stats}]"
-    return "\n".join([header, body, footer])
+    lines = [header, body, footer]
+    if result.is_partial:
+        lines.append(
+            f"  (partial result: search truncated by budget "
+            f"[{result.truncation_reason}]; candidates shown are the "
+            "best found so far)"
+        )
+    return "\n".join(lines)

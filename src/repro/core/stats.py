@@ -38,6 +38,11 @@ class TraversalStats:
     benchmark reports can show how much traversal work the shared
     completion cache absorbed.
 
+    ``budget_trips`` counts searches stopped early by a
+    :class:`~repro.resilience.budget.Budget`; a nonzero value means the
+    run (or some member of an aggregated batch) returned an anytime
+    partial result or was answered by the degradation ladder.
+
     Timing conventions:
 
     * ``elapsed_seconds`` is the wall-clock of the run that *produced*
@@ -57,6 +62,7 @@ class TraversalStats:
     pruned_best_bound: int = 0
     rescued_by_caution: int = 0
     preempted_paths: int = 0
+    budget_trips: int = 0
     elapsed_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0

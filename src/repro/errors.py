@@ -31,6 +31,9 @@ __all__ = [
     "UnknownObjectError",
     "EvaluationError",
     "QuerySyntaxError",
+    "ResilienceError",
+    "BudgetExceededError",
+    "InjectedFaultError",
 ]
 
 
@@ -190,3 +193,53 @@ class QuerySyntaxError(ReproError):
     def __init__(self, message: str, text: str) -> None:
         super().__init__(f"{message} in query {text!r}")
         self.text = text
+
+
+# ---------------------------------------------------------------------------
+# Resilience errors (budgets, fault injection)
+# ---------------------------------------------------------------------------
+
+
+class ResilienceError(ReproError):
+    """Base class for resource-governance and fault-injection errors."""
+
+
+class BudgetExceededError(ResilienceError):
+    """A completion search tripped its resource budget.
+
+    ``partial`` carries the best-so-far result — a
+    :class:`~repro.core.completion.CompletionResult` (or
+    :class:`~repro.core.multi.GeneralCompletionResult`) flagged
+    ``exhausted=False``.  Every path in it is a genuinely consistent
+    completion; the set is merely possibly non-optimal and incomplete.
+    ``reason`` is one of the
+    :class:`~repro.resilience.budget.TruncationReason` strings.
+    """
+
+    def __init__(self, reason: str, partial: object = None) -> None:
+        found = getattr(partial, "paths", None)
+        detail = (
+            f"; best-so-far carries {len(found)} path(s)"
+            if found is not None
+            else ""
+        )
+        super().__init__(f"completion budget exceeded ({reason}){detail}")
+        self.reason = reason
+        self.partial = partial
+
+
+class InjectedFaultError(ResilienceError):
+    """A deterministic fault injected by the chaos-testing harness.
+
+    Never raised in production code paths — only by
+    :mod:`repro.resilience.faults` wrappers — but derives from
+    :class:`ReproError` so the same API-boundary handlers that keep a
+    session or an experiment runner alive under real failures are
+    exercised by the chaos suite.
+    """
+
+    def __init__(self, site: str, detail: str = "") -> None:
+        super().__init__(
+            f"injected fault at {site}" + (f": {detail}" if detail else "")
+        )
+        self.site = site

@@ -45,10 +45,17 @@ def run_figure5(
     oracle: DesignerOracle,
     e_values: tuple[int, ...] = (1, 2, 3, 4, 5),
     domain_knowledge: DomainKnowledge | None = None,
+    continue_on_error: bool = False,
+    retries: int = 0,
 ) -> Figure5Result:
     """Compute the average-recall-vs-E series."""
     points = sweep_e(
-        schema, oracle, e_values=e_values, domain_knowledge=domain_knowledge
+        schema,
+        oracle,
+        e_values=e_values,
+        domain_knowledge=domain_knowledge,
+        continue_on_error=continue_on_error,
+        retries=retries,
     )
     return Figure5Result(points=tuple(points))
 

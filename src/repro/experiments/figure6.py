@@ -52,11 +52,24 @@ def run_figure6(
     oracle: DesignerOracle,
     domain_knowledge: DomainKnowledge,
     e_values: tuple[int, ...] = (1, 2, 3, 4, 5),
+    continue_on_error: bool = False,
+    retries: int = 0,
 ) -> Figure6Result:
     """Compute both precision series."""
-    without = sweep_e(schema, oracle, e_values=e_values)
+    without = sweep_e(
+        schema,
+        oracle,
+        e_values=e_values,
+        continue_on_error=continue_on_error,
+        retries=retries,
+    )
     with_dk = sweep_e(
-        schema, oracle, e_values=e_values, domain_knowledge=domain_knowledge
+        schema,
+        oracle,
+        e_values=e_values,
+        domain_knowledge=domain_knowledge,
+        continue_on_error=continue_on_error,
+        retries=retries,
     )
     return Figure6Result(
         without_dk=tuple(without),

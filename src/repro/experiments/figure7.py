@@ -46,10 +46,16 @@ class QueryTiming:
 
 @dataclasses.dataclass(frozen=True)
 class Figure7Result:
-    """Timings ordered by increasing processing complexity."""
+    """Timings ordered by increasing processing complexity.
+
+    ``outcomes`` keeps the raw workload outcomes (in workload order) so
+    callers can inspect per-query failures recorded by a
+    continue-on-error run.
+    """
 
     timings: tuple[QueryTiming, ...]
     e: int
+    outcomes: tuple = ()
 
     @property
     def average_seconds(self) -> float:
@@ -75,10 +81,17 @@ def run_figure7(
     oracle: DesignerOracle,
     e: int = 5,
     domain_knowledge: DomainKnowledge | None = None,
+    continue_on_error: bool = False,
+    retries: int = 0,
 ) -> Figure7Result:
     """Time every workload query at the paper's E=5 setting."""
     outcomes = run_workload(
-        schema, oracle, e=e, domain_knowledge=domain_knowledge
+        schema,
+        oracle,
+        e=e,
+        domain_knowledge=domain_knowledge,
+        continue_on_error=continue_on_error,
+        retries=retries,
     )
     timings = [
         QueryTiming(
@@ -90,7 +103,9 @@ def run_figure7(
         for o in outcomes
     ]
     timings.sort(key=lambda t: t.recursive_calls)
-    return Figure7Result(timings=tuple(timings), e=e)
+    return Figure7Result(
+        timings=tuple(timings), e=e, outcomes=tuple(outcomes)
+    )
 
 
 def render_figure7(result: Figure7Result) -> str:

@@ -13,6 +13,7 @@ import dataclasses
 from repro.core.compiled import CompiledSchema, compile_schema
 from repro.core.domain import DomainKnowledge
 from repro.core.engine import Disambiguator
+from repro.errors import ReproError
 from repro.experiments.metrics import average, precision, recall
 from repro.experiments.oracle import DesignerOracle, WorkloadQuery
 from repro.model.schema import Schema
@@ -24,7 +25,14 @@ __all__ = ["QueryOutcome", "SweepPoint", "run_workload", "sweep_e"]
 
 @dataclasses.dataclass(frozen=True)
 class QueryOutcome:
-    """Result of running one workload query at one setting."""
+    """Result of running one workload query at one setting.
+
+    ``error`` is ``None`` on success; when
+    :func:`run_workload` runs with ``continue_on_error`` and a query
+    keeps failing through its retries, the outcome records the final
+    error text here (with empty ``returned`` and zero scores) so the
+    sweep's averages and the runner's failure report both see it.
+    """
 
     query: WorkloadQuery
     e: int
@@ -34,6 +42,11 @@ class QueryOutcome:
     precision: float
     recursive_calls: int
     elapsed_seconds: float
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     @property
     def returned_count(self) -> int:
@@ -74,6 +87,8 @@ def run_workload(
     e: int = 1,
     domain_knowledge: DomainKnowledge | None = None,
     compiled: CompiledSchema | None = None,
+    continue_on_error: bool = False,
+    retries: int = 0,
 ) -> list[QueryOutcome]:
     """Run every workload query once and score it against the oracle.
 
@@ -81,6 +96,13 @@ def run_workload(
     cache makes repeated runs warm); without it the engine compiles
     through the memoized registry, so repeated runs over an unchanged
     schema still share one artifact.
+
+    A query raising a :class:`~repro.errors.ReproError` is retried up to
+    ``retries`` more times (transient faults — an injected chaos fault,
+    a tripped deadline under load — often clear on retry).  If it still
+    fails: with ``continue_on_error`` the workload records a failed
+    :class:`QueryOutcome` (zero scores, the error text in ``.error``)
+    and moves on; otherwise the error propagates as before.
     """
     if compiled is None:
         compiled = compile_schema(schema, domain_knowledge=domain_knowledge)
@@ -93,7 +115,35 @@ def run_workload(
         knowledge=domain_knowledge is not None,
     ) as span:
         for query in oracle:
-            result = engine.complete(query.text)
+            result = None
+            failure: ReproError | None = None
+            for attempt in range(retries + 1):
+                try:
+                    result = engine.complete(query.text)
+                    failure = None
+                    break
+                except ReproError as error:
+                    failure = error
+                    if attempt < retries:
+                        metrics.counter("workload.retries").inc()
+            if failure is not None:
+                if not continue_on_error:
+                    raise failure
+                metrics.counter("workload.failures").inc()
+                outcomes.append(
+                    QueryOutcome(
+                        query=query,
+                        e=e,
+                        returned=(),
+                        intent=frozenset(query.final_intent(())),
+                        recall=0.0,
+                        precision=0.0,
+                        recursive_calls=0,
+                        elapsed_seconds=0.0,
+                        error=f"{type(failure).__name__}: {failure}",
+                    )
+                )
+                continue
             returned = tuple(result.expressions)
             intent = frozenset(query.final_intent(returned))
             outcome = QueryOutcome(
@@ -123,11 +173,15 @@ def sweep_e(
     e_values: tuple[int, ...] = (1, 2, 3, 4, 5),
     domain_knowledge: DomainKnowledge | None = None,
     compiled: CompiledSchema | None = None,
+    continue_on_error: bool = False,
+    retries: int = 0,
 ) -> list[SweepPoint]:
     """Run the workload across E settings (the Figures 5/6 x-axis).
 
     The schema is compiled exactly once for the whole sweep; E is part
     of every completion cache key, so the points coexist in one cache.
+    ``continue_on_error``/``retries`` pass through to
+    :func:`run_workload`.
     """
     if compiled is None:
         compiled = compile_schema(schema, domain_knowledge=domain_knowledge)
@@ -139,6 +193,8 @@ def sweep_e(
             e=e,
             domain_knowledge=domain_knowledge,
             compiled=compiled,
+            continue_on_error=continue_on_error,
+            retries=retries,
         )
         points.append(
             SweepPoint(

@@ -19,15 +19,26 @@ expressions:
 * ``:trace on`` / ``:trace off`` — record spans for subsequent asks
   into a session-held :class:`~repro.obs.tracer.RecordingTracer`;
 * ``:trace`` — tracing status; ``:trace show`` — the recorded tree;
-* ``:metrics`` — the session's accumulated metrics summary as JSON.
+* ``:metrics`` — the session's accumulated metrics summary as JSON;
+* ``:budget`` — show the session's completion budget;
+  ``:budget deadline MS`` / ``:budget nodes N`` / ``:budget paths N`` /
+  ``:budget depth N`` set one dimension, ``:budget partial on|off``
+  picks the anytime policy, ``:budget off`` clears the governor.
 
 Command rounds return an :class:`Interaction` whose ``message`` carries
 the rendered output (candidates/results stay empty), so interactive
 front-ends print one field either way.
+
+A failed round never kills the loop: :meth:`CompletionSession.ask`
+catches every :class:`~repro.errors.ReproError` (syntax errors, no
+completion, tripped budgets) and returns an :class:`Interaction` whose
+``message`` carries the error text, keeping the Figure 1 conversation
+going.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 from collections.abc import Callable, Sequence
@@ -35,10 +46,12 @@ from collections.abc import Callable, Sequence
 from repro.core.ast import ConcretePath
 from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
+from repro.errors import BudgetExceededError, ReproError
 from repro.model.instances import Database
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import RecordingTracer, get_tracer, use_tracer
 from repro.query.evaluator import evaluate
+from repro.resilience.budget import Budget, use_budget
 
 __all__ = [
     "CompletionSession",
@@ -138,6 +151,10 @@ class CompletionSession:
         sessions over one artifact share its completion cache.  Ignored
         when an explicit ``engine`` is given (the engine already carries
         its artifact).
+    budget:
+        Optional :class:`~repro.resilience.budget.Budget` governing the
+        session's completions (editable at runtime via ``:budget``
+        commands).
     """
 
     def __init__(
@@ -146,6 +163,7 @@ class CompletionSession:
         chooser: Chooser | None = None,
         engine: Disambiguator | None = None,
         compiled: CompiledSchema | None = None,
+        budget: Budget | None = None,
     ) -> None:
         self.database = database
         self.chooser: Chooser = chooser if chooser is not None else approve_all
@@ -162,24 +180,59 @@ class CompletionSession:
         #: Metrics accumulate across the whole session unconditionally —
         #: the registry is cheap and ``:metrics`` should always answer.
         self.metrics = MetricsRegistry()
+        #: The session's completion budget (``:budget ...`` edits it).
+        #: Installed as the ambient budget around every completion round.
+        self.budget = budget
 
     def ask(self, text: str) -> Interaction:
         """Run one full round for the given (possibly incomplete) input.
 
         Inputs starting with ``:`` are dispatched as session commands.
+        Errors never escape: any :class:`~repro.errors.ReproError` from
+        the round (bad syntax, no consistent completion, a tripped
+        budget) comes back as an :class:`Interaction` whose ``message``
+        carries the error text, so the interactive loop survives.
         """
         if text.lstrip().startswith(":"):
             interaction = self._command(text.strip())
             self.history.append(interaction)
             return interaction
-        with use_metrics(self.metrics):
-            if self.tracing and self.tracer is not None:
-                with use_tracer(self.tracer):
+        # A session without its own budget inherits any ambient one
+        # rather than clearing it.
+        budget_scope = (
+            use_budget(self.budget)
+            if self.budget is not None
+            else contextlib.nullcontext()
+        )
+        try:
+            with use_metrics(self.metrics), budget_scope:
+                if self.tracing and self.tracer is not None:
+                    with use_tracer(self.tracer):
+                        interaction = self._round(text)
+                else:
                     interaction = self._round(text)
-            else:
-                interaction = self._round(text)
+        except ReproError as error:
+            interaction = self._failed_round(text, error)
         self.history.append(interaction)
         return interaction
+
+    def _failed_round(self, text: str, error: ReproError) -> Interaction:
+        """Package a round's error as a message-carrying interaction.
+
+        A :class:`~repro.errors.BudgetExceededError` still surfaces its
+        best-so-far candidates so the user sees what the truncated
+        search managed to find.
+        """
+        candidates: tuple[ConcretePath, ...] = ()
+        if isinstance(error, BudgetExceededError) and error.partial is not None:
+            candidates = tuple(getattr(error.partial, "paths", ()))
+        return Interaction(
+            input_text=text,
+            candidates=candidates,
+            approved=(),
+            results=(),
+            message=f"error: {error}",
+        )
 
     def _round(self, text: str) -> Interaction:
         """The complete -> approve -> evaluate pipeline for one input."""
@@ -193,11 +246,19 @@ class CompletionSession:
                     for path in approved
                 )
             span.set(candidates=len(completion.paths), approved=len(approved))
+        message = ""
+        if completion.is_partial:
+            message = (
+                f"warning: search truncated by budget "
+                f"[{completion.truncation_reason}]; candidates are the "
+                "best found so far"
+            )
         return Interaction(
             input_text=text,
             candidates=completion.paths,
             approved=tuple(approved),
             results=results,
+            message=message,
         )
 
     # ------------------------------------------------------------------
@@ -212,10 +273,12 @@ class CompletionSession:
             message = self._trace_command(args)
         elif name == ":metrics":
             message = json.dumps(self.metrics.as_dict(), indent=2, sort_keys=True)
+        elif name == ":budget":
+            message = self._budget_command(args)
         else:
             message = (
                 f"unknown session command {name!r} "
-                "(expected :trace [on|off|show] or :metrics)"
+                "(expected :trace [on|off|show], :metrics, or :budget)"
             )
         return Interaction(
             input_text=text,
@@ -245,3 +308,46 @@ class CompletionSession:
                 return "no spans recorded (use ':trace on' first)"
             return self.tracer.render()
         return f"unknown :trace argument {args[0]!r} (expected on|off|show)"
+
+    _BUDGET_USAGE = (
+        "usage: :budget | :budget off | :budget deadline MS | "
+        ":budget nodes N | :budget paths N | :budget depth N | "
+        ":budget partial on|off"
+    )
+
+    def _budget_command(self, args: list[str]) -> str:
+        if not args:
+            if self.budget is None:
+                return "budget off (completions run to exhaustion)"
+            return f"budget {self.budget.describe()}"
+        verb = args[0]
+        if verb == "off":
+            self.budget = None
+            return "budget off"
+        if verb == "partial":
+            if len(args) != 2 or args[1] not in ("on", "off"):
+                return self._BUDGET_USAGE
+            base = self.budget if self.budget is not None else Budget()
+            self.budget = dataclasses.replace(
+                base, partial_ok=args[1] == "on"
+            )
+            return f"budget {self.budget.describe()}"
+        fields = {
+            "deadline": "max_seconds",
+            "nodes": "max_nodes",
+            "paths": "max_paths",
+            "depth": "max_stack_depth",
+        }
+        if verb not in fields or len(args) != 2:
+            return self._BUDGET_USAGE
+        try:
+            raw = float(args[1]) if verb == "deadline" else int(args[1])
+        except ValueError:
+            return f"not a number: {args[1]!r}"
+        value = raw / 1000.0 if verb == "deadline" else raw
+        base = self.budget if self.budget is not None else Budget()
+        try:
+            self.budget = dataclasses.replace(base, **{fields[verb]: value})
+        except ValueError as error:
+            return f"error: {error}"
+        return f"budget {self.budget.describe()}"

@@ -2,6 +2,7 @@
 sweeps are exercised by the benchmarks)."""
 
 import io
+import types
 
 import pytest
 
@@ -25,7 +26,9 @@ class TestRunnerWiring:
         monkeypatch.setattr(
             runner_module,
             "run_figure5",
-            lambda schema, oracle, e_values: Figure5Result(points=(point,)),
+            lambda schema, oracle, e_values, **kwargs: Figure5Result(
+                points=(point,)
+            ),
         )
         monkeypatch.setattr(
             runner_module, "render_figure5", lambda result: "[stub figure5]"
@@ -33,13 +36,17 @@ class TestRunnerWiring:
         monkeypatch.setattr(
             runner_module,
             "run_figure6",
-            lambda *args, **kwargs: None,
+            lambda *args, **kwargs: types.SimpleNamespace(
+                without_dk=(point,), with_dk=(point,)
+            ),
         )
         monkeypatch.setattr(
             runner_module, "render_figure6", lambda result: "[stub figure6]"
         )
         monkeypatch.setattr(
-            runner_module, "run_figure7", lambda *a, **k: None
+            runner_module,
+            "run_figure7",
+            lambda *a, **k: types.SimpleNamespace(outcomes=()),
         )
         monkeypatch.setattr(
             runner_module, "render_figure7", lambda result: "[stub figure7]"
@@ -75,6 +82,8 @@ class TestRunnerWiring:
             "Ablation A1",
             "Ablation A2",
             "Ablation A4",
+            "Failures",
+            "none — every section and query completed",
             "total experiment time",
         ):
             assert marker in report

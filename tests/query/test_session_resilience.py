@@ -1,0 +1,117 @@
+"""Session resilience: error-catching rounds and ``:budget`` commands."""
+
+import pytest
+
+from repro.core.compiled import CompiledSchema
+from repro.model.instances import Database
+from repro.query.session import CompletionSession
+from repro.resilience.budget import Budget
+
+
+@pytest.fixture()
+def db(university):
+    db = Database(university)
+    bob = db.create("ta")
+    db.set_attribute(bob, "name", "bob")
+    return db
+
+
+def _session(db, **kwargs):
+    """A session over a private artifact — the registry-shared one may
+    already hold warm results, which legitimately bypass any budget."""
+    return CompletionSession(
+        db, compiled=CompiledSchema(db.schema), **kwargs
+    )
+
+
+class TestAskCatchesErrors:
+    def test_syntax_error_becomes_message(self, db):
+        session = CompletionSession(db)
+        interaction = session.ask("ta ~~ ~")
+        assert interaction.message.startswith("error:")
+        assert interaction.candidates == ()
+        assert interaction.results == ()
+        assert session.history == [interaction]
+
+    def test_no_completion_becomes_message(self, db):
+        session = CompletionSession(db)
+        # A general (multi-gap) expression with no consistent completion
+        # raises NoCompletionError inside the round.
+        interaction = session.ask("ta ~ bogus_one ~ bogus_two")
+        assert interaction.message.startswith("error:")
+
+    def test_unknown_class_becomes_message(self, db):
+        session = CompletionSession(db)
+        interaction = session.ask("martian ~ name")
+        assert interaction.message.startswith("error:")
+
+    def test_loop_continues_after_error(self, db):
+        session = CompletionSession(db)
+        session.ask("ta ~~ ~")
+        good = session.ask("ta ~ name")
+        assert good.candidates
+        assert not good.message.startswith("error:")
+        assert len(session.history) == 2
+
+    def test_budget_trip_reports_best_so_far(self, db):
+        session = _session(db, budget=Budget(max_nodes=1))  # raise-on-trip
+        interaction = session.ask("ta ~ name")
+        assert interaction.message.startswith("error:")
+        assert "budget exceeded" in interaction.message
+
+    def test_budget_partial_ok_round_is_flagged_not_failed(self, db):
+        session = _session(db, budget=Budget(max_nodes=1, partial_ok=True))
+        interaction = session.ask("ta ~ name")
+        assert not interaction.message.startswith("error:")
+        assert "truncated by budget" in interaction.message
+
+
+class TestBudgetCommand:
+    def test_show_when_off(self, db):
+        session = CompletionSession(db)
+        assert "budget off" in session.ask(":budget").message
+
+    def test_set_deadline_and_nodes(self, db):
+        session = CompletionSession(db)
+        message = session.ask(":budget deadline 250").message
+        assert "deadline=250ms" in message
+        message = session.ask(":budget nodes 500").message
+        assert "nodes<=500" in message
+        assert session.budget.max_seconds == pytest.approx(0.25)
+        assert session.budget.max_nodes == 500
+
+    def test_set_paths_depth_and_partial(self, db):
+        session = CompletionSession(db)
+        session.ask(":budget paths 3")
+        session.ask(":budget depth 9")
+        message = session.ask(":budget partial on").message
+        assert "paths<=3" in message
+        assert "depth<=9" in message
+        assert "partial-ok" in message
+
+    def test_off_clears(self, db):
+        session = CompletionSession(db)
+        session.ask(":budget nodes 10")
+        assert session.ask(":budget off").message == "budget off"
+        assert session.budget is None
+
+    def test_bad_arguments_report_usage(self, db):
+        session = CompletionSession(db)
+        assert "usage:" in session.ask(":budget bogus 1").message
+        assert "not a number" in session.ask(":budget nodes abc").message
+        assert "usage:" in session.ask(":budget partial maybe").message
+
+    def test_invalid_value_reports_error(self, db):
+        session = CompletionSession(db)
+        assert "error:" in session.ask(":budget nodes -5").message
+
+    def test_budget_governs_subsequent_rounds(self, db):
+        session = _session(db)
+        session.ask(":budget nodes 1")
+        session.ask(":budget partial on")
+        interaction = session.ask("ta ~ name")
+        assert "truncated by budget" in interaction.message
+
+    def test_unknown_command_mentions_budget(self, db):
+        session = CompletionSession(db)
+        assert ":budget" in session.ask(":bogus").message

@@ -1,0 +1,186 @@
+"""Unit tests for the budget specification, the armed meter, and the
+ambient-budget context."""
+
+import dataclasses
+
+import pytest
+
+from repro.resilience.budget import (
+    Budget,
+    BudgetMeter,
+    TruncationReason,
+    get_budget,
+    use_budget,
+)
+from repro.resilience.faults import FakeClock
+
+
+class TestBudgetSpec:
+    def test_default_budget_is_unlimited(self):
+        assert Budget().is_unlimited
+
+    def test_any_bounded_dimension_makes_it_limited(self):
+        assert not Budget(max_seconds=1.0).is_unlimited
+        assert not Budget(max_nodes=10).is_unlimited
+        assert not Budget(max_paths=5).is_unlimited
+        assert not Budget(max_stack_depth=8).is_unlimited
+
+    @pytest.mark.parametrize(
+        "field", ["max_seconds", "max_nodes", "max_paths", "max_stack_depth"]
+    )
+    def test_nonpositive_limits_are_rejected(self, field):
+        with pytest.raises(ValueError):
+            Budget(**{field: 0})
+        with pytest.raises(ValueError):
+            Budget(**{field: -1})
+
+    def test_check_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Budget(check_interval=0)
+
+    def test_from_millis(self):
+        budget = Budget.from_millis(250.0, max_nodes=99, partial_ok=True)
+        assert budget.max_seconds == pytest.approx(0.25)
+        assert budget.max_nodes == 99
+        assert budget.partial_ok
+
+    def test_from_millis_without_deadline(self):
+        assert Budget.from_millis(None, max_nodes=5).max_seconds is None
+
+    def test_allowing_partial_flips_only_the_policy(self):
+        budget = Budget(max_nodes=10)
+        relaxed = budget.allowing_partial()
+        assert relaxed.partial_ok
+        assert relaxed.max_nodes == 10
+        assert not budget.partial_ok  # original untouched (frozen)
+
+    def test_allowing_partial_is_identity_when_already_partial(self):
+        budget = Budget(max_nodes=10, partial_ok=True)
+        assert budget.allowing_partial() is budget
+
+    def test_describe_mentions_every_bounded_dimension(self):
+        text = Budget(
+            max_seconds=0.05, max_nodes=7, max_paths=3, max_stack_depth=9
+        ).describe()
+        assert "deadline=50ms" in text
+        assert "nodes<=7" in text
+        assert "paths<=3" in text
+        assert "depth<=9" in text
+        assert "raise-on-trip" in text
+
+    def test_budget_is_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            Budget().max_nodes = 1
+
+
+class TestBudgetMeter:
+    def test_unlimited_meter_never_trips(self):
+        meter = Budget().start()
+        for step in range(1000):
+            assert meter.tripped(step, step, step) is None
+
+    def test_node_cap_trips(self):
+        meter = Budget(max_nodes=10).start()
+        assert meter.tripped(9, 0, 0) is None
+        assert meter.tripped(10, 0, 0) == TruncationReason.NODES
+
+    def test_path_cap_trips(self):
+        meter = Budget(max_paths=3).start()
+        assert meter.tripped(1, 2, 0) is None
+        assert meter.tripped(2, 3, 0) == TruncationReason.PATHS
+
+    def test_depth_cap_trips(self):
+        meter = Budget(max_stack_depth=4).start()
+        assert meter.tripped(1, 0, 3) is None
+        assert meter.tripped(2, 0, 4) == TruncationReason.DEPTH
+
+    def test_deadline_trips_on_virtual_clock(self):
+        clock = FakeClock()
+        meter = Budget(
+            max_seconds=1.0, clock=clock, check_interval=1
+        ).start()
+        assert meter.tripped(1, 0, 0) is None
+        clock.advance(2.0)
+        assert meter.tripped(2, 0, 0) == TruncationReason.DEADLINE
+
+    def test_deadline_is_sampled_every_check_interval(self):
+        clock = FakeClock()
+        meter = Budget(
+            max_seconds=1.0, clock=clock, check_interval=4
+        ).start()
+        clock.advance(5.0)  # already past the deadline...
+        # ...but the next three calls don't read the clock.
+        assert meter.tripped(1, 0, 0) is None
+        assert meter.tripped(2, 0, 0) is None
+        assert meter.tripped(3, 0, 0) is None
+        assert meter.tripped(4, 0, 0) == TruncationReason.DEADLINE
+
+    def test_trip_reason_latches(self):
+        meter = Budget(max_nodes=5).start()
+        assert meter.tripped(5, 0, 0) == TruncationReason.NODES
+        # Lower counts later cannot un-trip a shared meter.
+        assert meter.tripped(0, 0, 0) == TruncationReason.NODES
+        assert meter.reason == TruncationReason.NODES
+
+    def test_check_deadline_now_bypasses_sampling(self):
+        clock = FakeClock()
+        meter = Budget(
+            max_seconds=1.0, clock=clock, check_interval=1000
+        ).start()
+        assert meter.check_deadline_now() is None
+        clock.advance(1.5)
+        assert meter.check_deadline_now() == TruncationReason.DEADLINE
+
+    def test_elapsed_and_remaining_on_virtual_clock(self):
+        clock = FakeClock(start=10.0)
+        meter = Budget(max_seconds=4.0, clock=clock).start()
+        clock.advance(1.0)
+        assert meter.elapsed_seconds() == pytest.approx(1.0)
+        assert meter.remaining_seconds() == pytest.approx(3.0)
+        clock.advance(10.0)
+        assert meter.remaining_seconds() == 0.0
+
+    def test_remaining_is_none_without_deadline(self):
+        assert Budget(max_nodes=5).start().remaining_seconds() is None
+
+    def test_meter_repr_mentions_trip_state(self):
+        meter = Budget(max_nodes=1).start()
+        assert "tripped=no" in repr(meter)
+        meter.tripped(1, 0, 0)
+        assert "tripped=nodes" in repr(meter)
+
+
+class TestTruncationReason:
+    def test_meter_reasons_are_enumerated(self):
+        assert set(TruncationReason.ALL) == {
+            "deadline",
+            "nodes",
+            "paths",
+            "depth",
+        }
+
+    def test_degraded_reason_carries_the_e_level(self):
+        assert TruncationReason.degraded(2) == "degraded:e=2"
+
+
+class TestAmbientBudget:
+    def test_default_is_none(self):
+        assert get_budget() is None
+
+    def test_use_budget_installs_and_restores(self):
+        budget = Budget(max_nodes=5)
+        with use_budget(budget):
+            assert get_budget() is budget
+        assert get_budget() is None
+
+    def test_nested_scopes_restore_outer(self):
+        outer, inner = Budget(max_nodes=5), Budget(max_nodes=7)
+        with use_budget(outer):
+            with use_budget(inner):
+                assert get_budget() is inner
+            assert get_budget() is outer
+
+    def test_none_explicitly_clears_an_outer_budget(self):
+        with use_budget(Budget(max_nodes=5)):
+            with use_budget(None):
+                assert get_budget() is None

@@ -1,0 +1,104 @@
+"""CLI budget flags: ``--deadline-ms`` / ``--max-nodes`` /
+``--partial-ok`` on the completion-driving subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParserWiring:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["complete", "--builtin", "cupid", "--deadline-ms", "50", "x ~ y"],
+            ["query", "--db", "f", "--max-nodes", "10", "q"],
+            ["fox", "--db", "f", "--partial-ok", "q"],
+            [
+                "experiments",
+                "--quick",
+                "--deadline-ms",
+                "100",
+                "--max-nodes",
+                "5",
+                "--partial-ok",
+            ],
+        ],
+    )
+    def test_budget_flags_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert hasattr(args, "deadline_ms")
+        assert hasattr(args, "max_nodes")
+        assert hasattr(args, "partial_ok")
+
+    def test_flags_absent_on_unrelated_commands(self):
+        args = build_parser().parse_args(
+            ["profile", "--builtin", "university"]
+        )
+        assert not hasattr(args, "deadline_ms")
+
+
+class TestCompleteUnderBudget:
+    def test_trip_exits_3_with_best_so_far(self, capsys):
+        code = main(
+            [
+                "complete",
+                "--builtin",
+                "cupid",
+                "-e",
+                "3",
+                "--max-nodes",
+                "30",
+                "experiment ~ conductance",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "budget exceeded" in captured.err
+        assert "best-so-far" in captured.err
+
+    def test_partial_ok_exits_normally_with_notice(self, capsys):
+        code = main(
+            [
+                "complete",
+                "--builtin",
+                "cupid",
+                "-e",
+                "3",
+                "--max-nodes",
+                "30",
+                "--partial-ok",
+                "experiment ~ conductance",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "truncated by budget" in captured.out
+
+    def test_generous_budget_result_matches_ungoverned(self, capsys):
+        argv_tail = [
+            "--builtin",
+            "university",
+            "ta ~ name",
+        ]
+        assert main(["complete", *argv_tail]) == 0
+        ungoverned = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "complete",
+                    "--deadline-ms",
+                    "60000",
+                    "--partial-ok",
+                    *argv_tail,
+                ]
+            )
+            == 0
+        )
+        governed = capsys.readouterr().out
+
+        def paths(report):
+            return [
+                line for line in report.splitlines() if line.startswith("  [")
+            ]
+
+        assert paths(governed) == paths(ungoverned)
