@@ -34,7 +34,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, record_bench
 from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
 from repro.obs.metrics import MetricsRegistry, use_metrics
@@ -94,6 +94,16 @@ def test_compiled_cache_warm_vs_cold(cupid, oracle):
         "python": platform.python_version(),
     }
     _RESULT_FILE.write_text(json.dumps(record, indent=2) + "\n")
+    # Feed the perf-regression ledger (BENCH_history.jsonl); CI gates
+    # these series with `python -m repro.obs.perf compare`.
+    record_bench("compiled_cache.cold_seconds", cold_seconds, e=E, quick=QUICK)
+    record_bench("compiled_cache.warm_seconds", warm_seconds, e=E, quick=QUICK)
+    record_bench(
+        "compiled_cache.compile_seconds",
+        compiled.compile_seconds,
+        e=E,
+        quick=QUICK,
+    )
 
     lines = [
         f"workload: {len(texts)} CUPID queries at E={E}"

@@ -62,3 +62,31 @@ def emit(title: str, body: str) -> None:
     _started_fresh = True
     with open(_REPORT_FILE, mode) as handle:
         handle.write(text)
+
+
+# ----------------------------------------------------------------------
+# Benchmark-history ledger (repro.obs.perf)
+# ----------------------------------------------------------------------
+
+_HISTORY_FILE = pathlib.Path(__file__).parent.parent / "BENCH_history.jsonl"
+#: One run id shared by every record_bench call of this pytest session,
+#: so `repro.obs.perf compare` sees the whole suite as one run.
+_RUN_ID: str | None = None
+
+
+def record_bench(name: str, value: float, unit: str = "seconds", **extra) -> None:
+    """Append one measured value to ``BENCH_history.jsonl``.
+
+    Every call in one pytest session shares a run id; CI runs
+    ``python -m repro.obs.perf compare`` over the accumulated ledger to
+    gate genuine slowdowns against the rolling baseline.
+    """
+    global _RUN_ID
+    from repro.obs.perf import BenchRecord, append_records, new_run_id
+
+    if _RUN_ID is None:
+        _RUN_ID = new_run_id()
+    append_records(
+        _HISTORY_FILE,
+        [BenchRecord(name=name, value=value, unit=unit, run=_RUN_ID, extra=extra)],
+    )

@@ -17,7 +17,13 @@ bundled schemas (``university``, ``cupid``, ``parts``).
 Observability (``complete``, ``query``, ``fox``, ``experiments``):
 ``--trace`` prints the nested span tree of the run; ``--trace=FILE``
 writes the JSON-lines event log to FILE instead; ``--metrics`` prints
-the schema-validated metrics summary.  See ``docs/observability.md``.
+the schema-validated metrics summary; ``--prom[=FILE]`` prints or
+writes the metrics in Prometheus text exposition format;
+``--slow-log[=FILE]`` retains slow queries tail-based (``--slow-ms``
+sets the threshold) and prints or writes them as schema-validated
+JSONL; ``--profile[=FILE]`` attaches cProfile to the span taxonomy and
+prints a per-span report or writes flamegraph-ready collapsed stacks.
+See ``docs/observability.md``.
 
 Resilience (same subcommands): ``--deadline-ms`` / ``--max-nodes``
 install an ambient completion budget; on a trip the command fails with
@@ -35,6 +41,9 @@ import sys
 from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.profile import SpanProfiler
+from repro.obs.promtext import render_prometheus, write_prometheus
+from repro.obs.slowlog import SlowQueryLog, use_slowlog
 from repro.obs.tracer import RecordingTracer, use_tracer
 from repro.resilience.budget import Budget, use_budget
 
@@ -106,6 +115,50 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the metrics summary (counters/gauges/histograms) as JSON",
     )
+    parser.add_argument(
+        "--prom",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help=(
+            "print the metrics in Prometheus text exposition format, or "
+            "write one scrape snapshot to FILE if given"
+        ),
+    )
+    parser.add_argument(
+        "--slow-log",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help=(
+            "tail-based slow-query log: print the retained entries, or "
+            "write them as schema-validated JSONL to FILE if given"
+        ),
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "retention threshold for --slow-log (queries over MS "
+            "milliseconds are always kept; default: top-K only)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help=(
+            "attach cProfile to the span taxonomy; print the per-span "
+            "report, or write flamegraph-ready collapsed stacks to FILE "
+            "if given"
+        ),
+    )
 
 
 def _add_budget_options(parser: argparse.ArgumentParser) -> None:
@@ -148,30 +201,84 @@ def _budget_from(args: argparse.Namespace) -> Budget | None:
 
 @contextlib.contextmanager
 def _observability(args: argparse.Namespace):
-    """Install a tracer/metrics registry per the ``--trace``/``--metrics``
-    flags (and the ambient budget per ``--deadline-ms``/``--max-nodes``)
-    and emit the requested reports when the command body is done."""
+    """Install the telemetry requested by the observability flags.
+
+    ``--trace`` installs a recording tracer, ``--metrics``/``--prom``
+    a metrics registry, ``--slow-log`` a tail-based slow-query log,
+    ``--profile`` a span profiler wrapping the tracer, and
+    ``--deadline-ms``/``--max-nodes`` the ambient budget.  Yields the
+    metrics registry (or ``None``) so handlers can report counters.
+
+    Reports are emitted in a ``finally`` block: a budget trip (exit
+    code 3) still flushes the slow log and trace — those artifacts
+    matter *most* for the queries that blew their budget.
+    """
     trace_target = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
+    prom_target = getattr(args, "prom", None)
+    slowlog_target = getattr(args, "slow_log", None)
+    profile_target = getattr(args, "profile", None)
+    verbose = getattr(args, "verbose", False)
     tracer = RecordingTracer() if trace_target else None
-    registry = MetricsRegistry() if want_metrics else None
+    registry = (
+        MetricsRegistry()
+        if (want_metrics or prom_target or verbose)
+        else None
+    )
+    slowlog = (
+        SlowQueryLog(threshold_ms=getattr(args, "slow_ms", None))
+        if slowlog_target
+        else None
+    )
+    profiler = SpanProfiler(inner=tracer) if profile_target else None
     budget = _budget_from(args)
-    with contextlib.ExitStack() as stack:
+    try:
+        with contextlib.ExitStack() as stack:
+            if profiler is not None:
+                stack.enter_context(use_tracer(profiler))
+            elif tracer is not None:
+                stack.enter_context(use_tracer(tracer))
+            if registry is not None:
+                stack.enter_context(use_metrics(registry))
+            if slowlog is not None:
+                stack.enter_context(use_slowlog(slowlog))
+            if budget is not None:
+                stack.enter_context(use_budget(budget))
+            yield registry
+    finally:
         if tracer is not None:
-            stack.enter_context(use_tracer(tracer))
-        if registry is not None:
-            stack.enter_context(use_metrics(registry))
-        if budget is not None:
-            stack.enter_context(use_budget(budget))
-        yield
-    if tracer is not None:
-        if trace_target == "-":
-            print(tracer.render())
-        else:
-            count = tracer.write_jsonl(trace_target)
-            print(f"[trace: {count} event(s) written to {trace_target}]")
-    if registry is not None:
-        print(json.dumps(registry.as_dict(), indent=2, sort_keys=True))
+            if trace_target == "-":
+                print(tracer.render())
+            else:
+                count = tracer.write_jsonl(trace_target)
+                print(f"[trace: {count} event(s) written to {trace_target}]")
+        if profiler is not None:
+            if profile_target == "-":
+                print(profiler.report())
+            else:
+                count = profiler.write_collapsed(profile_target)
+                print(
+                    f"[profile: {count} collapsed stack(s) written to "
+                    f"{profile_target}]"
+                )
+        if slowlog is not None:
+            if slowlog_target == "-":
+                print(slowlog.render())
+            else:
+                count = slowlog.write_jsonl(slowlog_target)
+                print(
+                    f"[slow-log: {count} entr"
+                    f"{'y' if count == 1 else 'ies'} written to "
+                    f"{slowlog_target}]"
+                )
+        if prom_target is not None:
+            if prom_target == "-":
+                sys.stdout.write(render_prometheus(registry))
+            else:
+                count = write_prometheus(registry, prom_target)
+                print(f"[prom: {count} line(s) written to {prom_target}]")
+        if want_metrics and registry is not None:
+            print(json.dumps(registry.as_dict(), indent=2, sort_keys=True))
 
 
 def _cmd_complete(args: argparse.Namespace) -> int:
@@ -181,7 +288,7 @@ def _cmd_complete(args: argparse.Namespace) -> int:
         if args.exclude
         else DomainKnowledge.none()
     )
-    with _observability(args):
+    with _observability(args) as registry:
         compiled = compile_schema(schema, domain_knowledge=knowledge)
         engine = Disambiguator(compiled, e=args.e)
         result = engine.complete(args.expression)
@@ -197,6 +304,13 @@ def _cmd_complete(args: argparse.Namespace) -> int:
                 f"{info['misses']:.0f} miss(es), "
                 f"size {info['size']:.0f}/{info['maxsize']:.0f}]"
             )
+            if registry is not None:
+                trips = registry.counter("budget.trips").value
+                degrades = registry.counter("budget.degrades").value
+                print(
+                    f"[budget: {trips:.0f} trip(s), "
+                    f"{degrades:.0f} degrade(s)]"
+                )
     return 0 if result.paths else 1
 
 

@@ -37,6 +37,7 @@ from repro.core.target import ClassTarget, RelationshipTarget, Target
 from repro.errors import BudgetExceededError, NoCompletionError
 from repro.model.schema import Schema
 from repro.obs.metrics import get_metrics
+from repro.obs.slowlog import get_slowlog
 from repro.obs.tracer import get_tracer
 from repro.resilience.budget import Budget, BudgetMeter, TruncationReason, get_budget
 from typing import TYPE_CHECKING
@@ -191,6 +192,24 @@ class Disambiguator:
         semantics); warm cache hits are served regardless of budget —
         the cache only ever holds exhaustive results.
         """
+        slowlog = get_slowlog()
+        if not slowlog.enabled:
+            return self._complete_impl(expression, budget)
+        # Tail-based slow-query logging: the observation records the
+        # span tree (installing a private tracer when none is ambient),
+        # elapsed time, and budget outcome; nested observations (e.g.
+        # inside a session ask) no-op so the outermost owns the query.
+        with slowlog.observe("complete", str(expression), e=self.e) as obs:
+            result = self._complete_impl(expression, budget)
+            obs.record_result(result)
+            return result
+
+    def _complete_impl(
+        self,
+        expression: str | PathExpression,
+        budget: Budget | None = None,
+    ) -> CompletionResult:
+        """:meth:`complete` minus the slow-log hook (fast/traced paths)."""
         tracer = get_tracer()
         if not tracer.enabled:
             # Untraced fast path.  This method is the warm-cache hot

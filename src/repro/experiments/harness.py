@@ -18,6 +18,7 @@ from repro.experiments.metrics import average, precision, recall
 from repro.experiments.oracle import DesignerOracle, WorkloadQuery
 from repro.model.schema import Schema
 from repro.obs.metrics import get_metrics
+from repro.obs.slowlog import get_slowlog
 from repro.obs.tracer import get_tracer
 
 __all__ = ["QueryOutcome", "SweepPoint", "run_workload", "sweep_e"]
@@ -117,15 +118,23 @@ def run_workload(
         for query in oracle:
             result = None
             failure: ReproError | None = None
-            for attempt in range(retries + 1):
-                try:
-                    result = engine.complete(query.text)
-                    failure = None
-                    break
-                except ReproError as error:
-                    failure = error
-                    if attempt < retries:
-                        metrics.counter("workload.retries").inc()
+            # One slow-log observation per workload query (kind
+            # "experiment"): nested engine observations no-op, so a
+            # retained entry covers the retry loop end to end.
+            with get_slowlog().observe(
+                "experiment", query.text, e=e
+            ) as observation:
+                for attempt in range(retries + 1):
+                    try:
+                        result = engine.complete(query.text)
+                        failure = None
+                        break
+                    except ReproError as error:
+                        failure = error
+                        if attempt < retries:
+                            metrics.counter("workload.retries").inc()
+                if result is not None:
+                    observation.record_result(result)
             if failure is not None:
                 if not continue_on_error:
                     raise failure

@@ -25,6 +25,7 @@ from repro.core.engine import Disambiguator
 from repro.errors import ReproError
 from repro.obs.metrics import MetricsRegistry, get_metrics, use_metrics
 from repro.obs.schema import validate_metrics_summary
+from repro.obs.slowlog import get_slowlog
 from repro.experiments.ablation import (
     run_caution_ablation,
     run_exhaustive_comparison,
@@ -68,6 +69,10 @@ def run_all(
         registry = MetricsRegistry()
     with use_metrics(registry):
         _run_all_inner(quick=quick, out=out, csv_dir=csv_dir)
+    slowlog = get_slowlog()
+    if slowlog.enabled and len(slowlog.entries()) > 0:
+        print(_banner("Slow queries (tail-based log)"), file=out)
+        print(slowlog.render(limit=10), file=out)
     print(_banner("Metrics summary (repro.obs)"), file=out)
     summary = registry.as_dict()
     validate_metrics_summary(summary)

@@ -13,29 +13,58 @@ effectiveness).  This package makes that visible at every layer:
 * :mod:`repro.obs.metrics` — a registry of named counters, gauges, and
   histograms that :class:`~repro.core.stats.TraversalStats` feeds into
   (the stats dataclass is a carrier, not the terminal sink).  The
-  default registry is likewise a no-op.
+  default registry is likewise a no-op; histograms keep an unbiased
+  Algorithm-R reservoir for quantiles.
+* :mod:`repro.obs.promtext` / :mod:`repro.obs.serve` — the registry in
+  Prometheus text exposition format, on stdout or over a stdlib HTTP
+  scrape endpoint (``python -m repro.obs.serve``).
+* :mod:`repro.obs.slowlog` — tail-based slow-query retention: only
+  queries over a latency threshold or in the current top-K keep their
+  full span tree, query text, E, and budget outcome.
+* :mod:`repro.obs.profile` — cProfile attached to a named span
+  taxonomy, exported as flamegraph-ready collapsed stacks.
+* :mod:`repro.obs.perf` — the benchmark-history ledger
+  (``BENCH_history.jsonl``) and the ``python -m repro.obs.perf
+  compare`` regression gate.
 * :mod:`repro.obs.schema` — a dependency-free validator for the
-  checked-in JSON schemas of the metrics summary and the trace event
-  log (``python -m repro.obs.validate FILE ...``), so exported
-  artifacts cannot silently drift.
+  checked-in JSON schemas of every exported artifact
+  (``python -m repro.obs.validate FILE ...``), so formats cannot
+  silently drift.
 
-Everything is ambient (:func:`use_tracer` / :func:`use_metrics` install
-into a :mod:`contextvars` context), so engines, sessions, fox queries,
-and the experiments harness need no extra plumbing parameters.
+Everything is ambient (:func:`use_tracer` / :func:`use_metrics` /
+:func:`use_slowlog` install into a :mod:`contextvars` context), so
+engines, sessions, fox queries, and the experiments harness need no
+extra plumbing parameters.
 """
 
 from repro.obs.metrics import (
+    SUMMARY_VERSION,
     MetricsRegistry,
     NullMetricsRegistry,
     get_metrics,
     use_metrics,
 )
+from repro.obs.profile import DEFAULT_PROFILED_SPANS, SpanProfiler
+from repro.obs.promtext import (
+    DEFAULT_BUCKET_BOUNDS,
+    render_prometheus,
+    write_prometheus,
+)
 from repro.obs.schema import (
     SchemaValidationError,
     load_builtin_schema,
     validate,
+    validate_bench_records,
     validate_metrics_summary,
+    validate_slowlog_entries,
     validate_trace_events,
+)
+from repro.obs.slowlog import (
+    NullSlowQueryLog,
+    SlowLogEntry,
+    SlowQueryLog,
+    get_slowlog,
+    use_slowlog,
 )
 from repro.obs.tracer import (
     NullTracer,
@@ -45,19 +74,60 @@ from repro.obs.tracer import (
     use_tracer,
 )
 
+#: Names resolved lazily (PEP 562) from the runnable submodules, so
+#: ``python -m repro.obs.serve`` / ``python -m repro.obs.perf`` don't
+#: trip runpy's already-imported warning on package import.
+_LAZY = {
+    "MetricsServer": "repro.obs.serve",
+    "BenchRecord": "repro.obs.perf",
+    "append_records": "repro.obs.perf",
+    "compare": "repro.obs.perf",
+    "environment_fingerprint": "repro.obs.perf",
+    "load_history": "repro.obs.perf",
+    "new_run_id": "repro.obs.perf",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "BenchRecord",
+    "DEFAULT_BUCKET_BOUNDS",
+    "DEFAULT_PROFILED_SPANS",
     "MetricsRegistry",
+    "MetricsServer",
     "NullMetricsRegistry",
+    "NullSlowQueryLog",
     "NullTracer",
     "RecordingTracer",
+    "SUMMARY_VERSION",
     "SchemaValidationError",
+    "SlowLogEntry",
+    "SlowQueryLog",
     "Span",
+    "SpanProfiler",
+    "append_records",
+    "compare",
+    "environment_fingerprint",
     "get_metrics",
+    "get_slowlog",
     "get_tracer",
     "load_builtin_schema",
+    "load_history",
+    "new_run_id",
+    "render_prometheus",
     "use_metrics",
+    "use_slowlog",
     "use_tracer",
     "validate",
+    "validate_bench_records",
     "validate_metrics_summary",
+    "validate_slowlog_entries",
     "validate_trace_events",
+    "write_prometheus",
 ]

@@ -21,6 +21,7 @@ silently.
 
 from __future__ import annotations
 
+import random
 import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -35,13 +36,20 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullMetricsRegistry",
+    "SUMMARY_VERSION",
     "get_metrics",
     "use_metrics",
 ]
 
 #: Histograms keep at most this many raw observations for percentiles;
-#: count/sum/min/max stay exact beyond it.
+#: count/sum/min/max stay exact beyond it.  Beyond the bound the
+#: reservoir is a *uniform* sample of the whole stream (Algorithm R),
+#: not a prefix — see :meth:`Histogram.observe`.
 RESERVOIR_SIZE = 4096
+
+#: Version of the :meth:`MetricsRegistry.as_dict` summary format.
+#: Bumped to 2 when ``p99`` joined the histogram snapshots.
+SUMMARY_VERSION = 2
 
 
 class Counter:
@@ -84,9 +92,26 @@ class Gauge:
 
 class Histogram:
     """A named distribution: exact count/sum/min/max plus a bounded
-    reservoir of raw observations for percentiles."""
+    reservoir of raw observations for percentiles.
 
-    __slots__ = ("name", "count", "total", "min", "max", "_values", "_lock")
+    The reservoir is maintained with Vitter's Algorithm R, so once full
+    it stays a uniform random sample of *every* observation seen —
+    percentiles track distribution shifts however late they happen.
+    (The earlier fill-once reservoir froze on the first 4096 samples
+    and silently reported stale percentiles forever after.)  The RNG is
+    seeded from the histogram name, so runs are reproducible.
+    """
+
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "min",
+        "max",
+        "_values",
+        "_random",
+        "_lock",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -95,6 +120,7 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self._values: list[float] = []
+        self._random = random.Random(f"repro.obs.histogram:{name}")
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -106,6 +132,12 @@ class Histogram:
             self.max = max(self.max, value)
             if len(self._values) < RESERVOIR_SIZE:
                 self._values.append(value)
+            else:
+                # Algorithm R: keep each of the count observations with
+                # probability RESERVOIR_SIZE/count.
+                slot = self._random.randrange(self.count)
+                if slot < RESERVOIR_SIZE:
+                    self._values[slot] = value
 
     @property
     def mean(self) -> float:
@@ -131,6 +163,7 @@ class Histogram:
                 "mean": 0.0,
                 "p50": 0.0,
                 "p95": 0.0,
+                "p99": 0.0,
             }
         return {
             "count": self.count,
@@ -140,7 +173,34 @@ class Histogram:
             "mean": self.mean,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
         }
+
+    def cumulative_buckets(
+        self, bounds: tuple[float, ...]
+    ) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs ending with ``(inf, count)``.
+
+        Derived from the reservoir: while the reservoir holds every
+        observation the buckets are exact; once Algorithm R subsamples,
+        intermediate buckets are scaled estimates while the terminal
+        ``+Inf`` bucket stays the exact total count.  Counts are
+        monotone non-decreasing by construction.
+        """
+        with self._lock:
+            values = sorted(self._values)
+            count = self.count
+        scale = count / len(values) if values else 0.0
+        buckets: list[tuple[float, int]] = []
+        index = 0
+        running = 0
+        for bound in sorted(bounds):
+            while index < len(values) and values[index] <= bound:
+                index += 1
+            running = max(running, min(count, round(index * scale)))
+            buckets.append((bound, running))
+        buckets.append((float("inf"), count))
+        return buckets
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:g})"
@@ -252,14 +312,22 @@ class MetricsRegistry:
 
     # -- export -------------------------------------------------------
 
+    def snapshot_metrics(self) -> list[Counter | Gauge | Histogram]:
+        """A point-in-time list of the registered metric objects.
+
+        Exporters (:meth:`as_dict`,
+        :func:`repro.obs.promtext.render_prometheus`) iterate this
+        instead of reaching into the registry's private dict.
+        """
+        with self._lock:
+            return list(self._metrics.values())
+
     def as_dict(self) -> dict:
         """The summary dict (validates against the checked-in schema)."""
         counters: dict[str, float] = {}
         gauges: dict[str, float] = {}
         histograms: dict[str, dict[str, float]] = {}
-        with self._lock:
-            metrics = list(self._metrics.values())
-        for metric in metrics:
+        for metric in self.snapshot_metrics():
             if isinstance(metric, Counter):
                 counters[metric.name] = metric.value
             elif isinstance(metric, Gauge):
@@ -267,7 +335,7 @@ class MetricsRegistry:
             else:
                 histograms[metric.name] = metric.snapshot()
         return {
-            "version": 1,
+            "version": SUMMARY_VERSION,
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
@@ -326,8 +394,16 @@ class NullMetricsRegistry:
     def record_cache(self, hit: bool) -> None:
         pass
 
+    def snapshot_metrics(self) -> list:
+        return []
+
     def as_dict(self) -> dict:
-        return {"version": 1, "counters": {}, "gauges": {}, "histograms": {}}
+        return {
+            "version": SUMMARY_VERSION,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
 
 
 _NULL_METRICS = NullMetricsRegistry()

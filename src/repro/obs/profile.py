@@ -1,0 +1,257 @@
+"""cProfile hooks attached to the span taxonomy.
+
+A trace tells you *which phase* of a query was slow; a profile tells
+you *which functions inside that phase* burned the time.  This module
+bridges the two: :class:`SpanProfiler` implements the tracer duck-type
+(``span(name, **attrs)``, ``enabled``), wraps any inner tracer, and
+enables a per-span-name :class:`cProfile.Profile` whenever a span whose
+name is in its taxonomy opens::
+
+    profiler = SpanProfiler(spans={"traverse", "rank"})
+    with use_tracer(profiler):
+        engine.complete("experiment ~ conductance")
+    print(profiler.collapsed())          # flamegraph-ready text
+    profiler.write_collapsed("prof.collapsed")
+
+Because CPython allows only one active profiler, nested matches do not
+re-attach: the *outermost* matching span owns the profile (so the
+default taxonomy — ``complete``, ``compile``, ``evaluate``, ``fox``,
+``query``, ``ask``, ``workload``, ``traverse`` — attributes a whole
+completion to ``complete`` rather than fragmenting it).  Repeated spans
+of one name accumulate into one profile.
+
+The collapsed-stack export (one ``frame;frame;frame count`` line per
+call path, counts in microseconds of attributed time) is the input
+format of Brendan Gregg's ``flamegraph.pl`` and every compatible
+viewer (speedscope, inferno, ...).  cProfile records a caller/callee
+graph rather than full stacks, so paths are reconstructed by walking
+the call graph from its roots and attributing each function's own time
+to the path it was reached by, splitting proportionally to the
+per-edge cumulative times when a function has several callers — the
+standard flameprof-style approximation, exact for tree-shaped call
+graphs.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from pathlib import Path
+from typing import IO
+
+from repro.obs.tracer import NullTracer, RecordingTracer, _NULL_TRACER
+
+__all__ = ["DEFAULT_PROFILED_SPANS", "SpanProfiler"]
+
+#: Span names profiled when no explicit taxonomy is given: the
+#: top-level units of user-visible work plus the traversal inner loop.
+DEFAULT_PROFILED_SPANS = frozenset(
+    {
+        "complete",
+        "compile",
+        "traverse",
+        "evaluate",
+        "fox",
+        "query",
+        "ask",
+        "workload",
+    }
+)
+
+#: Path reconstruction depth bound (cycles are skipped regardless).
+_MAX_DEPTH = 24
+
+
+class _ProfiledSpan:
+    """Wraps an inner span; enables the profiler's cProfile on enter."""
+
+    __slots__ = ("_inner", "_profiler", "_name", "_attached")
+
+    def __init__(self, profiler: "SpanProfiler", name: str, inner) -> None:
+        self._profiler = profiler
+        self._name = name
+        self._inner = inner
+        self._attached = False
+
+    def set(self, **attrs: object):
+        self._inner.set(**attrs)
+        return self
+
+    def event(self, name: str, **attrs: object) -> None:
+        self._inner.event(name, **attrs)
+
+    def __enter__(self) -> "_ProfiledSpan":
+        self._inner.__enter__()
+        self._attached = self._profiler._attach(self._name)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._attached:
+            self._profiler._detach(self._name)
+        self._inner.__exit__(*exc_info)
+
+
+class SpanProfiler:
+    """A tracer wrapper that attaches cProfile to named spans.
+
+    Parameters
+    ----------
+    inner:
+        The tracer whose spans still record normally (a
+        :class:`~repro.obs.tracer.RecordingTracer` to keep the trace
+        too, or ``None`` for profile-only operation).
+    spans:
+        The span-name taxonomy to profile; defaults to
+        :data:`DEFAULT_PROFILED_SPANS`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        inner: RecordingTracer | NullTracer | None = None,
+        spans: frozenset[str] | set[str] | None = None,
+    ) -> None:
+        self.inner = inner if inner is not None else _NULL_TRACER
+        self.spans = frozenset(
+            spans if spans is not None else DEFAULT_PROFILED_SPANS
+        )
+        self._profiles: dict[str, cProfile.Profile] = {}
+        #: Name of the span currently holding the (single) profiler.
+        self._active: str | None = None
+
+    # -- tracer duck-type ---------------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        if name not in self.spans:
+            return self.inner.span(name, **attrs)
+        return _ProfiledSpan(self, name, self.inner.span(name, **attrs))
+
+    #: RecordingTracer API passthroughs some callers poke at.
+    @property
+    def roots(self):
+        return getattr(self.inner, "roots", [])
+
+    # -- profile plumbing ---------------------------------------------
+
+    def _attach(self, name: str) -> bool:
+        """Enable the profile for ``name`` unless one is already live
+        (CPython allows a single active profiler)."""
+        if self._active is not None:
+            return False
+        profile = self._profiles.get(name)
+        if profile is None:
+            profile = cProfile.Profile()
+            self._profiles[name] = profile
+        self._active = name
+        profile.enable()
+        return True
+
+    def _detach(self, name: str) -> None:
+        self._profiles[name].disable()
+        self._active = None
+
+    # -- exports -------------------------------------------------------
+
+    @property
+    def profiled_names(self) -> list[str]:
+        """Span names that actually accumulated profile data."""
+        return sorted(self._profiles)
+
+    def _stats(self, name: str) -> dict:
+        profile = self._profiles[name]
+        profile.create_stats()
+        return profile.stats  # type: ignore[attr-defined]
+
+    def collapsed(self, name: str | None = None) -> str:
+        """Collapsed-stack text, one line per path: ``frames count``.
+
+        ``name`` restricts the export to one span name; by default
+        every profiled name is exported, each path prefixed with a
+        ``span:<name>`` root frame so one flamegraph shows the whole
+        taxonomy side by side.  Counts are microseconds.
+        """
+        names = [name] if name is not None else self.profiled_names
+        lines: list[str] = []
+        for span_name in names:
+            stats = self._stats(span_name)
+            lines.extend(_collapse(stats, root_frame=f"span:{span_name}"))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_collapsed(self, target: str | Path | IO[str]) -> int:
+        """Write the collapsed stacks; returns the line count."""
+        text = self.collapsed()
+        if hasattr(target, "write"):
+            target.write(text)  # type: ignore[union-attr]
+        else:
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return len(text.splitlines())
+
+    def report(self, limit: int = 20) -> str:
+        """pstats top-``limit`` cumulative-time table per span name."""
+        sections: list[str] = []
+        for span_name in self.profiled_names:
+            buffer = io.StringIO()
+            stats = pstats.Stats(self._profiles[span_name], stream=buffer)
+            stats.sort_stats("cumulative").print_stats(limit)
+            sections.append(f"== span {span_name!r} ==\n{buffer.getvalue()}")
+        return "\n".join(sections) if sections else "no profiled spans recorded"
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanProfiler(spans={sorted(self.spans)}, "
+            f"profiled={self.profiled_names})"
+        )
+
+
+def _frame(func: tuple) -> str:
+    """One collapsed-stack frame for a cProfile function key."""
+    filename, line, name = func
+    if filename == "~":  # C builtins
+        return name.strip("<>")
+    return f"{Path(filename).name}:{name}"
+
+
+def _collapse(stats: dict, root_frame: str) -> list[str]:
+    """flameprof-style path reconstruction from a cProfile stats dict.
+
+    ``stats`` maps ``func -> (cc, nc, tt, ct, callers)`` where
+    ``callers`` maps each caller to that edge's ``(cc, nc, tt, ct)``.
+    Own time (``tt``) is attributed along reconstructed paths; when a
+    function has several callers its subtree is split proportionally to
+    the per-edge cumulative times.
+    """
+    callees: dict[tuple, list[tuple]] = {}
+    total_edge_ct: dict[tuple, float] = {}
+    for func, (_cc, _nc, _tt, _ct, callers) in stats.items():
+        for caller, (_, _, _, edge_ct) in callers.items():
+            callees.setdefault(caller, []).append(func)
+            total_edge_ct[func] = total_edge_ct.get(func, 0.0) + edge_ct
+    roots = [func for func, (_, _, _, _, callers) in stats.items() if not callers]
+
+    lines: list[str] = []
+
+    def walk(func: tuple, path: tuple[str, ...], weight: float, depth: int) -> None:
+        if depth > _MAX_DEPTH:
+            return
+        frame = _frame(func)
+        if frame in path:  # cycle guard
+            return
+        here = path + (frame,)
+        _cc, _nc, tt, _ct, _callers = stats[func]
+        micros = round(tt * weight * 1_000_000)
+        if micros >= 1:
+            lines.append(f"{';'.join(here)} {micros}")
+        for child in sorted(set(callees.get(func, ())), key=_frame):
+            child_callers = stats[child][4]
+            edge_ct = child_callers.get(func, (0, 0, 0.0, 0.0))[3]
+            total = total_edge_ct.get(child, 0.0)
+            fraction = edge_ct / total if total > 0 else 0.0
+            if fraction > 0:
+                walk(child, here, weight * fraction, depth + 1)
+
+    for root in sorted(roots, key=_frame):
+        walk(root, (root_frame,), 1.0, 1)
+    return lines

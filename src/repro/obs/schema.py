@@ -30,7 +30,9 @@ __all__ = [
     "SchemaValidationError",
     "load_builtin_schema",
     "validate",
+    "validate_bench_records",
     "validate_metrics_summary",
+    "validate_slowlog_entries",
     "validate_trace_events",
 ]
 
@@ -146,5 +148,46 @@ def validate_trace_events(records: list) -> None:
                     problems.append(
                         f"$[{index}]: {record.get('type')} record missing {key!r}"
                     )
+    if problems:
+        raise SchemaValidationError(problems)
+
+
+def validate_slowlog_entries(records: list) -> None:
+    """Validate a parsed JSON-lines slow-query log.
+
+    Every entry must match ``slowlog_entry.schema.json`` and every
+    element of its ``spans`` array must itself be a valid trace-event
+    record — the slow log *is* a retained trace, so both contracts
+    apply.
+    """
+    entry_schema = load_builtin_schema("slowlog_entry")
+    trace_schema = load_builtin_schema("trace_event")
+    problems: list[str] = []
+    for index, record in enumerate(records):
+        problems.extend(validate(record, entry_schema, path=f"$[{index}]"))
+        if isinstance(record, dict) and isinstance(record.get("spans"), list):
+            for at, span in enumerate(record["spans"]):
+                problems.extend(
+                    validate(
+                        span, trace_schema, path=f"$[{index}].spans[{at}]"
+                    )
+                )
+                if isinstance(span, dict):
+                    for key in _RECORD_REQUIRED.get(span.get("type"), ()):
+                        if key not in span:
+                            problems.append(
+                                f"$[{index}].spans[{at}]: "
+                                f"{span.get('type')} record missing {key!r}"
+                            )
+    if problems:
+        raise SchemaValidationError(problems)
+
+
+def validate_bench_records(records: list) -> None:
+    """Validate parsed ``BENCH_history.jsonl`` rows."""
+    schema = load_builtin_schema("bench_record")
+    problems: list[str] = []
+    for index, record in enumerate(records):
+        problems.extend(validate(record, schema, path=f"$[{index}]"))
     if problems:
         raise SchemaValidationError(problems)

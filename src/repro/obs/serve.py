@@ -1,0 +1,180 @@
+"""A stdlib HTTP scrape endpoint for the metrics registry.
+
+``python -m repro.obs.serve`` starts a :class:`MetricsServer` on
+localhost and replays the paper's CUPID workload in a loop, so a
+Prometheus instance (or plain ``curl``) can scrape live counters while
+the disambiguator works::
+
+    $ python -m repro.obs.serve --port 9464 &
+    $ curl -s localhost:9464/metrics | head
+    # HELP repro_cache_hits_total repro.obs counter 'cache.hits'
+    # TYPE repro_cache_hits_total counter
+    ...
+
+Endpoints:
+
+* ``GET /metrics`` — the registry in Prometheus text exposition format
+  (``Content-Type: text/plain; version=0.0.4``);
+* ``GET /healthz`` — liveness (``ok``).
+
+The server is a daemon-threaded ``ThreadingHTTPServer``: scrapes never
+block the pipeline, and the pipeline never blocks scrapes (the registry
+is internally locked).  Library users embed it directly::
+
+    registry = MetricsRegistry()
+    server = MetricsServer(registry, port=0)   # port 0 = ephemeral
+    server.start()
+    ... with use_metrics(registry): serve traffic ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry, use_metrics
+from repro.obs.promtext import render_prometheus
+
+__all__ = ["MetricsServer", "main"]
+
+
+class _ScrapeHandler(BaseHTTPRequestHandler):
+    """Serves /metrics and /healthz from the server's registry."""
+
+    #: Prometheus text exposition content type.
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path.split("?")[0] == "/metrics":
+            body = render_prometheus(
+                self.server.registry,  # type: ignore[attr-defined]
+                namespace=self.server.namespace,  # type: ignore[attr-defined]
+            ).encode("utf-8")
+            self._reply(200, body)
+        elif self.path.split("?")[0] == "/healthz":
+            self._reply(200, b"ok\n")
+        else:
+            self._reply(404, b"not found (try /metrics)\n")
+
+    def _reply(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", self.CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # scrapes every few seconds would spam stderr
+
+
+class MetricsServer:
+    """A background Prometheus scrape endpoint over one registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | NullMetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        namespace: str = "repro",
+    ) -> None:
+        self.registry = registry
+        self.namespace = namespace
+        self._httpd = ThreadingHTTPServer((host, port), _ScrapeHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.registry = registry  # type: ignore[attr-defined]
+        self._httpd.namespace = namespace  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound (port 0 resolves on bind)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Serve /metrics while replaying a builtin workload in a loop."""
+    from repro.experiments.harness import run_workload
+    from repro.experiments.workload import build_cupid_workload
+    from repro.schemas.cupid import build_cupid_schema
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.serve",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--port", type=int, default=9464, help="port to bind (default 9464)"
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default localhost)"
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="pause between workload replays (default 2s)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N replays (default: run until interrupted)",
+    )
+    args = parser.parse_args(argv)
+
+    registry = MetricsRegistry()
+    server = MetricsServer(registry, host=args.host, port=args.port)
+    server.start()
+    print(f"serving Prometheus metrics at {server.url}")
+
+    schema = build_cupid_schema()
+    oracle = build_cupid_workload()
+    replays = 0
+    try:
+        with use_metrics(registry):
+            while args.iterations <= 0 or replays < args.iterations:
+                run_workload(schema, oracle, e=1, continue_on_error=True)
+                registry.counter("serve.replays").inc()
+                replays += 1
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print(f"stopped after {replays} workload replay(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,461 @@
+"""Tail-based slow-query log.
+
+Worst-case Algorithm 2 searches are exponential in the schema; under
+production traffic, the queries worth a full trace are precisely the
+outliers that blow the latency budget — tracing *everything* all the
+time is unaffordable, tracing nothing hides the tail.  This module does
+tail-based retention: while a :class:`SlowQueryLog` is installed, every
+instrumented entry point (:meth:`Disambiguator.complete`,
+``CompletionSession.ask``, ``run_fox``, the experiment harness's
+per-query loop) runs under a private
+:class:`~repro.obs.tracer.RecordingTracer`, but the resulting span tree
+is *kept* only when the query
+
+* exceeds the latency threshold (``threshold_ms``, when set), or
+* ranks in the current top-K by elapsed time (``top_k``).
+
+Everything else is dropped on the floor, so memory stays bounded by
+``capacity`` over-threshold entries plus K ranked ones, no matter how
+much traffic flows through.
+
+Each retained :class:`SlowLogEntry` carries the query text, E, the
+budget outcome (``exhausted``/``truncation_reason``/``error``), the
+traversal stats, and the full trace-event subtree; exports validate
+against the checked-in ``slowlog_entry.schema.json``.
+
+Like the tracer and metrics registry, the ambient default
+(:func:`get_slowlog`) is a shared no-op whose :attr:`enabled` flag the
+hot path checks first, preserving the <5% no-instrumentation overhead
+contract.  Entry points are reentrancy-guarded: the *outermost*
+observation wins (a session ``ask`` logs one entry, not one per nested
+``complete``), so entries never double-count one user-visible query.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import json
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import IO, Iterator
+
+from repro.obs.tracer import RecordingTracer, get_tracer, use_tracer
+
+__all__ = [
+    "NullSlowQueryLog",
+    "Observation",
+    "SlowLogEntry",
+    "SlowQueryLog",
+    "get_slowlog",
+    "use_slowlog",
+]
+
+#: Reasons an entry was retained.
+RETAINED_THRESHOLD = "threshold"
+RETAINED_TOP_K = "top_k"
+
+
+class SlowLogEntry:
+    """One retained slow query (mutable only inside the log's lock)."""
+
+    __slots__ = (
+        "seq",
+        "kind",
+        "query",
+        "e",
+        "elapsed_ms",
+        "exhausted",
+        "truncation_reason",
+        "error",
+        "retained",
+        "stats",
+        "attrs",
+        "spans",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        query: str,
+        e: int | None,
+        elapsed_ms: float,
+        exhausted: bool,
+        truncation_reason: str | None,
+        error: str | None,
+        retained: str,
+        stats: dict | None,
+        attrs: dict,
+        spans: list[dict],
+    ) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.query = query
+        self.e = e
+        self.elapsed_ms = elapsed_ms
+        self.exhausted = exhausted
+        self.truncation_reason = truncation_reason
+        self.error = error
+        self.retained = retained
+        self.stats = stats
+        self.attrs = attrs
+        self.spans = spans
+
+    def to_record(self) -> dict:
+        """The JSONL record (validates against the checked-in schema)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "query": self.query,
+            "e": self.e,
+            "elapsed_ms": self.elapsed_ms,
+            "exhausted": self.exhausted,
+            "truncation_reason": self.truncation_reason,
+            "error": self.error,
+            "retained": self.retained,
+            "stats": self.stats,
+            "attrs": self.attrs,
+            "spans": self.spans,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowLogEntry(#{self.seq} {self.kind} {self.query!r}, "
+            f"{self.elapsed_ms:.2f}ms, retained={self.retained})"
+        )
+
+
+class Observation:
+    """Collector handed to the ``with slowlog.observe(...)`` body.
+
+    The instrumented entry point decorates it while the query runs:
+    :meth:`record_result` copies the budget outcome and stats off a
+    :class:`~repro.core.completion.CompletionResult`-shaped object;
+    :meth:`set` attaches extra attributes (row counts, query ids).
+    """
+
+    __slots__ = (
+        "kind",
+        "query",
+        "e",
+        "attrs",
+        "exhausted",
+        "truncation_reason",
+        "error",
+        "stats",
+    )
+
+    def __init__(self, kind: str, query: str, e: int | None, attrs: dict) -> None:
+        self.kind = kind
+        self.query = query
+        self.e = e
+        self.attrs = attrs
+        self.exhausted = True
+        self.truncation_reason: str | None = None
+        self.error: str | None = None
+        self.stats: dict | None = None
+
+    def set(self, **attrs: object) -> "Observation":
+        self.attrs.update(attrs)
+        return self
+
+    def record_result(self, result: object) -> None:
+        """Copy budget outcome and stats from a completion result."""
+        self.exhausted = bool(getattr(result, "exhausted", True))
+        self.truncation_reason = getattr(result, "truncation_reason", None)
+        stats = getattr(result, "stats", None)
+        if stats is not None and hasattr(stats, "as_dict"):
+            self.stats = stats.as_dict()
+        paths = getattr(result, "paths", None)
+        if paths is not None:
+            self.attrs.setdefault("paths", len(paths))
+
+
+class _NullObservation:
+    """Shared do-nothing observation for the no-op log."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NullObservation":
+        return self
+
+    def record_result(self, result: object) -> None:
+        pass
+
+
+_NULL_OBSERVATION = _NullObservation()
+
+#: Reentrancy guard: true while some observation is already open in
+#: this context, so nested entry points skip (outermost wins).
+_OBSERVING: ContextVar[bool] = ContextVar("repro_slowlog_observing", default=False)
+
+
+class SlowQueryLog:
+    """Bounded tail-based retention of slow-query traces.
+
+    Parameters
+    ----------
+    threshold_ms:
+        Queries at or above this latency are always retained (until
+        ``capacity`` pushes the oldest out).  ``None`` disables the
+        threshold rule; retention is then purely top-K.
+    top_k:
+        The K slowest queries seen so far are retained regardless of
+        the threshold; when a new query outranks the current minimum,
+        the minimum is evicted (unless it also cleared the threshold).
+    capacity:
+        Ring-buffer bound on threshold-retained entries.
+    """
+
+    enabled = True
+    is_noop = False
+
+    def __init__(
+        self,
+        threshold_ms: float | None = None,
+        top_k: int = 10,
+        capacity: int = 256,
+    ) -> None:
+        if top_k < 0 or capacity < 1:
+            raise ValueError("top_k must be >= 0 and capacity >= 1")
+        self.threshold_ms = threshold_ms
+        self.top_k = top_k
+        self.capacity = capacity
+        self._seq = 0
+        self._observed = 0
+        self._by_threshold: deque[SlowLogEntry] = deque(maxlen=capacity)
+        #: Min-heap of (elapsed_ms, seq, entry) — the current top-K.
+        self._heap: list[tuple[float, int, SlowLogEntry]] = []
+        self._lock = threading.Lock()
+
+    # -- the entry-point hook -----------------------------------------
+
+    @contextlib.contextmanager
+    def observe(
+        self, kind: str, query: str, e: int | None = None, **attrs: object
+    ) -> Iterator[Observation | _NullObservation]:
+        """Time the with-block as one query and consider it for retention.
+
+        Installs a private :class:`RecordingTracer` when no real tracer
+        is ambient, so the retained entry always carries a span tree.
+        Nested ``observe`` calls (an engine ``complete`` inside a
+        session ``ask``) yield a no-op observation: the outermost entry
+        point owns the query.
+        """
+        if _OBSERVING.get():
+            yield _NULL_OBSERVATION
+            return
+        token = _OBSERVING.set(True)
+        observation = Observation(kind, query, e, dict(attrs))
+        tracer = get_tracer()
+        private: RecordingTracer | None = None
+        roots_before = 0
+        if tracer.enabled:
+            roots_before = len(tracer.roots)  # type: ignore[union-attr]
+        else:
+            private = RecordingTracer()
+        start = time.perf_counter()
+        try:
+            if private is not None:
+                with use_tracer(private):
+                    yield observation
+            else:
+                yield observation
+        except BaseException as error:
+            observation.error = f"{type(error).__name__}: {error}"
+            observation.exhausted = False
+            reason = getattr(error, "reason", None)
+            if isinstance(reason, str):
+                observation.truncation_reason = reason
+            partial = getattr(error, "partial", None)
+            if partial is not None:
+                observation.record_result(partial)
+                observation.exhausted = False
+            raise
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            source = private if private is not None else tracer
+            roots = list(source.roots[roots_before:])  # type: ignore[union-attr]
+            self._consider(observation, elapsed_ms, source, roots)
+            _OBSERVING.reset(token)
+
+    # -- retention ----------------------------------------------------
+
+    def _consider(
+        self,
+        observation: Observation,
+        elapsed_ms: float,
+        tracer: RecordingTracer,
+        roots: list,
+    ) -> None:
+        with self._lock:
+            self._observed += 1
+            seq = self._seq
+            self._seq += 1
+            over_threshold = (
+                self.threshold_ms is not None
+                and elapsed_ms >= self.threshold_ms
+            )
+            in_top_k = self.top_k > 0 and (
+                len(self._heap) < self.top_k or elapsed_ms > self._heap[0][0]
+            )
+            if not over_threshold and not in_top_k:
+                return  # drop: trace garbage-collects with the tracer
+            entry = SlowLogEntry(
+                seq=seq,
+                kind=observation.kind,
+                query=observation.query,
+                e=observation.e,
+                elapsed_ms=elapsed_ms,
+                exhausted=observation.exhausted,
+                truncation_reason=observation.truncation_reason,
+                error=observation.error,
+                retained=RETAINED_THRESHOLD if over_threshold else RETAINED_TOP_K,
+                stats=observation.stats,
+                attrs=_jsonable_attrs(observation.attrs),
+                spans=tracer.to_events(roots),
+            )
+            if over_threshold:
+                self._by_threshold.append(entry)
+            if in_top_k:
+                if len(self._heap) < self.top_k:
+                    heapq.heappush(self._heap, (elapsed_ms, seq, entry))
+                else:
+                    heapq.heappushpop(self._heap, (elapsed_ms, seq, entry))
+
+    # -- inspection / export ------------------------------------------
+
+    @property
+    def observed(self) -> int:
+        """How many queries were considered (retained or not)."""
+        with self._lock:
+            return self._observed
+
+    def entries(self) -> list[SlowLogEntry]:
+        """The retained entries in arrival (seq) order, deduplicated."""
+        with self._lock:
+            merged = {entry.seq: entry for entry in self._by_threshold}
+            for _, _, entry in self._heap:
+                merged.setdefault(entry.seq, entry)
+        return [merged[seq] for seq in sorted(merged)]
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def render(self, limit: int | None = None) -> str:
+        """Human-readable dump, slowest first."""
+        entries = sorted(
+            self.entries(), key=lambda entry: -entry.elapsed_ms
+        )[: limit or None]
+        if not entries:
+            return "slow-query log is empty"
+        lines = [
+            f"{len(self.entries())} retained of {self.observed} observed "
+            f"(threshold "
+            + (
+                f"{self.threshold_ms:g}ms"
+                if self.threshold_ms is not None
+                else "off"
+            )
+            + f", top-{self.top_k})"
+        ]
+        for entry in entries:
+            flags = []
+            if not entry.exhausted:
+                flags.append(
+                    f"partial:{entry.truncation_reason or 'unknown'}"
+                )
+            if entry.error:
+                flags.append(f"error:{entry.error}")
+            lines.append(
+                f"  #{entry.seq:<4} {entry.elapsed_ms:9.2f}ms "
+                f"[{entry.retained}] {entry.kind}: {entry.query}"
+                + (f"  ({', '.join(flags)})" if flags else "")
+            )
+        return "\n".join(lines)
+
+    def to_records(self) -> list[dict]:
+        return [entry.to_record() for entry in self.entries()]
+
+    def write_jsonl(self, target: str | IO[str]) -> int:
+        """Write retained entries as JSON lines; returns the count."""
+        records = self.to_records()
+        payload = "".join(
+            json.dumps(record, sort_keys=True) + "\n" for record in records
+        )
+        if hasattr(target, "write"):
+            target.write(payload)  # type: ignore[union-attr]
+        else:
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+        return len(records)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowQueryLog(threshold_ms={self.threshold_ms}, "
+            f"top_k={self.top_k}, retained={len(self)})"
+        )
+
+
+def _jsonable_attrs(attrs: dict) -> dict:
+    """Attributes coerced to JSON-safe scalars (repr fallback)."""
+    safe: dict = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[str(key)] = value
+        else:
+            safe[str(key)] = repr(value)
+    return safe
+
+
+class NullSlowQueryLog:
+    """The ambient default: observes nothing, costs one attribute read."""
+
+    enabled = False
+    is_noop = True
+    threshold_ms = None
+    top_k = 0
+    observed = 0
+
+    @contextlib.contextmanager
+    def observe(
+        self, kind: str, query: str, e: int | None = None, **attrs: object
+    ) -> Iterator[_NullObservation]:
+        yield _NULL_OBSERVATION
+
+    def entries(self) -> list:
+        return []
+
+    def to_records(self) -> list:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def render(self, limit: int | None = None) -> str:
+        return "slow-query log is off"
+
+
+_NULL_SLOWLOG = NullSlowQueryLog()
+
+_ACTIVE: ContextVar[SlowQueryLog | NullSlowQueryLog] = ContextVar(
+    "repro_slowlog", default=_NULL_SLOWLOG
+)
+
+
+def get_slowlog() -> SlowQueryLog | NullSlowQueryLog:
+    """The slow-query log instrumented entry points should consult."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def use_slowlog(log: SlowQueryLog | NullSlowQueryLog):
+    """Install ``log`` as the ambient slow-query log for the with-block."""
+    token = _ACTIVE.set(log)
+    try:
+        yield log
+    finally:
+        _ACTIVE.reset(token)

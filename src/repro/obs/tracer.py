@@ -259,16 +259,19 @@ class RecordingTracer:
                     )
         return "\n".join(lines)
 
-    def to_events(self) -> list[dict]:
+    def to_events(self, roots: list[Span] | None = None) -> list[dict]:
         """The JSON-lines event log as a list of plain dicts.
 
         One ``span`` record per span (pre-order, so parents precede
         children) and one ``event`` record per point event, all with
         millisecond offsets relative to their root span's start.
+        ``roots`` restricts the export to a subset of recorded trees
+        (the slow-query log exports one query's trees this way); by
+        default every recorded root is exported.
         """
         records: list[dict] = []
         next_id = 0
-        for root in self.roots:
+        for root in self.roots if roots is None else roots:
             epoch = root.start
             ids: dict[int, int] = {}
             parents: dict[int, int | None] = {id(root): None}

@@ -5,10 +5,13 @@ Usage::
 
     python -m repro.obs.validate FILE [FILE ...]
 
-``*.jsonl`` files are treated as JSON-lines trace logs, everything else
-as a metrics summary document.  Exit status 0 when every file conforms,
-1 otherwise — CI runs this over the quick-bench exports so a format
-drift fails the build until the schema files are updated deliberately.
+``*.jsonl`` files hold JSON-lines records whose kind is sniffed from
+the first record — trace logs (``type`` key), slow-query logs
+(``retained``/``elapsed_ms`` keys), or benchmark-history rows
+(``run``/``value`` keys); everything else is a metrics summary
+document.  Exit status 0 when every file conforms, 1 otherwise — CI
+runs this over the quick-bench exports so a format drift fails the
+build until the schema files are updated deliberately.
 """
 
 from __future__ import annotations
@@ -19,15 +22,36 @@ import sys
 
 from repro.obs.schema import (
     SchemaValidationError,
+    validate_bench_records,
     validate_metrics_summary,
+    validate_slowlog_entries,
     validate_trace_events,
 )
 
 __all__ = ["main"]
 
 
-def _validate_file(path: str) -> list[str]:
-    """Problems found in one file (empty = valid)."""
+def _jsonl_kind(records: list) -> str:
+    """Sniff which JSON-lines format a record list is."""
+    first = records[0] if records else {}
+    if isinstance(first, dict):
+        if "retained" in first and "elapsed_ms" in first:
+            return "slow-query log"
+        if "run" in first and "value" in first:
+            return "benchmark history"
+    return "trace log"
+
+
+_JSONL_VALIDATORS = {
+    "slow-query log": validate_slowlog_entries,
+    "benchmark history": validate_bench_records,
+    "trace log": validate_trace_events,
+}
+
+
+def _validate_file(path: str) -> tuple[str, list[str]]:
+    """(detected kind, problems found) for one file (empty = valid)."""
+    kind = "metrics summary"
     try:
         with open(path, encoding="utf-8") as handle:
             if path.endswith(".jsonl"):
@@ -36,16 +60,17 @@ def _validate_file(path: str) -> list[str]:
                     for line in handle
                     if line.strip()
                 ]
-                validate_trace_events(records)
+                kind = _jsonl_kind(records)
+                _JSONL_VALIDATORS[kind](records)
             else:
                 validate_metrics_summary(json.load(handle))
     except FileNotFoundError:
-        return [f"{path}: file not found"]
+        return kind, [f"{path}: file not found"]
     except json.JSONDecodeError as error:
-        return [f"{path}: not valid JSON ({error})"]
+        return kind, [f"{path}: not valid JSON ({error})"]
     except SchemaValidationError as error:
-        return [f"{path}: {problem}" for problem in error.problems]
-    return []
+        return kind, [f"{path}: {problem}" for problem in error.problems]
+    return kind, []
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,13 +87,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     failed = False
     for path in args.files:
-        problems = _validate_file(path)
+        kind, problems = _validate_file(path)
         if problems:
             failed = True
             for problem in problems:
                 print(problem, file=sys.stderr)
         else:
-            kind = "trace log" if path.endswith(".jsonl") else "metrics summary"
             print(f"{path}: valid {kind}")
     return 1 if failed else 0
 

@@ -41,6 +41,7 @@ from repro.core.engine import Disambiguator
 from repro.core.parser import parse_path_expression
 from repro.errors import NoCompletionError, QuerySyntaxError
 from repro.model.instances import Database, DBObject
+from repro.obs.slowlog import get_slowlog
 from repro.obs.tracer import get_tracer
 from repro.query.evaluator import evaluate_from
 
@@ -264,6 +265,20 @@ def run_fox(
     memoized registry, so repeated ``run_fox`` calls over an unchanged
     schema share state anyway.
     """
+    # The slow-log observation wraps the whole evaluation: a retained
+    # fox query keeps its parse/evaluate span tree and row count.
+    with get_slowlog().observe("fox", text) as obs:
+        rows = _run_fox_observed(database, text, engine, compiled)
+        obs.set(rows=len(rows))
+        return rows
+
+
+def _run_fox_observed(
+    database: Database,
+    text: str,
+    engine: Disambiguator | None,
+    compiled: "CompiledSchema | None",
+) -> list[FoxRow]:
     tracer = get_tracer()
     with tracer.span("fox", query=text) as span:
         with tracer.span("parse"):

@@ -23,7 +23,12 @@ expressions:
 * ``:budget`` — show the session's completion budget;
   ``:budget deadline MS`` / ``:budget nodes N`` / ``:budget paths N`` /
   ``:budget depth N`` set one dimension, ``:budget partial on|off``
-  picks the anytime policy, ``:budget off`` clears the governor.
+  picks the anytime policy, ``:budget off`` clears the governor;
+* ``:slowlog on [MS]`` / ``:slowlog off`` — tail-based slow-query
+  logging for subsequent asks (retain asks over MS milliseconds plus
+  the top-K slowest); ``:slowlog`` — status; ``:slowlog show`` — the
+  retained entries;
+* ``:prom`` — the session metrics in Prometheus text exposition format.
 
 Command rounds return an :class:`Interaction` whose ``message`` carries
 the rendered output (candidates/results stay empty), so interactive
@@ -49,6 +54,8 @@ from repro.core.engine import Disambiguator
 from repro.errors import BudgetExceededError, ReproError
 from repro.model.instances import Database
 from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.promtext import render_prometheus
+from repro.obs.slowlog import SlowQueryLog, get_slowlog, use_slowlog
 from repro.obs.tracer import RecordingTracer, get_tracer, use_tracer
 from repro.query.evaluator import evaluate
 from repro.resilience.budget import Budget, use_budget
@@ -180,9 +187,17 @@ class CompletionSession:
         #: Metrics accumulate across the whole session unconditionally —
         #: the registry is cheap and ``:metrics`` should always answer.
         self.metrics = MetricsRegistry()
+        # Pre-create the budget-governance counters so ``:metrics``
+        # always reports them (zero until a budget actually trips).
+        self.metrics.counter("budget.trips")
+        self.metrics.counter("budget.degrades")
         #: The session's completion budget (``:budget ...`` edits it).
         #: Installed as the ambient budget around every completion round.
         self.budget = budget
+        #: Session-held slow-query log; None until ``:slowlog on``.
+        #: Survives ``:slowlog off`` so ``:slowlog show`` still renders.
+        self.slowlog: SlowQueryLog | None = None
+        self.slow_logging = False
 
     def ask(self, text: str) -> Interaction:
         """Run one full round for the given (possibly incomplete) input.
@@ -204,8 +219,13 @@ class CompletionSession:
             if self.budget is not None
             else contextlib.nullcontext()
         )
+        slowlog_scope = (
+            use_slowlog(self.slowlog)
+            if self.slow_logging and self.slowlog is not None
+            else contextlib.nullcontext()
+        )
         try:
-            with use_metrics(self.metrics), budget_scope:
+            with use_metrics(self.metrics), budget_scope, slowlog_scope:
                 if self.tracing and self.tracer is not None:
                     with use_tracer(self.tracer):
                         interaction = self._round(text)
@@ -236,16 +256,24 @@ class CompletionSession:
 
     def _round(self, text: str) -> Interaction:
         """The complete -> approve -> evaluate pipeline for one input."""
-        tracer = get_tracer()
-        with tracer.span("ask", input=text) as span:
-            completion = self.engine.complete(text)
-            approved = self.chooser(completion.paths)
-            with tracer.span("evaluate", paths=len(approved)):
-                results = tuple(
-                    (str(path), frozenset(evaluate(self.database, path)))
-                    for path in approved
+        with get_slowlog().observe("ask", text) as obs:
+            # The tracer is resolved *inside* the observation: when no
+            # session tracer is on, the slow log installs a private
+            # recording tracer so retained asks still carry span trees.
+            tracer = get_tracer()
+            with tracer.span("ask", input=text) as span:
+                completion = self.engine.complete(text)
+                obs.record_result(completion)
+                approved = self.chooser(completion.paths)
+                with tracer.span("evaluate", paths=len(approved)):
+                    results = tuple(
+                        (str(path), frozenset(evaluate(self.database, path)))
+                        for path in approved
+                    )
+                span.set(
+                    candidates=len(completion.paths), approved=len(approved)
                 )
-            span.set(candidates=len(completion.paths), approved=len(approved))
+                obs.set(approved=len(approved))
         message = ""
         if completion.is_partial:
             message = (
@@ -275,10 +303,15 @@ class CompletionSession:
             message = json.dumps(self.metrics.as_dict(), indent=2, sort_keys=True)
         elif name == ":budget":
             message = self._budget_command(args)
+        elif name == ":slowlog":
+            message = self._slowlog_command(args)
+        elif name == ":prom":
+            message = render_prometheus(self.metrics)
         else:
             message = (
                 f"unknown session command {name!r} "
-                "(expected :trace [on|off|show], :metrics, or :budget)"
+                "(expected :trace [on|off|show], :metrics, :budget, "
+                ":slowlog [on [MS]|off|show], or :prom)"
             )
         return Interaction(
             input_text=text,
@@ -308,6 +341,40 @@ class CompletionSession:
                 return "no spans recorded (use ':trace on' first)"
             return self.tracer.render()
         return f"unknown :trace argument {args[0]!r} (expected on|off|show)"
+
+    def _slowlog_command(self, args: list[str]) -> str:
+        if not args:
+            retained = len(self.slowlog) if self.slowlog is not None else 0
+            return (
+                f"slow-query logging {'on' if self.slow_logging else 'off'} "
+                f"({retained} entr{'y' if retained == 1 else 'ies'} retained)"
+            )
+        if args[0] == "on":
+            threshold_ms: float | None = None
+            if len(args) == 2:
+                try:
+                    threshold_ms = float(args[1])
+                except ValueError:
+                    return f"not a number: {args[1]!r}"
+            elif len(args) > 2:
+                return "usage: :slowlog [on [MS]|off|show]"
+            if self.slowlog is None or threshold_ms is not None:
+                self.slowlog = SlowQueryLog(threshold_ms=threshold_ms)
+            self.slow_logging = True
+            described = (
+                f"threshold {self.slowlog.threshold_ms:g}ms"
+                if self.slowlog.threshold_ms is not None
+                else "threshold off"
+            )
+            return f"slow-query logging on ({described}, top-{self.slowlog.top_k})"
+        if args[0] == "off":
+            self.slow_logging = False
+            return "slow-query logging off"
+        if args[0] == "show":
+            if self.slowlog is None:
+                return "no slow queries recorded (use ':slowlog on' first)"
+            return self.slowlog.render()
+        return f"unknown :slowlog argument {args[0]!r} (expected on|off|show)"
 
     _BUDGET_USAGE = (
         "usage: :budget | :budget off | :budget deadline MS | "

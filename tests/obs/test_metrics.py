@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.stats import TraversalStats
 from repro.obs.metrics import (
+    RESERVOIR_SIZE,
     MetricsRegistry,
     NullMetricsRegistry,
     get_metrics,
@@ -53,6 +54,71 @@ class TestPrimitives:
         registry.counter("name")
         with pytest.raises(TypeError):
             registry.gauge("name")
+
+    def test_snapshot_includes_p99(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["p99"] >= snapshot["p95"] >= snapshot["p50"]
+        assert snapshot["p99"] >= 99
+        empty = MetricsRegistry().histogram("e").snapshot()
+        assert empty["p99"] == 0.0
+
+
+class TestReservoirSampling:
+    """Regression tests for the Algorithm-R histogram reservoir.
+
+    The original reservoir appended only while unsaturated, so the
+    first RESERVOIR_SIZE observations were kept forever and any later
+    distribution shift was invisible to the percentiles.
+    """
+
+    def test_distribution_shift_after_saturation_moves_p95(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for _ in range(RESERVOIR_SIZE):
+            histogram.observe(1.0)
+        assert histogram.snapshot()["p95"] == 1.0
+        # The workload degrades *after* the reservoir is full: 3x as
+        # many slow observations arrive.  A keep-the-first-N reservoir
+        # would still report p95 == 1.0.
+        for _ in range(3 * RESERVOIR_SIZE):
+            histogram.observe(100.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["p95"] == 100.0
+        assert snapshot["p50"] == 100.0
+
+    def test_count_sum_min_max_stay_exact_past_saturation(self):
+        histogram = MetricsRegistry().histogram("h")
+        total = 2 * RESERVOIR_SIZE
+        for value in range(total):
+            histogram.observe(float(value))
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == total
+        assert snapshot["sum"] == sum(range(total))
+        assert snapshot["min"] == 0.0
+        assert snapshot["max"] == float(total - 1)
+
+    def test_sampling_is_seeded_and_deterministic(self):
+        def build():
+            histogram = MetricsRegistry().histogram("h")
+            for value in range(3 * RESERVOIR_SIZE):
+                histogram.observe(float(value))
+            return histogram.snapshot()
+
+        assert build() == build()
+
+    def test_cumulative_buckets_are_monotone_and_end_at_inf(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in [0.5, 1.5, 2.5, 99.0]:
+            histogram.observe(value)
+        buckets = histogram.cumulative_buckets((1.0, 2.0, 10.0))
+        bounds = [bound for bound, _ in buckets]
+        counts = [count for _, count in buckets]
+        assert bounds == [1.0, 2.0, 10.0, float("inf")]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4  # +Inf bucket always equals the count
+        assert counts[0] == 1 and counts[1] == 2 and counts[2] == 3
 
 
 class TestAmbientRegistry:

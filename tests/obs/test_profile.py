@@ -1,0 +1,116 @@
+"""Tests for the span-taxonomy profiling hooks (repro.obs.profile)."""
+
+import io
+
+from repro.core.engine import Disambiguator
+from repro.obs.profile import DEFAULT_PROFILED_SPANS, SpanProfiler
+from repro.obs.tracer import RecordingTracer, use_tracer
+from repro.schemas.university import build_university_schema
+
+
+def _work(n: int = 4000) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestSpanProfiler:
+    def test_profiles_only_taxonomy_spans(self):
+        profiler = SpanProfiler(spans={"traverse"})
+        with use_tracer(profiler):
+            with profiler.span("traverse"):
+                _work()
+            with profiler.span("unrelated"):
+                _work()
+        assert profiler.profiled_names == ["traverse"]
+
+    def test_nested_matching_spans_attach_once(self):
+        # CPython allows one active profiler; the outermost matching
+        # span owns the profile and nested matches must not re-attach.
+        profiler = SpanProfiler(spans={"complete", "traverse"})
+        with use_tracer(profiler):
+            with profiler.span("complete"):
+                with profiler.span("traverse"):
+                    _work()
+        assert profiler.profiled_names == ["complete"]
+
+    def test_repeated_spans_accumulate_into_one_profile(self):
+        profiler = SpanProfiler(spans={"traverse"})
+        with use_tracer(profiler):
+            for _ in range(3):
+                with profiler.span("traverse"):
+                    _work()
+        assert profiler.profiled_names == ["traverse"]
+        collapsed = profiler.collapsed("traverse")
+        assert collapsed  # some attributed time survived rounding
+
+    def test_collapsed_stack_format(self):
+        profiler = SpanProfiler(spans={"traverse"})
+        with use_tracer(profiler):
+            with profiler.span("traverse"):
+                _work(200_000)
+        lines = profiler.collapsed().strip().splitlines()
+        assert lines
+        for line in lines:
+            frames, _, count = line.rpartition(" ")
+            assert frames.startswith("span:traverse;")
+            assert int(count) >= 1  # flamegraph counts are integers
+
+    def test_collapsed_mentions_profiled_functions(self):
+        profiler = SpanProfiler(spans={"traverse"})
+        with use_tracer(profiler):
+            with profiler.span("traverse"):
+                _work(200_000)
+        collapsed = profiler.collapsed()
+        assert "_work" in collapsed
+
+    def test_write_collapsed_and_report(self, tmp_path):
+        profiler = SpanProfiler(spans={"traverse"})
+        with use_tracer(profiler):
+            with profiler.span("traverse"):
+                _work(200_000)
+        target = tmp_path / "prof.collapsed"
+        count = profiler.write_collapsed(target)
+        assert count == len(target.read_text().splitlines()) > 0
+        buffer = io.StringIO()
+        count2 = profiler.write_collapsed(buffer)
+        assert count2 == count
+        report = profiler.report()
+        assert "span 'traverse'" in report
+        assert "cumulative" in report
+
+    def test_empty_profiler_reports_placeholder(self):
+        profiler = SpanProfiler()
+        assert profiler.collapsed() == ""
+        assert profiler.report() == "no profiled spans recorded"
+
+    def test_inner_tracer_still_records(self):
+        inner = RecordingTracer()
+        profiler = SpanProfiler(inner=inner, spans={"traverse"})
+        with use_tracer(profiler):
+            with profiler.span("traverse", root="ta") as span:
+                span.set(paths=1)
+                span.event("prune")
+            with profiler.span("other"):
+                pass
+        assert [root.name for root in inner.roots] == ["traverse", "other"]
+        assert inner.roots[0].attrs == {"root": "ta", "paths": 1}
+        assert profiler.roots is inner.roots or list(profiler.roots) == list(
+            inner.roots
+        )
+
+    def test_default_taxonomy_covers_the_entry_points(self):
+        for name in ("complete", "compile", "evaluate", "fox", "ask"):
+            assert name in DEFAULT_PROFILED_SPANS
+
+
+class TestEngineIntegration:
+    def test_profiling_a_real_completion(self):
+        profiler = SpanProfiler()
+        with use_tracer(profiler):
+            engine = Disambiguator(build_university_schema())
+            result = engine.complete("ta ~ name")
+        assert len(result.paths) == 2  # profiling must not change results
+        assert "compile" in profiler.profiled_names or (
+            "complete" in profiler.profiled_names
+        )
+        # the profile saw actual engine internals
+        assert profiler.collapsed()

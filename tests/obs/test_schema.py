@@ -81,7 +81,7 @@ class TestBuiltinSchemas:
     def test_valid_metrics_summary_passes(self):
         validate_metrics_summary(
             {
-                "version": 1,
+                "version": 2,
                 "counters": {"completions": 2},
                 "gauges": {"cache.hit_ratio": 0.5},
                 "histograms": {
@@ -93,6 +93,7 @@ class TestBuiltinSchemas:
                         "mean": 15.0,
                         "p50": 10.0,
                         "p95": 20.0,
+                        "p99": 20.0,
                     }
                 },
             }
@@ -100,14 +101,34 @@ class TestBuiltinSchemas:
 
     def test_drifted_metrics_summary_fails(self):
         with pytest.raises(SchemaValidationError):
-            validate_metrics_summary({"version": 1, "counters": {}})
+            validate_metrics_summary({"version": 2, "counters": {}})
         with pytest.raises(SchemaValidationError):
             validate_metrics_summary(
                 {
-                    "version": 2,  # unknown version
+                    "version": 1,  # the pre-p99 version is retired
                     "counters": {},
                     "gauges": {},
                     "histograms": {},
+                }
+            )
+        with pytest.raises(SchemaValidationError):
+            # a histogram without the p99 the v2 schema requires
+            validate_metrics_summary(
+                {
+                    "version": 2,
+                    "counters": {},
+                    "gauges": {},
+                    "histograms": {
+                        "h": {
+                            "count": 1,
+                            "sum": 1.0,
+                            "min": 1.0,
+                            "max": 1.0,
+                            "mean": 1.0,
+                            "p50": 1.0,
+                            "p95": 1.0,
+                        }
+                    },
                 }
             )
 
@@ -141,7 +162,7 @@ class TestValidateCli:
         metrics = tmp_path / "metrics.json"
         metrics.write_text(
             json.dumps(
-                {"version": 1, "counters": {}, "gauges": {}, "histograms": {}}
+                {"version": 2, "counters": {}, "gauges": {}, "histograms": {}}
             )
         )
         trace = tmp_path / "trace.jsonl"

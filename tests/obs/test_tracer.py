@@ -5,6 +5,7 @@ import json
 import threading
 import time
 
+from repro.obs.schema import validate_trace_events
 from repro.obs.tracer import (
     NullTracer,
     RecordingTracer,
@@ -159,6 +160,62 @@ class TestExporters:
             assert child["parent"] == root["id"]
             assert child["depth"] == 1
         assert events[0]["span"] == spans[2]["id"]
+
+    def test_jsonl_records_revalidate_against_schema(self):
+        # Round-trip: every exported event must re-validate against the
+        # checked-in trace_event schema after a JSON round-trip.
+        tracer = self._sample()
+        buffer = io.StringIO()
+        tracer.write_jsonl(buffer)
+        records = [
+            json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        validate_trace_events(records)
+
+    def test_jsonl_nesting_matches_walk_order(self):
+        # Parent/child structure reconstructed from the event log must
+        # match the in-memory Span.walk() traversal exactly.
+        tracer = RecordingTracer()
+        with tracer.span("complete") as outer:
+            with tracer.span("parse"):
+                pass
+            with tracer.span("traverse"):
+                with tracer.span("agg_select"):
+                    pass
+                with tracer.span("rank"):
+                    pass
+            outer.set(paths=1)
+        records = tracer.to_events()
+        spans = [r for r in records if r["type"] == "span"]
+
+        walk = [
+            (span.name, depth)
+            for root in tracer.roots
+            for span, depth in root.walk()
+        ]
+        assert [(r["name"], r["depth"]) for r in spans] == walk
+
+        # Rebuild the tree from parent pointers and compare child lists
+        # (in order) with the recorded Span objects.
+        children: dict = {}
+        for record in spans:
+            children.setdefault(record["parent"], []).append(record["name"])
+        root = tracer.roots[0]
+        assert children[None] == [root.name]
+        by_name = {r["name"]: r["id"] for r in spans}
+        for span, _ in root.walk():
+            expected = [child.name for child in span.children]
+            assert children.get(by_name[span.name], []) == expected
+
+    def test_to_events_roots_subset(self):
+        tracer = RecordingTracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        subset = tracer.to_events(roots=[tracer.roots[1]])
+        assert [r["name"] for r in subset] == ["second"]
+        assert len(tracer.to_events()) == 2
 
     def test_jsonl_attrs_are_json_safe(self):
         tracer = RecordingTracer()

@@ -128,10 +128,77 @@ class TestSessionCommands:
         assert summary["counters"]["completions"] == 2
         assert summary["counters"]["cache.hits"] == 1
 
+    def test_metrics_report_budget_governance_counters(self, db):
+        import json
+
+        # The budget trip/degrade counters are pre-created so the JSON
+        # summary always carries them, even before any budget installs.
+        session = CompletionSession(db)
+        summary = json.loads(session.ask(":metrics").message)
+        assert summary["counters"]["budget.trips"] == 0
+        assert summary["counters"]["budget.degrades"] == 0
+
+    def test_slowlog_off_by_default(self, db):
+        session = CompletionSession(db)
+        message = session.ask(":slowlog").message
+        assert "slow-query logging off" in message
+        session.ask("ta ~ name")
+        assert session.slowlog is None
+
+    def test_slowlog_on_records_subsequent_asks(self, db):
+        session = CompletionSession(db)
+        session.ask(":slowlog on")
+        session.ask("ta ~ name")
+        assert session.slowlog is not None
+        (entry,) = session.slowlog.entries()
+        assert entry.kind == "ask"
+        assert entry.query == "ta ~ name"
+        assert entry.spans  # the ask's span tree was retained
+        shown = session.ask(":slowlog show").message
+        assert "ta ~ name" in shown
+        assert "1 retained of 1 observed" in shown
+
+    def test_slowlog_threshold_argument(self, db):
+        session = CompletionSession(db)
+        message = session.ask(":slowlog on 250").message
+        assert "threshold 250ms" in message
+        session.ask("ta ~ name")  # far faster than 250ms...
+        status = session.ask(":slowlog").message
+        # ...but still in the top-K, so it is retained.
+        assert "slow-query logging on" in status
+        assert session.slowlog.threshold_ms == 250.0
+
+    def test_slowlog_off_stops_recording_but_keeps_entries(self, db):
+        session = CompletionSession(db)
+        session.ask(":slowlog on")
+        session.ask("ta ~ name")
+        session.ask(":slowlog off")
+        session.ask("course ~ name")
+        assert len(session.slowlog.entries()) == 1
+        assert "ta ~ name" in session.ask(":slowlog show").message
+
+    def test_slowlog_show_without_log(self, db):
+        message = CompletionSession(db).ask(":slowlog show").message
+        assert "no slow queries recorded" in message
+
+    def test_slowlog_bad_arguments(self, db):
+        session = CompletionSession(db)
+        assert "not a number" in session.ask(":slowlog on abc").message
+        assert "unknown :slowlog argument" in session.ask(":slowlog nope").message
+
+    def test_prom_renders_exposition_format(self, db):
+        session = CompletionSession(db)
+        session.ask("ta ~ name")
+        message = session.ask(":prom").message
+        assert "# TYPE repro_completions_total counter" in message
+        assert "repro_completions_total 1" in message
+        assert 'le="+Inf"' in message
+
     def test_unknown_command_is_reported(self, db):
         message = CompletionSession(db).ask(":bogus").message
         assert "unknown session command" in message
         assert ":metrics" in message
+        assert ":slowlog" in message
 
     def test_command_rounds_enter_history(self, db):
         session = CompletionSession(db)

@@ -275,6 +275,156 @@ class TestObservabilityFlags:
         assert "[cache:" in out
         assert "hit(s)" in out
 
+    def test_prom_prints_exposition(self, capsys):
+        # Like bare --trace, bare --prom must follow the expression.
+        code = main(
+            ["complete", "--builtin", "university", "ta ~ name", "--prom"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE repro_completions_total counter" in out
+        assert "repro_completions_total 1" in out
+        assert 'le="+Inf"' in out
+
+    def test_prom_to_file(self, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "complete",
+                "--builtin",
+                "university",
+                f"--prom={target}",
+                "ta ~ name",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"line(s) written to {target}" in out
+        assert "repro_completions_total 1" in target.read_text()
+
+    def test_slow_log_prints_render(self, capsys):
+        code = main(
+            ["complete", "--builtin", "university", "ta ~ name", "--slow-log"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 retained of 1 observed" in out
+        assert "ta ~ name" in out
+
+    def test_slow_log_to_file_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs.schema import validate_slowlog_entries
+
+        target = tmp_path / "slow.jsonl"
+        code = main(
+            [
+                "complete",
+                "--builtin",
+                "university",
+                f"--slow-log={target}",
+                "ta ~ name",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"1 entry written to {target}" in out
+        records = [
+            json.loads(line)
+            for line in target.read_text().splitlines()
+            if line
+        ]
+        validate_slowlog_entries(records)
+        (record,) = records
+        assert record["kind"] == "complete"
+        assert record["query"] == "ta ~ name"
+        assert record["exhausted"] is True
+
+    def test_slow_ms_wires_the_retention_threshold(self, capsys):
+        # An absurd threshold cannot be crossed, so the completion is
+        # retained only through the top-K fallback, not the threshold.
+        code = main(
+            [
+                "complete",
+                "--builtin",
+                "university",
+                "--slow-ms",
+                "60000",
+                "ta ~ name",
+                "--slow-log",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "threshold 60000ms" in out
+        assert "[top_k]" in out
+        assert "[threshold]" not in out
+
+    def test_profile_prints_per_span_report(self, capsys):
+        code = main(
+            ["complete", "--builtin", "university", "ta ~ name", "--profile"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "span '" in out
+        assert "cumulative" in out
+
+    def test_profile_to_file_writes_collapsed_stacks(self, tmp_path, capsys):
+        from repro.core.compiled import invalidate
+
+        invalidate()  # cold cache => the completion spans do real work
+        target = tmp_path / "profile.collapsed"
+        code = main(
+            [
+                "complete",
+                "--builtin",
+                "university",
+                f"--profile={target}",
+                "ta ~ name",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"written to {target}" in out
+        lines = target.read_text().splitlines()
+        assert lines
+        for line in lines:
+            frames, _, count = line.rpartition(" ")
+            assert frames.startswith("span:")
+            assert int(count) >= 1
+
+    def test_verbose_reports_budget_counters(self, capsys):
+        main(
+            ["complete", "--builtin", "university", "--verbose", "ta ~ name"]
+        )
+        out = capsys.readouterr().out
+        assert "[budget: 0 trip(s), 0 degrade(s)]" in out
+
+    def test_budget_trip_still_flushes_slow_log(self, tmp_path, capsys):
+        # Acceptance: exit code 3 (tripped budget) must still write the
+        # slow-log file -- the tripped query is the one worth keeping.
+        target = tmp_path / "slow.jsonl"
+        code = main(
+            [
+                "complete",
+                "--builtin",
+                "cupid",
+                "--max-nodes",
+                "5",
+                f"--slow-log={target}",
+                "experiment ~ conductance",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "error:" in captured.err
+        (record,) = [
+            json.loads(line)
+            for line in target.read_text().splitlines()
+            if line
+        ]
+        assert record["exhausted"] is False
+        assert record["truncation_reason"] == "nodes"
+        assert "BudgetExceeded" in record["error"]
+
     def test_query_supports_trace(self, tmp_path, capsys):
         schema = build_university_schema()
         db = Database(schema)
