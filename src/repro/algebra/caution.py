@@ -87,6 +87,7 @@ class CautionSets:
             cached = compute_caution_sets(order)
             CautionSets._cache[key] = cached
         self._sets = cached
+        self._masks: tuple[int, ...] | None = None
 
     @classmethod
     def clear_cache(cls) -> None:
@@ -96,6 +97,27 @@ class CautionSets:
     def of(self, connector: Connector) -> frozenset[Connector]:
         """The caution set of a connector."""
         return self._sets[connector]
+
+    @property
+    def masks(self) -> tuple[int, ...]:
+        """Caution sets as bitmasks over connector indices.
+
+        ``masks[c.index] & (1 << other.index)`` is nonzero exactly when
+        ``other`` is in the caution set of ``c`` — the single-AND form of
+        :meth:`intersects` used by the closure bound cut's exemption
+        test, where building label objects per edge would dominate the
+        savings.
+        """
+        masks = self._masks
+        if masks is None:
+            masks = [0] * len(ALL_CONNECTORS)
+            for connector, dangerous in self._sets.items():
+                mask = 0
+                for other in dangerous:
+                    mask |= 1 << other.index
+                masks[connector.index] = mask
+            masks = self._masks = tuple(masks)
+        return masks
 
     def of_label(self, label: PathLabel) -> frozenset[Connector]:
         """The caution set of a label (connector-level)."""

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.algebra.connectors import Connector
+from repro.algebra.connectors import ALL_CONNECTORS, Connector
 
 __all__ = ["con_c", "con_c_sequence", "BASE_TABLE"]
 
@@ -118,8 +118,14 @@ BASE_TABLE: dict[Connector, dict[Connector, Connector]] = {
 # algorithm calls con_c on its innermost loop).
 _FULL_TABLE: dict[Connector, dict[Connector, Connector]] = {}
 
+# Positional twin of _FULL_TABLE: _INDEX_TABLE[first.index][second.index].
+# Tuple indexing skips the enum hashing that dict lookups pay, which is
+# measurable on the traversal's innermost loop.
+_INDEX_TABLE: tuple[tuple[Connector, ...], ...] = ()
+
 
 def _expand_full_table() -> None:
+    global _INDEX_TABLE
     for first in Connector:
         row: dict[Connector, Connector] = {}
         for second in Connector:
@@ -128,6 +134,10 @@ def _expand_full_table() -> None:
                 result = result.possibly
             row[second] = result
         _FULL_TABLE[first] = row
+    _INDEX_TABLE = tuple(
+        tuple(_FULL_TABLE[first][second] for second in ALL_CONNECTORS)
+        for first in ALL_CONNECTORS
+    )
 
 
 _expand_full_table()
@@ -140,7 +150,7 @@ def con_c(first: Connector, second: Connector) -> Connector:
     over the full 14-connector alphabet: Possibly arguments are composed
     via their bases and the result re-starred (the paper's prose rule).
     """
-    return _FULL_TABLE[first][second]
+    return _INDEX_TABLE[first.index][second.index]
 
 
 def con_c_sequence(connectors: Iterable[Connector]) -> Connector:

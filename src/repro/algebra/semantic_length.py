@@ -33,7 +33,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Iterable, Sequence
 
-from repro.algebra.connectors import Connector
+from repro.algebra.connectors import ALL_CONNECTORS, Connector
 
 __all__ = [
     "COLLAPSIBLE",
@@ -113,13 +113,13 @@ class SemanticLengthState:
 
     @classmethod
     def for_edge(cls, connector: Connector) -> "SemanticLengthState":
-        """State of a single-edge path.
+        """State of a single-edge path (interned: one instance per
+        connector, since the state is frozen and fully determined by it).
 
         Isa/May-Be edges have semantic length 0 (they form a singleton
         alternating block, whose one edge is removed by step 2).
         """
-        length = 0 if connector in _TAXONOMIC else 1
-        return cls(length=length, first=connector, last=connector)
+        return _EDGE_STATES[connector.index]
 
     @classmethod
     def of(cls, connectors: Iterable[Connector]) -> "SemanticLengthState":
@@ -166,3 +166,15 @@ class SemanticLengthState:
             first=self.first,
             last=other.last,
         )
+
+
+#: Interned single-edge states, indexed by connector index (see
+#: :meth:`SemanticLengthState.for_edge`).
+_EDGE_STATES: tuple[SemanticLengthState, ...] = tuple(
+    SemanticLengthState(
+        length=0 if connector in _TAXONOMIC else 1,
+        first=connector,
+        last=connector,
+    )
+    for connector in ALL_CONNECTORS
+)

@@ -2,13 +2,13 @@
 
 Installed as the ``repro`` console script.  Subcommands::
 
-    repro complete  [--schema FILE | --builtin NAME] [-e N]
-                    [--exclude CLS ...] [--verbose] EXPRESSION
+    repro complete  [--schema FILE | --builtin NAME] [-e N] [--jobs N]
+                    [--exclude CLS ...] [--verbose] EXPRESSION ...
     repro enumerate [--schema FILE | --builtin NAME] [--limit N] EXPRESSION
     repro profile   [--schema FILE | --builtin NAME] [--suggest-hubs]
     repro query     --db FILE QUERY
     repro convert   INPUT OUTPUT          # schema DSL <-> JSON by extension
-    repro experiments [--quick]
+    repro experiments [--quick] [--jobs N]
 
 Schemas are loaded from ``.json`` (repro-schema documents) or any other
 extension (treated as DSL text); ``--builtin`` selects one of the
@@ -186,6 +186,19 @@ def _add_budget_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker threads for cold completions (results are "
+            "byte-identical to a sequential run)"
+        ),
+    )
+
+
 def _budget_from(args: argparse.Namespace) -> Budget | None:
     """Build the ambient budget requested by the CLI flags (or None)."""
     deadline_ms = getattr(args, "deadline_ms", None)
@@ -291,8 +304,11 @@ def _cmd_complete(args: argparse.Namespace) -> int:
     with _observability(args) as registry:
         compiled = compile_schema(schema, domain_knowledge=knowledge)
         engine = Disambiguator(compiled, e=args.e)
-        result = engine.complete(args.expression)
-        print(format_result(result, verbose=args.verbose))
+        batch = engine.complete_batch(args.expression, jobs=args.jobs)
+        for index, result in enumerate(batch):
+            if index:
+                print()
+            print(format_result(result, verbose=args.verbose))
         if args.verbose:
             print(
                 f"[compiled {compiled.fingerprint[:16]}... in "
@@ -311,7 +327,7 @@ def _cmd_complete(args: argparse.Namespace) -> int:
                     f"[budget: {trips:.0f} trip(s), "
                     f"{degrades:.0f} degrade(s)]"
                 )
-    return 0 if result.paths else 1
+    return 0 if all(result.paths for result in batch) else 1
 
 
 def _cmd_enumerate(args: argparse.Namespace) -> int:
@@ -354,7 +370,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     database = load_database(args.db)
     with _observability(args):
-        result = run_query(database, args.query)
+        result = run_query(database, args.query, jobs=args.jobs)
         for expression, values in result.per_completion:
             rendered = sorted(map(str, values)) if values else "(empty)"
             print(f"{expression} = {rendered}")
@@ -375,7 +391,7 @@ def _cmd_fox(args: argparse.Namespace) -> int:
 
     database = load_database(args.db)
     with _observability(args):
-        rows = run_fox(database, args.query)
+        rows = run_fox(database, args.query, jobs=args.jobs)
         for row in rows:
             rendered = "  |  ".join(
                 ", ".join(sorted(map(str, values))) if values else "(empty)"
@@ -406,7 +422,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
 
     with _observability(args):
-        run_all(quick=args.quick)
+        run_all(quick=args.quick, jobs=args.jobs)
     return 0
 
 
@@ -422,10 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     complete = subparsers.add_parser(
-        "complete", help="disambiguate a (possibly incomplete) expression"
+        "complete", help="disambiguate (possibly incomplete) expressions"
     )
     _add_schema_options(complete)
-    complete.add_argument("expression")
+    complete.add_argument("expression", nargs="+")
     complete.add_argument(
         "-e", type=int, default=1, help="AGG* relaxation parameter (>=1)"
     )
@@ -440,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     complete.add_argument("--verbose", action="store_true")
+    _add_jobs_option(complete)
     _add_obs_options(complete)
     _add_budget_options(complete)
     complete.set_defaults(handler=_cmd_complete)
@@ -464,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--db", required=True, metavar="FILE")
     query.add_argument("query")
+    _add_jobs_option(query)
     _add_obs_options(query)
     _add_budget_options(query)
     query.set_defaults(handler=_cmd_query)
@@ -483,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fox.add_argument("--db", required=True, metavar="FILE")
     fox.add_argument("query")
+    _add_jobs_option(fox)
     _add_obs_options(fox)
     _add_budget_options(fox)
     fox.set_defaults(handler=_cmd_fox)
@@ -498,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate every figure of the paper"
     )
     experiments.add_argument("--quick", action="store_true")
+    _add_jobs_option(experiments)
     _add_obs_options(experiments)
     _add_budget_options(experiments)
     experiments.set_defaults(handler=_cmd_experiments)

@@ -169,8 +169,19 @@ class ConcretePath:
         return [edge.connector for edge in self.edges]
 
     def label(self) -> PathLabel:
-        """The path label (CON over the edge labels)."""
-        return PathLabel.of_path(self.connectors())
+        """The path label (CON over the edge labels).
+
+        Cached on first computation: paths are immutable, and the
+        closure-guided traversal seeds this cache with the label it
+        already carries, so finalization/ranking never refolds CON over
+        the edge sequence.  The cache lives in the instance ``__dict__``
+        (not a field), so equality, hashing, and repr are unaffected.
+        """
+        cached = self.__dict__.get("_label")
+        if cached is None:
+            cached = PathLabel.of_path(self.connectors())
+            object.__setattr__(self, "_label", cached)
+        return cached
 
     @property
     def semantic_length(self) -> int:

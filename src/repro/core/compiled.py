@@ -44,6 +44,7 @@ from collections.abc import Iterable
 
 from repro.algebra.caution import CautionSets
 from repro.algebra.order import DEFAULT_ORDER, PartialOrder
+from repro.core.closure import SchemaClosure, resolve_pruning
 from repro.core.completion import CompletionResult, CompletionSearch
 from repro.core.domain import DomainKnowledge
 from repro.core.target import RelationshipTarget
@@ -198,6 +199,13 @@ class CompiledSchema:
             self.knowledge_key = domain_knowledge_key(self.domain_knowledge)
             self.graph = self.domain_knowledge.restrict(SchemaGraph(schema))
             self.caution_sets = CautionSets(self.order)
+            # The Carré label closure (all-pairs reachability + label
+            # lower bounds) shared by every search over this artifact.
+            # Construction is cheap: the reachability matrix and the
+            # per-target tables are built lazily on first use, so
+            # compile_seconds stays dominated by the caution-set
+            # brute force.
+            self.closure = SchemaClosure.for_graph(self.graph)
             self.cache = CompletionCache(cache_size)
             self._searches: dict[tuple, CompletionSearch] = {}
             self._lock = threading.Lock()
@@ -232,9 +240,17 @@ class CompiledSchema:
         use_caution_sets: bool = True,
         apply_inheritance_criterion: bool = True,
         max_depth: int | None = None,
+        pruning: str | None = None,
     ) -> CompletionSearch:
         """The shared Algorithm 2 instance for one (E, flags) setting."""
-        key = (e, use_caution_sets, apply_inheritance_criterion, max_depth)
+        pruning = resolve_pruning(pruning)
+        key = (
+            e,
+            use_caution_sets,
+            apply_inheritance_criterion,
+            max_depth,
+            pruning,
+        )
         with self._lock:
             search = self._searches.get(key)
             if search is None:
@@ -246,6 +262,8 @@ class CompiledSchema:
                     apply_inheritance_criterion=apply_inheritance_criterion,
                     max_depth=max_depth,
                     caution_sets=self.caution_sets,
+                    pruning=pruning,
+                    closure=self.closure if pruning == "closure" else None,
                 )
                 self._searches[key] = search
             return search
@@ -257,6 +275,7 @@ class CompiledSchema:
         use_caution_sets: bool,
         apply_inheritance_criterion: bool,
         max_depth: int | None,
+        pruning: str | None = None,
     ) -> tuple:
         """The full cache key for one normalized expression text.
 
@@ -264,6 +283,11 @@ class CompiledSchema:
         parsed expression, or the ``"class:"``-prefixed form for
         class-target completions) so spelling variants of one
         expression share an entry.
+
+        The pruning mode is part of the key even though the closure cut
+        rules are answer-preserving: A/B comparisons (equivalence tests,
+        benchmarks) must never have one mode served warm from the
+        other's cold run.
         """
         return (
             self.fingerprint,
@@ -274,6 +298,7 @@ class CompiledSchema:
             apply_inheritance_criterion,
             max_depth,
             self.knowledge_key,
+            resolve_pruning(pruning),
         )
 
     def complete_simple(
@@ -286,6 +311,7 @@ class CompiledSchema:
         max_depth: int | None = None,
         budget: "Budget | None" = None,
         meter: "BudgetMeter | None" = None,
+        pruning: str | None = None,
     ) -> CompletionResult:
         """Cached single-gap completion ``root ~ relationship_name``.
 
@@ -302,7 +328,12 @@ class CompiledSchema:
         """
         text = f"{root}~{relationship_name}"
         key = self.cache_key(
-            text, e, use_caution_sets, apply_inheritance_criterion, max_depth
+            text,
+            e,
+            use_caution_sets,
+            apply_inheritance_criterion,
+            max_depth,
+            pruning,
         )
         with get_tracer().span("cache_lookup", expression=text) as lookup:
             cached = self.cache.get(key)
@@ -315,6 +346,7 @@ class CompiledSchema:
             use_caution_sets=use_caution_sets,
             apply_inheritance_criterion=apply_inheritance_criterion,
             max_depth=max_depth,
+            pruning=pruning,
         ).run(root, RelationshipTarget(relationship_name), budget=budget, meter=meter)
         if result.exhausted:
             self.cache.put(key, result)

@@ -28,9 +28,19 @@ import time
 
 from repro.algebra.agg import Aggregator
 from repro.algebra.caution import CautionSets
-from repro.algebra.labels import PathLabel
+from repro.algebra.labels import IDENTITY_LABEL, PathLabel
 from repro.algebra.order import DEFAULT_ORDER, PartialOrder
 from repro.core.ast import ConcretePath
+from repro.core.closure import (
+    _CONI,
+    _LAST_CLASS_BY_INDEX,
+    _N_CONNECTORS,
+    _SORT_RANK,
+    SchemaClosure,
+    TargetTables,
+    has_static_adjacency,
+    resolve_pruning,
+)
 from repro.core.inheritance_criterion import apply_preemption
 from repro.core.stats import TraversalStats
 from repro.core.target import Target
@@ -41,6 +51,54 @@ from repro.obs.tracer import get_tracer
 from repro.resilience.budget import Budget, BudgetMeter, get_budget
 
 __all__ = ["CompletionSearch", "CompletionResult", "complete_paths"]
+
+
+#: Cutoff-table sentinels: ``_NO_CUTOFF`` means "any semantic length
+#: passes" (fewer than E distinct lengths on the frontier), ``-1`` means
+#: "always fails" (the connector is beaten outright), and are chosen so
+#: the single comparison ``length > cutoffs[c]`` decides membership.
+_NO_CUTOFF = 1 << 30
+
+
+def _rebuild_cutoffs(
+    best_target: list[PathLabel],
+    cutoffs: list[int],
+    beaten_by: list[int],
+    e: int,
+) -> int:
+    """Rewrite ``keeps(·, best_target)`` as per-connector length cutoffs.
+
+    For every connector ``c``, ``cutoffs[c]`` becomes the largest
+    semantic length at which a label with connector ``c`` still passes
+    :meth:`~repro.algebra.agg.Aggregator.keeps` against ``best_target``
+    (``-1`` when ``c`` is beaten by a frontier connector).  The survivor
+    set is recomputed per candidate connector because the candidate's
+    own bit can knock frontier members out of the connector filter —
+    which is why one global threshold would be wrong.  Returns the
+    frontier's connector bitmask.
+    """
+    bt_mask = 0
+    for known in best_target:
+        bt_mask |= 1 << known.connector.index
+    for ci in range(_N_CONNECTORS):
+        present = bt_mask | (1 << ci)
+        if present & beaten_by[ci]:
+            cutoffs[ci] = -1
+            continue
+        lengths = {
+            known.semantic_length
+            for known in best_target
+            if not (present & beaten_by[known.connector.index])
+        }
+        # keeps() counts the candidate's own length among the distinct
+        # survivor lengths: with fewer than E frontier lengths any
+        # candidate fits inside the window, otherwise the window's last
+        # slot is the E-th smallest frontier length.
+        if len(lengths) < e:
+            cutoffs[ci] = _NO_CUTOFF
+        else:
+            cutoffs[ci] = sorted(lengths)[e - 1]
+    return bt_mask
 
 
 class _BudgetTrip(Exception):
@@ -138,6 +196,19 @@ class CompletionSearch:
         for ``order`` — a :class:`~repro.core.compiled.CompiledSchema`
         passes its compiled artifact here so every search it hands out
         shares one instance.  Ignored when ``use_caution_sets`` is off.
+    pruning:
+        ``"closure"`` (the default) enables the compile-time closure cut
+        rules — reachability pruning and label-bound pruning (see
+        :mod:`repro.core.closure`); ``"none"`` runs the paper's
+        Algorithm 2 verbatim.  ``None`` resolves via the
+        ``REPRO_PRUNING`` environment variable.  Both modes return
+        identical exhausted results; the knob exists for A/B
+        verification and paper-fidelity measurements.
+    closure:
+        Optional precomputed :class:`~repro.core.closure.SchemaClosure`
+        for ``graph`` (a compiled artifact shares one across all its
+        searches).  Ignored when ``pruning="none"``; built on demand
+        (content-cached) otherwise.
     """
 
     def __init__(
@@ -149,6 +220,8 @@ class CompletionSearch:
         apply_inheritance_criterion: bool = True,
         max_depth: int | None = None,
         caution_sets: CautionSets | None = None,
+        pruning: str | None = None,
+        closure: SchemaClosure | None = None,
     ) -> None:
         self.graph = graph
         self.order = order if order is not None else DEFAULT_ORDER
@@ -161,6 +234,26 @@ class CompletionSearch:
             self.caution = CautionSets(self.order)
         self.apply_inheritance_criterion = apply_inheritance_criterion
         self.max_depth = max_depth
+        self.pruning = resolve_pruning(pruning)
+        if self.pruning == "closure" and has_static_adjacency(graph):
+            self.closure = (
+                closure if closure is not None else SchemaClosure.for_graph(graph)
+            )
+        else:
+            # pruning="none", or a graph with a dynamic edges_from
+            # (fault injection, monkeypatched latency): the closure
+            # tables would bypass the interception seam, so such graphs
+            # always take the reference loop.
+            self.closure = None
+        # Interned label-extension rows for the closure loop, keyed by
+        # label id.  Each entry is ``(label, row)`` — the entry pins the
+        # label, so its id can never be reused while the row exists; the
+        # traversal only ever feeds canonical labels (the shared
+        # IDENTITY_LABEL root or earlier row fills), so the table is
+        # bounded by the number of distinct label values.  Shared across
+        # runs of this search instance; safe under concurrent runs (dict
+        # get/set are atomic and rows for one label are interchangeable).
+        self._ext_rows: dict[int, tuple[PathLabel, list]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -201,19 +294,28 @@ class CompletionSearch:
             complete=[],
             stats=stats,
         )
+        # Per-target closure tables; ``None`` (pruning off, or a target
+        # type the closure cannot key) falls back to the paper's cuts.
+        tables = (
+            self.closure.tables_for(target)
+            if self.closure is not None
+            else None
+        )
         with get_tracer().span(
             "traverse",
             root=root,
             target=target.describe(),
             e=self.aggregator.e,
+            pruning=self.pruning if tables is not None else "none",
         ) as span:
             reason = self._traverse(
                 root,
-                PathLabel.identity(),
+                IDENTITY_LABEL,
                 ConcretePath.start(root),
                 state,
                 target,
                 meter,
+                tables,
             )
             span.set(
                 calls=stats.recursive_calls,
@@ -223,6 +325,8 @@ class CompletionSearch:
                 pruned_target_bound=stats.pruned_target_bound,
                 pruned_best_bound=stats.pruned_best_bound,
                 caution_rescues=stats.rescued_by_caution,
+                pruned_reachability=stats.nodes_pruned_reachability,
+                pruned_bound=stats.nodes_pruned_bound,
             )
             if reason is not None:
                 span.set(truncated=reason)
@@ -259,23 +363,65 @@ class CompletionSearch:
         state: "_SearchState",
         target: Target,
         meter: BudgetMeter | None = None,
+        tables: TargetTables | None = None,
     ) -> str | None:
         """Iterative rendering of the paper's recursive ``traverse``.
 
-        Each stack frame is ``(node, label, path, next edge index)``;
-        pushing a frame corresponds to a recursive call (line 13),
-        popping a frame past its last edge to returning past line 15
-        (which clears the ``visited`` flag).
+        Each stack frame carries ``(node, label, path, next edge
+        index)``; pushing a frame corresponds to a recursive call (line
+        13), popping a frame past its last edge to returning past line
+        15 (which clears the ``visited`` flag).
+
+        Dispatches to the reference loop (the paper's Algorithm 2
+        verbatim) or, when ``tables`` is given, to the closure-guided
+        loop with the two extra cut rules.
 
         Returns ``None`` on exhaustion, or the truncation reason when
         ``meter`` trips — the state's recorded complete paths are then
         the best-so-far anytime answer.
         """
+        try:
+            if tables is None:
+                self._traverse_reference(
+                    root, root_label, root_path, state, target, meter
+                )
+            else:
+                self._traverse_closure(
+                    root, root_label, root_path, state, target, meter, tables
+                )
+        except _BudgetTrip as trip:
+            return trip.reason
+        return None
+
+    def _traverse_reference(
+        self,
+        root: str,
+        root_label: PathLabel,
+        root_path: ConcretePath,
+        state: "_SearchState",
+        target: Target,
+        meter: BudgetMeter | None,
+    ) -> None:
+        """The paper's Algorithm 2, line by line (``pruning="none"``).
+
+        This is the A/B reference the closure loop is verified against;
+        it stays deliberately close to the published pseudocode."""
         visited: set[str] = state.visited
         aggregator = self.aggregator
+        aggregate = aggregator.aggregate
+        keeps = aggregator.keeps
         stats = state.stats
+        best = state.best
+        best_get = best.get
+        graph = self.graph
+        edges_from = graph.edges_from
+        is_completing = target.is_completing_edge
+        caution = self.caution
+        max_depth = self.max_depth
+        complete = state.complete
 
         stack: list[tuple[str, PathLabel, ConcretePath, int]] = []
+        stack_append = stack.append
 
         def enter(node: str, label: PathLabel, path: ConcretePath) -> None:
             # Lines 1-5: mark visited, record any complete paths via the
@@ -284,84 +430,60 @@ class CompletionSearch:
             stats.recursive_calls += 1
             if meter is not None:
                 reason = meter.tripped(
-                    stats.recursive_calls, len(state.complete), len(stack)
+                    stats.recursive_calls, len(complete), len(stack)
                 )
                 if reason is not None:
                     raise _BudgetTrip(reason)
-            for edge in self.graph.edges_from(node):
-                if not target.is_completing_edge(edge):
+            for edge in edges_from(node):
+                if not is_completing(edge):
                     continue
                 if edge.target in visited:
                     continue  # would close a cycle; ignored per semantics
                 candidate = label.extend(edge.connector)
-                state.best_target = aggregator.aggregate(
+                state.best_target = aggregate(
                     [candidate, *state.best_target]
                 )
-                if aggregator.keeps(candidate, state.best_target):
-                    state.complete.append(path.extend(edge))
+                if keeps(candidate, state.best_target):
+                    complete.append(path.extend(edge))
                     stats.complete_paths_found += 1
-            stack.append((node, label, path, 0))
-
-        try:
-            self._traverse_loop(enter, stack, root, root_label, root_path, state, target)
-        except _BudgetTrip as trip:
-            return trip.reason
-        return None
-
-    def _traverse_loop(
-        self,
-        enter,
-        stack: list,
-        root: str,
-        root_label: PathLabel,
-        root_path: ConcretePath,
-        state: "_SearchState",
-        target: Target,
-    ) -> None:
-        """The stack-driven DFS loop (split out so a budget trip unwinds
-        through one exception handler)."""
-        visited = state.visited
-        aggregator = self.aggregator
-        stats = state.stats
-        best = state.best
+            stack_append((node, label, path, 0))
 
         enter(root, root_label, root_path)
         while stack:
             node, label, path, edge_index = stack.pop()
-            edges = self.graph.edges_from(node)
+            edges = edges_from(node)
+            n_edges = len(edges)
             advanced = False
-            while edge_index < len(edges):
+            while edge_index < n_edges:
                 edge = edges[edge_index]
                 edge_index += 1
-                if target.is_completing_edge(edge):
+                if is_completing(edge):
                     continue  # handled in enter(); never extended
                 child = edge.target
                 stats.edges_considered += 1
                 if child in visited:
                     stats.pruned_visited += 1
                     continue
-                if not self.graph.edges_from(child) and not _can_complete_at(
-                    self.graph, child, target
+                if not edges_from(child) and not _can_complete_at(
+                    graph, child, target
                 ):
                     continue  # dead end (e.g. primitive class)
                 if (
-                    self.max_depth is not None
-                    and path.length + 1 >= self.max_depth
+                    max_depth is not None
+                    and path.length + 1 >= max_depth
                 ):
                     continue
                 child_label = label.extend(edge.connector)
                 # Line 9: bound against the best complete labels so far.
-                if state.best_target and not aggregator.keeps(
+                if state.best_target and not keeps(
                     child_label, state.best_target
                 ):
                     stats.pruned_target_bound += 1
                     continue
                 # Lines 10-11: bound against best[u], rescued by caution.
-                child_best = best.get(child, [])
-                if child_best and not aggregator.keeps(
-                    child_label, child_best
-                ):
-                    if self.caution is not None and self.caution.intersects(
+                child_best = best_get(child, [])
+                if child_best and not keeps(child_label, child_best):
+                    if caution is not None and caution.intersects(
                         child_label, child_best
                     ):
                         stats.rescued_by_caution += 1
@@ -369,13 +491,294 @@ class CompletionSearch:
                         stats.pruned_best_bound += 1
                         continue
                 # Line 12: best[u] := AGG*({l_u} ∪ best[u]).
-                best[child] = aggregator.aggregate(
+                best[child] = aggregate(
                     [child_label, *child_best]
                 )
                 # Line 13: recurse — push the parent frame back with its
                 # position, then enter the child.
-                stack.append((node, label, path, edge_index))
+                stack_append((node, label, path, edge_index))
                 enter(child, child_label, path.extend(edge))
+                advanced = True
+                break
+            if not advanced:
+                visited.discard(node)  # line 15
+
+    def _traverse_closure(
+        self,
+        root: str,
+        root_label: PathLabel,
+        root_path: ConcretePath,
+        state: "_SearchState",
+        target: Target,
+        meter: BudgetMeter | None,
+        tables: TargetTables,
+    ) -> None:
+        """Algorithm 2 with the closure cut rules (``pruning="closure"``).
+
+        Semantically this is :meth:`_traverse_reference` plus two cuts:
+
+        * *reachability pruning* — edges to children from which no
+          completing edge is reachable are dropped (pre-filtered into
+          ``tables.interior`` at table build; the per-entry counter
+          charge keeps the stats comparable);
+        * *label-bound pruning* — after the line-12 ``best[u]`` update
+          (so the frontier evolves exactly as in the reference), a child
+          is entered only if some achievable composed connector admits
+          an optimistic complete label that ``best[T]`` keeps, or one
+          whose caution set intersects ``best[T]`` (the non-
+          distributivity exemption).
+
+        Implementation-wise the loop is specialized: the line-9 test
+        and the bound test run off an integer cutoff table that is an
+        exact rewrite of :meth:`Aggregator.keeps` against the current
+        ``best[T]`` (rebuilt only when the frontier's content changes);
+        ``best[u]`` is held as AGG*-reduced ``(length, sort rank,
+        connector index)`` integer triples with a cached connector
+        bitmask (``best[u]`` is internal to the traversal — the paper's
+        semantics depend only on the (connector, length) key set, which
+        the triples carry exactly); label extensions are interned in
+        per-label rows carried in the stack frame; and recorded paths
+        carry their already-computed labels so finalization never
+        recomputes them.
+        """
+        visited: set[str] = state.visited
+        aggregator = self.aggregator
+        keeps = aggregator.keeps
+        merge = aggregator.merge
+        e_param = aggregator.e
+        beaten_by = aggregator.beaten_by
+        stats = state.stats
+        best = state.best
+        best_get = best.get
+        caution = self.caution
+        caution_masks = caution.masks if caution is not None else None
+        max_depth = self.max_depth
+        complete = state.complete
+        node_index = self.closure.index
+        interior = tables.interior
+        completing = tables.completing
+        reach_pruned = tables.reach_pruned
+        rows = tables.rows
+        conns = tables.conns
+        coni = _CONI
+        last_class = _LAST_CLASS_BY_INDEX
+        sort_rank = _SORT_RANK
+        concrete_path = ConcretePath
+        ext_rows = self._ext_rows
+        ext_rows_get = ext_rows.get
+
+        def ext_row(label: PathLabel) -> list:
+            # The interned extension row of ``label``: row[c] is
+            # label.extend(connector c), filled on demand.  Keyed by id —
+            # sound because the entry pins the label (no id reuse) and
+            # every label reaching the loop is canonical: the shared
+            # IDENTITY_LABEL root, or an earlier row fill.
+            label_id = id(label)
+            entry = ext_rows_get(label_id)
+            if entry is None:
+                entry = (label, [None] * _N_CONNECTORS)
+                ext_rows[label_id] = entry
+            return entry[1]
+
+        stack: list[tuple] = []
+        stack_append = stack.append
+        stack_pop = stack.pop
+
+        # The line-9 / bound-test cutoffs: cutoffs[c] is the largest
+        # semantic length at which a label with connector c still passes
+        # keeps(label, best[T]) (-1 when c is beaten outright).  Exact
+        # by the AGG* membership algebra; rebuilt only when best[T]'s
+        # content changes.
+        cutoffs = [_NO_CUTOFF] * _N_CONNECTORS
+        seen_best_target: list | None = None
+        seen_signature: tuple | None = None
+        best_target_mask = 0
+
+        def enter(
+            node: str, node_i: int, label: PathLabel, path: ConcretePath
+        ) -> None:
+            # Lines 1-5, driven by the precomputed completing-edge list.
+            visited.add(node)
+            stats.recursive_calls += 1
+            stats.nodes_pruned_reachability += reach_pruned[node_i]
+            if meter is not None:
+                reason = meter.tripped(
+                    stats.recursive_calls, len(complete), len(stack)
+                )
+                if reason is not None:
+                    raise _BudgetTrip(reason)
+            exts = ext_row(label)
+            for edge, edge_target, connector_i in completing[node_i]:
+                if edge_target in visited:
+                    continue  # would close a cycle; ignored per semantics
+                candidate = exts[connector_i]
+                if candidate is None:
+                    candidate = exts[connector_i] = label.extend(edge.connector)
+                state.best_target = merge(candidate, state.best_target)
+                if keeps(candidate, state.best_target):
+                    # Direct construction: the frame invariant guarantees
+                    # the edge chains, so extend()'s validation is
+                    # redundant here.
+                    complete_path = concrete_path(
+                        path.root, path.edges + (edge,)
+                    )
+                    object.__setattr__(complete_path, "_label", candidate)
+                    complete.append(complete_path)
+                    stats.complete_paths_found += 1
+            stack_append((node, node_i, label, exts, path, 0))
+
+        enter(root, node_index[root], root_label, root_path)
+        while stack:
+            node, node_i, label, exts, path, edge_index = stack_pop()
+            edges = interior[node_i]
+            n_edges = len(edges)
+            advanced = False
+            while edge_index < n_edges:
+                child, child_i, connector_i, edge = edges[edge_index]
+                edge_index += 1
+                stats.edges_considered += 1
+                if child in visited:
+                    stats.pruned_visited += 1
+                    continue
+                if (
+                    max_depth is not None
+                    and path.length + 1 >= max_depth
+                ):
+                    continue
+                child_label = exts[connector_i]
+                if child_label is None:
+                    child_label = exts[connector_i] = label.extend(
+                        edge.connector
+                    )
+                child_connector_i = child_label.connector.index
+                child_length = child_label.semantic_length
+                best_target = state.best_target
+                if best_target:
+                    if best_target is not seen_best_target:
+                        seen_best_target = best_target
+                        signature = tuple(
+                            (known.connector.index << 16)
+                            | known.semantic_length
+                            for known in best_target
+                        )
+                        if signature != seen_signature:
+                            seen_signature = signature
+                            best_target_mask = _rebuild_cutoffs(
+                                best_target, cutoffs, beaten_by, e_param
+                            )
+                    # Line 9, via the cutoff table.
+                    if child_length > cutoffs[child_connector_i]:
+                        stats.pruned_target_bound += 1
+                        continue
+                # Lines 10-11: bound against best[u], rescued by caution.
+                # best[u] is (connector bitmask, AGG*-reduced triples).
+                child_bit = 1 << child_connector_i
+                child_entry = best_get(child)
+                if child_entry is not None:
+                    stored_mask, triples = child_entry
+                    candidate_triple = (
+                        child_length,
+                        sort_rank[child_connector_i],
+                        child_connector_i,
+                    )
+                    # Fast path: the candidate's key is already in the
+                    # AGG* output, so it trivially passes the membership
+                    # test and the line-12 update is a no-op.
+                    if candidate_triple not in triples:
+                        present = stored_mask | child_bit
+                        if present & beaten_by[child_connector_i]:
+                            kept = False
+                        else:
+                            lengths = {child_length}
+                            for known_length, _, known_ci in triples:
+                                if not (present & beaten_by[known_ci]):
+                                    lengths.add(known_length)
+                            kept = (
+                                len(lengths) <= e_param
+                                or child_length
+                                <= sorted(lengths)[e_param - 1]
+                            )
+                        if not kept:
+                            if (
+                                caution_masks is not None
+                                and stored_mask
+                                & caution_masks[child_connector_i]
+                            ):
+                                stats.rescued_by_caution += 1
+                            else:
+                                stats.pruned_best_bound += 1
+                                continue
+                        # Line 12: best[u] := AGG*({l_u} ∪ best[u]).  The
+                        # candidate passes the connector filter too: a
+                        # caution-rescued (beaten) candidate reaches here
+                        # but does not survive into the stored frontier.
+                        survivors = []
+                        if not (present & beaten_by[child_connector_i]):
+                            survivors.append(candidate_triple)
+                        for triple in triples:
+                            if not (present & beaten_by[triple[2]]):
+                                survivors.append(triple)
+                        if len(survivors) > e_param:
+                            s_lengths = sorted(
+                                {triple[0] for triple in survivors}
+                            )
+                            if len(s_lengths) > e_param:
+                                cut = s_lengths[e_param - 1]
+                                survivors = [
+                                    triple
+                                    for triple in survivors
+                                    if triple[0] <= cut
+                                ]
+                        survivors.sort()
+                        new_mask = 0
+                        for triple in survivors:
+                            new_mask |= 1 << triple[2]
+                        best[child] = (new_mask, survivors)
+                else:
+                    best[child] = (
+                        child_bit,
+                        [
+                            (
+                                child_length,
+                                sort_rank[child_connector_i],
+                                child_connector_i,
+                            )
+                        ],
+                    )
+                # Label-bound pruning (after line 12, so best[] evolves
+                # identically to the reference loop).
+                if best_target:
+                    row = rows[child_i]
+                    base = (
+                        last_class[child_label.state.last.index]
+                        * _N_CONNECTORS
+                    )
+                    prefix_length = child_label.semantic_length
+                    composed_row = coni[child_connector_i]
+                    survives = False
+                    for suffix_ci in conns[child_i]:
+                        composed_i = composed_row[suffix_ci]
+                        if (
+                            caution_masks is not None
+                            and best_target_mask & caution_masks[composed_i]
+                        ):
+                            survives = True  # caution exemption
+                            break
+                        if (
+                            prefix_length + row[base + suffix_ci]
+                            <= cutoffs[composed_i]
+                        ):
+                            survives = True
+                            break
+                    if not survives:
+                        stats.nodes_pruned_bound += 1
+                        continue
+                # Line 13: recurse — push the parent frame back with its
+                # position, then enter the child.
+                stack_append((node, node_i, label, exts, path, edge_index))
+                child_path = concrete_path(path.root, path.edges + (edge,))
+                object.__setattr__(child_path, "_label", child_label)
+                enter(child, child_i, child_label, child_path)
                 advanced = True
                 break
             if not advanced:
@@ -442,14 +845,16 @@ def _can_complete_at(
     )
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _SearchState:
     """Mutable globals of the traversal (the paper's best[], paths)."""
 
     best_target: list[PathLabel]
     complete: list[ConcretePath]
     stats: TraversalStats
-    best: dict[str, list[PathLabel]] = dataclasses.field(default_factory=dict)
+    # best[u]: PathLabel lists in the reference loop; (connector mask,
+    # integer triples) pairs in the closure loop.  Internal either way.
+    best: dict[str, object] = dataclasses.field(default_factory=dict)
     visited: set[str] = dataclasses.field(default_factory=set)
 
 
@@ -463,6 +868,7 @@ def complete_paths(
     apply_inheritance_criterion: bool = True,
     max_depth: int | None = None,
     budget: Budget | None = None,
+    pruning: str | None = None,
 ) -> CompletionResult:
     """One-shot convenience wrapper around :class:`CompletionSearch`."""
     search = CompletionSearch(
@@ -472,5 +878,6 @@ def complete_paths(
         use_caution_sets=use_caution_sets,
         apply_inheritance_criterion=apply_inheritance_criterion,
         max_depth=max_depth,
+        pruning=pruning,
     )
     return search.run(root, target, budget=budget)

@@ -23,10 +23,13 @@ the cache and reports hit/miss counters.
 
 from __future__ import annotations
 
+import concurrent.futures
+import contextvars
 import dataclasses
 
 from repro.algebra.order import PartialOrder
 from repro.core.ast import ConcretePath, PathExpression
+from repro.core.closure import resolve_pruning
 from repro.core.compiled import CompiledSchema, compile_schema
 from repro.core.completion import CompletionResult
 from repro.core.domain import DomainKnowledge
@@ -110,6 +113,14 @@ class Disambiguator:
         the policy decide between raising
         :class:`~repro.errors.BudgetExceededError` and returning the
         flagged partial.  Non-exhausted results are never cached.
+    pruning:
+        Search-pruning mode for every completion this engine runs:
+        ``"closure"`` (the default) enables the compile-time closure
+        cut rules (reachability and label-bound pruning, see
+        :mod:`repro.core.closure`); ``"none"`` runs the paper's
+        Algorithm 2 verbatim.  Both modes return byte-identical ranked
+        paths; the mode is part of every cache key.  ``None`` defers to
+        the ``REPRO_PRUNING`` environment variable, then the default.
 
     Examples
     --------
@@ -130,6 +141,7 @@ class Disambiguator:
         apply_inheritance_criterion: bool = True,
         max_depth: int | None = None,
         budget: Budget | None = None,
+        pruning: str | None = None,
     ) -> None:
         if isinstance(schema, CompiledSchema):
             if order is not None and order is not schema.order:
@@ -159,11 +171,13 @@ class Disambiguator:
         self.apply_inheritance_criterion = apply_inheritance_criterion
         self.max_depth = max_depth
         self.budget = budget
+        self.pruning = resolve_pruning(pruning)
         self._search = self.compiled.searcher(
             e=e,
             use_caution_sets=use_caution_sets,
             apply_inheritance_criterion=apply_inheritance_criterion,
             max_depth=max_depth,
+            pruning=self.pruning,
         )
 
     # ------------------------------------------------------------------
@@ -254,17 +268,50 @@ class Disambiguator:
             return result
 
     def complete_batch(
-        self, expressions: Iterable[str | PathExpression]
+        self,
+        expressions: Iterable[str | PathExpression],
+        jobs: int = 1,
     ) -> BatchCompletionResult:
         """Complete a workload of expressions through the shared cache.
 
         The aggregated stats carry the batch's cache hit/miss counters
         and the artifact's compile time, so benchmarks can report
         warm-vs-cold behavior directly.
+
+        ``jobs > 1`` runs the cache misses on a thread pool (cold
+        completions release the GIL in bursts and overlap well on
+        multi-core machines; warm hits are near-free either way).
+        Results come back in input order regardless of completion
+        order, and every worker runs in a copy of the submitting
+        thread's context, so an ambient budget
+        (:func:`repro.resilience.budget.use_budget`) or metrics/tracer
+        installation governs the workers exactly as it would the
+        sequential loop.  Each expression is governed independently —
+        one input tripping its budget flags (or raises for) that input
+        alone; with ``partial_ok=False`` budgets the exception
+        surfacing is deterministic: the earliest failing input in
+        submission order wins.
         """
+        expressions = list(expressions)
         hits_before = self.compiled.cache.hits
         misses_before = self.compiled.cache.misses
-        results = tuple(self.complete(expression) for expression in expressions)
+        if jobs <= 1 or len(expressions) <= 1:
+            results = tuple(
+                self.complete(expression) for expression in expressions
+            )
+        else:
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=jobs, thread_name_prefix="repro-batch"
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        contextvars.copy_context().run,
+                        self.complete,
+                        expression,
+                    )
+                    for expression in expressions
+                ]
+                results = tuple(future.result() for future in futures)
         stats = TraversalStats()
         for result in results:
             stats.add(result.stats)
@@ -344,6 +391,7 @@ class Disambiguator:
             use_caution_sets=self.use_caution_sets,
             apply_inheritance_criterion=self.apply_inheritance_criterion,
             max_depth=self.max_depth,
+            pruning=self.pruning,
         )
 
     # ------------------------------------------------------------------
@@ -357,6 +405,7 @@ class Disambiguator:
             self.use_caution_sets,
             self.apply_inheritance_criterion,
             self.max_depth,
+            self.pruning,
         )
 
     def _effective_budget(self, budget: Budget | None) -> Budget | None:
@@ -447,6 +496,7 @@ class Disambiguator:
                     use_caution_sets=self.use_caution_sets,
                     apply_inheritance_criterion=self.apply_inheritance_criterion,
                     max_depth=self.max_depth,
+                    pruning=self.pruning,
                 )
             )
             return search.run(
@@ -461,6 +511,7 @@ class Disambiguator:
             use_caution_sets=self.use_caution_sets,
             apply_inheritance_criterion=self.apply_inheritance_criterion,
             meter=meter,
+            pruning=self.pruning,
         )
         return CompletionResult(
             root=expression.root,

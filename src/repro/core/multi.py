@@ -92,6 +92,7 @@ def complete_general(
     apply_inheritance_criterion: bool = True,
     budget: Budget | None = None,
     meter: BudgetMeter | None = None,
+    pruning: str | None = None,
 ) -> GeneralCompletionResult:
     """Complete an arbitrary incomplete path expression.
 
@@ -158,6 +159,7 @@ def complete_general(
             e=e,
             use_caution_sets=use_caution_sets,
             apply_inheritance_criterion=apply_inheritance_criterion,
+            pruning=pruning,
         )
 
         def complete_segment(anchor: str, name: str):
@@ -173,6 +175,7 @@ def complete_general(
                 use_caution_sets=use_caution_sets,
                 apply_inheritance_criterion=apply_inheritance_criterion,
                 meter=meter,
+                pruning=pruning,
             )
 
     tracer = get_tracer()

@@ -1,0 +1,74 @@
+"""Thread-pool helpers for fanning a completion workload out.
+
+:meth:`Disambiguator.complete_batch` is the strict entry point — input
+order, one result per input, exceptions propagated.  This module holds
+the forgiving variant the query evaluators and experiment harness use:
+:func:`prewarm` runs a set of expressions through an engine purely to
+fill the artifact's shared completion cache, swallowing per-expression
+:class:`~repro.errors.ReproError` so the failure surfaces later at the
+point of use, exactly where the sequential code would have raised it.
+
+Threads (not processes) are the right pool here: a completion is pure
+Python over shared immutable structures, the artifact cache is
+thread-safe, and the closure-pruned cold searches are short enough that
+process spawn plus schema pickling would dominate.  See the ROADMAP
+open item on process-pool escalation for when that trade-off flips.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import contextvars
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime
+    from repro.core.ast import PathExpression
+    from repro.core.engine import Disambiguator
+
+__all__ = ["prewarm"]
+
+
+def prewarm(
+    engine: "Disambiguator",
+    expressions: Iterable["str | PathExpression"],
+    jobs: int,
+) -> int:
+    """Complete ``expressions`` concurrently to warm the shared cache.
+
+    Returns the number of expressions that completed (exhaustively or
+    not); expressions raising a :class:`~repro.errors.ReproError` are
+    skipped — a caller's own sequential pass will hit the same error at
+    its usual place with its usual handling (retries, per-query error
+    records, ...).  Duplicate expressions are submitted once.  Each
+    worker runs in a copy of the calling thread's context, so ambient
+    budgets, metrics, and tracers govern the warming runs too.
+
+    With ``jobs <= 1`` this is a no-op returning 0: the sequential pass
+    is about to do the same work anyway, so there is nothing to overlap.
+    """
+    if jobs <= 1:
+        return 0
+    unique = list(dict.fromkeys(expressions))
+    if not unique:
+        return 0
+
+    def complete_one(expression) -> bool:
+        try:
+            engine.complete(expression)
+        except ReproError:
+            return False
+        return True
+
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=jobs, thread_name_prefix="repro-prewarm"
+    ) as pool:
+        futures = [
+            pool.submit(
+                contextvars.copy_context().run, complete_one, expression
+            )
+            for expression in unique
+        ]
+        return sum(future.result() for future in futures)

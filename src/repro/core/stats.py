@@ -61,6 +61,8 @@ class TraversalStats:
     pruned_target_bound: int = 0
     pruned_best_bound: int = 0
     rescued_by_caution: int = 0
+    nodes_pruned_reachability: int = 0
+    nodes_pruned_bound: int = 0
     preempted_paths: int = 0
     budget_trips: int = 0
     elapsed_seconds: float = 0.0
@@ -120,6 +122,8 @@ class TraversalStats:
             f"{self.pruned_visited}/{self.pruned_target_bound}/"
             f"{self.pruned_best_bound} "
             f"caution-rescues={self.rescued_by_caution} "
+            f"closure(reach/bound)="
+            f"{self.nodes_pruned_reachability}/{self.nodes_pruned_bound} "
             f"time={self.elapsed_seconds * 1000:.2f}ms"
         )
 

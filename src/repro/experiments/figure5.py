@@ -47,6 +47,7 @@ def run_figure5(
     domain_knowledge: DomainKnowledge | None = None,
     continue_on_error: bool = False,
     retries: int = 0,
+    jobs: int = 1,
 ) -> Figure5Result:
     """Compute the average-recall-vs-E series."""
     points = sweep_e(
@@ -56,6 +57,7 @@ def run_figure5(
         domain_knowledge=domain_knowledge,
         continue_on_error=continue_on_error,
         retries=retries,
+        jobs=jobs,
     )
     return Figure5Result(points=tuple(points))
 

@@ -31,36 +31,35 @@ class SchemaEdge:
     """A traversable edge of the schema graph.
 
     Wraps a :class:`~repro.model.relationships.Relationship` together
-    with its path-algebra label components.
+    with its path-algebra label components.  The label components are
+    materialized at construction (``compare=False`` keeps equality and
+    hashing on the relationship alone): the traversal reads
+    ``edge.target`` / ``edge.connector`` on its innermost loop, where
+    per-access property dispatch is measurable.
     """
 
     relationship: Relationship
+    source: str = dataclasses.field(init=False, compare=False, repr=False)
+    target: str = dataclasses.field(init=False, compare=False, repr=False)
+    name: str = dataclasses.field(init=False, compare=False, repr=False)
+    connector: Connector = dataclasses.field(
+        init=False, compare=False, repr=False
+    )
+    semantic_length: int = dataclasses.field(
+        init=False, compare=False, repr=False
+    )
 
-    @property
-    def source(self) -> str:
-        return self.relationship.source
-
-    @property
-    def target(self) -> str:
-        return self.relationship.target
-
-    @property
-    def name(self) -> str:
-        return self.relationship.name
+    def __post_init__(self) -> None:
+        rel = self.relationship
+        object.__setattr__(self, "source", rel.source)
+        object.__setattr__(self, "target", rel.target)
+        object.__setattr__(self, "name", rel.name)
+        object.__setattr__(self, "connector", connector_for_kind(rel.kind))
+        object.__setattr__(self, "semantic_length", rel.kind.semantic_length)
 
     @property
     def kind(self) -> RelationshipKind:
         return self.relationship.kind
-
-    @property
-    def connector(self) -> Connector:
-        """The primary connector labeling this edge."""
-        return connector_for_kind(self.relationship.kind)
-
-    @property
-    def semantic_length(self) -> int:
-        """Semantic length of the edge (0 for Isa/May-Be, 1 otherwise)."""
-        return self.relationship.kind.semantic_length
 
     def __str__(self) -> str:
         return f"{self.source}{self.kind.symbol}{self.name}"

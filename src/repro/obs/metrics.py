@@ -274,6 +274,10 @@ class MetricsRegistry:
             self.counter("prune.best_bound").inc(stats.pruned_best_bound)
             self.counter("prune.caution_rescues").inc(stats.rescued_by_caution)
             self.counter("prune.preempted_paths").inc(stats.preempted_paths)
+            self.counter("prune.reachability").inc(
+                stats.nodes_pruned_reachability
+            )
+            self.counter("prune.bound").inc(stats.nodes_pruned_bound)
         self.histogram("query.recursive_calls").observe(stats.recursive_calls)
         self.histogram("query.elapsed_seconds").observe(stats.elapsed_seconds)
         if stats.cache_hits or stats.cache_misses:

@@ -16,6 +16,8 @@ completion (the Figure 1 loop with an implicit approve-all).
 
 from __future__ import annotations
 
+import concurrent.futures
+import contextvars
 import dataclasses
 import re
 from collections.abc import Callable
@@ -134,11 +136,15 @@ def run_query(
     text: str,
     engine: Disambiguator | None = None,
     compiled: "CompiledSchema | None" = None,
+    jobs: int = 1,
 ) -> QueryResult:
     """Parse, complete (if needed), evaluate, and filter a query.
 
     Pass ``compiled`` to share one compilation artifact (and completion
-    cache) across many queries over the same schema.
+    cache) across many queries over the same schema.  ``jobs > 1``
+    evaluates the approved completions against the instance store on a
+    thread pool (each path's evaluation is independent); the
+    per-completion result order is the completion ranking either way.
     """
     tracer = get_tracer()
     with tracer.span("query", query=text) as span:
@@ -149,13 +155,32 @@ def run_query(
                 compiled if compiled is not None else database.schema
             )
         completion = engine.complete(query.path_text)
-        per_completion: list[tuple[str, frozenset]] = []
-        with tracer.span("evaluate", paths=len(completion.paths)):
-            for path in completion.paths:
-                results = evaluate(database, path)
-                filtered = frozenset(
-                    value for value in results if query.matches(value)
-                )
-                per_completion.append((str(path), filtered))
+
+        def evaluate_one(path) -> frozenset:
+            results = evaluate(database, path)
+            return frozenset(
+                value for value in results if query.matches(value)
+            )
+
+        with tracer.span("evaluate", paths=len(completion.paths), jobs=jobs):
+            if jobs > 1 and len(completion.paths) > 1:
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=jobs, thread_name_prefix="repro-query"
+                ) as pool:
+                    futures = [
+                        pool.submit(
+                            contextvars.copy_context().run,
+                            evaluate_one,
+                            path,
+                        )
+                        for path in completion.paths
+                    ]
+                    values = [future.result() for future in futures]
+            else:
+                values = [evaluate_one(path) for path in completion.paths]
+        per_completion = [
+            (str(path), filtered)
+            for path, filtered in zip(completion.paths, values)
+        ]
         span.set(completions=len(completion.paths))
     return QueryResult(query=query, per_completion=tuple(per_completion))

@@ -1,0 +1,140 @@
+"""Parallel ``complete_batch``: same answers, overlapping cold work.
+
+``jobs > 1`` only changes *when* cold completions run, never what they
+return — results come back in input order, byte-identical to the
+sequential loop, and one input's budget trip must not leak into its
+siblings.
+"""
+
+import pytest
+
+from repro.core.compiled import CompiledSchema
+from repro.core.engine import Disambiguator
+from repro.core.parallel import prewarm
+from repro.errors import BudgetExceededError
+from repro.resilience.budget import Budget, use_budget
+
+WORKLOAD = [
+    "experiment ~ conductance",
+    "output_spec ~ capacity",
+    "experiment ~ soil_type",
+    "simulation ~ name",
+    "experiment ~ conductance",  # duplicate: warm by the time it runs
+]
+
+
+def _snapshots(batch):
+    return [
+        (
+            tuple(str(path) for path in result.paths),
+            tuple(label.key for label in result.labels),
+            result.exhausted,
+        )
+        for result in batch
+    ]
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("e", [1, 3])
+    def test_jobs4_matches_sequential(self, cupid, e):
+        sequential = Disambiguator(CompiledSchema(cupid), e=e)
+        parallel = Disambiguator(CompiledSchema(cupid), e=e)
+        expected = sequential.complete_batch(WORKLOAD)
+        actual = parallel.complete_batch(WORKLOAD, jobs=4)
+        assert _snapshots(actual) == _snapshots(expected)
+
+    def test_results_keep_input_order(self, cupid):
+        engine = Disambiguator(CompiledSchema(cupid))
+        batch = engine.complete_batch(WORKLOAD, jobs=4)
+        assert len(batch) == len(WORKLOAD)
+        for text, result in zip(WORKLOAD, batch):
+            root = text.split("~")[0].strip()
+            assert result.root == root
+
+    def test_parallel_hits_the_shared_cache(self, cupid):
+        engine = Disambiguator(CompiledSchema(cupid))
+        # Sequential cold fill: each result below is *the* cached object
+        # (a parallel cold fill may compute a duplicate twice, and the
+        # loser of the cache race is a distinct, equal object).
+        cold = engine.complete_batch(WORKLOAD)
+        warm = engine.complete_batch(WORKLOAD, jobs=4)
+        # Warm hits return the very objects the cold run cached —
+        # byte-identical by construction.
+        for cold_result, warm_result in zip(cold, warm):
+            assert warm_result is cold_result
+        assert warm.stats.cache_hits == len(WORKLOAD)
+        assert warm.stats.cache_misses == 0
+
+    def test_single_input_skips_the_pool(self, cupid):
+        engine = Disambiguator(CompiledSchema(cupid))
+        batch = engine.complete_batch(["experiment ~ conductance"], jobs=8)
+        assert len(batch) == 1
+        assert batch.results[0].exhausted
+
+
+class TestBudgetIsolation:
+    def test_one_trip_does_not_poison_siblings(self, cupid):
+        # A node cap the small queries fit comfortably but the heavy
+        # acceptance query cannot at any rung of the degradation ladder
+        # (closure-pruned it still needs ~700 expansions at E=1).  The
+        # cap is calibrated to closure-mode costs, so the mode is pinned
+        # against the REPRO_PRUNING=none CI leg.
+        engine = Disambiguator(
+            CompiledSchema(cupid),
+            e=3,
+            budget=Budget(max_nodes=400, partial_ok=True),
+            pruning="closure",
+        )
+        batch = engine.complete_batch(
+            [
+                "simulation ~ name",
+                "experiment ~ conductance",
+                "output_spec ~ name",
+            ],
+            jobs=3,
+        )
+        tripped = [result.is_partial for result in batch]
+        assert tripped[0] is False
+        assert tripped[1] is True
+        assert tripped[2] is False
+        # The partial is flagged per input; the exhausted siblings are
+        # cached, the partial is not.
+        assert len(engine.compiled.cache) == 2
+
+    def test_ambient_budget_reaches_the_workers(self, cupid):
+        engine = Disambiguator(CompiledSchema(cupid), e=3, pruning="closure")
+        with use_budget(Budget(max_nodes=400, partial_ok=True)):
+            batch = engine.complete_batch(
+                ["experiment ~ conductance", "simulation ~ name"], jobs=2
+            )
+        assert batch.results[0].is_partial
+        assert batch.results[1].exhausted
+
+    def test_raising_policy_surfaces_deterministically(self, cupid):
+        engine = Disambiguator(
+            CompiledSchema(cupid),
+            e=3,
+            budget=Budget(max_nodes=400),  # partial_ok=False
+            pruning="closure",
+        )
+        with pytest.raises(BudgetExceededError):
+            engine.complete_batch(
+                ["simulation ~ name", "experiment ~ conductance"], jobs=2
+            )
+
+
+class TestPrewarm:
+    def test_fills_the_cache_and_skips_failures(self, cupid):
+        engine = Disambiguator(CompiledSchema(cupid))
+        warmed = prewarm(
+            engine,
+            ["experiment ~ conductance", "no_such_class ~ name"],
+            jobs=2,
+        )
+        assert warmed == 1
+        assert len(engine.compiled.cache) == 1
+
+    def test_sequential_jobs_is_a_noop(self, cupid):
+        engine = Disambiguator(CompiledSchema(cupid))
+        assert prewarm(engine, ["experiment ~ conductance"], jobs=1) == 0
+        assert len(engine.compiled.cache) == 0
