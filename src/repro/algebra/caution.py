@@ -78,6 +78,23 @@ class CautionSets:
     """
 
     _cache: dict[str, dict[Connector, frozenset[Connector]]] = {}
+    _instances: dict[str, "CautionSets"] = {}
+
+    @classmethod
+    def for_order(cls, order: PartialOrder) -> "CautionSets":
+        """A shared instance for ``order``, keyed by content.
+
+        Caution sets depend only on the partial order, never on the
+        schema — so artifacts evolved across schema deltas (and any two
+        compiles under equal orders) can share one instance, which also
+        shares the lazily built :attr:`masks`.
+        """
+        key = order.content_key()
+        instance = cls._instances.get(key)
+        if instance is None:
+            instance = cls(order)
+            cls._instances[key] = instance
+        return instance
 
     def __init__(self, order: PartialOrder) -> None:
         self.order = order
@@ -93,6 +110,7 @@ class CautionSets:
     def clear_cache(cls) -> None:
         """Drop all cached per-order computations (for tests)."""
         cls._cache.clear()
+        cls._instances.clear()
 
     def of(self, connector: Connector) -> frozenset[Connector]:
         """The caution set of a connector."""

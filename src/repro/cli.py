@@ -9,6 +9,7 @@ Installed as the ``repro`` console script.  Subcommands::
     repro query     --db FILE QUERY
     repro convert   INPUT OUTPUT          # schema DSL <-> JSON by extension
     repro experiments [--quick] [--jobs N]
+    repro designer  [--mode both|incremental|rebuild] [-e N]
 
 Schemas are loaded from ``.json`` (repro-schema documents) or any other
 extension (treated as DSL text); ``--builtin`` selects one of the
@@ -426,6 +427,23 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_designer(args: argparse.Namespace) -> int:
+    from repro.experiments.designer import (
+        compare_designer_modes,
+        render_designer_session,
+        run_designer_session,
+    )
+
+    with _observability(args):
+        if args.mode == "both":
+            incremental, rebuild = compare_designer_modes(e=args.e)
+            print(render_designer_session(incremental, rebuild))
+        else:
+            result = run_designer_session(mode=args.mode, e=args.e)
+            print(render_designer_session(result))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -521,6 +539,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_options(experiments)
     _add_budget_options(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
+
+    designer = subparsers.add_parser(
+        "designer",
+        help=(
+            "run the scripted designer session (schema deltas: "
+            "incremental maintenance vs rebuild-per-edit)"
+        ),
+    )
+    designer.add_argument(
+        "--mode",
+        choices=("both", "incremental", "rebuild"),
+        default="both",
+        help="delta mode(s) to run; 'both' also reports the speedup",
+    )
+    designer.add_argument(
+        "-e", type=int, default=2, help="AGG* relaxation parameter (>=1)"
+    )
+    _add_obs_options(designer)
+    designer.set_defaults(handler=_cmd_designer)
 
     return parser
 

@@ -229,6 +229,13 @@ class TargetTables:
         Per node, how many interior edges reachability pruning removed;
         charged to ``TraversalStats.nodes_pruned_reachability`` once per
         node entry (each entry would have considered each of them once).
+    ``dist``
+        The raw pre-collapse state distances (node × composed connector
+        × first connector).  Kept so :meth:`SchemaClosure.evolved` can
+        repair the table in place after an edge insertion — distances
+        only ever decrease under insertions, so a localized relaxation
+        seeded from the new edges converges on exactly the from-scratch
+        fixpoint.
     """
 
     __slots__ = (
@@ -238,6 +245,7 @@ class TargetTables:
         "completing",
         "interior",
         "reach_pruned",
+        "dist",
     )
 
     def __init__(
@@ -248,6 +256,7 @@ class TargetTables:
         completing: list[tuple],
         interior: list[tuple],
         reach_pruned: list[int],
+        dist: bytearray,
     ) -> None:
         self.reach_mask = reach_mask
         self.rows = rows
@@ -255,6 +264,7 @@ class TargetTables:
         self.completing = completing
         self.interior = interior
         self.reach_pruned = reach_pruned
+        self.dist = dist
 
 
 def _target_cache_key(target: Target) -> tuple[str, str] | None:
@@ -269,6 +279,12 @@ def _target_cache_key(target: Target) -> tuple[str, str] | None:
     if isinstance(target, ClassTarget):
         return ("class", target.class_name)
     return None
+
+
+def _target_from_cache_key(key: tuple[str, str]) -> Target:
+    """Reconstruct the concrete target from its memoization key."""
+    kind, name = key
+    return RelationshipTarget(name) if kind == "rel" else ClassTarget(name)
 
 
 class SchemaClosure:
@@ -331,6 +347,381 @@ class SchemaClosure:
         """Drop all cached closures (for tests and benchmarks)."""
         with cls._cache_lock:
             cls._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance under schema deltas
+    # ------------------------------------------------------------------
+
+    def evolved(self, new_graph: SchemaGraph) -> "SchemaClosure":
+        """The closure for ``new_graph``, patched from this one.
+
+        The incremental path of the delta layer: instead of re-running
+        all-pairs Warshall and rebuilding every per-target table, the
+        old closure is repaired along the diff between the two traversal
+        views —
+
+        * **reachability** is maintained per edge: a deletion recomputes
+          only the *affected region* (rows that reached a deleted edge's
+          source; every other row provably still holds and is used as a
+          shortcut), an insertion ``u -> v`` unions ``reach[v]`` into
+          every row that reaches ``u``;
+        * **label-bound tables** are repaired by a localized relaxation
+          seeded from the inserted edges (distances only decrease under
+          insertion, so re-running the 0/1-BFS from the new frontier
+          over the kept ``dist`` array converges on exactly the
+          from-scratch fixpoint); a table a *deleted* edge participated
+          in is dropped and lazily rebuilt — deletions can raise bounds,
+          which seeded relaxation cannot express.
+
+        Falls back to a full rebuild when the node-order assumption
+        (survivors keep their relative order, new classes appended) does
+        not hold.  Either way the result is registered in the shared
+        content cache, so a later :meth:`for_graph` on equal content
+        finds it.
+        """
+        key = new_graph.fingerprint()
+        with self._cache_lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        closure = self._evolve(new_graph)
+        with self._cache_lock:
+            return self._cache.setdefault(key, closure)
+
+    def _evolve(self, new_graph: SchemaGraph) -> "SchemaClosure":
+        from repro.obs.metrics import get_metrics
+
+        started = time.perf_counter()
+        new_nodes = tuple(new_graph.nodes())
+        new_set = set(new_nodes)
+        removed_classes = {name for name in self.nodes if name not in new_set}
+        survivors = [name for name in self.nodes if name in new_set]
+        appended = [name for name in new_nodes if name not in self.index]
+        if list(new_nodes) != survivors + appended:
+            # Node order drifted (e.g. a schema rebuilt from scratch
+            # rather than edited in place): positions are meaningless
+            # across the two views, so patching would be wrong.
+            return SchemaClosure(new_graph)
+
+        removed_edges, added_edges = self._edge_diff(new_graph, new_nodes)
+
+        clone = SchemaClosure.__new__(SchemaClosure)
+        clone.graph = new_graph
+        clone.nodes = new_nodes
+        clone.index = {name: pos for pos, name in enumerate(new_nodes)}
+        clone._lock = threading.Lock()
+        repairs = 0
+
+        old_reach = self._reach
+        if old_reach is None:
+            clone._reach = None  # never built — nothing to save
+        else:
+            clone._reach = self._patched_reach(
+                old_reach,
+                clone,
+                removed_edges,
+                added_edges,
+                removed_classes,
+            )
+            repairs += 1
+
+        clone._tables = {}
+        with self._lock:
+            old_tables = dict(self._tables)
+        if not removed_classes:
+            # Class removals reorder every node index the tables are
+            # built around; cheaper to rebuild lazily than to remap.
+            for table_key, tables in old_tables.items():
+                target = _target_from_cache_key(table_key)
+                if self._table_survives_removals(
+                    tables, target, removed_edges
+                ):
+                    clone._tables[table_key] = clone._repair_tables(
+                        tables, target, added_edges
+                    )
+                    repairs += 1
+
+        clone.build_seconds = time.perf_counter() - started
+        if repairs:
+            get_metrics().counter("closure.incremental_repairs").inc(repairs)
+        return clone
+
+    def _edge_diff(
+        self, new_graph: SchemaGraph, new_nodes: tuple[str, ...]
+    ) -> tuple[list, list]:
+        """Removed/added edges between the two traversal views.
+
+        Edges are keyed by relationship identity ``(source, name)``; a
+        retargeted or re-kinded key counts as remove + add, mirroring
+        :meth:`SchemaDelta.diff <repro.model.delta.SchemaDelta.diff>`.
+        """
+
+        def edge_map(graph: SchemaGraph, nodes: tuple[str, ...]) -> dict:
+            return {
+                (edge.source, edge.name): edge
+                for name in nodes
+                for edge in graph.edges_from(name)
+            }
+
+        old_edges = edge_map(self.graph, self.nodes)
+        new_edges = edge_map(new_graph, new_nodes)
+
+        def differs(a, b) -> bool:
+            return a.target != b.target or a.connector is not b.connector
+
+        removed = [
+            edge
+            for key, edge in old_edges.items()
+            if key not in new_edges or differs(edge, new_edges[key])
+        ]
+        added = [
+            edge
+            for key, edge in new_edges.items()
+            if key not in old_edges or differs(edge, old_edges[key])
+        ]
+        return removed, added
+
+    def _patched_reach(
+        self,
+        old_reach: list[int],
+        clone: "SchemaClosure",
+        removed_edges: list,
+        added_edges: list,
+        removed_classes: set[str],
+    ) -> list[int]:
+        """Maintain the reachability rows across the edge diff.
+
+        Deletions first (on the old index space), then column/row
+        compression for removed classes, then appended rows for new
+        classes, then insertions one by one (on the new index space).
+        """
+        old_index = self.index
+        reach = list(old_reach)
+
+        if removed_edges or removed_classes:
+            removed_keys = {
+                (edge.source, edge.name) for edge in removed_edges
+            }
+            removed_src_mask = 0
+            for edge in removed_edges:
+                removed_src_mask |= 1 << old_index[edge.source]
+            # Adjacency of the mid graph: old view minus deleted edges.
+            mid_adjacency = [
+                [
+                    old_index[edge.target]
+                    for edge in self.graph.edges_from(name)
+                    if (edge.source, edge.name) not in removed_keys
+                ]
+                for name in self.nodes
+            ]
+            # A row is affected only if it reached a deleted edge's
+            # source: any lost path must cross a deleted edge, and the
+            # row reaches that edge's source along the path's prefix.
+            affected = [
+                position
+                for position in range(len(self.nodes))
+                if reach[position] & removed_src_mask
+            ]
+            affected_mask = 0
+            for position in affected:
+                affected_mask |= 1 << position
+            for position in affected:
+                # DFS over the mid graph, shortcutting through
+                # unaffected rows: their old rows are still exact (no
+                # path from them crosses a deleted edge), and anything
+                # they reach is itself unaffected, so absorbed bits
+                # need no further expansion.
+                visited = 1 << position
+                stack = [position]
+                while stack:
+                    current = stack.pop()
+                    for child in mid_adjacency[current]:
+                        bit = 1 << child
+                        if visited & bit:
+                            continue
+                        if affected_mask & bit:
+                            visited |= bit
+                            stack.append(child)
+                        else:
+                            visited |= reach[child]
+                reach[position] = visited
+
+        if removed_classes:
+            # Surviving rows hold no removed-class bits (every in-edge
+            # of a removed class was deleted, so reaching one would
+            # have required crossing a deleted edge — an affected row,
+            # just recomputed over the mid graph where the class is
+            # unreachable).  Compress the columns out and splice the
+            # rows.
+            removed_positions = sorted(
+                (old_index[name] for name in removed_classes), reverse=True
+            )
+            compressed = []
+            for position, name in enumerate(self.nodes):
+                if name in removed_classes:
+                    continue
+                row = reach[position]
+                for cut in removed_positions:
+                    row = ((row >> (cut + 1)) << cut) | (row & ((1 << cut) - 1))
+                compressed.append(row)
+            reach = compressed
+
+        for position in range(len(reach), len(clone.nodes)):
+            reach.append(1 << position)  # new classes: reflexive only
+
+        new_index = clone.index
+        for edge in added_edges:
+            # Single-edge closure: every row that reaches u now also
+            # reaches everything v reaches.  The snapshot of reach[v]
+            # is taken before the row sweep; the result is transitively
+            # closed, so edges may be folded in sequentially.
+            u_bit = 1 << new_index[edge.source]
+            v_row = reach[new_index[edge.target]]
+            for position in range(len(reach)):
+                if reach[position] & u_bit:
+                    reach[position] |= v_row
+        return reach
+
+    def _table_survives_removals(
+        self, tables: TargetTables, target: Target, removed_edges: list
+    ) -> bool:
+        """True when no deleted edge participated in this table.
+
+        A deleted *completing* edge shrinks the completion set and can
+        raise bounds everywhere.  A deleted interior edge ``u -> v``
+        contributed transitions only if ``v`` had any achievable
+        completion (non-empty ``conns`` row); if it never contributed,
+        the table is untouched by the deletion.
+        """
+        for edge in removed_edges:
+            if target.is_completing_edge(edge):
+                return False
+            child = self.index.get(edge.target)
+            if child is not None and tables.conns[child]:
+                return False
+        return True
+
+    def _repair_tables(
+        self, tables: TargetTables, target: Target, added_edges: list
+    ) -> TargetTables:
+        """Repair a surviving table for inserted edges (``self`` here is
+        the *evolved* closure; ``tables`` comes from its predecessor).
+
+        Distances only decrease under insertion, so seeding the standard
+        relaxation worklist from the new edges over the kept ``dist``
+        array reaches exactly the fixpoint a from-scratch build would.
+        The worklist is order-insensitive (strict-decrease updates over
+        bounded non-negative integers), so mixed-distance seeds are
+        fine.  Only nodes whose states actually improved are
+        re-collapsed; the per-node edge lists are re-derived from the
+        new adjacency, which re-admits edges that reachability pruning
+        dropped when their child's ``conns`` row was empty.
+        """
+        n = len(self.nodes)
+        stride = _N_CONNECTORS * _N_PRIMARY
+        dist = bytearray(tables.dist)
+        if len(dist) < n * stride:
+            dist.extend(bytearray([_INF]) * (n * stride - len(dist)))
+        reach_mask = tables.reach_mask
+        index = self.index
+        queue: deque[tuple[int, int]] = deque()
+        changed: set[int] = set()
+
+        for edge in added_edges:
+            position = index[edge.source]
+            connector = edge.connector
+            primary = _PRIMARY_INDEX[connector]
+            if target.is_completing_edge(edge):
+                reach_mask |= 1 << position
+                base = 0 if connector.is_taxonomic else 1
+                state = (
+                    position * _N_CONNECTORS + connector.index
+                ) * _N_PRIMARY + primary
+                if base < dist[state]:
+                    dist[state] = base
+                    changed.add(position)
+                    queue.appendleft((state, base))
+            else:
+                # Relax the new interior edge once from every finite
+                # state of its child; the worklist carries it on.
+                child_base = index[edge.target] * stride
+                weights = _PREPEND_WEIGHT[primary]
+                con_row = _CON_ROWS[connector.index]
+                for composed in range(_N_CONNECTORS):
+                    offset = child_base + composed * _N_PRIMARY
+                    for first in range(_N_PRIMARY):
+                        d = dist[offset + first]
+                        if d >= _INF:
+                            continue
+                        nd = d + weights[first]
+                        if nd > _CAP:
+                            continue
+                        state = (
+                            position * _N_CONNECTORS + con_row[composed].index
+                        ) * _N_PRIMARY + primary
+                        if nd < dist[state]:
+                            dist[state] = nd
+                            changed.add(position)
+                            if weights[first]:
+                                queue.append((state, nd))
+                            else:
+                                queue.appendleft((state, nd))
+
+        if queue:
+            in_edges: list[list] = [[] for _ in range(n)]
+            for position, name in enumerate(self.nodes):
+                for edge in self.graph.edges_from(name):
+                    if target.is_completing_edge(edge):
+                        continue
+                    in_edges[index[edge.target]].append(
+                        (
+                            position,
+                            _PRIMARY_INDEX[edge.connector],
+                            _PREPEND_WEIGHT[_PRIMARY_INDEX[edge.connector]],
+                            _CON_ROWS[edge.connector.index],
+                        )
+                    )
+            while queue:
+                state, d = queue.popleft()
+                if d > dist[state]:
+                    continue
+                node, rest = divmod(state, stride)
+                composed, first = divmod(rest, _N_PRIMARY)
+                for source, primary, weights, con_row in in_edges[node]:
+                    weight = weights[first]
+                    nd = d + weight
+                    if nd > _CAP:
+                        continue
+                    next_state = (
+                        source * _N_CONNECTORS + con_row[composed].index
+                    ) * _N_PRIMARY + primary
+                    if nd < dist[next_state]:
+                        dist[next_state] = nd
+                        changed.add(source)
+                        if weight:
+                            queue.append((next_state, nd))
+                        else:
+                            queue.appendleft((next_state, nd))
+
+        rows = list(tables.rows)
+        conns = list(tables.conns)
+        while len(rows) < n:
+            rows.append(b"")
+            conns.append(())
+        for node in sorted(changed | set(range(len(tables.rows), n))):
+            rows[node], conns[node] = self._collapse_node(dist, node)
+
+        repaired = TargetTables(
+            reach_mask=reach_mask,
+            rows=rows,
+            conns=conns,
+            completing=[],
+            interior=[],
+            reach_pruned=[],
+            dist=dist,
+        )
+        self._attach_edge_lists(repaired, target)
+        return repaired
 
     def _build_reachability(self) -> list[int]:
         """Reflexive-transitive reachability as big-int bitset rows."""
@@ -463,42 +854,50 @@ class SchemaClosure:
             tables.interior.append(tuple(inter))
             tables.reach_pruned.append(dropped)
 
+    @staticmethod
+    def _collapse_node(
+        dist: bytearray, node: int
+    ) -> tuple[bytes, tuple[int, ...]]:
+        """One node's collapsed row: fold the (first connector) axis
+        into per-seam-class minima."""
+        stride = _N_CONNECTORS * _N_PRIMARY
+        base = node * stride
+        row = bytearray([_INF]) * (_N_LAST_CLASSES * _N_CONNECTORS)
+        achievable: list[int] = []
+        for composed in range(_N_CONNECTORS):
+            offset = base + composed * _N_PRIMARY
+            segment = dist[offset : offset + _N_PRIMARY]
+            if min(segment) >= _INF:
+                continue
+            achievable.append(composed)
+            for last_class in range(_N_LAST_CLASSES):
+                seam = _SEAM_BY_CLASS[last_class]
+                best = _INF
+                for first in range(_N_PRIMARY):
+                    d = segment[first]
+                    if d >= _INF:
+                        continue
+                    value = d + seam[first]
+                    if value < best:
+                        best = value
+                if best < 0:
+                    best = 0
+                elif best > _CAP:
+                    best = _CAP
+                row[last_class * _N_CONNECTORS + composed] = best
+        achievable.sort(key=lambda ci: ALL_CONNECTORS[ci].sort_rank)
+        return bytes(row), tuple(achievable)
+
     def _collapse_tables(
         self, dist: bytearray, reach_mask: int
     ) -> TargetTables:
         """Fold the (first connector) axis into per-seam-class minima."""
-        n = len(self.nodes)
-        stride = _N_CONNECTORS * _N_PRIMARY
         rows: list[bytes] = []
         conns: list[tuple[int, ...]] = []
-        for node in range(n):
-            base = node * stride
-            row = bytearray([_INF]) * (_N_LAST_CLASSES * _N_CONNECTORS)
-            achievable: list[int] = []
-            for composed in range(_N_CONNECTORS):
-                offset = base + composed * _N_PRIMARY
-                segment = dist[offset : offset + _N_PRIMARY]
-                if min(segment) >= _INF:
-                    continue
-                achievable.append(composed)
-                for last_class in range(_N_LAST_CLASSES):
-                    seam = _SEAM_BY_CLASS[last_class]
-                    best = _INF
-                    for first in range(_N_PRIMARY):
-                        d = segment[first]
-                        if d >= _INF:
-                            continue
-                        value = d + seam[first]
-                        if value < best:
-                            best = value
-                    if best < 0:
-                        best = 0
-                    elif best > _CAP:
-                        best = _CAP
-                    row[last_class * _N_CONNECTORS + composed] = best
-            achievable.sort(key=lambda ci: ALL_CONNECTORS[ci].sort_rank)
-            rows.append(bytes(row))
-            conns.append(tuple(achievable))
+        for node in range(len(self.nodes)):
+            row, achievable = self._collapse_node(dist, node)
+            rows.append(row)
+            conns.append(achievable)
         return TargetTables(
             reach_mask=reach_mask,
             rows=rows,
@@ -506,6 +905,7 @@ class SchemaClosure:
             completing=[],
             interior=[],
             reach_pruned=[],
+            dist=dist,
         )
 
     def __repr__(self) -> str:

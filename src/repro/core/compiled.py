@@ -37,6 +37,7 @@ registry explicitly.
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -58,14 +59,39 @@ from repro.resilience.budget import Budget, BudgetMeter
 __all__ = [
     "CompiledSchema",
     "CompletionCache",
+    "DELTA_MODES",
     "compile_schema",
     "domain_knowledge_key",
     "invalidate",
     "registry_size",
+    "resolve_delta_mode",
 ]
 
 #: Default bound on the number of cached completion results per artifact.
 DEFAULT_CACHE_SIZE = 1024
+
+#: Accepted values of the ``delta`` knob of :meth:`CompiledSchema.evolve`.
+DELTA_MODES = ("incremental", "rebuild")
+
+#: Environment override consulted when no explicit mode is given — CI's
+#: rebuild matrix leg runs the whole suite with ``REPRO_DELTA=rebuild``.
+DELTA_ENV_VAR = "REPRO_DELTA"
+
+
+def resolve_delta_mode(mode: str | None) -> str:
+    """Resolve the delta-application knob: explicit value, else the
+    ``REPRO_DELTA`` environment override, else ``"incremental"``.
+
+    ``"incremental"`` patches the artifact along the delta;
+    ``"rebuild"`` compiles the post-edit schema from scratch (the
+    honest baseline the A/B tests and the designer-session benchmark
+    compare against).  Both produce byte-identical completions.
+    """
+    if mode is None:
+        mode = os.environ.get(DELTA_ENV_VAR) or "incremental"
+    if mode not in DELTA_MODES:
+        raise ValueError(f"delta mode must be one of {DELTA_MODES}, got {mode!r}")
+    return mode
 
 
 def domain_knowledge_key(knowledge: DomainKnowledge) -> str:
@@ -130,6 +156,50 @@ class CompletionCache:
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+
+    def adopt(
+        self,
+        other: "CompletionCache",
+        old_fingerprint: str,
+        new_fingerprint: str,
+        frontier: frozenset[str],
+    ) -> tuple[int, int]:
+        """Carry ``other``'s entries across a schema delta, surgically.
+
+        An entry survives iff its result's recorded support set is
+        non-empty and disjoint from the delta's eviction frontier
+        (:meth:`SchemaDelta.eviction_frontier
+        <repro.model.delta.SchemaDelta.eviction_frontier>` — the source
+        classes of its added/removed edges) — the soundness argument is
+        on :attr:`CompletionResult.support
+        <repro.core.completion.CompletionResult.support>`: no edge
+        change outside the support can alter the result, so the carried
+        object is byte-identical to what a cold search over the evolved
+        schema would produce.  Surviving keys are re-stamped from the
+        old fingerprint to the new one (the fingerprint is the key's
+        first element by construction of
+        :meth:`CompiledSchema.cache_key`).  Returns
+        ``(carried, evicted)`` counts; LRU recency is preserved.
+        """
+        carried = evicted = 0
+        with other._lock:
+            entries = list(other._data.items())
+        with self._lock:
+            for key, value in entries:
+                support = getattr(value, "support", frozenset())
+                if (
+                    support
+                    and frontier.isdisjoint(support)
+                    and key
+                    and key[0] == old_fingerprint
+                ):
+                    self._data[(new_fingerprint,) + key[1:]] = value
+                    carried += 1
+                else:
+                    evicted += 1
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+        return carried, evicted
 
     def __len__(self) -> int:
         return len(self._data)
@@ -198,7 +268,7 @@ class CompiledSchema:
             self.order_key = self.order.content_key()
             self.knowledge_key = domain_knowledge_key(self.domain_knowledge)
             self.graph = self.domain_knowledge.restrict(SchemaGraph(schema))
-            self.caution_sets = CautionSets(self.order)
+            self.caution_sets = CautionSets.for_order(self.order)
             # The Carré label closure (all-pairs reachability + label
             # lower bounds) shared by every search over this artifact.
             # Construction is cheap: the reachability matrix and the
@@ -209,6 +279,9 @@ class CompiledSchema:
             self.cache = CompletionCache(cache_size)
             self._searches: dict[tuple, CompletionSearch] = {}
             self._lock = threading.Lock()
+            #: Fingerprints of the ancestor artifacts this one was
+            #: evolved from, oldest first; empty for cold compiles.
+            self.lineage: tuple[str, ...] = ()
             self.compile_seconds = time.perf_counter() - started
             span.set(
                 fingerprint=self.fingerprint[:16],
@@ -229,6 +302,106 @@ class CompiledSchema:
     def is_stale(self) -> bool:
         """True when the underlying schema mutated after compilation."""
         return self.schema.fingerprint() != self.fingerprint
+
+    # ------------------------------------------------------------------
+    # Schema deltas
+    # ------------------------------------------------------------------
+
+    def evolve(
+        self,
+        delta,
+        mode: str | None = None,
+        cache_size: int | None = None,
+    ) -> "CompiledSchema":
+        """A new artifact for this schema edited by ``delta``.
+
+        The delta (:class:`~repro.model.delta.SchemaDelta` or a single
+        command) is applied to a *copy* of the schema — this artifact
+        stays immutable and registered — and the copy is validated
+        (Isa acyclicity) before any compiled state is touched.
+
+        ``mode="incremental"`` (the default; overridable via the
+        ``REPRO_DELTA`` environment variable) patches the compiled
+        pieces along the delta instead of rebuilding: the frozen
+        adjacency is patched structurally (untouched rows shared), the
+        order closure and caution sets are reused outright (they depend
+        only on the partial order), the label closure is maintained per
+        edge (:meth:`SchemaClosure.evolved
+        <repro.core.closure.SchemaClosure.evolved>`), and the completion
+        cache carries every entry whose support set the delta provably
+        cannot affect.  ``mode="rebuild"`` compiles the edited schema
+        cold — the honest baseline; both modes produce byte-identical
+        completions.
+
+        Either way the evolved artifact registers under its new
+        fingerprint with this artifact's fingerprint appended to its
+        :attr:`lineage`, so repeated edits form a traceable chain.
+        """
+        mode = resolve_delta_mode(mode)
+        size = cache_size if cache_size is not None else self.cache.maxsize
+        with get_tracer().span(
+            "delta_apply", schema=self.schema.name, mode=mode
+        ) as span:
+            new_schema = self.schema.copy()
+            new_schema.apply(delta)
+            new_schema.validate()
+            touched = delta.touched_classes()
+            if mode == "rebuild":
+                evolved = CompiledSchema(
+                    new_schema,
+                    order=self.order,
+                    domain_knowledge=self.domain_knowledge,
+                    cache_size=size,
+                )
+            else:
+                evolved = self._evolve_incremental(
+                    new_schema, touched, delta.eviction_frontier(), size
+                )
+            evolved.lineage = self.lineage + (self.fingerprint,)
+            span.set(
+                commands=len(delta),
+                touched=len(touched),
+                fingerprint=evolved.fingerprint[:16],
+                seconds=evolved.compile_seconds,
+            )
+        get_metrics().counter("delta.applied").inc()
+        with _REGISTRY_LOCK:
+            existing = _REGISTRY.get(evolved.key)
+            if existing is not None and not existing.is_stale():
+                return existing
+            _registry_put(evolved)
+        return evolved
+
+    def _evolve_incremental(
+        self,
+        new_schema: Schema,
+        touched: frozenset[str],
+        frontier: frozenset[str],
+        cache_size: int,
+    ) -> "CompiledSchema":
+        """The patching path of :meth:`evolve` (see its contract)."""
+        started = time.perf_counter()
+        evolved = CompiledSchema.__new__(CompiledSchema)
+        evolved.schema = new_schema
+        evolved.order = self.order
+        evolved.domain_knowledge = self.domain_knowledge
+        evolved.fingerprint = new_schema.fingerprint()
+        evolved.order_key = self.order_key
+        evolved.knowledge_key = self.knowledge_key
+        evolved.graph = self.graph.evolved(new_schema, touched)
+        evolved.caution_sets = self.caution_sets
+        evolved.closure = self.closure.evolved(evolved.graph)
+        evolved.cache = CompletionCache(cache_size)
+        carried, evicted = evolved.cache.adopt(
+            self.cache, self.fingerprint, evolved.fingerprint, frontier
+        )
+        if evicted:
+            get_metrics().counter("cache.selective_evictions").inc(evicted)
+        evolved._searches = {}
+        evolved._lock = threading.Lock()
+        evolved.lineage = ()
+        evolved.compile_seconds = time.perf_counter() - started
+        return evolved
 
     # ------------------------------------------------------------------
     # Shared search instances and the completion cache
@@ -370,7 +543,28 @@ class CompiledSchema:
 # ----------------------------------------------------------------------
 
 _REGISTRY: dict[tuple[str, str, str], CompiledSchema] = {}
+#: Secondary index: fingerprint -> the registry keys carrying it.  Kept
+#: in lockstep with ``_REGISTRY`` (same lock) so fingerprint-scoped
+#: operations — :func:`invalidate`, eager stale eviction — are O(matches)
+#: instead of a scan over every registered artifact.
+_REGISTRY_BY_FP: dict[str, set[tuple[str, str, str]]] = {}
 _REGISTRY_LOCK = threading.Lock()
+
+
+def _registry_put(compiled: CompiledSchema) -> None:
+    """Insert under ``_REGISTRY_LOCK`` (held by the caller)."""
+    _REGISTRY[compiled.key] = compiled
+    _REGISTRY_BY_FP.setdefault(compiled.fingerprint, set()).add(compiled.key)
+
+
+def _registry_discard(key: tuple[str, str, str]) -> None:
+    """Remove under ``_REGISTRY_LOCK`` (held by the caller)."""
+    _REGISTRY.pop(key, None)
+    keys = _REGISTRY_BY_FP.get(key[0])
+    if keys is not None:
+        keys.discard(key)
+        if not keys:
+            del _REGISTRY_BY_FP[key[0]]
 
 
 def compile_schema(
@@ -403,8 +597,14 @@ def compile_schema(
     )
     with _REGISTRY_LOCK:
         compiled = _REGISTRY.get(key)
-        if compiled is not None and not compiled.is_stale():
-            return compiled
+        if compiled is not None:
+            if not compiled.is_stale():
+                return compiled
+            # Eager stale-artifact eviction: the registered artifact's
+            # schema mutated after compilation, so it can never be
+            # served again — drop it now rather than letting dead
+            # entries accumulate until the next full invalidate().
+            _registry_discard(key)
     # Compile outside the lock (brute-forcing caution sets and freezing
     # adjacency can take a while on large schemas); last writer wins.
     compiled = CompiledSchema(
@@ -417,7 +617,7 @@ def compile_schema(
         existing = _REGISTRY.get(key)
         if existing is not None and not existing.is_stale():
             return existing  # a concurrent compile won the race
-        _REGISTRY[key] = compiled
+        _registry_put(compiled)
         return compiled
 
 
@@ -432,11 +632,12 @@ def invalidate(schema: Schema | None = None) -> int:
         if schema is None:
             removed = len(_REGISTRY)
             _REGISTRY.clear()
+            _REGISTRY_BY_FP.clear()
             return removed
         fingerprint = schema.fingerprint()
-        stale = [key for key in _REGISTRY if key[0] == fingerprint]
+        stale = list(_REGISTRY_BY_FP.get(fingerprint, ()))
         for key in stale:
-            del _REGISTRY[key]
+            _registry_discard(key)
         return len(stale)
 
 

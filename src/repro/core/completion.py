@@ -129,6 +129,20 @@ class CompletionResult:
     non-optimal, and ``truncation_reason`` says why
     (:class:`~repro.resilience.budget.TruncationReason`).  Partial
     results are never stored in the completion cache.
+
+    ``support`` is the result's dependency footprint for surgical cache
+    invalidation: the set of class names reachable from the root in the
+    traversal graph at search time.  Any edge insertion or deletion that
+    could change this result has its source class in the set — an
+    insertion at an unreachable class can never extend a path from the
+    root, and a deletion at one can never break an existing optimal
+    path — so a schema delta whose touched classes are disjoint from the
+    support provably leaves the result byte-identical
+    (:meth:`CompletionCache.adopt
+    <repro.core.compiled.CompletionCache.adopt>`).  An *empty* support
+    means "unknown" and is treated as intersecting everything; results
+    produced outside the single-gap search (general expressions,
+    validation) stay conservatively evictable.
     """
 
     root: str
@@ -138,6 +152,7 @@ class CompletionResult:
     stats: TraversalStats
     exhausted: bool = True
     truncation_reason: str | None = None
+    support: frozenset[str] = frozenset()
 
     @property
     def expressions(self) -> list[str]:
@@ -254,6 +269,10 @@ class CompletionSearch:
         # runs of this search instance; safe under concurrent runs (dict
         # get/set are atomic and rows for one label are interchangeable).
         self._ext_rows: dict[int, tuple[PathLabel, list]] = {}
+        # Memoized per-root support sets (reachable class names) for
+        # result footprints; the adjacency is frozen, so each root's set
+        # is computed at most once per search instance.
+        self._supports: dict[str, frozenset[str]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -346,10 +365,46 @@ class CompletionSearch:
             stats=stats,
             exhausted=reason is None,
             truncation_reason=reason,
+            support=self._support_of(root),
         )
         if reason is not None and meter is not None and not meter.budget.partial_ok:
             raise BudgetExceededError(reason, partial=result)
         return result
+
+    def _support_of(self, root: str) -> frozenset[str]:
+        """Class names reachable from ``root`` in the traversal graph.
+
+        Every path the search can ever produce — and every edge it can
+        ever consider — lives inside this set, which makes it a sound
+        dependency footprint for :attr:`CompletionResult.support`.  Uses
+        the closure's reachability row when one is attached; the BFS
+        fallback (``pruning="none"``, dynamic graphs) computes the same
+        set, so both pruning modes stamp identical footprints.
+        """
+        support = self._supports.get(root)
+        if support is not None:
+            return support
+        closure = self.closure
+        if closure is not None and root in closure.index:
+            row = closure.reach[closure.index[root]]
+            nodes = closure.nodes
+            support = frozenset(
+                nodes[position]
+                for position in range(len(nodes))
+                if row >> position & 1
+            )
+        else:
+            seen = {root}
+            frontier = [root]
+            while frontier:
+                node = frontier.pop()
+                for edge in self.graph.edges_from(node):
+                    if edge.target not in seen:
+                        seen.add(edge.target)
+                        frontier.append(edge.target)
+            support = frozenset(seen)
+        self._supports[root] = support
+        return support
 
     # ------------------------------------------------------------------
     # The traversal (Algorithm 2)

@@ -12,6 +12,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "SchemaError",
+    "DeltaError",
     "DuplicateClassError",
     "UnknownClassError",
     "DuplicateRelationshipError",
@@ -48,6 +49,17 @@ class ReproError(Exception):
 
 class SchemaError(ReproError):
     """Base class for schema construction and validation errors."""
+
+
+class DeltaError(SchemaError):
+    """A schema delta command cannot be applied to the schema at hand.
+
+    Raised when a command's recorded expectation diverges from the
+    schema's actual content — e.g. removing a relationship whose stored
+    target or kind no longer matches the command's snapshot.  The
+    mismatch check is what keeps deltas invertible: a command that
+    applied cleanly can always be undone by its inverse.
+    """
 
 
 class DuplicateClassError(SchemaError):

@@ -7,7 +7,8 @@
 * Figure 7 (response time per query at E=5),
 * the Section 5.3 in-text statistics,
 * the worked examples of Sections 1-2 on the university schema,
-* ablations A1 (order variants), A2 (caution sets), A4 (vs exhaustive).
+* ablations A1 (order variants), A2 (caution sets), A4 (vs exhaustive),
+* the designer session (schema deltas vs rebuild-per-edit).
 
 A full run takes a few minutes (Figure 7 at E=5 dominates); pass
 ``--quick`` to sweep E only to 3 and reuse it for Figure 7.
@@ -339,6 +340,22 @@ def _run_all_inner(
         )
 
     guarded("ablation A4", _ablation_a4)
+
+    print(
+        _banner("Designer session: schema deltas vs rebuild-per-edit"),
+        file=out,
+    )
+
+    def _designer():
+        from repro.experiments.designer import (
+            compare_designer_modes,
+            render_designer_session,
+        )
+
+        incremental, rebuild = compare_designer_modes()
+        print(render_designer_session(incremental, rebuild), file=out)
+
+    guarded("designer session", _designer)
 
     print(_banner("Failures"), file=out)
     if failures:

@@ -20,6 +20,17 @@ from repro.model.classes import (
     STRING,
     primitive_classes,
 )
+from repro.model.delta import (
+    AddClass,
+    AddInheritanceEdge,
+    AddRelationship,
+    DeltaCommand,
+    RemoveClass,
+    RemoveInheritanceEdge,
+    RemoveRelationship,
+    SchemaDelta,
+    relationship_pair,
+)
 from repro.model.dsl import parse_schema_dsl, schema_to_dsl
 from repro.model.graph import SchemaEdge, SchemaGraph
 from repro.model.inheritance import (
@@ -28,6 +39,7 @@ from repro.model.inheritance import (
     effective_relationships,
     inheritance_depth,
     is_subclass_of,
+    isa_edges,
     resolve_inherited,
 )
 from repro.model.instances import Database, DBObject
@@ -48,29 +60,39 @@ from repro.model.serialization import (
 )
 
 __all__ = [
+    "AddClass",
+    "AddInheritanceEdge",
+    "AddRelationship",
     "BOOLEAN",
     "ClassBuilder",
     "ClassDef",
     "Database",
     "DBObject",
+    "DeltaCommand",
     "INTEGER",
     "PRIMITIVE_CLASS_NAMES",
     "REAL",
     "Relationship",
     "RelationshipKind",
+    "RemoveClass",
+    "RemoveInheritanceEdge",
+    "RemoveRelationship",
     "STRING",
     "Schema",
     "SchemaBuilder",
+    "SchemaDelta",
     "SchemaEdge",
     "SchemaGraph",
     "SchemaProfile",
     "ancestors",
+    "relationship_pair",
     "database_from_dict",
     "database_to_dict",
     "descendants",
     "effective_relationships",
     "inheritance_depth",
     "is_subclass_of",
+    "isa_edges",
     "load_database",
     "load_schema",
     "parse_schema_dsl",

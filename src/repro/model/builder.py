@@ -121,3 +121,16 @@ class SchemaBuilder:
         """Validate and return the schema."""
         self.schema.validate()
         return self.schema
+
+    def diff_against(self, base: Schema) -> "SchemaDelta":
+        """The delta that edits ``base``'s content into this builder's.
+
+        The "edit a scratch copy fluently, then diff" workflow: start
+        from ``SchemaBuilder`` wrapping a :meth:`Schema.copy` of a live
+        schema, reshape it with the fluent API, and hand the resulting
+        delta to :meth:`CompiledSchema.evolve
+        <repro.core.compiled.CompiledSchema.evolve>`.
+        """
+        from repro.model.delta import SchemaDelta
+
+        return SchemaDelta.diff(base, self.schema)

@@ -152,6 +152,42 @@ class SchemaGraph:
             hasher.update(f"XR|{source}|{rel_name}\n".encode())
         return hasher.hexdigest()
 
+    def evolved(
+        self, schema: Schema, touched: frozenset[str] | set[str]
+    ) -> "SchemaGraph":
+        """A graph over ``schema`` reusing rows untouched by a delta.
+
+        ``touched`` is the delta's class frontier
+        (:meth:`~repro.model.delta.SchemaDelta.touched_classes`): only
+        those adjacency rows (plus rows for brand-new classes) are
+        rebuilt from the schema; every other row — already-constructed
+        ``SchemaEdge`` objects included — is shared with this graph.
+        Rows of removed classes drop out naturally because the new
+        adjacency iterates the *new* schema's class set.  Exclusions
+        carry over unchanged.
+        """
+        clone = SchemaGraph.__new__(SchemaGraph)
+        clone.schema = schema
+        clone.exclude_classes = self.exclude_classes
+        clone.exclude_relationships = self.exclude_relationships
+        adjacency: dict[str, list[SchemaEdge]] = {}
+        for cls in schema:
+            name = cls.name
+            if name not in touched and name in self._adjacency:
+                adjacency[name] = self._adjacency[name]
+                continue
+            edges = [
+                SchemaEdge(rel)
+                for rel in schema.relationships_from(name)
+                if rel.source not in self.exclude_classes
+                and rel.target not in self.exclude_classes
+                and rel.key not in self.exclude_relationships
+            ]
+            edges.sort(key=lambda e: (e.connector.sort_rank, e.semantic_length))
+            adjacency[name] = edges
+        clone._adjacency = adjacency
+        return clone
+
     def restricted(
         self,
         exclude_classes: frozenset[str] | set[str] = frozenset(),

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.model.kinds import RelationshipKind
 from repro.model.relationships import Relationship
 from repro.model.schema import Schema
 
@@ -24,10 +25,25 @@ __all__ = [
     "ancestors",
     "descendants",
     "is_subclass_of",
+    "isa_edges",
     "effective_relationships",
     "resolve_inherited",
     "inheritance_depth",
 ]
+
+
+def isa_edges(schema: Schema) -> list[tuple[str, str]]:
+    """All direct Isa edges as ``(subclass, superclass)`` pairs, sorted.
+
+    The inheritance graph at edge granularity — the view delta scripts
+    and edit sessions work with when adding or removing single
+    inheritance edges.
+    """
+    return sorted(
+        (rel.source, rel.target)
+        for rel in schema.relationships()
+        if rel.kind is RelationshipKind.ISA
+    )
 
 
 def ancestors(schema: Schema, name: str) -> list[str]:

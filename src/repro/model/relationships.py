@@ -67,6 +67,15 @@ class Relationship:
                 f"class {self.source!r} cannot be Isa/May-Be related to itself"
             )
 
+    @classmethod
+    def isa(cls, subclass: str, superclass: str) -> "Relationship":
+        """The default-named Isa edge ``subclass @> superclass``.
+
+        This is the canonical form of an inheritance edge — the one the
+        delta layer's Add/RemoveInheritanceEdge commands materialize.
+        """
+        return cls(subclass, superclass, RelationshipKind.ISA)
+
     @property
     def key(self) -> tuple[str, str]:
         """The identifying ``(source, name)`` pair."""

@@ -229,6 +229,98 @@ class Schema:
         self._relationships[rel.key] = rel
         self._outgoing[rel.source].append(rel.key)
 
+    def remove_relationship(self, source: str, name: str) -> Relationship:
+        """Remove the relationship ``(source, name)`` and return it.
+
+        Removes exactly one directed edge — the inverse, if one was
+        installed, stays and must be removed separately (mirroring the
+        single-edge granularity of :mod:`repro.model.delta` commands).
+        Raises :class:`~repro.errors.UnknownRelationshipError` if absent.
+        """
+        rel = self.get_relationship(source, name)
+        del self._relationships[rel.key]
+        self._outgoing[source].remove(rel.key)
+        return rel
+
+    def remove_attribute(self, source: str, name: str) -> Relationship:
+        """Remove an attribute (an association into a primitive class).
+
+        The counterpart of :meth:`add_attribute`: refuses to remove a
+        relationship whose target is not primitive, so callers reaching
+        for the attribute shorthand cannot silently drop a class-level
+        relationship with the same name.
+        """
+        rel = self.get_relationship(source, name)
+        if not self.get_class(rel.target).primitive:
+            raise SchemaError(
+                f"{source}.{name} targets class {rel.target!r}, not a "
+                "primitive; use remove_relationship"
+            )
+        return self.remove_relationship(source, name)
+
+    def remove_class(self, name: str, cascade: bool = False) -> ClassDef:
+        """Remove a user-defined class and return its definition.
+
+        By default the class must be isolated: any relationship still
+        touching it (outgoing or incoming) is a dangling reference and
+        raises :class:`~repro.errors.SchemaError`.  With ``cascade=True``
+        every such relationship is removed first.  Primitive classes can
+        never be removed.
+        """
+        cls = self.get_class(name)
+        if cls.primitive:
+            raise PrimitiveClassError(name, "remove")
+        dangling = [
+            rel
+            for rel in self._relationships.values()
+            if rel.source == name or rel.target == name
+        ]
+        if dangling and not cascade:
+            listing = ", ".join(str(rel) for rel in sorted(
+                dangling, key=lambda rel: rel.key
+            ))
+            raise SchemaError(
+                f"cannot remove class {name!r}: still referenced by "
+                f"{listing}"
+            )
+        for rel in dangling:
+            self.remove_relationship(rel.source, rel.name)
+        del self._classes[name]
+        del self._outgoing[name]
+        return cls
+
+    # ------------------------------------------------------------------
+    # Deltas / copying
+    # ------------------------------------------------------------------
+
+    def apply(self, delta: object) -> "Schema":
+        """Apply a :class:`~repro.model.delta.SchemaDelta` in place.
+
+        Duck-typed on ``apply_to`` so the model layer does not import
+        the delta module (which imports this one).  Returns ``self`` for
+        chaining.
+        """
+        delta.apply_to(self)  # type: ignore[attr-defined]
+        return self
+
+    def copy(self, name: str | None = None) -> "Schema":
+        """An independent, mutable copy of this schema.
+
+        Classes and relationships are frozen values, so the copy shares
+        them and only duplicates the containers — editing the copy never
+        disturbs the original.  This is what :meth:`CompiledSchema.evolve
+        <repro.core.compiled.CompiledSchema.evolve>` edits, keeping the
+        source artifact's schema immutable in practice.
+        """
+        clone = Schema.__new__(Schema)
+        clone.name = self.name if name is None else name
+        clone._classes = dict(self._classes)
+        clone._relationships = dict(self._relationships)
+        clone._outgoing = {
+            source: list(keys) for source, keys in self._outgoing.items()
+        }
+        return clone
+
     def has_relationship(self, source: str, name: str) -> bool:
         """True if ``source`` declares a relationship named ``name``."""
         return (source, name) in self._relationships

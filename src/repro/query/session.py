@@ -28,7 +28,17 @@ expressions:
   logging for subsequent asks (retain asks over MS milliseconds plus
   the top-K slowest); ``:slowlog`` — status; ``:slowlog show`` — the
   retained entries;
-* ``:prom`` — the session metrics in Prometheus text exposition format.
+* ``:prom`` — the session metrics in Prometheus text exposition format;
+* ``:edit add-class NAME`` / ``:edit remove-class NAME [cascade]`` /
+  ``:edit add-rel SOURCE NAME TARGET [KIND]`` / ``:edit remove-rel
+  SOURCE NAME`` / ``:edit add-attr SOURCE NAME [PRIM]`` /
+  ``:edit add-isa SUB SUPER`` / ``:edit remove-isa SUB SUPER`` — evolve
+  the schema *live*: the edit is packaged as a
+  :class:`~repro.model.delta.SchemaDelta` and applied through
+  :meth:`CompiledSchema.evolve`, so the closure is repaired
+  incrementally and only completions whose support set meets the edit
+  are evicted; ``:edit undo`` reverts the newest edit, bare ``:edit``
+  shows the edit count and current schema fingerprint.
 
 Command rounds return an :class:`Interaction` whose ``message`` carries
 the rendered output (candidates/results stay empty), so interactive
@@ -52,7 +62,20 @@ from repro.core.ast import ConcretePath
 from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
 from repro.errors import BudgetExceededError, ReproError
+from repro.model.classes import PRIMITIVE_CLASS_NAMES
+from repro.model.delta import (
+    AddClass,
+    AddInheritanceEdge,
+    AddRelationship,
+    RemoveClass,
+    RemoveInheritanceEdge,
+    RemoveRelationship,
+    SchemaDelta,
+    relationship_pair,
+)
 from repro.model.instances import Database
+from repro.model.kinds import KIND_BY_SYMBOL, RelationshipKind
+from repro.model.relationships import Relationship
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.promtext import render_prometheus
 from repro.obs.slowlog import SlowQueryLog, get_slowlog, use_slowlog
@@ -198,6 +221,9 @@ class CompletionSession:
         #: Survives ``:slowlog off`` so ``:slowlog show`` still renders.
         self.slowlog: SlowQueryLog | None = None
         self.slow_logging = False
+        #: Applied ``:edit`` deltas, newest last (``:edit undo`` pops and
+        #: applies the inverse).
+        self._edits: list[SchemaDelta] = []
 
     def ask(self, text: str) -> Interaction:
         """Run one full round for the given (possibly incomplete) input.
@@ -307,11 +333,13 @@ class CompletionSession:
             message = self._slowlog_command(args)
         elif name == ":prom":
             message = render_prometheus(self.metrics)
+        elif name == ":edit":
+            message = self._edit_command(args)
         else:
             message = (
                 f"unknown session command {name!r} "
                 "(expected :trace [on|off|show], :metrics, :budget, "
-                ":slowlog [on [MS]|off|show], or :prom)"
+                ":slowlog [on [MS]|off|show], :edit ..., or :prom)"
             )
         return Interaction(
             input_text=text,
@@ -418,3 +446,155 @@ class CompletionSession:
         except ValueError as error:
             return f"error: {error}"
         return f"budget {self.budget.describe()}"
+
+    _EDIT_USAGE = (
+        "usage: :edit | :edit undo | :edit add-class NAME | "
+        ":edit remove-class NAME [cascade] | "
+        ":edit add-rel SOURCE NAME TARGET [KIND] | "
+        ":edit remove-rel SOURCE NAME | "
+        ":edit add-attr SOURCE NAME [PRIM] | "
+        ":edit add-isa SUB SUPER | :edit remove-isa SUB SUPER"
+    )
+
+    def _edit_command(self, args: list[str]) -> str:
+        """Handle ``:edit ...`` — live schema evolution inside the loop.
+
+        Edits build a :class:`~repro.model.delta.SchemaDelta`, evolve the
+        engine's compiled artifact incrementally (closure repair plus
+        surgical cache eviction instead of a cold recompile), and re-point
+        both the engine and the database at the evolved schema.  Applied
+        deltas stack; ``:edit undo`` applies the inverse of the newest.
+        """
+        if not args:
+            schema = self.engine.schema
+            return (
+                f"{len(self._edits)} edit(s) applied; schema has "
+                f"{schema.user_class_count} classes and "
+                f"{schema.relationship_count} relationships "
+                f"[fingerprint {schema.fingerprint()[:12]}]"
+            )
+        if args[0] == "undo":
+            if len(args) != 1:
+                return self._EDIT_USAGE
+            if not self._edits:
+                return "nothing to undo"
+            last = self._edits[-1]
+            failure = self._apply_delta(last.invert())
+            if failure is not None:
+                return failure
+            self._edits.pop()
+            return f"undid: {last.describe()}"
+        try:
+            delta = self._parse_edit(args[0], args[1:])
+        except ValueError as error:
+            return str(error)
+        failure = self._apply_delta(delta)
+        if failure is not None:
+            return failure
+        self._edits.append(delta)
+        return (
+            f"applied: {delta.describe()} "
+            f"[fingerprint {self.engine.schema.fingerprint()[:12]}]"
+        )
+
+    def _parse_edit(self, verb: str, rest: list[str]) -> SchemaDelta:
+        """Parse one ``:edit`` verb into a delta (``ValueError`` = usage)."""
+        schema = self.engine.schema
+        if verb == "add-class":
+            if len(rest) != 1:
+                raise ValueError(self._EDIT_USAGE)
+            return SchemaDelta.of(AddClass(rest[0]))
+        if verb == "remove-class":
+            if not rest or len(rest) > 2 or rest[1:] not in ([], ["cascade"]):
+                raise ValueError(self._EDIT_USAGE)
+            name = rest[0]
+            doc = schema.get_class(name).doc if schema.has_class(name) else ""
+            commands: list = []
+            if rest[1:] == ["cascade"]:
+                # A class removal is only well-formed once the class is
+                # isolated; cascade prepends the detaching removals.
+                commands.extend(
+                    RemoveRelationship(rel)
+                    for rel in schema.relationships()
+                    if name in (rel.source, rel.target)
+                )
+            commands.append(RemoveClass(name, doc=doc))
+            return SchemaDelta.of(*commands)
+        if verb == "add-rel":
+            if len(rest) not in (3, 4):
+                raise ValueError(self._EDIT_USAGE)
+            source, name, target = rest[:3]
+            symbol = rest[3] if len(rest) == 4 else "."
+            kind = KIND_BY_SYMBOL.get(symbol)
+            if kind is None:
+                raise ValueError(
+                    f"unknown relationship kind {symbol!r} "
+                    f"(expected one of {sorted(KIND_BY_SYMBOL)})"
+                )
+            return relationship_pair(source, target, kind, name=name)
+        if verb == "remove-rel":
+            if len(rest) != 2:
+                raise ValueError(self._EDIT_USAGE)
+            source, name = rest
+            matches = [
+                rel
+                for rel in (
+                    schema.relationships_from(source)
+                    if schema.has_class(source)
+                    else []
+                )
+                if rel.name == name
+            ]
+            if not matches:
+                raise ValueError(
+                    f"error: no relationship {name!r} out of {source!r}"
+                )
+            return SchemaDelta.of(RemoveRelationship(matches[0]))
+        if verb == "add-attr":
+            if len(rest) not in (2, 3):
+                raise ValueError(self._EDIT_USAGE)
+            source, name = rest[:2]
+            primitive = rest[2] if len(rest) == 3 else "C"
+            if primitive not in PRIMITIVE_CLASS_NAMES:
+                raise ValueError(
+                    f"error: attribute target must be a primitive class "
+                    f"{sorted(PRIMITIVE_CLASS_NAMES)}, got {primitive!r}"
+                )
+            return SchemaDelta.of(
+                AddRelationship(
+                    Relationship(
+                        source,
+                        primitive,
+                        RelationshipKind.IS_ASSOCIATED_WITH,
+                        name=name,
+                    )
+                )
+            )
+        if verb in ("add-isa", "remove-isa"):
+            if len(rest) != 2:
+                raise ValueError(self._EDIT_USAGE)
+            command_type = (
+                AddInheritanceEdge if verb == "add-isa" else RemoveInheritanceEdge
+            )
+            return SchemaDelta.of(command_type(rest[0], rest[1]))
+        raise ValueError(
+            f"unknown :edit verb {verb!r}\n{self._EDIT_USAGE}"
+        )
+
+    def _apply_delta(self, delta: SchemaDelta) -> str | None:
+        """Evolve the engine by ``delta``; return an error string on failure.
+
+        Runs under the session's metrics registry so the evolution's
+        counters (``delta.applied``, ``cache.selective_evictions``,
+        ``closure.incremental_repairs``) land in ``:metrics`` output.
+        On success the session's engine and database schema are re-pointed
+        at the evolved artifact and ``None`` is returned.
+        """
+        try:
+            with use_metrics(self.metrics):
+                engine = self.engine.evolved(delta)
+        except (ReproError, ValueError, KeyError) as error:
+            return f"error: {error}"
+        self.engine = engine
+        self.database.schema = engine.schema
+        return None

@@ -1,0 +1,241 @@
+"""Tests for CompiledSchema.evolve and the surgical completion cache.
+
+The byte-identity contract over random edit scripts lives in
+``test_delta_fuzz.py``; these are the targeted semantics: mode
+resolution, cache adoption along the eviction frontier, lineage,
+registry registration, and the evolve counters/spans.
+"""
+
+import pytest
+
+from repro.core.closure import SchemaClosure
+from repro.core.compiled import (
+    DELTA_MODES,
+    CompiledSchema,
+    compile_schema,
+    invalidate,
+    resolve_delta_mode,
+)
+from repro.core.engine import Disambiguator
+from repro.model.delta import (
+    AddClass,
+    AddRelationship,
+    RemoveClass,
+    SchemaDelta,
+    relationship_pair,
+)
+from repro.model.kinds import RelationshipKind
+from repro.model.relationships import Relationship
+from repro.model.schema import Schema
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracer import RecordingTracer, use_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    invalidate()
+    yield
+    invalidate()
+
+
+def build_schema():
+    """Two disconnected islands: person<->company and city (isolated)."""
+    s = Schema("evolve-test")
+    s.add_classes(["person", "company", "city"])
+    s.add_relationship(
+        "person", "company", RelationshipKind.IS_ASSOCIATED_WITH, name="employer"
+    )
+    s.add_attribute("person", "name")
+    s.add_attribute("city", "population", "I")
+    return s
+
+
+def module_delta():
+    """A module-local delta: new class wired only to itself/new edges."""
+    return SchemaDelta.of(
+        AddClass("lab"),
+        AddClass("lab_bench"),
+        relationship_pair(
+            "lab", "lab_bench", RelationshipKind.HAS_PART, name="benches"
+        ),
+    )
+
+
+class TestResolveDeltaMode:
+    def test_default_and_explicit(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DELTA", raising=False)
+        assert resolve_delta_mode(None) == "incremental"
+        for mode in DELTA_MODES:
+            assert resolve_delta_mode(mode) == mode
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DELTA", "rebuild")
+        assert resolve_delta_mode(None) == "rebuild"
+        assert resolve_delta_mode("incremental") == "incremental"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_delta_mode("sideways")
+
+
+class TestEvolveSemantics:
+    @pytest.mark.parametrize("mode", DELTA_MODES)
+    def test_original_artifact_untouched(self, mode):
+        compiled = compile_schema(build_schema())
+        before = compiled.fingerprint
+        evolved = compiled.evolve(SchemaDelta.of(AddClass("annex")), mode=mode)
+        assert compiled.fingerprint == before
+        assert not compiled.is_stale()
+        assert evolved is not compiled
+        assert evolved.schema.has_class("annex")
+        assert not compiled.schema.has_class("annex")
+
+    @pytest.mark.parametrize("mode", DELTA_MODES)
+    def test_lineage_chains(self, mode):
+        compiled = compile_schema(build_schema())
+        first = compiled.evolve(SchemaDelta.of(AddClass("a")), mode=mode)
+        second = first.evolve(SchemaDelta.of(AddClass("b")), mode=mode)
+        assert first.lineage == (compiled.fingerprint,)
+        assert second.lineage == (compiled.fingerprint, first.fingerprint)
+
+    def test_evolved_registers_in_registry(self):
+        compiled = compile_schema(build_schema())
+        evolved = compiled.evolve(SchemaDelta.of(AddClass("annex")))
+        assert compile_schema(evolved.schema.copy()) is evolved
+
+    def test_invalid_delta_leaves_no_trace(self):
+        compiled = compile_schema(build_schema())
+        # Removing a referenced class fails during apply; the artifact
+        # and registry are unchanged.
+        with pytest.raises(Exception):
+            compiled.evolve(SchemaDelta.of(RemoveClass("company")))
+        assert not compiled.is_stale()
+
+    def test_incremental_reuses_unchanged_pieces(self):
+        compiled = compile_schema(build_schema())
+        evolved = compiled.evolve(module_delta(), mode="incremental")
+        assert evolved.order is compiled.order
+        assert evolved.caution_sets is compiled.caution_sets
+        assert evolved.order_key == compiled.order_key
+        assert evolved.knowledge_key == compiled.knowledge_key
+
+    def test_isa_cycle_rejected_before_compiling(self):
+        schema = Schema("cycle")
+        schema.add_classes(["a", "b"])
+        schema.add_relationship("a", "b", RelationshipKind.ISA, add_inverse=False)
+        compiled = compile_schema(schema)
+        from repro.model.delta import AddInheritanceEdge
+
+        with pytest.raises(Exception):
+            compiled.evolve(SchemaDelta.of(AddInheritanceEdge("b", "a")))
+
+
+class TestSurgicalCacheAdoption:
+    def warm(self, compiled):
+        """Prime the cache with one completion per island root."""
+        engine = Disambiguator(compiled)
+        engine.complete("person ~ name")
+        engine.complete("city ~ population")
+        return engine
+
+    def test_module_local_delta_carries_everything(self):
+        compiled = compile_schema(build_schema())
+        self.warm(compiled)
+        baseline_hits = compiled.cache.hits
+        evolved = compiled.evolve(module_delta(), mode="incremental")
+        engine = Disambiguator(evolved)
+        warm_person = engine.complete("person ~ name")
+        warm_city = engine.complete("city ~ population")
+        assert evolved.cache.hits == 2  # both served from the carried cache
+        cold = compile_schema(
+            evolved.schema.copy(), cache_size=evolved.cache.maxsize
+        )
+        cold_engine = Disambiguator(cold)
+        assert [str(p) for p in warm_person.paths] == [
+            str(p) for p in cold_engine.complete("person ~ name").paths
+        ]
+        assert [str(p) for p in warm_city.paths] == [
+            str(p) for p in cold_engine.complete("city ~ population").paths
+        ]
+        assert compiled.cache.hits == baseline_hits  # old artifact untouched
+
+    def test_frontier_evicts_only_supported_roots(self):
+        compiled = compile_schema(build_schema())
+        self.warm(compiled)
+        # Wire a new class into the person<->company island: the
+        # frontier is {lab, person}, which meets person's support but
+        # not city's.
+        delta = SchemaDelta.of(
+            AddClass("lab"),
+            relationship_pair(
+                "lab", "person", RelationshipKind.IS_ASSOCIATED_WITH,
+                name="members",
+            ),
+        )
+        evolved = compiled.evolve(delta, mode="incremental")
+        engine = Disambiguator(evolved)
+        engine.complete("city ~ population")
+        assert evolved.cache.hits == 1  # city carried
+        engine.complete("person ~ name")
+        assert evolved.cache.misses >= 1  # person was evicted, re-searched
+
+    def test_eviction_counter_increments(self):
+        compiled = compile_schema(build_schema())
+        self.warm(compiled)
+        delta = SchemaDelta.of(
+            AddRelationship(
+                Relationship(
+                    "person", "city", RelationshipKind.IS_ASSOCIATED_WITH,
+                    name="home",
+                )
+            )
+        )
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            compiled.evolve(delta, mode="incremental")
+        summary = registry.as_dict()["counters"]
+        assert summary["delta.applied"] == 1.0
+        assert summary["cache.selective_evictions"] >= 1.0
+
+    def test_rebuild_mode_starts_cold(self):
+        compiled = compile_schema(build_schema())
+        self.warm(compiled)
+        evolved = compiled.evolve(module_delta(), mode="rebuild")
+        assert len(evolved.cache) == 0
+
+    def test_adopt_rekeys_fingerprint_prefix(self):
+        compiled = compile_schema(build_schema())
+        self.warm(compiled)
+        evolved = compiled.evolve(module_delta(), mode="incremental")
+        for key in evolved.cache._data:
+            assert key[0] == evolved.fingerprint
+
+
+class TestObservability:
+    def test_delta_apply_span_recorded(self):
+        compiled = compile_schema(build_schema())
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            compiled.evolve(SchemaDelta.of(AddClass("annex")))
+        rendered = tracer.render()
+        assert "delta_apply" in rendered
+
+    def test_incremental_repairs_counter(self):
+        compiled = compile_schema(build_schema())
+        # Force a reach matrix and a target table so the evolve has
+        # something to repair.
+        _ = compiled.closure.reach
+        from repro.core.target import RelationshipTarget
+
+        assert compiled.closure.tables_for(RelationshipTarget("name"))
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            compiled.evolve(module_delta(), mode="incremental")
+        counters = registry.as_dict()["counters"]
+        assert counters.get("closure.incremental_repairs", 0) >= 1.0
+
+
+@pytest.fixture(autouse=True)
+def clean_closure_cache():
+    yield
+    SchemaClosure.clear_cache()

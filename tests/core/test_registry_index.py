@@ -1,0 +1,85 @@
+"""Regression tests for the registry's fingerprint index (delta PR).
+
+The registry used to scan every entry on ``invalidate(schema)`` and let
+stale artifacts linger until the next full clear; the fingerprint index
+makes fingerprint-scoped operations O(matches) and ``compile_schema``
+evicts a stale hit eagerly on lookup.
+"""
+
+import pytest
+
+from repro.core import compiled as compiled_module
+from repro.core.compiled import compile_schema, invalidate, registry_size
+from repro.model.kinds import RelationshipKind
+from repro.model.schema import Schema
+from repro.algebra.order import DEFAULT_ORDER, flat_order
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    invalidate()
+    yield
+    invalidate()
+
+
+def build_schema(name="reg-index"):
+    s = Schema(name)
+    s.add_classes(["person", "company"])
+    s.add_relationship(
+        "person", "company", RelationshipKind.IS_ASSOCIATED_WITH, name="employer"
+    )
+    return s
+
+
+class TestFingerprintIndex:
+    def test_index_tracks_registrations(self):
+        schema = build_schema()
+        compiled = compile_schema(schema)
+        assert registry_size() == 1
+        assert compiled_module._REGISTRY_BY_FP[compiled.fingerprint] == {
+            compiled.key
+        }
+
+    def test_invalidate_by_schema_is_scoped(self):
+        schema = build_schema()
+        other = build_schema("other")
+        other.add_class("extra")
+        compile_schema(schema)
+        compile_schema(other)
+        assert invalidate(schema) == 1
+        assert registry_size() == 1
+        assert invalidate(schema) == 0  # already gone
+
+    def test_invalidate_drops_all_orders_sharing_a_fingerprint(self):
+        schema = build_schema()
+        compile_schema(schema, order=DEFAULT_ORDER)
+        compile_schema(schema, order=flat_order())
+        assert registry_size() == 2
+        assert invalidate(schema) == 2
+        assert registry_size() == 0
+        assert compiled_module._REGISTRY_BY_FP == {}
+
+    def test_full_invalidate_clears_index(self):
+        compile_schema(build_schema())
+        invalidate()
+        assert compiled_module._REGISTRY_BY_FP == {}
+        assert registry_size() == 0
+
+
+class TestEagerStaleEviction:
+    def test_stale_hit_is_evicted_on_lookup(self):
+        schema = build_schema()
+        stale = compile_schema(schema)
+        # Mutate the schema *behind* the registered artifact: the entry
+        # is now permanently unservable under its old key.
+        schema.add_class("mutation")
+        fresh_schema = build_schema()
+        fresh = compile_schema(fresh_schema)
+        assert fresh is not stale
+        # The stale artifact was evicted eagerly — exactly one live
+        # entry remains, and the index agrees with the registry.
+        assert registry_size() == 1
+        assert list(compiled_module._REGISTRY.values()) == [fresh]
+        assert compiled_module._REGISTRY_BY_FP == {
+            fresh.fingerprint: {fresh.key}
+        }

@@ -1,0 +1,206 @@
+"""Tests for the SchemaDelta command tree (repro.model.delta)."""
+
+import pytest
+
+from repro.errors import DeltaError, SchemaError, UnknownClassError
+from repro.model.builder import SchemaBuilder
+from repro.model.delta import (
+    AddClass,
+    AddInheritanceEdge,
+    AddRelationship,
+    RemoveClass,
+    RemoveInheritanceEdge,
+    RemoveRelationship,
+    SchemaDelta,
+    relationship_pair,
+)
+from repro.model.kinds import RelationshipKind
+from repro.model.relationships import Relationship
+from repro.model.schema import Schema
+
+
+@pytest.fixture()
+def schema():
+    s = Schema("delta-test")
+    s.add_classes(["person", "company", "city"])
+    s.add_relationship(
+        "person", "company", RelationshipKind.IS_ASSOCIATED_WITH, name="employer"
+    )
+    s.add_attribute("person", "name")
+    return s
+
+
+class TestCommands:
+    def test_add_class_applies_and_inverts(self, schema):
+        command = AddClass("country", doc="a nation")
+        command.apply_to(schema)
+        assert schema.has_class("country")
+        assert schema.get_class("country").doc == "a nation"
+        command.invert().apply_to(schema)
+        assert not schema.has_class("country")
+
+    def test_add_relationship_is_single_edge(self, schema):
+        rel = Relationship(
+            "person", "city", RelationshipKind.IS_ASSOCIATED_WITH, name="home"
+        )
+        AddRelationship(rel).apply_to(schema)
+        assert schema.get_relationship("person", "home").target == "city"
+        # No automatic inverse — that is relationship_pair's job.
+        assert not any(
+            r.name == "person" for r in schema.relationships_from("city")
+        )
+
+    def test_remove_relationship_refuses_content_drift(self, schema):
+        drifted = Relationship(
+            "person", "city", RelationshipKind.IS_ASSOCIATED_WITH, name="employer"
+        )
+        with pytest.raises(DeltaError):
+            RemoveRelationship(drifted).apply_to(schema)
+        # The schema is untouched on refusal.
+        assert schema.get_relationship("person", "employer").target == "company"
+
+    def test_remove_relationship_snapshot_roundtrips(self, schema):
+        rel = schema.get_relationship("person", "employer")
+        before = schema.fingerprint()
+        command = RemoveRelationship(rel)
+        command.apply_to(schema)
+        assert schema.fingerprint() != before
+        command.invert().apply_to(schema)
+        assert schema.fingerprint() == before
+
+    def test_inheritance_edge_commands(self, schema):
+        AddInheritanceEdge("person", "company").apply_to(schema)
+        stored = schema.get_relationship("person", "company")
+        assert stored.kind is RelationshipKind.ISA
+        RemoveInheritanceEdge("person", "company").apply_to(schema)
+        with pytest.raises(SchemaError):
+            schema.get_relationship("person", "company")
+
+    def test_remove_class_requires_isolation(self, schema):
+        with pytest.raises(SchemaError):
+            RemoveClass("person").apply_to(schema)
+        with pytest.raises(UnknownClassError):
+            RemoveClass("ghost").apply_to(schema)
+
+
+class TestSchemaDelta:
+    def test_of_flattens_deltas_and_commands(self):
+        inner = SchemaDelta.of(AddClass("a"), AddClass("b"))
+        outer = SchemaDelta.of(inner, AddClass("c"))
+        assert [c.name for c in outer] == ["a", "b", "c"]
+        with pytest.raises(TypeError):
+            SchemaDelta.of("not a command")
+
+    def test_invert_reverses_and_inverts(self, schema):
+        delta = SchemaDelta.of(
+            AddClass("lab"),
+            relationship_pair(
+                "lab", "person", RelationshipKind.IS_ASSOCIATED_WITH,
+                name="members",
+            ),
+        )
+        before = schema.fingerprint()
+        delta.apply_to(schema)
+        assert schema.fingerprint() != before
+        delta.invert().apply_to(schema)
+        assert schema.fingerprint() == before
+
+    def test_touched_classes_and_eviction_frontier(self):
+        delta = SchemaDelta.of(
+            AddClass("lab"),
+            AddRelationship(
+                Relationship(
+                    "lab", "person", RelationshipKind.IS_ASSOCIATED_WITH,
+                    name="members",
+                )
+            ),
+        )
+        assert delta.touched_classes() == frozenset({"lab", "person"})
+        # Only the *source* of the relationship command is in the
+        # eviction frontier; bare class adds contribute nothing.
+        assert delta.eviction_frontier() == frozenset({"lab"})
+
+    def test_describe_and_dunders(self):
+        empty = SchemaDelta()
+        assert empty.is_empty and not empty and len(empty) == 0
+        assert empty.describe() == "(empty delta)"
+        delta = SchemaDelta.of(AddClass("x"))
+        assert delta and len(delta) == 1
+        assert "add class x" in delta.describe()
+
+    def test_then_composes_sequentially(self, schema):
+        delta = SchemaDelta.of(AddClass("lab")).then(
+            AddInheritanceEdge("lab", "company")
+        )
+        delta.apply_to(schema)
+        assert schema.get_relationship("lab", "company").kind is (
+            RelationshipKind.ISA
+        )
+
+
+class TestDiff:
+    def test_diff_reconstructs_target_content(self, schema):
+        edited = schema.copy()
+        edited.add_class("country")
+        edited.add_relationship(
+            "city", "country", RelationshipKind.IS_PART_OF, name="nation"
+        )
+        edited.remove_attribute("person", "name")
+        delta = SchemaDelta.diff(schema, edited)
+        replayed = schema.copy()
+        delta.apply_to(replayed)
+        assert replayed.fingerprint() == edited.fingerprint()
+
+    def test_diff_orders_removals_before_class_removal(self, schema):
+        edited = schema.copy()
+        edited.remove_class("city")  # isolated, no cascade needed
+        delta = SchemaDelta.diff(schema, edited)
+        replayed = schema.copy()
+        delta.apply_to(replayed)
+        assert replayed.fingerprint() == edited.fingerprint()
+
+    def test_diff_retarget_becomes_remove_plus_add(self, schema):
+        edited = schema.copy()
+        edited.remove_relationship("person", "employer")
+        edited.add_relationship(
+            "person", "city", RelationshipKind.IS_ASSOCIATED_WITH,
+            name="employer", add_inverse=False,
+        )
+        delta = SchemaDelta.diff(schema, edited)
+        kinds = [type(c).__name__ for c in delta]
+        assert kinds.count("RemoveRelationship") == 1
+        assert kinds.count("AddRelationship") == 1
+        replayed = schema.copy()
+        delta.apply_to(replayed)
+        assert replayed.fingerprint() == edited.fingerprint()
+
+    def test_diff_renders_default_isa_as_inheritance_commands(self, schema):
+        edited = schema.copy()
+        edited.add_relationship(
+            "person", "company", RelationshipKind.ISA, add_inverse=False
+        )
+        delta = SchemaDelta.diff(schema, edited)
+        assert any(isinstance(c, AddInheritanceEdge) for c in delta)
+
+    def test_builder_diff_against(self):
+        base = Schema("scratch")
+        base.add_class("depot")
+        builder = SchemaBuilder("scratch")
+        builder.cls("depot")
+        builder.cls("warehouse")
+        delta = builder.diff_against(base)
+        assert [type(c).__name__ for c in delta] == ["AddClass"]
+        assert delta.commands[0].name == "warehouse"
+
+
+class TestRelationshipPair:
+    def test_pair_installs_both_directions(self, schema):
+        delta = relationship_pair(
+            "city", "company", RelationshipKind.IS_ASSOCIATED_WITH,
+            name="tenants",
+        )
+        assert len(delta) == 2
+        delta.apply_to(schema)
+        assert schema.get_relationship("city", "tenants").target == "company"
+        inverse = schema.get_relationship("company", "city")
+        assert inverse.target == "city"

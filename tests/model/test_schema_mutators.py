@@ -1,0 +1,110 @@
+"""Tests for Schema's removal mutators, copy(), and apply() (delta PR)."""
+
+import pytest
+
+from repro.errors import (
+    PrimitiveClassError,
+    SchemaError,
+    UnknownClassError,
+    UnknownRelationshipError,
+)
+from repro.model.delta import AddClass, SchemaDelta
+from repro.model.kinds import RelationshipKind
+from repro.model.schema import Schema
+
+
+@pytest.fixture()
+def schema():
+    s = Schema("mutators")
+    s.add_classes(["person", "company", "city"])
+    s.add_relationship(
+        "person", "company", RelationshipKind.IS_ASSOCIATED_WITH, name="employer"
+    )
+    s.add_attribute("person", "name")
+    return s
+
+
+class TestRemoveRelationship:
+    def test_removes_one_directed_edge(self, schema):
+        removed = schema.remove_relationship("person", "employer")
+        assert removed.target == "company"
+        with pytest.raises(UnknownRelationshipError):
+            schema.get_relationship("person", "employer")
+        # The auto-installed inverse stays — single-edge granularity.
+        assert schema.get_relationship("company", "person").target == "person"
+
+    def test_changes_fingerprint(self, schema):
+        before = schema.fingerprint()
+        schema.remove_relationship("person", "employer")
+        assert schema.fingerprint() != before
+
+    def test_unknown_relationship_raises(self, schema):
+        with pytest.raises(UnknownRelationshipError):
+            schema.remove_relationship("person", "ghost")
+
+
+class TestRemoveAttribute:
+    def test_removes_and_changes_fingerprint(self, schema):
+        before = schema.fingerprint()
+        schema.remove_attribute("person", "name")
+        assert schema.fingerprint() != before
+        with pytest.raises(UnknownRelationshipError):
+            schema.get_relationship("person", "name")
+
+    def test_refuses_non_attribute_relationship(self, schema):
+        # "employer" targets a user class, not a primitive.
+        with pytest.raises(SchemaError):
+            schema.remove_attribute("person", "employer")
+        assert schema.get_relationship("person", "employer")
+
+
+class TestRemoveClass:
+    def test_dangling_references_block_removal(self, schema):
+        with pytest.raises(SchemaError) as excinfo:
+            schema.remove_class("company")
+        # The error names the dangling relationships in both directions.
+        message = str(excinfo.value)
+        assert "employer" in message
+        assert schema.has_class("company")
+
+    def test_cascade_removes_incident_relationships(self, schema):
+        schema.remove_class("company", cascade=True)
+        assert not schema.has_class("company")
+        with pytest.raises(UnknownRelationshipError):
+            schema.get_relationship("person", "employer")
+
+    def test_isolated_class_removal_changes_fingerprint(self, schema):
+        before = schema.fingerprint()
+        schema.remove_class("city")
+        assert not schema.has_class("city")
+        assert schema.fingerprint() != before
+
+    def test_primitives_protected(self, schema):
+        with pytest.raises(PrimitiveClassError):
+            schema.remove_class("C")
+
+    def test_unknown_class_raises(self, schema):
+        with pytest.raises(UnknownClassError):
+            schema.remove_class("ghost")
+
+
+class TestCopyAndApply:
+    def test_copy_is_independent(self, schema):
+        clone = schema.copy()
+        assert clone.fingerprint() == schema.fingerprint()
+        clone.add_class("country")
+        clone.remove_relationship("person", "employer")
+        assert not schema.has_class("country")
+        assert schema.get_relationship("person", "employer")
+
+    def test_copy_preserves_declaration_order(self, schema):
+        clone = schema.copy()
+        assert [c.name for c in clone] == [c.name for c in schema]
+        assert [r.key for r in clone.relationships()] == [
+            r.key for r in schema.relationships()
+        ]
+
+    def test_apply_delegates_and_chains(self, schema):
+        result = schema.apply(SchemaDelta.of(AddClass("country")))
+        assert result is schema
+        assert schema.has_class("country")

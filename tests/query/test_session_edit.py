@@ -1,0 +1,146 @@
+"""Tests for the session's ``:edit`` command family (delta PR)."""
+
+import json
+
+import pytest
+
+from repro.model.instances import Database
+from repro.query.session import CompletionSession
+
+
+@pytest.fixture()
+def db(university):
+    db = Database(university)
+    bob = db.create("ta")
+    db.set_attribute(bob, "name", "bob")
+    return db
+
+
+@pytest.fixture()
+def session(db):
+    return CompletionSession(db)
+
+
+def edit(session, line):
+    interaction = session.ask(line)
+    assert interaction.is_command
+    return interaction.message
+
+
+class TestEditApply:
+    def test_add_class_evolves_engine_and_database(self, session, db):
+        before = session.engine.schema.fingerprint()
+        message = edit(session, ":edit add-class observatory")
+        assert message.startswith("applied: add class observatory")
+        assert "fingerprint" in message
+        assert session.engine.schema.has_class("observatory")
+        # The database now points at the evolved schema too.
+        assert db.schema is session.engine.schema
+        assert session.engine.schema.fingerprint() != before
+
+    def test_add_rel_installs_both_directions(self, session):
+        edit(session, ":edit add-class observatory")
+        message = edit(session, ":edit add-rel ta scopes observatory $>")
+        assert message.startswith("applied:")
+        schema = session.engine.schema
+        assert schema.get_relationship("ta", "scopes").target == "observatory"
+        assert schema.get_relationship("observatory", "ta").target == "ta"
+
+    def test_add_attr_defaults_to_character_primitive(self, session):
+        edit(session, ":edit add-attr course credits I")
+        rel = session.engine.schema.get_relationship("course", "credits")
+        assert rel.target == "I"
+        edit(session, ":edit add-attr course label")
+        assert session.engine.schema.get_relationship(
+            "course", "label"
+        ).target == "C"
+
+    def test_edits_are_queryable_immediately(self, session):
+        edit(session, ":edit add-attr ta nickname")
+        interaction = session.ask("ta ~ nickname")
+        assert not interaction.is_command
+        assert interaction.candidates  # the new attribute completes
+
+    def test_remove_class_cascade(self, session):
+        assert session.engine.schema.relationships_from("professor")
+        message = edit(session, ":edit remove-class professor cascade")
+        assert message.startswith("applied:")
+        schema = session.engine.schema
+        assert not schema.has_class("professor")
+        assert all(
+            "professor" not in (rel.source, rel.target)
+            for rel in schema.relationships()
+        )
+
+    def test_isa_edges(self, session):
+        edit(session, ":edit add-class postdoc")
+        message = edit(session, ":edit add-isa postdoc staff")
+        assert message.startswith("applied:")
+        assert edit(session, ":edit remove-isa postdoc staff").startswith(
+            "applied:"
+        )
+
+
+class TestEditStatusAndUndo:
+    def test_status_counts_edits(self, session):
+        schema = session.engine.schema
+        status = edit(session, ":edit")
+        assert status.startswith("0 edit(s) applied")
+        assert f"{schema.user_class_count} classes" in status
+        assert schema.fingerprint()[:12] in status
+        edit(session, ":edit add-class observatory")
+        assert edit(session, ":edit").startswith("1 edit(s) applied")
+
+    def test_undo_restores_fingerprint_and_pops_stack(self, session):
+        before = session.engine.schema.fingerprint()
+        edit(session, ":edit add-class observatory")
+        message = edit(session, ":edit undo")
+        assert message.startswith("undid: add class observatory")
+        assert session.engine.schema.fingerprint() == before
+        assert not session.engine.schema.has_class("observatory")
+        assert edit(session, ":edit undo") == "nothing to undo"
+
+    def test_undo_is_lifo(self, session):
+        edit(session, ":edit add-class alpha")
+        edit(session, ":edit add-class beta")
+        assert "beta" in edit(session, ":edit undo")
+        assert "alpha" in edit(session, ":edit undo")
+
+
+class TestEditErrors:
+    def test_failed_edit_leaves_session_untouched(self, session):
+        before = session.engine
+        # "course" is referenced by several relationships; a bare
+        # remove-class is rejected by the schema with the danglers named.
+        message = edit(session, ":edit remove-class course")
+        assert message.startswith("error:")
+        assert session.engine is before
+        assert not session._edits
+
+    def test_unknown_verb_shows_usage(self, session):
+        message = edit(session, ":edit frobnicate x")
+        assert "unknown :edit verb" in message
+        assert "usage: :edit" in message
+
+    def test_bad_arity_shows_usage(self, session):
+        assert edit(session, ":edit add-class").startswith("usage:")
+        assert edit(session, ":edit add-rel a b").startswith("usage:")
+
+    def test_unknown_kind_symbol(self, session):
+        message = edit(session, ":edit add-rel ta scopes course %%")
+        assert "unknown relationship kind" in message
+
+    def test_bad_attribute_primitive(self, session):
+        message = edit(session, ":edit add-attr ta nickname Z")
+        assert "must be a primitive class" in message
+
+    def test_remove_missing_relationship(self, session):
+        message = edit(session, ":edit remove-rel ta ghost")
+        assert message.startswith("error: no relationship")
+
+
+class TestEditObservability:
+    def test_evolution_counters_land_in_session_metrics(self, session):
+        edit(session, ":edit add-class observatory")
+        summary = json.loads(session.ask(":metrics").message)
+        assert summary["counters"]["delta.applied"] == 1
