@@ -380,6 +380,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     schema = _load_schema_arg(args)
+    if args.analyze:
+        # EXPLAIN ANALYZE: re-run the search cold under an audit log
+        # and print the decision tree plus the score decomposition.
+        from repro.core.audit import audit_completion
+
+        _, audit = audit_completion(
+            compile_schema(schema), args.query, e=args.e
+        )
+        print(audit.render())
+        if args.audit_out:
+            count = audit.write_jsonl(args.audit_out)
+            print(f"wrote {count} audit record(s) to {args.audit_out}")
+        return 0
+    if args.candidate is None:
+        print(
+            "error: a CANDIDATE is required unless --analyze is given",
+            file=sys.stderr,
+        )
+        return 2
     engine = Disambiguator(schema, e=args.e)
     explanation = engine.explain(args.query, args.candidate)
     print(f"[{explanation.verdict}]")
@@ -510,8 +529,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_schema_options(explain)
     explain.add_argument("query", help="incomplete expression, e.g. 'ta ~ name'")
-    explain.add_argument("candidate", help="complete candidate expression")
+    explain.add_argument(
+        "candidate",
+        nargs="?",
+        default=None,
+        help="complete candidate expression (omit with --analyze)",
+    )
     explain.add_argument("-e", type=int, default=1)
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE: audit the full search and print the "
+        "decision tree, cut totals, and per-edge score decomposition",
+    )
+    explain.add_argument(
+        "--audit-out",
+        metavar="FILE",
+        default=None,
+        help="with --analyze, also export the audit log as JSONL "
+        "(validates against audit_record.schema.json)",
+    )
     explain.set_defaults(handler=_cmd_explain)
 
     fox = subparsers.add_parser(

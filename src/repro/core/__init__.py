@@ -4,11 +4,20 @@ their disambiguation (Sections 2.2, 3, 4).
 Public surface: :class:`~repro.core.engine.Disambiguator` for everyday
 use, :class:`~repro.core.completion.CompletionSearch` (Algorithm 2) and
 :func:`~repro.core.algorithm1.traditional_path_computation` (Algorithm
-1) for direct access, plus the AST/parser and the exhaustive enumerator.
+1) for direct access, plus the AST/parser, the exhaustive enumerator,
+and the search audit log (:mod:`repro.core.audit` — EXPLAIN ANALYZE
+for disambiguation).
 """
 
 from repro.core.algorithm1 import Algorithm1Result, traditional_path_computation
 from repro.core.ast import ConcretePath, PathExpression, Step, TILDE
+from repro.core.audit import (
+    SearchAuditLog,
+    audit_completion,
+    diff_modes,
+    get_audit,
+    use_audit,
+)
 from repro.core.compiled import (
     CompiledSchema,
     CompletionCache,
@@ -66,18 +75,22 @@ __all__ = [
     "PathExpression",
     "RankedPath",
     "RelationshipTarget",
+    "SearchAuditLog",
     "Step",
     "TILDE",
     "Target",
     "TraversalStats",
     "apply_preemption",
+    "audit_completion",
     "compile_schema",
     "complete_general",
     "complete_paths",
     "invalidate",
     "count_consistent_paths",
+    "diff_modes",
     "enumerate_consistent_paths",
     "explain_candidate",
+    "get_audit",
     "format_candidates",
     "format_path",
     "format_path_verbose",
@@ -90,4 +103,5 @@ __all__ = [
     "target_for_expression",
     "tokenize",
     "traditional_path_computation",
+    "use_audit",
 ]

@@ -1,0 +1,13 @@
+"""``python -m repro.core.audit`` — the cross-mode diff CLI.
+
+A separate ``__main__`` module (rather than a guard in the package
+body) so the canonical :mod:`repro.core.audit` instance — whose
+ambient contextvar the search loops read — is the one that runs; a
+module executed directly under ``-m`` would otherwise be a second
+copy with its own, never-consulted, active-log variable.
+"""
+
+from repro.core.audit import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -229,6 +229,13 @@ class TargetTables:
         Per node, how many interior edges reachability pruning removed;
         charged to ``TraversalStats.nodes_pruned_reachability`` once per
         node entry (each entry would have considered each of them once).
+    ``reach_dropped``
+        Per node, the identities of those removed edges as ``(child,
+        connector index, edge)`` tuples — the search audit log
+        (:mod:`repro.core.audit`) emits one ``reachability`` cut record
+        per entry for each, so the cross-mode diff can account for
+        every edge the closure loop never even considered.  Always
+        ``len(reach_dropped[u]) == reach_pruned[u]``.
     ``dist``
         The raw pre-collapse state distances (node × composed connector
         × first connector).  Kept so :meth:`SchemaClosure.evolved` can
@@ -245,6 +252,7 @@ class TargetTables:
         "completing",
         "interior",
         "reach_pruned",
+        "reach_dropped",
         "dist",
     )
 
@@ -257,6 +265,7 @@ class TargetTables:
         interior: list[tuple],
         reach_pruned: list[int],
         dist: bytearray,
+        reach_dropped: list[tuple] | None = None,
     ) -> None:
         self.reach_mask = reach_mask
         self.rows = rows
@@ -264,6 +273,7 @@ class TargetTables:
         self.completing = completing
         self.interior = interior
         self.reach_pruned = reach_pruned
+        self.reach_dropped = [] if reach_dropped is None else reach_dropped
         self.dist = dist
 
 
@@ -838,7 +848,7 @@ class SchemaClosure:
         for name in self.nodes:
             comp: list[tuple] = []
             inter: list[tuple] = []
-            dropped = 0
+            dropped: list[tuple] = []
             for edge in self.graph.edges_from(name):
                 if is_completing(edge):
                     comp.append((edge, edge.target, edge.connector.index))
@@ -849,10 +859,13 @@ class SchemaClosure:
                             (edge.target, child_i, edge.connector.index, edge)
                         )
                     else:
-                        dropped += 1
+                        dropped.append(
+                            (edge.target, edge.connector.index, edge)
+                        )
             tables.completing.append(tuple(comp))
             tables.interior.append(tuple(inter))
-            tables.reach_pruned.append(dropped)
+            tables.reach_pruned.append(len(dropped))
+            tables.reach_dropped.append(tuple(dropped))
 
     @staticmethod
     def _collapse_node(

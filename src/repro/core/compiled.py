@@ -45,6 +45,7 @@ from collections.abc import Iterable
 
 from repro.algebra.caution import CautionSets
 from repro.algebra.order import DEFAULT_ORDER, PartialOrder
+from repro.core.audit import get_audit
 from repro.core.closure import SchemaClosure, resolve_pruning
 from repro.core.completion import CompletionResult, CompletionSearch
 from repro.core.domain import DomainKnowledge
@@ -123,6 +124,11 @@ class CompletionCache:
         self.hits = 0
         self.misses = 0
         self._data: OrderedDict[tuple, CompletionResult] = OrderedDict()
+        # Keys whose entries were carried across a schema delta by
+        # :meth:`adopt` rather than computed by a search on this
+        # artifact — the audit log's lineage provenance.  Kept in
+        # lockstep with ``_data`` under the same lock.
+        self._carried: set[tuple] = set()
         self._lock = threading.Lock()
 
     def get(self, key: tuple) -> CompletionResult | None:
@@ -150,12 +156,25 @@ class CompletionCache:
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
+            self._carried.discard(key)  # freshly computed on this artifact
             while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                evicted_key, _ = self._data.popitem(last=False)
+                self._carried.discard(evicted_key)
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            self._carried.clear()
+
+    def provenance(self, key: tuple) -> str:
+        """How this artifact's cache came to hold ``key``.
+
+        ``"carried"`` when the entry survived a schema delta through
+        :meth:`adopt`'s support-set check; ``"computed"`` when a search
+        on this artifact produced it.  Only meaningful for keys
+        currently cached (the audit log asks right after a hit).
+        """
+        return "carried" if key in self._carried else "computed"
 
     def adopt(
         self,
@@ -193,12 +212,15 @@ class CompletionCache:
                     and key
                     and key[0] == old_fingerprint
                 ):
-                    self._data[(new_fingerprint,) + key[1:]] = value
+                    new_key = (new_fingerprint,) + key[1:]
+                    self._data[new_key] = value
+                    self._carried.add(new_key)
                     carried += 1
                 else:
                     evicted += 1
             while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                evicted_key, _ = self._data.popitem(last=False)
+                self._carried.discard(evicted_key)
         return carried, evicted
 
     def __len__(self) -> int:
@@ -511,6 +533,19 @@ class CompiledSchema:
         with get_tracer().span("cache_lookup", expression=text) as lookup:
             cached = self.cache.get(key)
             lookup.set(hit=cached is not None)
+        audit = get_audit()
+        if audit.enabled:
+            audit.record(
+                "cache",
+                scope="simple",
+                query=text,
+                outcome="hit" if cached is not None else "miss",
+                fingerprint=self.fingerprint[:12],
+                lineage_depth=len(self.lineage),
+                provenance=(
+                    self.cache.provenance(key) if cached is not None else None
+                ),
+            )
         if cached is not None:
             get_metrics().record_cache(hit=True)
             return cached

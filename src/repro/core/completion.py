@@ -28,9 +28,11 @@ import time
 
 from repro.algebra.agg import Aggregator
 from repro.algebra.caution import CautionSets
+from repro.algebra.connectors import ALL_CONNECTORS
 from repro.algebra.labels import IDENTITY_LABEL, PathLabel
 from repro.algebra.order import DEFAULT_ORDER, PartialOrder
 from repro.core.ast import ConcretePath
+from repro.core.audit import get_audit, record_scores
 from repro.core.closure import (
     _CONI,
     _LAST_CLASS_BY_INDEX,
@@ -320,6 +322,15 @@ class CompletionSearch:
             if self.closure is not None
             else None
         )
+        audit = get_audit()
+        if audit.enabled:
+            audit.record(
+                "search",
+                root=root,
+                target=target.describe(),
+                e=self.aggregator.e,
+                pruning=self.pruning if tables is not None else "none",
+            )
         with get_tracer().span(
             "traverse",
             root=root,
@@ -357,6 +368,10 @@ class CompletionSearch:
         if reason is not None:
             stats.budget_trips += 1
             get_metrics().counter("budget.trips").inc()
+        if audit.enabled:
+            if reason is not None:
+                audit.record("budget_trip", reason=reason)
+            record_scores(audit, paths)
         result = CompletionResult(
             root=root,
             target_description=target.describe(),
@@ -474,6 +489,12 @@ class CompletionSearch:
         caution = self.caution
         max_depth = self.max_depth
         complete = state.complete
+        # One hoisted flag guards every audit hook: the disabled default
+        # costs a boolean test per decision site and the traversal is
+        # byte-identical either way (asserted in tests/core/test_audit.py).
+        audit = get_audit()
+        audit_on = audit.enabled
+        audit_record = audit.record
 
         stack: list[tuple[str, PathLabel, ConcretePath, int]] = []
         stack_append = stack.append
@@ -483,6 +504,15 @@ class CompletionSearch:
             # completing edges out of this node, run update(paths).
             visited.add(node)
             stats.recursive_calls += 1
+            if audit_on:
+                audit_record(
+                    "expand",
+                    node=node,
+                    depth=path.length,
+                    edge=path.edges[-1].name if path.edges else None,
+                    label=str(label),
+                    length=label.semantic_length,
+                )
             if meter is not None:
                 reason = meter.tripped(
                     stats.recursive_calls, len(complete), len(stack)
@@ -498,9 +528,21 @@ class CompletionSearch:
                 state.best_target = aggregate(
                     [candidate, *state.best_target]
                 )
-                if keeps(candidate, state.best_target):
+                kept = keeps(candidate, state.best_target)
+                if kept:
                     complete.append(path.extend(edge))
                     stats.complete_paths_found += 1
+                if audit_on:
+                    audit_record(
+                        "complete",
+                        node=node,
+                        depth=path.length,
+                        edge=edge.name,
+                        path=str(path.extend(edge)),
+                        label=str(candidate),
+                        length=candidate.semantic_length,
+                        kept=kept,
+                    )
             stack_append((node, label, path, 0))
 
         enter(root, root_label, root_path)
@@ -518,15 +560,45 @@ class CompletionSearch:
                 stats.edges_considered += 1
                 if child in visited:
                     stats.pruned_visited += 1
+                    if audit_on:
+                        audit_record(
+                            "cut",
+                            rule="visited",
+                            node=node,
+                            depth=path.length,
+                            edge=edge.name,
+                            child=child,
+                            caution=False,
+                        )
                     continue
                 if not edges_from(child) and not _can_complete_at(
                     graph, child, target
                 ):
+                    if audit_on:
+                        audit_record(
+                            "cut",
+                            rule="dead_end",
+                            node=node,
+                            depth=path.length,
+                            edge=edge.name,
+                            child=child,
+                            caution=False,
+                        )
                     continue  # dead end (e.g. primitive class)
                 if (
                     max_depth is not None
                     and path.length + 1 >= max_depth
                 ):
+                    if audit_on:
+                        audit_record(
+                            "cut",
+                            rule="max_depth",
+                            node=node,
+                            depth=path.length,
+                            edge=edge.name,
+                            child=child,
+                            caution=False,
+                        )
                     continue
                 child_label = label.extend(edge.connector)
                 # Line 9: bound against the best complete labels so far.
@@ -534,6 +606,19 @@ class CompletionSearch:
                     child_label, state.best_target
                 ):
                     stats.pruned_target_bound += 1
+                    if audit_on:
+                        audit_record(
+                            "cut",
+                            rule="target_bound",
+                            node=node,
+                            depth=path.length,
+                            edge=edge.name,
+                            child=child,
+                            label=str(child_label),
+                            length=child_label.semantic_length,
+                            frontier=[str(k) for k in state.best_target],
+                            caution=False,
+                        )
                     continue
                 # Lines 10-11: bound against best[u], rescued by caution.
                 child_best = best_get(child, [])
@@ -542,8 +627,31 @@ class CompletionSearch:
                         child_label, child_best
                     ):
                         stats.rescued_by_caution += 1
+                        if audit_on:
+                            audit_record(
+                                "rescue",
+                                rule="best_bound",
+                                node=node,
+                                depth=path.length,
+                                edge=edge.name,
+                                child=child,
+                                label=str(child_label),
+                            )
                     else:
                         stats.pruned_best_bound += 1
+                        if audit_on:
+                            audit_record(
+                                "cut",
+                                rule="best_bound",
+                                node=node,
+                                depth=path.length,
+                                edge=edge.name,
+                                child=child,
+                                label=str(child_label),
+                                length=child_label.semantic_length,
+                                frontier=[str(k) for k in child_best],
+                                caution=False,
+                            )
                         continue
                 # Line 12: best[u] := AGG*({l_u} ∪ best[u]).
                 best[child] = aggregate(
@@ -621,6 +729,14 @@ class CompletionSearch:
         concrete_path = ConcretePath
         ext_rows = self._ext_rows
         ext_rows_get = ext_rows.get
+        # Guarded audit hooks, as in the reference loop; the closure
+        # loop additionally surfaces the table-build reachability drops
+        # and the exact bound-vs-cutoff arithmetic of every cut.
+        audit = get_audit()
+        audit_on = audit.enabled
+        audit_record = audit.record
+        reach_dropped = tables.reach_dropped
+        all_connectors = ALL_CONNECTORS
 
         def ext_row(label: PathLabel) -> list:
             # The interned extension row of ``label``: row[c] is
@@ -656,6 +772,27 @@ class CompletionSearch:
             visited.add(node)
             stats.recursive_calls += 1
             stats.nodes_pruned_reachability += reach_pruned[node_i]
+            if audit_on:
+                audit_record(
+                    "expand",
+                    node=node,
+                    depth=path.length,
+                    edge=path.edges[-1].name if path.edges else None,
+                    label=str(label),
+                    length=label.semantic_length,
+                )
+                # The edges reachability pruning removed at table build;
+                # surfaced per entry, mirroring the stats charge above.
+                for dropped_child, _, dropped_edge in reach_dropped[node_i]:
+                    audit_record(
+                        "cut",
+                        rule="reachability",
+                        node=node,
+                        depth=path.length,
+                        edge=dropped_edge.name,
+                        child=dropped_child,
+                        caution=False,
+                    )
             if meter is not None:
                 reason = meter.tripped(
                     stats.recursive_calls, len(complete), len(stack)
@@ -670,7 +807,8 @@ class CompletionSearch:
                 if candidate is None:
                     candidate = exts[connector_i] = label.extend(edge.connector)
                 state.best_target = merge(candidate, state.best_target)
-                if keeps(candidate, state.best_target):
+                kept = keeps(candidate, state.best_target)
+                if kept:
                     # Direct construction: the frame invariant guarantees
                     # the edge chains, so extend()'s validation is
                     # redundant here.
@@ -680,6 +818,22 @@ class CompletionSearch:
                     object.__setattr__(complete_path, "_label", candidate)
                     complete.append(complete_path)
                     stats.complete_paths_found += 1
+                if audit_on:
+                    audited = (
+                        complete[-1]
+                        if kept
+                        else concrete_path(path.root, path.edges + (edge,))
+                    )
+                    audit_record(
+                        "complete",
+                        node=node,
+                        depth=path.length,
+                        edge=edge.name,
+                        path=str(audited),
+                        label=str(candidate),
+                        length=candidate.semantic_length,
+                        kept=kept,
+                    )
             stack_append((node, node_i, label, exts, path, 0))
 
         enter(root, node_index[root], root_label, root_path)
@@ -694,11 +848,31 @@ class CompletionSearch:
                 stats.edges_considered += 1
                 if child in visited:
                     stats.pruned_visited += 1
+                    if audit_on:
+                        audit_record(
+                            "cut",
+                            rule="visited",
+                            node=node,
+                            depth=path.length,
+                            edge=edge.name,
+                            child=child,
+                            caution=False,
+                        )
                     continue
                 if (
                     max_depth is not None
                     and path.length + 1 >= max_depth
                 ):
+                    if audit_on:
+                        audit_record(
+                            "cut",
+                            rule="max_depth",
+                            node=node,
+                            depth=path.length,
+                            edge=edge.name,
+                            child=child,
+                            caution=False,
+                        )
                     continue
                 child_label = exts[connector_i]
                 if child_label is None:
@@ -724,6 +898,19 @@ class CompletionSearch:
                     # Line 9, via the cutoff table.
                     if child_length > cutoffs[child_connector_i]:
                         stats.pruned_target_bound += 1
+                        if audit_on:
+                            audit_record(
+                                "cut",
+                                rule="target_bound",
+                                node=node,
+                                depth=path.length,
+                                edge=edge.name,
+                                child=child,
+                                label=str(child_label),
+                                length=child_length,
+                                cutoff=cutoffs[child_connector_i],
+                                caution=False,
+                            )
                         continue
                 # Lines 10-11: bound against best[u], rescued by caution.
                 # best[u] is (connector bitmask, AGG*-reduced triples).
@@ -760,8 +947,38 @@ class CompletionSearch:
                                 & caution_masks[child_connector_i]
                             ):
                                 stats.rescued_by_caution += 1
+                                if audit_on:
+                                    audit_record(
+                                        "rescue",
+                                        rule="best_bound",
+                                        node=node,
+                                        depth=path.length,
+                                        edge=edge.name,
+                                        child=child,
+                                        label=str(child_label),
+                                    )
                             else:
                                 stats.pruned_best_bound += 1
+                                if audit_on:
+                                    audit_record(
+                                        "cut",
+                                        rule="best_bound",
+                                        node=node,
+                                        depth=path.length,
+                                        edge=edge.name,
+                                        child=child,
+                                        label=str(child_label),
+                                        length=child_length,
+                                        frontier=[
+                                            "[%s,%d]"
+                                            % (
+                                                all_connectors[ci].symbol,
+                                                known_length,
+                                            )
+                                            for known_length, _, ci in triples
+                                        ],
+                                        caution=False,
+                                    )
                                 continue
                         # Line 12: best[u] := AGG*({l_u} ∪ best[u]).  The
                         # candidate passes the connector filter too: a
@@ -818,6 +1035,16 @@ class CompletionSearch:
                             and best_target_mask & caution_masks[composed_i]
                         ):
                             survives = True  # caution exemption
+                            if audit_on:
+                                audit_record(
+                                    "rescue",
+                                    rule="label_bound",
+                                    node=node,
+                                    depth=path.length,
+                                    edge=edge.name,
+                                    child=child,
+                                    label=str(child_label),
+                                )
                             break
                         if (
                             prefix_length + row[base + suffix_ci]
@@ -827,6 +1054,31 @@ class CompletionSearch:
                             break
                     if not survives:
                         stats.nodes_pruned_bound += 1
+                        if audit_on:
+                            audit_record(
+                                "cut",
+                                rule="label_bound",
+                                node=node,
+                                depth=path.length,
+                                edge=edge.name,
+                                child=child,
+                                label=str(child_label),
+                                length=child_length,
+                                bounds=[
+                                    {
+                                        "connector": all_connectors[
+                                            composed_row[suffix_ci]
+                                        ].symbol,
+                                        "bound": prefix_length
+                                        + row[base + suffix_ci],
+                                        "cutoff": cutoffs[
+                                            composed_row[suffix_ci]
+                                        ],
+                                    }
+                                    for suffix_ci in conns[child_i]
+                                ],
+                                caution=False,
+                            )
                         continue
                 # Line 13: recurse — push the parent frame back with its
                 # position, then enter the child.
@@ -847,7 +1099,16 @@ class CompletionSearch:
         """Filter recorded complete paths to the AGG*-optimal set and
         apply the Inheritance Semantics Criterion."""
         complete = state.complete
+        audit = get_audit()
         if not complete:
+            if audit.enabled:
+                audit.record(
+                    "agg_select",
+                    candidates=0,
+                    optimal_labels=0,
+                    survivors=0,
+                    preempted=0,
+                )
             return []
         tracer = get_tracer()
         with tracer.span("agg_select", candidates=len(complete)) as span:
@@ -880,6 +1141,14 @@ class CompletionSearch:
                     p.length,
                     str(p),
                 )
+            )
+        if audit.enabled:
+            audit.record(
+                "agg_select",
+                candidates=len(complete),
+                optimal_labels=len(optimal_labels),
+                survivors=len(survivors),
+                preempted=state.stats.preempted_paths,
             )
         return survivors
 

@@ -29,6 +29,7 @@ import dataclasses
 
 from repro.algebra.order import PartialOrder
 from repro.core.ast import ConcretePath, PathExpression
+from repro.core.audit import get_audit
 from repro.core.closure import resolve_pruning
 from repro.core.compiled import CompiledSchema, compile_schema
 from repro.core.completion import CompletionResult
@@ -213,7 +214,9 @@ class Disambiguator:
         # span tree (installing a private tracer when none is ambient),
         # elapsed time, and budget outcome; nested observations (e.g.
         # inside a session ask) no-op so the outermost owns the query.
-        with slowlog.observe("complete", str(expression), e=self.e) as obs:
+        with slowlog.observe(
+            "complete", str(expression), e=self.e, pruning=self.pruning
+        ) as obs:
             result = self._complete_impl(expression, budget)
             obs.record_result(result)
             return result
@@ -235,6 +238,9 @@ class Disambiguator:
                 expression = parse_path_expression(expression)
             key = self._cache_key(str(expression))
             cached = self.compiled.cache.get(key)
+            audit = get_audit()
+            if audit.enabled:
+                self._audit_cache(audit, str(expression), cached, key)
             if cached is not None:
                 get_metrics().record_completion(cached.stats, cached=True)
                 return cached
@@ -254,6 +260,9 @@ class Disambiguator:
             with tracer.span("cache_lookup") as lookup:
                 cached = self.compiled.cache.get(key)
                 lookup.set(hit=cached is not None)
+            audit = get_audit()
+            if audit.enabled:
+                self._audit_cache(audit, str(expression), cached, key)
             if cached is not None:
                 span.set(cache="hit")
                 get_metrics().record_completion(cached.stats, cached=True)
@@ -330,6 +339,11 @@ class Disambiguator:
             with tracer.span("cache_lookup") as lookup:
                 cached = self.compiled.cache.get(key)
                 lookup.set(hit=cached is not None)
+            audit = get_audit()
+            if audit.enabled:
+                self._audit_cache(
+                    audit, f"class:{root}->{target_class}", cached, key
+                )
             if cached is not None:
                 span.set(cache="hit")
                 get_metrics().record_completion(cached.stats, cached=True)
@@ -418,6 +432,22 @@ class Disambiguator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _audit_cache(self, audit, query: str, cached, key: tuple) -> None:
+        """One ``cache`` audit record with lineage provenance."""
+        audit.record(
+            "cache",
+            scope="complete",
+            query=query,
+            outcome="hit" if cached is not None else "miss",
+            fingerprint=self.compiled.fingerprint[:12],
+            lineage_depth=len(self.compiled.lineage),
+            provenance=(
+                self.compiled.cache.provenance(key)
+                if cached is not None
+                else None
+            ),
+        )
 
     def _cache_key(self, text: str) -> tuple:
         return self.compiled.cache_key(

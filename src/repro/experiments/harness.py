@@ -135,7 +135,7 @@ def run_workload(
             # "experiment"): nested engine observations no-op, so a
             # retained entry covers the retry loop end to end.
             with get_slowlog().observe(
-                "experiment", query.text, e=e
+                "experiment", query.text, e=e, pruning=engine.pruning
             ) as observation:
                 for attempt in range(retries + 1):
                     try:

@@ -8,7 +8,10 @@
 * the Section 5.3 in-text statistics,
 * the worked examples of Sections 1-2 on the university schema,
 * ablations A1 (order variants), A2 (caution sets), A4 (vs exhaustive),
-* the designer session (schema deltas vs rebuild-per-edit).
+* the designer session (schema deltas vs rebuild-per-edit),
+* the search-audit check: every closure-loop divergence from the
+  reference loop is an admissible cut, and every ranked completion's
+  per-edge score decomposition re-sums to its semantic length.
 
 A full run takes a few minutes (Figure 7 at E=5 dominates); pass
 ``--quick`` to sweep E only to 3 and reuse it for Figure 7.
@@ -356,6 +359,44 @@ def _run_all_inner(
         print(render_designer_session(incremental, rebuild), file=out)
 
     guarded("designer session", _designer)
+
+    print(
+        _banner("Search audit: closure cuts vs reference, score re-sum"),
+        file=out,
+    )
+
+    def _audit():
+        from repro.core.audit import decompose_path, diff_modes
+
+        queries = [query.text for query in oracle]
+        if quick:
+            queries = queries[:3]
+        all_ok = True
+        for text in queries:
+            diff = diff_modes(schema, text, e=1)
+            all_ok = all_ok and diff.ok
+            print(diff.render(), file=out)
+        # Every ranked completion's per-edge deltas must telescope to
+        # its reported semantic length (decompose_path raises if not).
+        billed = 0
+        for text in queries:
+            result = compiled.complete_simple(
+                *(part.strip() for part in text.split("~")), e=1
+            )
+            for path in result.paths:
+                decompose_path(path)
+                billed += 1
+        print(
+            f"score decomposition re-sums exactly for {billed} ranked "
+            f"completion(s) across {len(queries)} queries",
+            file=out,
+        )
+        if not all_ok:
+            failures.append(
+                ("search audit", "unexplained reference/closure divergence")
+            )
+
+    guarded("search audit", _audit)
 
     print(_banner("Failures"), file=out)
     if failures:

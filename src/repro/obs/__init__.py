@@ -54,12 +54,14 @@ from repro.obs.schema import (
     SchemaValidationError,
     load_builtin_schema,
     validate,
+    validate_audit_records,
     validate_bench_records,
     validate_metrics_summary,
     validate_slowlog_entries,
     validate_trace_events,
 )
 from repro.obs.slowlog import (
+    SLOWLOG_VERSION,
     NullSlowQueryLog,
     SlowLogEntry,
     SlowQueryLog,
@@ -105,6 +107,7 @@ __all__ = [
     "NullSlowQueryLog",
     "NullTracer",
     "RecordingTracer",
+    "SLOWLOG_VERSION",
     "SUMMARY_VERSION",
     "SchemaValidationError",
     "SlowLogEntry",
@@ -125,6 +128,7 @@ __all__ = [
     "use_slowlog",
     "use_tracer",
     "validate",
+    "validate_audit_records",
     "validate_bench_records",
     "validate_metrics_summary",
     "validate_slowlog_entries",

@@ -30,6 +30,7 @@ __all__ = [
     "SchemaValidationError",
     "load_builtin_schema",
     "validate",
+    "validate_audit_records",
     "validate_bench_records",
     "validate_metrics_summary",
     "validate_slowlog_entries",
@@ -179,6 +180,82 @@ def validate_slowlog_entries(records: list) -> None:
                                 f"$[{index}].spans[{at}]: "
                                 f"{span.get('type')} record missing {key!r}"
                             )
+    if problems:
+        raise SchemaValidationError(problems)
+
+
+#: Fields each audit-record kind must carry beyond the shared
+#: ``seq``/``kind`` (the schema subset has no ``oneOf``, so the
+#: discriminated union lives here, like ``_RECORD_REQUIRED`` above).
+_AUDIT_REQUIRED = {
+    "search": ("root", "target", "e", "pruning"),
+    "expand": ("node", "depth", "edge", "label", "length"),
+    "cut": ("rule", "node", "depth", "edge", "child", "caution"),
+    "rescue": ("rule", "node", "depth", "edge", "child", "label"),
+    "complete": ("node", "depth", "edge", "path", "label", "length", "kept"),
+    "cache": (
+        "scope",
+        "query",
+        "outcome",
+        "fingerprint",
+        "lineage_depth",
+        "provenance",
+    ),
+    "budget_trip": ("reason",),
+    "agg_select": ("candidates", "optimal_labels", "survivors", "preempted"),
+    "score": ("rank", "path", "label", "total", "steps"),
+}
+
+#: Evidence each cut rule must attach so ``audit diff`` can check
+#: admissibility from the record alone.
+_CUT_EVIDENCE = {
+    "label_bound": ("bounds",),
+    "best_bound": ("frontier",),
+}
+
+
+def validate_audit_records(records: list) -> None:
+    """Validate a parsed JSON-lines search audit log.
+
+    Beyond ``audit_record.schema.json`` this enforces the cross-field
+    rules the schema subset cannot express: per-kind required fields,
+    the evidence a ``label_bound``/``best_bound`` cut must attach, and
+    that every ``score`` record's per-edge deltas telescope to its
+    reported total — the decomposition is only a trustworthy bill if it
+    re-sums.
+    """
+    schema = load_builtin_schema("audit_record")
+    problems: list[str] = []
+    for index, record in enumerate(records):
+        problems.extend(validate(record, schema, path=f"$[{index}]"))
+        if not isinstance(record, dict):
+            continue
+        kind = record.get("kind")
+        for key in _AUDIT_REQUIRED.get(kind, ()):
+            if key not in record:
+                problems.append(
+                    f"$[{index}]: {kind} record missing {key!r}"
+                )
+        if kind == "cut":
+            for key in _CUT_EVIDENCE.get(record.get("rule"), ()):
+                if key not in record:
+                    problems.append(
+                        f"$[{index}]: {record.get('rule')} cut missing "
+                        f"its {key!r} evidence"
+                    )
+        if kind == "score" and isinstance(record.get("steps"), list):
+            deltas = [
+                step.get("delta")
+                for step in record["steps"]
+                if isinstance(step, dict)
+            ]
+            if all(isinstance(delta, int) for delta in deltas) and sum(
+                deltas
+            ) != record.get("total"):
+                problems.append(
+                    f"$[{index}]: score deltas sum to {sum(deltas)}, "
+                    f"not the reported total {record.get('total')!r}"
+                )
     if problems:
         raise SchemaValidationError(problems)
 

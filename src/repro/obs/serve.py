@@ -15,7 +15,11 @@ Endpoints:
 
 * ``GET /metrics`` — the registry in Prometheus text exposition format
   (``Content-Type: text/plain; version=0.0.4``);
-* ``GET /healthz`` — liveness (``ok``).
+* ``GET /healthz`` — liveness plus occupancy as JSON: how many
+  compiled artifacts the process-wide registry holds, each one's
+  fingerprint prefix, evolution-lineage depth, and completion-cache
+  counters.  A healthy-but-bloated process (runaway schema evolution,
+  a cache that never hits) is visible from one curl.
 
 The server is a daemon-threaded ``ThreadingHTTPServer``: scrapes never
 block the pipeline, and the pipeline never blocks scrapes (the registry
@@ -31,6 +35,7 @@ is internally locked).  Library users embed it directly::
 from __future__ import annotations
 
 import argparse
+import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -38,7 +43,42 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry, use_metrics
 from repro.obs.promtext import render_prometheus
 
-__all__ = ["MetricsServer", "main"]
+__all__ = ["MetricsServer", "health_snapshot", "main"]
+
+
+def health_snapshot() -> dict:
+    """The ``/healthz`` payload: liveness plus registry occupancy.
+
+    Reads the process-wide compiled-artifact registry (imported lazily
+    so the server module stays importable without pulling in the whole
+    core) and reports, per artifact, the fingerprint prefix, how many
+    evolution steps produced it, and its completion cache's counters.
+    """
+    from repro.core.compiled import registered_artifacts
+
+    artifacts = []
+    for compiled in registered_artifacts():
+        artifacts.append(
+            {
+                "fingerprint": compiled.fingerprint[:12],
+                "lineage_depth": len(compiled.lineage),
+                "completion_cache": compiled.cache.info(),
+            }
+        )
+    artifacts.sort(key=lambda entry: entry["fingerprint"])
+    return {
+        "status": "ok",
+        "registry": {
+            "artifacts": len(artifacts),
+            "max_lineage_depth": max(
+                (entry["lineage_depth"] for entry in artifacts), default=0
+            ),
+            "cached_completions": sum(
+                entry["completion_cache"]["size"] for entry in artifacts
+            ),
+            "entries": artifacts,
+        },
+    }
 
 
 class _ScrapeHandler(BaseHTTPRequestHandler):
@@ -55,13 +95,18 @@ class _ScrapeHandler(BaseHTTPRequestHandler):
             ).encode("utf-8")
             self._reply(200, body)
         elif self.path.split("?")[0] == "/healthz":
-            self._reply(200, b"ok\n")
+            body = (
+                json.dumps(health_snapshot(), sort_keys=True) + "\n"
+            ).encode("utf-8")
+            self._reply(200, body, content_type="application/json")
         else:
             self._reply(404, b"not found (try /metrics)\n")
 
-    def _reply(self, status: int, body: bytes) -> None:
+    def _reply(
+        self, status: int, body: bytes, content_type: str | None = None
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", self.CONTENT_TYPE)
+        self.send_header("Content-Type", content_type or self.CONTENT_TYPE)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

@@ -19,9 +19,14 @@ Everything else is dropped on the floor, so memory stays bounded by
 much traffic flows through.
 
 Each retained :class:`SlowLogEntry` carries the query text, E, the
+active ``pruning`` and ``delta`` modes (a slow query under
+``pruning=none`` is expected; the same query slow under ``closure`` is
+a regression — the log must say which one you are looking at), the
 budget outcome (``exhausted``/``truncation_reason``/``error``), the
-traversal stats, and the full trace-event subtree; exports validate
-against the checked-in ``slowlog_entry.schema.json``.
+traversal stats, and the full trace-event subtree; exports carry
+``version``  :data:`SLOWLOG_VERSION` and validate against the
+checked-in ``slowlog_entry.schema.json``, which rejects records from
+older versions that never recorded the modes.
 
 Like the tracer and metrics registry, the ambient default
 (:func:`get_slowlog`) is a shared no-op whose :attr:`enabled` flag the
@@ -47,15 +52,35 @@ from repro.obs.tracer import RecordingTracer, get_tracer, use_tracer
 __all__ = [
     "NullSlowQueryLog",
     "Observation",
+    "SLOWLOG_VERSION",
     "SlowLogEntry",
     "SlowQueryLog",
     "get_slowlog",
     "use_slowlog",
 ]
 
+#: Record format version stamped on every exported entry.  Version 1
+#: never recorded the active pruning/delta modes, which made slow-query
+#: triage ambiguous (was that 40ms search running the closure cuts or
+#: the reference loop?); version 2 adds both and the schema rejects v1.
+SLOWLOG_VERSION = 2
+
 #: Reasons an entry was retained.
 RETAINED_THRESHOLD = "threshold"
 RETAINED_TOP_K = "top_k"
+
+
+def _ambient_modes() -> tuple[str, str]:
+    """The process-wide pruning/delta modes (env override or default).
+
+    Imported lazily: ``repro.core`` imports this module for its entry-
+    point hooks, so a module-level import back into ``repro.core``
+    would be circular.
+    """
+    from repro.core.closure import resolve_pruning
+    from repro.core.compiled import resolve_delta_mode
+
+    return resolve_pruning(None), resolve_delta_mode(None)
 
 
 class SlowLogEntry:
@@ -66,6 +91,8 @@ class SlowLogEntry:
         "kind",
         "query",
         "e",
+        "pruning",
+        "delta",
         "elapsed_ms",
         "exhausted",
         "truncation_reason",
@@ -82,6 +109,8 @@ class SlowLogEntry:
         kind: str,
         query: str,
         e: int | None,
+        pruning: str,
+        delta: str,
         elapsed_ms: float,
         exhausted: bool,
         truncation_reason: str | None,
@@ -95,6 +124,8 @@ class SlowLogEntry:
         self.kind = kind
         self.query = query
         self.e = e
+        self.pruning = pruning
+        self.delta = delta
         self.elapsed_ms = elapsed_ms
         self.exhausted = exhausted
         self.truncation_reason = truncation_reason
@@ -107,10 +138,13 @@ class SlowLogEntry:
     def to_record(self) -> dict:
         """The JSONL record (validates against the checked-in schema)."""
         return {
+            "version": SLOWLOG_VERSION,
             "seq": self.seq,
             "kind": self.kind,
             "query": self.query,
             "e": self.e,
+            "pruning": self.pruning,
+            "delta": self.delta,
             "elapsed_ms": self.elapsed_ms,
             "exhausted": self.exhausted,
             "truncation_reason": self.truncation_reason,
@@ -141,6 +175,8 @@ class Observation:
         "kind",
         "query",
         "e",
+        "pruning",
+        "delta",
         "attrs",
         "exhausted",
         "truncation_reason",
@@ -148,10 +184,20 @@ class Observation:
         "stats",
     )
 
-    def __init__(self, kind: str, query: str, e: int | None, attrs: dict) -> None:
+    def __init__(
+        self,
+        kind: str,
+        query: str,
+        e: int | None,
+        attrs: dict,
+        pruning: str,
+        delta: str,
+    ) -> None:
         self.kind = kind
         self.query = query
         self.e = e
+        self.pruning = pruning
+        self.delta = delta
         self.attrs = attrs
         self.exhausted = True
         self.truncation_reason: str | None = None
@@ -235,9 +281,22 @@ class SlowQueryLog:
 
     @contextlib.contextmanager
     def observe(
-        self, kind: str, query: str, e: int | None = None, **attrs: object
+        self,
+        kind: str,
+        query: str,
+        e: int | None = None,
+        pruning: str | None = None,
+        delta: str | None = None,
+        **attrs: object,
     ) -> Iterator[Observation | _NullObservation]:
         """Time the with-block as one query and consider it for retention.
+
+        ``pruning``/``delta`` default to the ambient resolved modes
+        (explicit value, else the ``REPRO_PRUNING``/``REPRO_DELTA``
+        environment overrides, else the defaults), so every retained
+        entry says which search loop and delta-application strategy
+        were live — callers that know better (the engine knows its own
+        ``pruning``) pass the exact value.
 
         Installs a private :class:`RecordingTracer` when no real tracer
         is ambient, so the retained entry always carries a span tree.
@@ -249,7 +308,11 @@ class SlowQueryLog:
             yield _NULL_OBSERVATION
             return
         token = _OBSERVING.set(True)
-        observation = Observation(kind, query, e, dict(attrs))
+        if pruning is None or delta is None:
+            ambient_pruning, ambient_delta = _ambient_modes()
+            pruning = pruning if pruning is not None else ambient_pruning
+            delta = delta if delta is not None else ambient_delta
+        observation = Observation(kind, query, e, dict(attrs), pruning, delta)
         tracer = get_tracer()
         private: RecordingTracer | None = None
         roots_before = 0
@@ -309,6 +372,8 @@ class SlowQueryLog:
                 kind=observation.kind,
                 query=observation.query,
                 e=observation.e,
+                pruning=observation.pruning,
+                delta=observation.delta,
                 elapsed_ms=elapsed_ms,
                 exhausted=observation.exhausted,
                 truncation_reason=observation.truncation_reason,
@@ -373,6 +438,7 @@ class SlowQueryLog:
             lines.append(
                 f"  #{entry.seq:<4} {entry.elapsed_ms:9.2f}ms "
                 f"[{entry.retained}] {entry.kind}: {entry.query}"
+                f"  pruning={entry.pruning} delta={entry.delta}"
                 + (f"  ({', '.join(flags)})" if flags else "")
             )
         return "\n".join(lines)
@@ -422,7 +488,13 @@ class NullSlowQueryLog:
 
     @contextlib.contextmanager
     def observe(
-        self, kind: str, query: str, e: int | None = None, **attrs: object
+        self,
+        kind: str,
+        query: str,
+        e: int | None = None,
+        pruning: str | None = None,
+        delta: str | None = None,
+        **attrs: object,
     ) -> Iterator[_NullObservation]:
         yield _NULL_OBSERVATION
 

@@ -7,11 +7,12 @@ Usage::
 
 ``*.jsonl`` files hold JSON-lines records whose kind is sniffed from
 the first record — trace logs (``type`` key), slow-query logs
-(``retained``/``elapsed_ms`` keys), or benchmark-history rows
-(``run``/``value`` keys); everything else is a metrics summary
-document.  Exit status 0 when every file conforms, 1 otherwise — CI
-runs this over the quick-bench exports so a format drift fails the
-build until the schema files are updated deliberately.
+(``retained``/``elapsed_ms`` keys), search audit logs
+(``kind``/``seq`` keys), or benchmark-history rows (``run``/``value``
+keys); everything else is a metrics summary document.  Exit status 0
+when every file conforms, 1 otherwise — CI runs this over the
+quick-bench exports so a format drift fails the build until the schema
+files are updated deliberately.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ import sys
 
 from repro.obs.schema import (
     SchemaValidationError,
+    validate_audit_records,
     validate_bench_records,
     validate_metrics_summary,
     validate_slowlog_entries,
@@ -37,6 +39,8 @@ def _jsonl_kind(records: list) -> str:
     if isinstance(first, dict):
         if "retained" in first and "elapsed_ms" in first:
             return "slow-query log"
+        if "kind" in first and "seq" in first:
+            return "search audit log"
         if "run" in first and "value" in first:
             return "benchmark history"
     return "trace log"
@@ -44,6 +48,7 @@ def _jsonl_kind(records: list) -> str:
 
 _JSONL_VALIDATORS = {
     "slow-query log": validate_slowlog_entries,
+    "search audit log": validate_audit_records,
     "benchmark history": validate_bench_records,
     "trace log": validate_trace_events,
 }

@@ -29,6 +29,12 @@ expressions:
   the top-K slowest); ``:slowlog`` — status; ``:slowlog show`` — the
   retained entries;
 * ``:prom`` — the session metrics in Prometheus text exposition format;
+* ``:explain CANDIDATE`` — why is the candidate (not) an answer to the
+  last asked query; ``:explain analyze [QUERY]`` — EXPLAIN ANALYZE: re-run
+  the search (the last query by default) under a
+  :class:`~repro.core.audit.SearchAuditLog` and render the decision
+  tree, per-rule cut totals, the AGG* selection funnel, and each ranked
+  completion's per-edge score decomposition;
 * ``:edit add-class NAME`` / ``:edit remove-class NAME [cascade]`` /
   ``:edit add-rel SOURCE NAME TARGET [KIND]`` / ``:edit remove-rel
   SOURCE NAME`` / ``:edit add-attr SOURCE NAME [PRIM]`` /
@@ -282,7 +288,9 @@ class CompletionSession:
 
     def _round(self, text: str) -> Interaction:
         """The complete -> approve -> evaluate pipeline for one input."""
-        with get_slowlog().observe("ask", text) as obs:
+        with get_slowlog().observe(
+            "ask", text, e=self.engine.e, pruning=self.engine.pruning
+        ) as obs:
             # The tracer is resolved *inside* the observation: when no
             # session tracer is on, the slow log installs a private
             # recording tracer so retained asks still carry span trees.
@@ -335,11 +343,14 @@ class CompletionSession:
             message = render_prometheus(self.metrics)
         elif name == ":edit":
             message = self._edit_command(args)
+        elif name == ":explain":
+            message = self._explain_command(args)
         else:
             message = (
                 f"unknown session command {name!r} "
                 "(expected :trace [on|off|show], :metrics, :budget, "
-                ":slowlog [on [MS]|off|show], :edit ..., or :prom)"
+                ":slowlog [on [MS]|off|show], :edit ..., "
+                ":explain CANDIDATE | :explain analyze [QUERY], or :prom)"
             )
         return Interaction(
             input_text=text,
@@ -496,6 +507,55 @@ class CompletionSession:
             f"applied: {delta.describe()} "
             f"[fingerprint {self.engine.schema.fingerprint()[:12]}]"
         )
+
+    _EXPLAIN_USAGE = (
+        "usage: :explain CANDIDATE  (why is CANDIDATE (not) an answer to "
+        "the last query?)  |  :explain analyze [QUERY]  (audited re-run: "
+        "decision tree, cuts, score decomposition)"
+    )
+
+    def _explain_command(self, args: list[str]) -> str:
+        """Handle ``:explain ...`` — candidate verdicts and EXPLAIN ANALYZE.
+
+        ``:explain CANDIDATE`` asks the engine why the candidate is (or
+        is not) an answer to the most recent completion round's query.
+        ``:explain analyze [QUERY]`` re-runs the search cold under an
+        audit log (defaulting to the last query) and renders the full
+        decision tree, cut totals, and per-edge score decomposition.
+        """
+        if not args:
+            return self._EXPLAIN_USAGE
+        if args[0] == "analyze":
+            from repro.core.audit import audit_completion
+
+            query = " ".join(args[1:]) or self._last_query()
+            if query is None:
+                return "no query to analyze yet (ask one first or pass one)"
+            try:
+                _, audit = audit_completion(
+                    self.engine.compiled,
+                    query,
+                    e=self.engine.e,
+                    pruning=self.engine.pruning,
+                )
+            except (ReproError, ValueError) as error:
+                return f"error: {error}"
+            return audit.render()
+        query = self._last_query()
+        if query is None:
+            return "no query to explain against yet (ask one first)"
+        try:
+            explanation = self.engine.explain(query, " ".join(args))
+        except ReproError as error:
+            return f"error: {error}"
+        return f"[{explanation.verdict}]\n{explanation.render()}"
+
+    def _last_query(self) -> str | None:
+        """The most recent non-command input, or None."""
+        for interaction in reversed(self.history):
+            if not interaction.is_command:
+                return interaction.input_text
+        return None
 
     def _parse_edit(self, verb: str, rest: list[str]) -> SchemaDelta:
         """Parse one ``:edit`` verb into a delta (``ValueError`` = usage)."""

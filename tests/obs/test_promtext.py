@@ -1,10 +1,13 @@
 """Tests for the Prometheus exposition renderer and scrape server."""
 
+import json
 import math
 import urllib.error
 import urllib.request
 
+from repro.core.compiled import compile_schema, invalidate
 from repro.obs.metrics import RESERVOIR_SIZE, MetricsRegistry
+from repro.schemas.university import build_university_schema
 from repro.obs.promtext import (
     DEFAULT_BUCKET_BOUNDS,
     render_prometheus,
@@ -141,12 +144,32 @@ class TestMetricsServer:
 
     def test_healthz_and_404(self):
         registry = MetricsRegistry()
+        # Start from an empty artifact registry so the snapshot holds
+        # exactly what this test compiles, whatever ran before it.
+        invalidate()
+        compiled = compile_schema(build_university_schema())
+        compiled.complete_simple("ta", "name")
         with MetricsServer(registry, port=0) as server:
             host, port = server.address
             with urllib.request.urlopen(
                 f"http://{host}:{port}/healthz", timeout=10
             ) as response:
-                assert response.read() == b"ok\n"
+                assert response.headers["Content-Type"] == "application/json"
+                payload = json.loads(response.read())
+            assert payload["status"] == "ok"
+            registry_info = payload["registry"]
+            assert registry_info["artifacts"] >= 1
+            assert registry_info["artifacts"] == len(registry_info["entries"])
+            ours = [
+                entry
+                for entry in registry_info["entries"]
+                if entry["fingerprint"] == compiled.fingerprint[:12]
+            ]
+            assert len(ours) == 1
+            assert ours[0]["lineage_depth"] == len(compiled.lineage)
+            assert ours[0]["completion_cache"]["size"] == len(compiled.cache)
+            assert registry_info["cached_completions"] >= 1
+            assert registry_info["max_lineage_depth"] >= 0
             try:
                 urllib.request.urlopen(
                     f"http://{host}:{port}/nope", timeout=10

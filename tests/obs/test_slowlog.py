@@ -9,8 +9,9 @@ import pytest
 from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
 from repro.errors import BudgetExceededError
-from repro.obs.schema import validate_slowlog_entries
+from repro.obs.schema import SchemaValidationError, validate_slowlog_entries
 from repro.obs.slowlog import (
+    SLOWLOG_VERSION,
     NullSlowQueryLog,
     SlowQueryLog,
     get_slowlog,
@@ -99,9 +100,24 @@ class TestEngineIntegration:
         assert entry.truncation_reason is None
         assert entry.stats is not None and entry.stats["recursive_calls"] > 0
         assert entry.attrs["paths"] == 2
+        # The engine stamps its own search mode on the entry (the v2
+        # bugfix: a slow query is only triageable knowing which loop
+        # and delta strategy were live).
+        assert entry.pruning == engine.pruning == "closure"
+        assert entry.delta in ("incremental", "rebuild")
         # The private tracer recorded the whole completion span tree.
         names = {record["name"] for record in entry.spans}
         assert "complete" in names and "traverse" in names
+
+    def test_reference_mode_engine_is_recorded_as_such(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        engine = Disambiguator(
+            CompiledSchema(build_university_schema()), pruning="none"
+        )
+        with use_slowlog(log):
+            engine.complete("ta ~ name")
+        (entry,) = log.entries()
+        assert entry.pruning == "none"
 
     def test_ambient_tracer_is_reused_not_replaced(self):
         log = SlowQueryLog(threshold_ms=0.0)
@@ -157,6 +173,29 @@ class TestExport:
         ]
         assert len(records) == count == 2
         validate_slowlog_entries(records)
+        assert all(
+            record["version"] == SLOWLOG_VERSION for record in records
+        )
+        assert all(record["pruning"] == "closure" for record in records)
+
+    def test_version_1_records_are_rejected(self):
+        """The schema bump is a gate, not a label: records from before
+        the pruning/delta fields existed must fail validation."""
+        log = SlowQueryLog(threshold_ms=0.0)
+        engine = Disambiguator(build_university_schema())
+        with use_slowlog(log):
+            engine.complete("ta ~ name")
+        (record,) = log.to_records()
+        v1 = {
+            key: value
+            for key, value in record.items()
+            if key not in ("version", "pruning", "delta")
+        }
+        with pytest.raises(SchemaValidationError):
+            validate_slowlog_entries([v1])
+        stale_version = dict(record, version=1)
+        with pytest.raises(SchemaValidationError):
+            validate_slowlog_entries([stale_version])
 
     def test_render_reports_retention_and_flags(self):
         log = SlowQueryLog(threshold_ms=0.0)

@@ -199,6 +199,45 @@ class TestSessionCommands:
         assert "unknown session command" in message
         assert ":metrics" in message
         assert ":slowlog" in message
+        assert ":explain" in message
+
+    def test_explain_candidate_against_last_query(self, db):
+        session = CompletionSession(db)
+        session.ask("ta ~ name")
+        message = session.ask(":explain ta@>grad@>student@>person.name").message
+        assert message.startswith("[returned]")
+        message = session.ask(":explain ta@>grad@>student.take.name").message
+        assert message.startswith("[connector_dominated]")
+
+    def test_explain_before_any_query(self, db):
+        message = CompletionSession(db).ask(":explain ta.member.name").message
+        assert "no query to explain against yet" in message
+
+    def test_explain_usage_without_arguments(self, db):
+        message = CompletionSession(db).ask(":explain").message
+        assert "usage: :explain" in message
+
+    def test_explain_analyze_defaults_to_last_query(self, db):
+        session = CompletionSession(db)
+        session.ask("ta ~ name")
+        message = session.ask(":explain analyze").message
+        assert "search ta ~" in message
+        assert "decision tree:" in message
+        assert "score decomposition" in message
+
+    def test_explain_analyze_with_explicit_query(self, db):
+        session = CompletionSession(db)
+        message = session.ask(":explain analyze student ~ name").message
+        assert "search student ~" in message
+
+    def test_explain_analyze_without_a_query(self, db):
+        message = CompletionSession(db).ask(":explain analyze").message
+        assert "no query to analyze yet" in message
+
+    def test_explain_analyze_bad_query_stays_in_loop(self, db):
+        session = CompletionSession(db)
+        message = session.ask(":explain analyze nonsense !!").message
+        assert message.startswith("error:")
 
     def test_command_rounds_enter_history(self, db):
         session = CompletionSession(db)

@@ -149,6 +149,46 @@ class TestExplain:
         assert "[connector_dominated]" in out
         assert "stronger" in out
 
+    def test_explain_analyze_prints_decision_tree(self, capsys):
+        code = main(
+            ["explain", "--builtin", "university", "ta ~ name", "--analyze"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decision tree:" in out
+        assert "score decomposition" in out
+
+    def test_explain_analyze_exports_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs.schema import validate_audit_records
+
+        audit_path = tmp_path / "audit.jsonl"
+        code = main(
+            [
+                "explain",
+                "--builtin",
+                "university",
+                "ta ~ name",
+                "--analyze",
+                "--audit-out",
+                str(audit_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "audit record(s)" in out
+        records = [
+            json.loads(line)
+            for line in audit_path.read_text().splitlines()
+            if line
+        ]
+        assert records
+        validate_audit_records(records)
+
+    def test_explain_without_candidate_or_analyze_errors(self, capsys):
+        code = main(["explain", "--builtin", "university", "ta ~ name"])
+        assert code == 2
+        assert "CANDIDATE" in capsys.readouterr().err
+
 
 class TestFox:
     def test_fox_query(self, tmp_path, capsys):
