@@ -1,0 +1,143 @@
+"""Bench E7 — end-to-end serving latency through the resilient tier.
+
+Boots a real :class:`~repro.serve.app.ServingTier` in a background
+thread — asyncio front end, admission queue, executor pool, per-request
+metrics — and measures what a caller of ``POST /v1/complete`` actually
+experiences:
+
+* *cold*: the first completion of each expression (engine traversal
+  plus HTTP overhead);
+* *warm*: repeated completions answered from the artifact's completion
+  cache (p50/p95 over many requests — the steady-state serving cost);
+* *overhead*: warm serving latency vs calling
+  :meth:`Disambiguator.complete` directly in-process, i.e. what the
+  HTTP/admission/executor stack costs on top of the engine.
+
+The tier must return byte-identical ranked paths to the direct engine
+call — the benchmark asserts it, so the numbers can't come from a
+server quietly serving something cheaper.
+
+Results land in ``BENCH_serve.json`` at the repo root and in the
+``BENCH_history.jsonl`` perf ledger (gated by
+``python -m repro.obs.perf compare`` in CI).  Set ``BENCH_QUICK=1``
+for a fast smoke-sized run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import emit, record_bench
+from repro.core.compiled import CompiledSchema
+from repro.core.engine import Disambiguator
+from repro.serve import ServeConfig, ServeClient, ServingTier, TenantRegistry
+from repro.resilience.retry import RetryPolicy
+
+_ROOT = pathlib.Path(__file__).parent.parent
+_RESULT_FILE = _ROOT / "BENCH_serve.json"
+
+QUICK = os.environ.get("BENCH_QUICK") == "1"
+WARM_REQUESTS = 40 if QUICK else 200
+
+EXPRESSIONS = [
+    "ta ~ name",
+    "student.take.teacher",
+    "student ~ dept",
+    "teacher ~ name",
+]
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_latency(university):
+    tenants = TenantRegistry(max_cache_bytes=64 * 1024 * 1024)
+    tenants.add("university", CompiledSchema(university))
+    tier = ServingTier(
+        tenants,
+        config=ServeConfig(queue_limit=64, workers=4),
+    )
+    tier.run_in_thread()
+    try:
+        host, port = tier.address
+        client = ServeClient(
+            host, port, policy=RetryPolicy(max_attempts=3, base_delay=0.05)
+        )
+
+        # -- cold: first completion of each expression ------------------
+        cold_ms: dict[str, float] = {}
+        for expression in EXPRESSIONS:
+            started = time.perf_counter()
+            response = client.complete(expression)
+            cold_ms[expression] = (time.perf_counter() - started) * 1000.0
+            assert response.status == 200, response.body
+
+        # -- warm: cache-hit serving, p50/p95 ---------------------------
+        warm_ms: list[float] = []
+        for index in range(WARM_REQUESTS):
+            expression = EXPRESSIONS[index % len(EXPRESSIONS)]
+            started = time.perf_counter()
+            response = client.complete(expression)
+            warm_ms.append((time.perf_counter() - started) * 1000.0)
+            assert response.status == 200
+
+        p50 = _percentile(warm_ms, 0.50)
+        p95 = _percentile(warm_ms, 0.95)
+
+        # -- fidelity: served answers == direct engine answers ----------
+        reference = Disambiguator(CompiledSchema(university))
+        for expression in EXPRESSIONS:
+            served = client.complete(expression)
+            expected = [str(p) for p in reference.complete(expression).paths]
+            assert served.json["paths"] == expected, expression
+
+        # -- overhead vs in-process completion --------------------------
+        engine = tenants.get("university").engine(1)
+        direct_ms: list[float] = []
+        for index in range(WARM_REQUESTS):
+            expression = EXPRESSIONS[index % len(EXPRESSIONS)]
+            started = time.perf_counter()
+            engine.complete(expression)
+            direct_ms.append((time.perf_counter() - started) * 1000.0)
+        direct_p50 = _percentile(direct_ms, 0.50)
+    finally:
+        tier.stop(drain=True)
+
+    record_bench(
+        "serve.warm_p50", p50 / 1000.0, queue_limit=64, workers=4
+    )
+    record_bench(
+        "serve.warm_p95", p95 / 1000.0, queue_limit=64, workers=4
+    )
+
+    record = {
+        "quick": QUICK,
+        "warm_requests": WARM_REQUESTS,
+        "cold_ms": {k: round(v, 3) for k, v in cold_ms.items()},
+        "warm_p50_ms": round(p50, 3),
+        "warm_p95_ms": round(p95, 3),
+        "warm_mean_ms": round(statistics.fmean(warm_ms), 3),
+        "direct_p50_ms": round(direct_p50, 4),
+        "http_overhead_p50_ms": round(p50 - direct_p50, 3),
+    }
+    _RESULT_FILE.write_text(json.dumps(record, indent=2) + "\n")
+
+    lines = [
+        f"warm p50 {p50:.3f} ms   p95 {p95:.3f} ms"
+        f"   ({WARM_REQUESTS} requests, 4 workers)",
+        f"direct engine p50 {direct_p50:.4f} ms"
+        f"   -> HTTP/admission overhead ~{p50 - direct_p50:.3f} ms",
+        "cold first-requests: "
+        + ", ".join(f"{v:.1f}ms" for v in cold_ms.values()),
+    ]
+    emit("Serving tier: end-to-end completion latency", "\n".join(lines))

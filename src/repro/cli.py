@@ -463,6 +463,55 @@ def _cmd_designer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.__main__ import serve
+
+    return serve(args)
+
+
+def _parse_server_url(url: str) -> tuple[str, int]:
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if parts.hostname is None or parts.port is None:
+        raise ReproError(
+            f"--url must include host and port, got {url!r}"
+        )
+    return parts.hostname, parts.port
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient
+
+    host, port = _parse_server_url(args.url)
+    if args.action in ("complete", "query") and args.text is None:
+        raise ReproError(f"{args.action!r} requires a text argument")
+    client = ServeClient(host, port)
+    if args.action == "complete":
+        response = client.complete(
+            args.text,
+            tenant=args.tenant,
+            e=args.e,
+            deadline_ms=args.deadline_ms,
+            max_nodes=args.max_nodes,
+        )
+    elif args.action == "query":
+        response = client.query(
+            args.text, tenant=args.tenant, deadline_ms=args.deadline_ms
+        )
+    elif args.action == "schemas":
+        response = client.schemas()
+    elif args.action == "healthz":
+        response = client.healthz()
+    else:  # metrics
+        print(client.metrics_text(), end="")
+        return 0
+    print(json.dumps(response.json, indent=2, sort_keys=True))
+    if response.status == 206:
+        return 3  # partial answer, same convention as budget trips
+    return 0 if response.ok else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -595,6 +644,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_options(designer)
     designer.set_defaults(handler=_cmd_designer)
+
+    from repro.serve.__main__ import add_arguments as _add_serve_arguments
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the always-on HTTP serving tier (admission control, "
+            "load shedding, graceful drain)"
+        ),
+    )
+    _add_serve_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = subparsers.add_parser(
+        "client", help="talk to a running serving tier (with retries)"
+    )
+    client.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="server address (default http://127.0.0.1:8080)",
+    )
+    client.add_argument(
+        "action",
+        choices=("complete", "query", "schemas", "healthz", "metrics"),
+    )
+    client.add_argument(
+        "text",
+        nargs="?",
+        default=None,
+        help="expression (complete) or query text (query)",
+    )
+    client.add_argument("--tenant", default=None)
+    client.add_argument("-e", type=int, default=1)
+    client.add_argument("--deadline-ms", type=float, default=None)
+    client.add_argument("--max-nodes", type=int, default=None)
+    client.set_defaults(handler=_cmd_client)
 
     return parser
 

@@ -63,6 +63,7 @@ __all__ = [
     "DELTA_MODES",
     "compile_schema",
     "domain_knowledge_key",
+    "estimate_result_bytes",
     "invalidate",
     "registry_size",
     "resolve_delta_mode",
@@ -70,6 +71,28 @@ __all__ = [
 
 #: Default bound on the number of cached completion results per artifact.
 DEFAULT_CACHE_SIZE = 1024
+
+
+def estimate_result_bytes(value: CompletionResult) -> int:
+    """A deterministic, cheap estimate of one cached result's footprint.
+
+    Used by the serving tier's cross-tenant memory governor
+    (:mod:`repro.serve.tenants`), which needs a *stable* accounting
+    unit rather than a byte-exact one: the estimate covers the rendered
+    path texts (the dominant variable part), a fixed per-path and
+    per-label object overhead, and a fixed per-entry overhead for the
+    key tuple, dict slot, and result shell.  Computed once per ``put``
+    (puts are cold-path), never on lookups.
+
+    Duck-typed on purpose: tests (and fault wrappers) park sentinel
+    values in the cache, which are charged the fixed shell only.
+    """
+    size = 512  # key tuple + OrderedDict slot + CompletionResult shell
+    for path in getattr(value, "paths", ()):
+        size += 96 + 2 * len(str(path))
+    size += 64 * len(getattr(value, "labels", ()))
+    size += 48 * len(getattr(value, "support", ()))
+    return size
 
 #: Accepted values of the ``delta`` knob of :meth:`CompiledSchema.evolve`.
 DELTA_MODES = ("incremental", "rebuild")
@@ -129,6 +152,12 @@ class CompletionCache:
         # artifact — the audit log's lineage provenance.  Kept in
         # lockstep with ``_data`` under the same lock.
         self._carried: set[tuple] = set()
+        # Memory accounting: per-entry byte estimates and their running
+        # total (see :func:`estimate_result_bytes`), maintained in
+        # lockstep with ``_data`` so the serving tier's cross-tenant
+        # governor reads one integer instead of walking the cache.
+        self._entry_bytes: dict[tuple, int] = {}
+        self._bytes = 0
         self._lock = threading.Lock()
 
     def get(self, key: tuple) -> CompletionResult | None:
@@ -153,18 +182,52 @@ class CompletionCache:
                 "refusing to cache a partial completion result "
                 f"(truncation_reason={value.truncation_reason!r})"
             )
+        size = estimate_result_bytes(value)
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             self._carried.discard(key)  # freshly computed on this artifact
+            self._bytes += size - self._entry_bytes.get(key, 0)
+            self._entry_bytes[key] = size
             while len(self._data) > self.maxsize:
-                evicted_key, _ = self._data.popitem(last=False)
-                self._carried.discard(evicted_key)
+                self._drop_oldest_locked()
+
+    def _drop_oldest_locked(self) -> tuple:
+        """Evict the LRU entry (caller holds the lock)."""
+        evicted_key, _ = self._data.popitem(last=False)
+        self._carried.discard(evicted_key)
+        self._bytes -= self._entry_bytes.pop(evicted_key, 0)
+        return evicted_key
+
+    def evict_lru(self, count: int = 1) -> tuple[int, int]:
+        """Evict up to ``count`` least-recently-used entries.
+
+        Returns ``(entries_evicted, bytes_freed)``.  This is the
+        serving tier's memory-pressure valve: the cross-tenant governor
+        calls it on whichever tenant cache is globally least recently
+        touched until the fleet fits the configured bound again.
+        """
+        evicted = 0
+        freed = 0
+        with self._lock:
+            while evicted < count and self._data:
+                before = self._bytes
+                self._drop_oldest_locked()
+                freed += before - self._bytes
+                evicted += 1
+        return evicted, freed
+
+    def estimated_bytes(self) -> int:
+        """The running total of the per-entry byte estimates."""
+        with self._lock:
+            return self._bytes
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
             self._carried.clear()
+            self._entry_bytes.clear()
+            self._bytes = 0
 
     def provenance(self, key: tuple) -> str:
         """How this artifact's cache came to hold ``key``.
@@ -215,12 +278,14 @@ class CompletionCache:
                     new_key = (new_fingerprint,) + key[1:]
                     self._data[new_key] = value
                     self._carried.add(new_key)
+                    size = estimate_result_bytes(value)
+                    self._bytes += size - self._entry_bytes.get(new_key, 0)
+                    self._entry_bytes[new_key] = size
                     carried += 1
                 else:
                     evicted += 1
             while len(self._data) > self.maxsize:
-                evicted_key, _ = self._data.popitem(last=False)
-                self._carried.discard(evicted_key)
+                self._drop_oldest_locked()
         return carried, evicted
 
     def __len__(self) -> int:
@@ -233,6 +298,7 @@ class CompletionCache:
             "misses": self.misses,
             "size": len(self._data),
             "maxsize": self.maxsize,
+            "bytes": self._bytes,
         }
 
     def __repr__(self) -> str:

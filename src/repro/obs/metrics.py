@@ -38,6 +38,8 @@ __all__ = [
     "NullMetricsRegistry",
     "SUMMARY_VERSION",
     "get_metrics",
+    "labelled",
+    "split_labels",
     "use_metrics",
 ]
 
@@ -50,6 +52,55 @@ RESERVOIR_SIZE = 4096
 #: Version of the :meth:`MetricsRegistry.as_dict` summary format.
 #: Bumped to 2 when ``p99`` joined the histogram snapshots.
 SUMMARY_VERSION = 2
+
+#: Separator between a metric's base name and its encoded label pairs
+#: (see :func:`labelled`).  ``|`` is illegal in Prometheus metric names,
+#: so un-labelled names can never collide with the encoding.
+LABEL_SEPARATOR = "|"
+
+
+def _clean_label_value(value: object) -> str:
+    """A label value with the encoding's structural characters removed."""
+    text = str(value)
+    for char in (LABEL_SEPARATOR, ",", "=", "\n"):
+        text = text.replace(char, "_")
+    return text
+
+
+def labelled(name: str, **labels: object) -> str:
+    """Encode request-scoped labels into a registry metric name.
+
+    The registry itself is a flat name→metric map (which keeps the hot
+    path one dict lookup); labels ride inside the name as
+    ``name|key=value,key=value`` with keys sorted, so the same label
+    set always resolves to the same series.  The serving tier uses this
+    for per-route/per-status/per-tenant series::
+
+        registry.counter(labelled("http.requests", route="/v1/complete",
+                                  status=200)).inc()
+
+    :func:`split_labels` is the inverse;
+    :func:`repro.obs.promtext.render_prometheus` renders encoded names
+    as proper ``family{key="value"}`` exposition samples.
+    """
+    if not labels:
+        return name
+    encoded = ",".join(
+        f"{key}={_clean_label_value(labels[key])}" for key in sorted(labels)
+    )
+    return f"{name}{LABEL_SEPARATOR}{encoded}"
+
+
+def split_labels(name: str) -> tuple[str, dict[str, str]]:
+    """Decode a :func:`labelled` name into ``(base_name, labels)``."""
+    base, separator, encoded = name.partition(LABEL_SEPARATOR)
+    if not separator or not encoded:
+        return base, {}
+    labels: dict[str, str] = {}
+    for pair in encoded.split(","):
+        key, _, value = pair.partition("=")
+        labels[key] = value
+    return base, labels
 
 
 class Counter:

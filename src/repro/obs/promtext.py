@@ -19,6 +19,13 @@ Metric names are sanitized to the Prometheus grammar
 become underscores, and a namespace prefix (default ``repro``) keeps
 the exported families out of other jobs' way.
 
+Request-scoped labels (:func:`repro.obs.metrics.labelled` encodes them
+into the registry name as ``name|key=value,...``) are decoded here and
+rendered as proper exposition labels: every series of one base name
+shares a single ``# HELP``/``# TYPE`` family header and emits
+``family{key="value"} sample`` lines, with label values escaped per the
+exposition grammar.  Histogram series merge their labels with ``le``.
+
 :class:`repro.obs.serve.MetricsServer` exposes this text over HTTP;
 the CLI ``--prom[=FILE]`` flag prints or writes one snapshot.
 """
@@ -34,6 +41,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    split_labels,
 )
 
 __all__ = ["DEFAULT_BUCKET_BOUNDS", "render_prometheus", "write_prometheus"]
@@ -80,6 +88,24 @@ def _format_bound(bound: float) -> str:
     return repr(float(bound))
 
 
+def _escape_label_value(value: str) -> str:
+    """A label value escaped per the exposition grammar."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_suffix(labels: dict[str, str], extra: str | None = None) -> str:
+    """Rendered ``{key="value",...}`` (empty string when label-free)."""
+    pairs = [
+        f'{_sanitize(key)}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    ]
+    if extra is not None:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
 def render_prometheus(
     registry: MetricsRegistry | NullMetricsRegistry,
     namespace: str = "repro",
@@ -87,31 +113,59 @@ def render_prometheus(
 ) -> str:
     """The registry as Prometheus text exposition format 0.0.4.
 
-    Families are emitted in sorted-name order so output is
-    deterministic for a given registry state.
+    Families are emitted in sorted-name order (series of one family
+    sorted by label set), so output is deterministic for a given
+    registry state.  Labelled registry names
+    (:func:`repro.obs.metrics.labelled`) become multi-series families
+    with one shared ``# HELP``/``# TYPE`` header.
     """
     lines: list[str] = []
     metrics = sorted(registry.snapshot_metrics(), key=lambda m: m.name)
+    families_seen: set[str] = set()
     for metric in metrics:
-        base = f"{namespace}_{_sanitize(metric.name)}" if namespace else _sanitize(metric.name)
+        base_name, labels = split_labels(metric.name)
+        base = (
+            f"{namespace}_{_sanitize(base_name)}"
+            if namespace
+            else _sanitize(base_name)
+        )
         if isinstance(metric, Counter):
             family = f"{base}_total"
-            lines.append(f"# HELP {family} repro.obs counter {metric.name!r}")
-            lines.append(f"# TYPE {family} counter")
-            lines.append(f"{family} {_format_value(metric.value)}")
-        elif isinstance(metric, Gauge):
-            lines.append(f"# HELP {base} repro.obs gauge {metric.name!r}")
-            lines.append(f"# TYPE {base} gauge")
-            lines.append(f"{base} {_format_value(metric.value)}")
-        elif isinstance(metric, Histogram):
-            lines.append(f"# HELP {base} repro.obs histogram {metric.name!r}")
-            lines.append(f"# TYPE {base} histogram")
-            for bound, count in metric.cumulative_buckets(bounds):
+            if family not in families_seen:
+                families_seen.add(family)
                 lines.append(
-                    f'{base}_bucket{{le="{_format_bound(bound)}"}} {count}'
+                    f"# HELP {family} repro.obs counter {base_name!r}"
                 )
-            lines.append(f"{base}_sum {_format_value(metric.total)}")
-            lines.append(f"{base}_count {metric.count}")
+                lines.append(f"# TYPE {family} counter")
+            lines.append(
+                f"{family}{_label_suffix(labels)} "
+                f"{_format_value(metric.value)}"
+            )
+        elif isinstance(metric, Gauge):
+            if base not in families_seen:
+                families_seen.add(base)
+                lines.append(f"# HELP {base} repro.obs gauge {base_name!r}")
+                lines.append(f"# TYPE {base} gauge")
+            lines.append(
+                f"{base}{_label_suffix(labels)} {_format_value(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            if base not in families_seen:
+                families_seen.add(base)
+                lines.append(
+                    f"# HELP {base} repro.obs histogram {base_name!r}"
+                )
+                lines.append(f"# TYPE {base} histogram")
+            for bound, count in metric.cumulative_buckets(bounds):
+                suffix = _label_suffix(
+                    labels, extra=f'le="{_format_bound(bound)}"'
+                )
+                lines.append(f"{base}_bucket{suffix} {count}")
+            lines.append(
+                f"{base}_sum{_label_suffix(labels)} "
+                f"{_format_value(metric.total)}"
+            )
+            lines.append(f"{base}_count{_label_suffix(labels)} {metric.count}")
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -132,6 +132,7 @@ class MetricsServer:
         self._httpd.registry = registry  # type: ignore[attr-defined]
         self._httpd.namespace = namespace  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
+        self._closed = False
 
     @property
     def address(self) -> tuple[str, int]:
@@ -143,7 +144,21 @@ class MetricsServer:
         host, port = self.address
         return f"http://{host}:{port}/metrics"
 
+    @property
+    def running(self) -> bool:
+        """True while the serving thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the listening socket."""
+        return self._closed
+
     def start(self) -> "MetricsServer":
+        if self._closed:
+            raise RuntimeError("MetricsServer is closed; construct a new one")
+        if self._thread is not None:
+            return self  # already serving — start is idempotent
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-metrics-server",
@@ -152,12 +167,29 @@ class MetricsServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        self._httpd.shutdown()
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop serving and release the socket.  Safe to call twice.
+
+        The serve loop is asked to shut down, the listening socket is
+        closed, and the daemonized thread is joined with ``timeout`` —
+        a scrape handler wedged on a dead client cannot wedge the
+        caller (the daemon thread dies with the process regardless).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            # shutdown() blocks until serve_forever exits, so only call
+            # it when the serve loop actually ran.
+            self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
-            self._thread.join(timeout=5.0)
+            self._thread.join(timeout=timeout)
             self._thread = None
+
+    def close(self) -> None:
+        """Alias of :meth:`stop` for close-style resource management."""
+        self.stop()
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

@@ -11,7 +11,11 @@ expression from stalling a whole deployment:
   harness (:class:`FaultPlan`, :class:`FaultyGraph`,
   :class:`FaultyCache`, :class:`FakeClock`) that the chaos test suite
   uses to prove the invariants (truncated results never cached,
-  sessions and runners survive injected failures).
+  sessions and runners survive injected failures);
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`: jittered
+  exponential backoff for *transient* failures (shed requests,
+  connection resets, injected backend faults), used by the serving
+  tier's bundled client and cache prewarming.
 
 See ``docs/resilience.md`` for the budget semantics and the
 degradation ladder.
@@ -31,6 +35,7 @@ from repro.resilience.faults import (
     FaultyGraph,
     inject,
 )
+from repro.resilience.retry import RetryExhaustedError, RetryPolicy
 
 __all__ = [
     "Budget",
@@ -39,6 +44,8 @@ __all__ = [
     "FaultPlan",
     "FaultyCache",
     "FaultyGraph",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "TruncationReason",
     "get_budget",
     "inject",

@@ -15,8 +15,13 @@ This module provides that governor:
 * :class:`BudgetMeter` — one *armed* instance of a budget: the deadline
   is anchored when the meter starts, and :meth:`BudgetMeter.tripped` is
   the single check the traversal inner loop calls once per node
-  expansion.  Deadline reads are sampled every ``check_interval``
-  expansions so the monotonic-clock call stays off the hot path.
+  expansion.  Deadline reads are sampled on an *adaptive* stride so the
+  monotonic-clock call stays off the hot path without blowing small
+  deadlines: the stride starts at 1 expansion and doubles up to
+  ``check_interval`` only while the measured per-expansion cost says
+  the next read will still land comfortably inside the deadline, then
+  shrinks again as the deadline approaches (a fixed every-64 stride
+  could overshoot a 10 ms deadline by whole milliseconds).
 * :func:`get_budget` / :func:`use_budget` — an ambient
   :class:`contextvars.ContextVar` in the style of
   :mod:`repro.obs.tracer`, so a CLI flag or a session command can govern
@@ -103,7 +108,9 @@ class Budget:
     clock:
         Monotonic time source; injectable for deterministic tests.
     check_interval:
-        Node expansions between deadline reads (amortizes clock calls).
+        *Maximum* node expansions between deadline reads.  The armed
+        meter adapts the actual stride between 1 and this bound based
+        on the observed per-expansion cost (see :class:`BudgetMeter`).
     """
 
     max_seconds: float | None = None
@@ -185,9 +192,29 @@ class BudgetMeter:
     first non-``None`` return is latched in :attr:`reason` (a meter
     stays tripped — shared across the segments of a general expression,
     a later segment cannot "un-trip" it).
+
+    Deadline sampling is adaptive.  A fixed every-``check_interval``
+    read amortizes the clock call but lets a search blow a small
+    deadline by up to ``check_interval`` expansions — milliseconds on a
+    10 ms budget.  Instead the stride between reads starts at 1, and on
+    each read the meter re-derives it from the measured per-expansion
+    cost: the next read is scheduled no later than *half* the remaining
+    time away (rounded down to a power of two, capped at
+    ``check_interval``).  While the deadline is comfortably far the
+    stride doubles up to the cap and the clock stays off the hot path;
+    as the deadline nears, reads converge geometrically onto it, so the
+    overshoot is bounded by roughly one expansion of variance rather
+    than a whole fixed stride.
     """
 
-    __slots__ = ("budget", "started_at", "deadline", "reason", "_countdown")
+    __slots__ = (
+        "budget",
+        "started_at",
+        "deadline",
+        "reason",
+        "_countdown",
+        "_stride",
+    )
 
     def __init__(self, budget: Budget) -> None:
         self.budget = budget
@@ -198,7 +225,10 @@ class BudgetMeter:
             else None
         )
         self.reason: str | None = None
-        self._countdown = budget.check_interval
+        # First deadline read happens on the very first expansion; the
+        # stride then adapts upward while the budget allows.
+        self._stride = 1 if self.deadline is not None else budget.check_interval
+        self._countdown = self._stride
 
     def tripped(self, nodes: int, paths: int, depth: int) -> str | None:
         """The inner-loop check: returns a truncation reason or ``None``.
@@ -206,7 +236,7 @@ class BudgetMeter:
         ``nodes``/``paths``/``depth`` are the traversal's current node
         expansion count, recorded complete paths, and stack depth.
         Caps are checked on every call (integer compares); the deadline
-        is read every ``check_interval`` calls.
+        is read on the adaptive stride described on the class.
         """
         if self.reason is not None:
             return self.reason
@@ -220,10 +250,35 @@ class BudgetMeter:
         elif self.deadline is not None:
             self._countdown -= 1
             if self._countdown <= 0:
-                self._countdown = budget.check_interval
-                if budget.clock() >= self.deadline:
+                now = budget.clock()
+                if now >= self.deadline:
                     self.reason = TruncationReason.DEADLINE
+                else:
+                    self._retune_stride(now, nodes)
         return self.reason
+
+    def _retune_stride(self, now: float, nodes: int) -> None:
+        """Pick the next deadline-read stride after a read at ``now``.
+
+        The stride is the largest power of two that is both within
+        ``check_interval`` and — at the observed per-expansion cost —
+        projected to consume at most half the remaining time.  With no
+        cost signal yet (zero elapsed or zero expansions) it simply
+        doubles, preserving the cheap ramp-up on fast hardware.
+        """
+        cap = self.budget.check_interval
+        elapsed = now - self.started_at
+        remaining = self.deadline - now  # type: ignore[operator] - read path
+        if elapsed > 0.0 and nodes > 0:
+            per_call = elapsed / nodes
+            projected = remaining / (2.0 * per_call)
+            stride = 1
+            while stride < cap and stride * 2 <= projected:
+                stride *= 2
+        else:
+            stride = min(self._stride * 2, cap)
+        self._stride = stride
+        self._countdown = stride
 
     def check_deadline_now(self) -> str | None:
         """An unsampled deadline read (segment boundaries, retries)."""

@@ -1,0 +1,166 @@
+"""Jittered exponential backoff for transient failures.
+
+The serving tier introduces two places where *retrying* is the correct
+resilience move, as opposed to the budget/anytime machinery (which
+bounds one attempt) or fault injection (which creates the failures):
+
+* the bundled HTTP client — a shed request (429 + ``Retry-After``) or a
+  draining server (503) is an explicit invitation to come back later,
+  and connection resets during a server restart are transient by
+  definition;
+* cache prewarming — a warming run racing a flaky backend (chaos tests
+  inject :class:`~repro.errors.InjectedFaultError` mid-traversal)
+  should try again rather than give up the warm entry.
+
+:class:`RetryPolicy` is an immutable specification in the style of
+:class:`~repro.resilience.budget.Budget`: attempts, exponential base
+delay with a cap, and a jitter fraction drawn from a seedable RNG so
+tests are deterministic.  Jitter matters under load shedding — if every
+shed client retried after exactly the same backoff, the server would
+see the original thundering herd again, merely phase-shifted.
+
+The ``sleep`` and ``rng`` hooks are injectable (tests pass a recording
+fake and a seeded ``random.Random``), and a retried exception can carry
+server guidance: when the callable raises an exception with a numeric
+``retry_after`` attribute (the client maps the HTTP header onto it),
+that value replaces the computed backoff for the next attempt — the
+server knows its queue better than the client's exponential curve does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from collections.abc import Callable, Iterator
+
+from repro.errors import ReproError
+
+__all__ = ["RetryExhaustedError", "RetryPolicy"]
+
+
+class RetryExhaustedError(ReproError):
+    """Every attempt allowed by a :class:`RetryPolicy` failed.
+
+    ``attempts`` is how many times the callable ran; ``last`` is the
+    exception the final attempt raised (also the ``__cause__``).
+    """
+
+    def __init__(self, attempts: int, last: BaseException) -> None:
+        super().__init__(
+            f"gave up after {attempts} attempt(s): "
+            f"{type(last).__name__}: {last}"
+        )
+        self.attempts = attempts
+        self.last = last
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """An immutable retry specification with jittered exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first one (``1`` disables retries).
+    base_delay:
+        Backoff before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor between retries.
+    max_delay:
+        Cap on one computed backoff (before jitter).
+    jitter:
+        Fraction of the backoff randomized: the actual sleep is drawn
+        uniformly from ``[delay * (1 - jitter), delay * (1 + jitter)]``.
+        ``0`` makes backoff deterministic even without a seeded RNG.
+    seed:
+        When set, jitter is drawn from ``random.Random(seed)`` — used
+        by tests; production leaves it ``None`` for process-global
+        randomness (distinct clients must not jitter in lockstep).
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter!r}")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A single-attempt policy (retries disabled)."""
+        return cls(max_attempts=1)
+
+    def backoff(self, retry_index: int) -> float:
+        """The un-jittered backoff before retry ``retry_index`` (0-based)."""
+        return min(self.max_delay, self.base_delay * self.multiplier**retry_index)
+
+    def delays(self, rng: random.Random | None = None) -> Iterator[float]:
+        """The jittered sleep sequence (``max_attempts - 1`` values)."""
+        rng = rng if rng is not None else self._default_rng()
+        for index in range(self.max_attempts - 1):
+            delay = self.backoff(index)
+            if self.jitter:
+                delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield max(0.0, delay)
+
+    def _default_rng(self) -> random.Random:
+        if self.seed is not None:
+            return random.Random(self.seed)
+        return random.Random()
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        retry_on: tuple[type[BaseException], ...] = (ReproError, OSError),
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+        on_retry: Callable[[int, BaseException, float], None] | None = None,
+    ):
+        """Run ``fn`` until it succeeds or the attempts run out.
+
+        Only exceptions matching ``retry_on`` are retried; anything else
+        propagates immediately (a malformed request is not transient).
+        When a retried exception carries a non-negative numeric
+        ``retry_after`` attribute, that value overrides the computed
+        backoff for the following sleep.  After the final failure a
+        :class:`RetryExhaustedError` is raised from the last exception.
+
+        ``on_retry(attempt_index, error, delay)`` is called before each
+        sleep — the client uses it to count retries into the metrics
+        registry, tests use it to record the schedule.
+        """
+        delays = self.delays(rng)
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retry_on as error:  # type: ignore[misc]
+                last = error
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    break
+                hinted = getattr(error, "retry_after", None)
+                if isinstance(hinted, (int, float)) and hinted >= 0:
+                    delay = float(hinted)
+                if on_retry is not None:
+                    on_retry(attempt, error, delay)
+                if delay > 0:
+                    sleep(delay)
+        assert last is not None
+        raise RetryExhaustedError(self.max_attempts, last) from last

@@ -1,0 +1,665 @@
+"""The resilient always-on serving tier.
+
+:class:`ServingTier` is an asyncio front end over the synchronous
+disambiguation engine, built so that *overload degrades service
+instead of collapsing it*:
+
+* **Bounded admission.**  At most ``queue_limit`` requests are admitted
+  but unanswered at any moment (executing plus queued for a worker).
+  The request over the bound is *shed* immediately with ``429 Too Many
+  Requests`` and a ``Retry-After`` hint — clients wait in their own
+  retry loops, not in unbounded server memory, and the server never
+  hangs under a burst.
+
+* **Mandatory per-request budgets.**  Every admitted request runs under
+  a :class:`~repro.resilience.budget.Budget` with a wall-clock deadline
+  (server default, request-adjustable via ``X-Deadline-Ms`` up to the
+  configured ceiling; ``X-Max-Nodes`` caps expansion work).  Budgets are
+  installed as the request's ambient budget with ``partial_ok`` on, so
+  a tripped request returns ``206 Partial Content`` with the anytime
+  best-so-far answer from the degradation ladder — never a hung
+  connection.
+
+* **Graceful degradation under drain.**  ``SIGTERM`` (or
+  :meth:`begin_drain`) flips the tier to draining: new work is refused
+  with ``503`` + ``Retry-After`` while in-flight requests keep running.
+  Budgets are armed against the tier's *drain-aware clock* — after the
+  drain hard deadline it reads far in the future, so every outstanding
+  deadline expires at once and each in-flight request returns its
+  best-so-far ``206`` within one budget-check stride.  No worker is
+  ever killed mid-traversal; the executor never leaks a thread.
+
+* **Event-loop isolation.**  The synchronous engine only ever runs on
+  the bounded executor pool, inside a :func:`contextvars.copy_context`
+  copy, with the tier's metrics registry and slow-query log installed
+  as that request's ambient observability — requests cannot see each
+  other's context, and the engine never blocks the accept loop.
+
+* **Bounded memory.**  After every cache-filling request the
+  cross-tenant governor (:class:`~repro.serve.tenants.TenantRegistry`)
+  evicts least-recently-used completion-cache entries from the least
+  recently touched tenant until the fleet fits ``max_cache_bytes``.
+
+Endpoints: ``POST /v1/complete``, ``POST /v1/query``,
+``GET /v1/schemas``, plus the scrape pair absorbed from
+:mod:`repro.obs.serve` — ``GET /metrics`` (Prometheus text, with
+per-route/status labels) and ``GET /healthz``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import json
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from repro.errors import (
+    BudgetExceededError,
+    InjectedFaultError,
+    ReproError,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NullMetricsRegistry,
+    labelled,
+    use_metrics,
+)
+from repro.obs.promtext import render_prometheus
+from repro.obs.serve import health_snapshot
+from repro.obs.slowlog import SlowQueryLog, use_slowlog
+from repro.query.language import run_query
+from repro.resilience.budget import use_budget
+from repro.serve.config import ServeConfig
+from repro.serve.http import (
+    HttpError,
+    Request,
+    json_body,
+    read_request,
+    render_response,
+)
+from repro.serve.tenants import TenantRegistry, UnknownTenantError
+
+__all__ = ["ServingTier"]
+
+#: Content type of the Prometheus text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Time-dilation factor of the drain-aware clock past the hard
+#: deadline.  A *rate* rather than a constant offset on purpose: a
+#: meter armed before the deadline sees an enormous jump and trips at
+#: its next check, and a meter armed *after* it (a straggler already
+#: admitted) still measures elapsed time — just a million times faster
+#: — so even the 10 s deadline ceiling expires within ~10 µs of real
+#: time.  A constant offset would shift ``started_at`` and the deadline
+#: together and never trip late-armed meters.
+_DRAIN_CLOCK_RATE = 1e6
+
+
+class ServingTier:
+    """The async always-on front end over a :class:`TenantRegistry`.
+
+    Two embeddings are supported:
+
+    * **async** — ``await tier.start()`` inside a running loop, then
+      ``await tier.serve_forever()`` (installs signal handlers) or
+      drive requests yourself and ``await tier.drain()`` /
+      ``await tier.aclose()``;
+    * **threaded** — ``tier.run_in_thread()`` boots a private event
+      loop on a daemon thread (tests, benchmarks, the bundled client's
+      in-process mode); ``tier.stop()`` drains and joins it.
+    """
+
+    def __init__(
+        self,
+        tenants: TenantRegistry,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | NullMetricsRegistry | None = None,
+        slowlog: SlowQueryLog | None = None,
+    ) -> None:
+        self.tenants = tenants
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.slowlog = (
+            slowlog
+            if slowlog is not None
+            else SlowQueryLog(threshold_ms=self.config.slow_ms)
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        #: Admitted-but-unanswered requests; mutated only on the loop
+        #: thread, so the admission check needs no lock.
+        self._pending = 0
+        self._draining = False
+        self._drain_hard_at: float | None = None
+        self._drain_task: asyncio.Task | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._idle: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._thread: threading.Thread | None = None
+        self.address: tuple[str, int] | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "ServingTier":
+        """Bind the listening socket inside the running event loop."""
+        if self._server is not None:
+            raise RuntimeError("serving tier already started")
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, host=self.config.host, port=self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self
+
+    @property
+    def url(self) -> str:
+        if self.address is None:
+            raise RuntimeError("serving tier not started")
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def server_clock(self) -> float:
+        """The drain-aware clock every request budget is armed against.
+
+        Monotonic time normally; past the drain hard deadline it runs
+        ``_DRAIN_CLOCK_RATE`` times faster, so every deadline in every
+        worker — whether armed before or after the drain — expires
+        within microseconds of real time at its next budget check, and
+        in-flight requests converge to best-so-far ``206`` responses
+        without any thread being killed.
+        """
+        now = time.monotonic()
+        hard_at = self._drain_hard_at
+        if hard_at is not None and now > hard_at:
+            return now + (now - hard_at) * _DRAIN_CLOCK_RATE
+        return now
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; start the drain countdown.  Idempotent.
+
+        Must run on the loop thread (signal handlers and :meth:`drain`
+        do); from another thread use :meth:`request_drain`.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_hard_at = (
+            time.monotonic() + self.config.drain_deadline_s
+        )
+        self.metrics.counter("serve.drains").inc()
+
+    def request_drain(self) -> None:
+        """Thread-safe :meth:`begin_drain` (e.g. from a test thread)."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.begin_drain)
+
+    async def drain(self) -> None:
+        """Refuse new work, let in-flight finish, then close.
+
+        In-flight requests get until the drain hard deadline; past it
+        the server clock expires their budgets, so the extra grace here
+        only needs to cover one budget-check stride plus response
+        writes.  Connections still open after that are cancelled.
+        """
+        self.begin_drain()
+        assert self._idle is not None and self._drain_hard_at is not None
+        remaining = max(0.0, self._drain_hard_at - time.monotonic())
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=remaining + 1.0)
+        except asyncio.TimeoutError:  # pragma: no cover - wedged worker
+            pass
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Close the listener, cancel leftover connections, stop."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def serve_forever(self, handle_signals: bool = True) -> None:
+        """Start (if needed) and serve until drained/closed.
+
+        With ``handle_signals`` (the default, used by ``repro serve``),
+        ``SIGTERM`` and ``SIGINT`` trigger one graceful :meth:`drain`.
+        """
+        if self._server is None:
+            await self.start()
+        assert self._loop is not None and self._stopped is not None
+        if handle_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                self._loop.add_signal_handler(signum, self._signal_drain)
+        await self._stopped.wait()
+
+    def _signal_drain(self) -> None:
+        if self._drain_task is None and self._loop is not None:
+            self._drain_task = self._loop.create_task(self.drain())
+
+    # -- threaded embedding -------------------------------------------
+
+    def run_in_thread(self, timeout: float = 10.0) -> "ServingTier":
+        """Boot the tier on a private event loop in a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("serving tier already running in a thread")
+        ready = threading.Event()
+        boot_error: list[BaseException] = []
+
+        def runner() -> None:
+            try:
+                asyncio.run(self._thread_main(ready))
+            except BaseException as error:  # pragma: no cover - boot race
+                boot_error.append(error)
+                ready.set()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serving-tier", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout):  # pragma: no cover - wedged boot
+            raise RuntimeError("serving tier did not start in time")
+        if boot_error:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+            raise RuntimeError("serving tier failed to start") from (
+                boot_error[0]
+            )
+        return self
+
+    async def _thread_main(self, ready: threading.Event) -> None:
+        await self.start()
+        ready.set()
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop a :meth:`run_in_thread` tier from any thread.
+
+        ``drain=True`` performs the full graceful drain (in-flight
+        requests finish or degrade); ``drain=False`` closes abruptly.
+        """
+        thread, loop = self._thread, self._loop
+        if thread is None:
+            return
+        if loop is not None and loop.is_running():
+            coro = self.drain() if drain else self.aclose()
+            future = asyncio.run_coroutine_threadsafe(coro, loop)
+            try:
+                future.result(timeout)
+            except (FutureTimeoutError, RuntimeError):  # pragma: no cover
+                pass
+        thread.join(timeout=timeout)
+        self._thread = None
+
+    # -- connection handling ------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass  # drain hard-cancel: just release the socket
+        except (ConnectionError, OSError):
+            pass  # peer vanished mid-exchange
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already torn down
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader, self.config.max_body_bytes),
+                    timeout=self.config.request_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                await self._write(
+                    writer,
+                    self._json_bytes(
+                        408, {"error": "request timed out"}, keep_alive=False
+                    ),
+                )
+                return
+            except HttpError as error:
+                await self._write(
+                    writer,
+                    self._json_bytes(
+                        error.status,
+                        {"error": error.message},
+                        keep_alive=False,
+                    ),
+                )
+                return
+            if request is None:
+                return  # clean keep-alive close
+            response, keep_alive = await self._dispatch(request)
+            await self._write(writer, response)
+            if not keep_alive:
+                return
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter, response: bytes) -> None:
+        writer.write(response)
+        await writer.drain()
+
+    @staticmethod
+    def _json_bytes(
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+        keep_alive: bool = True,
+    ) -> bytes:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return render_response(
+            status,
+            body,
+            extra_headers=extra_headers,
+            keep_alive=keep_alive,
+        )
+
+    # -- routing and error mapping ------------------------------------
+
+    async def _dispatch(self, request: Request) -> tuple[bytes, bool]:
+        """Route one request; map every failure to a status code."""
+        route = f"{request.method} {request.path}"
+        started = time.monotonic()
+        content_type = "application/json"
+        body: bytes | None = None
+        extra: dict[str, str] | None = None
+        try:
+            outcome = await self._route(request)
+            status, payload, content_type, extra = outcome
+            if isinstance(payload, bytes):
+                body = payload
+        except HttpError as error:
+            status, payload = error.status, {"error": error.message}
+        except UnknownTenantError as error:
+            status, payload = 404, {"error": str(error)}
+        except BudgetExceededError as error:
+            # partial_ok is always set, so this is belt and braces for
+            # a future engine path that refuses partial answers.
+            status = 206
+            payload = {"error": str(error), "truncation_reason": "deadline"}
+        except InjectedFaultError as error:
+            status = 503
+            payload = {"error": str(error), "transient": True}
+            extra = {"Retry-After": str(self.config.retry_after_s)}
+        except (ReproError, ValueError) as error:
+            status = 400
+            payload = {"error": str(error), "kind": type(error).__name__}
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - last-resort mapping
+            status = 500
+            payload = {"error": f"internal error: {type(error).__name__}"}
+            self.metrics.counter("serve.internal_errors").inc()
+        if body is None:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode(
+                "utf-8"
+            )
+            content_type = "application/json"
+        keep_alive = request.keep_alive and status < 500
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        self.metrics.counter(
+            labelled("serve.requests", route=route, status=str(status))
+        ).inc()
+        self.metrics.histogram(
+            labelled("serve.latency_ms", route=route)
+        ).observe(elapsed_ms)
+        response = render_response(
+            status,
+            body,
+            content_type=content_type,
+            extra_headers=extra,
+            keep_alive=keep_alive,
+        )
+        return response, keep_alive
+
+    async def _route(
+        self, request: Request
+    ) -> tuple[int, dict | bytes, str, dict[str, str] | None]:
+        path = request.path
+        if path == "/metrics":
+            self._require_method(request, "GET")
+            text = render_prometheus(self.metrics, namespace="repro")
+            return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE, None
+        if path == "/healthz":
+            self._require_method(request, "GET")
+            return 200, self._health_payload(), "application/json", None
+        if path == "/v1/schemas":
+            self._require_method(request, "GET")
+            payload = {
+                "tenants": [
+                    tenant.describe() for tenant in self.tenants.tenants()
+                ]
+            }
+            return 200, payload, "application/json", None
+        if path == "/v1/complete":
+            self._require_method(request, "POST")
+            status, payload, extra = await self._admit(
+                request, self._build_complete_job
+            )
+            return status, payload, "application/json", extra
+        if path == "/v1/query":
+            self._require_method(request, "POST")
+            status, payload, extra = await self._admit(
+                request, self._build_query_job
+            )
+            return status, payload, "application/json", extra
+        raise HttpError(404, f"no route for {path!r}")
+
+    @staticmethod
+    def _require_method(request: Request, method: str) -> None:
+        if request.method != method:
+            raise HttpError(
+                405, f"{request.path} only supports {method}"
+            )
+
+    def _health_payload(self) -> dict:
+        payload = health_snapshot()
+        payload["serving"] = {
+            "state": "draining" if self._draining else "serving",
+            "pending": self._pending,
+            "queue_limit": self.config.queue_limit,
+            "workers": self.config.workers,
+            "tenants": self.tenants.names(),
+            "tenant_cache_bytes": self.tenants.total_cache_bytes(),
+            "max_cache_bytes": self.tenants.max_cache_bytes,
+        }
+        return payload
+
+    # -- admission and execution --------------------------------------
+
+    async def _admit(
+        self, request: Request, build_job
+    ) -> tuple[int, dict, dict[str, str] | None]:
+        """Load-shed or run ``build_job(request)()`` on the pool."""
+        if self._draining:
+            assert self._drain_hard_at is not None
+            remaining = max(0.0, self._drain_hard_at - time.monotonic())
+            self.metrics.counter("serve.drain_rejected").inc()
+            return (
+                503,
+                {"error": "server is draining", "draining": True},
+                {"Retry-After": f"{remaining + 1.0:.1f}"},
+            )
+        if self._pending >= self.config.queue_limit:
+            self.metrics.counter("serve.shed").inc()
+            return (
+                429,
+                {
+                    "error": "admission queue full",
+                    "queue_limit": self.config.queue_limit,
+                },
+                {"Retry-After": str(self.config.retry_after_s)},
+            )
+        # Parse on the loop thread (cheap, fails fast with 400) …
+        job = build_job(request)
+        # … run the engine on the pool in an isolated context copy.
+        assert self._loop is not None and self._idle is not None
+        self._pending += 1
+        self._idle.clear()
+        self.metrics.gauge("serve.pending").set(float(self._pending))
+        context = contextvars.copy_context()
+        try:
+            status, payload = await self._loop.run_in_executor(
+                self._pool, context.run, job
+            )
+        finally:
+            self._pending -= 1
+            self.metrics.gauge("serve.pending").set(float(self._pending))
+            if self._pending == 0:
+                self._idle.set()
+        return status, payload, None
+
+    def _resolve_tenant(self, payload: dict):
+        name = payload.get("tenant")
+        if name is None:
+            names = self.tenants.names()
+            if len(names) == 1:
+                name = names[0]
+            else:
+                raise HttpError(
+                    400,
+                    "'tenant' is required when multiple tenants are "
+                    "registered",
+                )
+        if not isinstance(name, str):
+            raise HttpError(400, "'tenant' must be a string")
+        return self.tenants.get(name)
+
+    def _request_budget(self, request: Request):
+        try:
+            return self.config.budget_for(
+                request.headers, clock=self.server_clock
+            )
+        except ValueError as error:
+            raise HttpError(400, str(error)) from error
+
+    def _build_complete_job(self, request: Request):
+        payload = json_body(request)
+        expression = payload.get("expression")
+        if not isinstance(expression, str) or not expression.strip():
+            raise HttpError(400, "'expression' must be a non-empty string")
+        e = payload.get("e", 1)
+        if not isinstance(e, int) or isinstance(e, bool) or e < 1:
+            raise HttpError(400, "'e' must be a positive integer")
+        tenant = self._resolve_tenant(payload)
+        budget = self._request_budget(request)
+
+        def job() -> tuple[int, dict]:
+            # A cache-hit result carries the *original* traversal's
+            # stats; the per-request hit/miss picture is the artifact
+            # counters' delta across this completion.
+            cache = tenant.compiled.cache
+            hits_before = cache.hits
+            misses_before = cache.misses
+            with use_metrics(self.metrics), use_slowlog(self.slowlog):
+                with use_budget(budget):
+                    with self.slowlog.observe(
+                        "serve.complete",
+                        expression,
+                        e=e,
+                        tenant=tenant.name,
+                    ):
+                        result = tenant.engine(e).complete(expression)
+            self.tenants.enforce_memory_bound()
+            status = 200 if result.exhausted else 206
+            body = {
+                "tenant": tenant.name,
+                "expression": expression,
+                "e": e,
+                "paths": [str(path) for path in result.paths],
+                "labels": [str(label) for label in result.labels],
+                "exhausted": result.exhausted,
+                "stats": {
+                    "recursive_calls": result.stats.recursive_calls,
+                    "cache_hits": cache.hits - hits_before,
+                    "cache_misses": cache.misses - misses_before,
+                    "budget_trips": result.stats.budget_trips,
+                    "elapsed_ms": round(
+                        result.stats.elapsed_seconds * 1000.0, 3
+                    ),
+                },
+            }
+            if not result.exhausted:
+                body["truncation_reason"] = result.truncation_reason
+            return status, body
+
+        return job
+
+    def _build_query_job(self, request: Request):
+        payload = json_body(request)
+        text = payload.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise HttpError(400, "'query' must be a non-empty string")
+        jobs = payload.get("jobs", 1)
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise HttpError(400, "'jobs' must be a positive integer")
+        tenant = self._resolve_tenant(payload)
+        if tenant.database is None:
+            raise HttpError(
+                400,
+                f"tenant {tenant.name!r} has no instance database "
+                "(serve it with a database to enable /v1/query)",
+            )
+        budget = self._request_budget(request)
+
+        def job() -> tuple[int, dict]:
+            with use_metrics(self.metrics), use_slowlog(self.slowlog):
+                with use_budget(budget):
+                    with self.slowlog.observe(
+                        "serve.query", text, tenant=tenant.name
+                    ):
+                        result = run_query(
+                            tenant.database,
+                            text,
+                            engine=tenant.engine(1),
+                            jobs=jobs,
+                        )
+            self.tenants.enforce_memory_bound()
+            body = {
+                "tenant": tenant.name,
+                "query": text,
+                "completions": result.completions,
+                "values": sorted(result.values, key=repr),
+            }
+            return 200, body
+
+        return job

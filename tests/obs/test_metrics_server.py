@@ -1,0 +1,136 @@
+"""MetricsServer lifecycle and labelled-series rendering.
+
+The serving tier embeds :class:`~repro.obs.serve.MetricsServer` and
+leans on two contracts added for it: close-style lifecycle management
+(idempotent stop, context manager, no socket leak on repeated
+open/close), and request-scoped labels riding inside flat registry
+names (:func:`~repro.obs.metrics.labelled`) that render as proper
+multi-series Prometheus families.
+"""
+
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, labelled, split_labels
+from repro.obs.promtext import render_prometheus
+from repro.obs.serve import MetricsServer
+
+
+def scrape(server: MetricsServer) -> str:
+    with urllib.request.urlopen(server.url, timeout=5.0) as response:
+        return response.read().decode("utf-8")
+
+
+class TestLifecycle:
+    def test_running_and_closed_track_the_lifecycle(self):
+        server = MetricsServer(MetricsRegistry())
+        assert not server.running and not server.closed
+        server.start()
+        assert server.running and not server.closed
+        server.stop()
+        assert not server.running and server.closed
+
+    def test_stop_is_idempotent(self):
+        server = MetricsServer(MetricsRegistry())
+        server.start()
+        server.stop()
+        server.stop()  # second stop is a no-op, not an error
+        server.close()
+        assert server.closed
+
+    def test_close_without_start_releases_the_socket(self):
+        registry = MetricsRegistry()
+        server = MetricsServer(registry)
+        _, port = server.address
+        server.close()  # never started: close alone must free the port
+        rebound = MetricsServer(registry, port=port)
+        try:
+            assert rebound.address[1] == port
+        finally:
+            rebound.close()
+
+    def test_start_after_close_raises(self):
+        server = MetricsServer(MetricsRegistry())
+        server.start()
+        server.stop()
+        with pytest.raises(RuntimeError):
+            server.start()
+
+    def test_start_is_idempotent_while_running(self):
+        server = MetricsServer(MetricsRegistry())
+        try:
+            assert server.start() is server
+            assert server.start() is server
+            assert server.running
+        finally:
+            server.stop()
+
+    def test_context_manager_serves_then_stops(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(3)
+        with MetricsServer(registry) as server:
+            assert server.running
+            assert "repro_cache_hits_total 3" in scrape(server)
+        assert server.closed and not server.running
+
+    def test_sequential_servers_can_reuse_a_port(self):
+        registry = MetricsRegistry()
+        with MetricsServer(registry) as first:
+            _, port = first.address
+        # The port was released on exit: binding it again succeeds.
+        with MetricsServer(registry, port=port) as second:
+            assert second.address[1] == port
+
+
+class TestLabelledSeries:
+    def test_round_trip(self):
+        name = labelled("serve.requests", route="POST /v1/complete", status=200)
+        base, labels = split_labels(name)
+        assert base == "serve.requests"
+        assert labels == {"route": "POST /v1/complete", "status": "200"}
+
+    def test_no_labels_is_the_bare_name(self):
+        assert labelled("serve.requests") == "serve.requests"
+        assert split_labels("serve.requests") == ("serve.requests", {})
+
+    def test_label_order_is_canonical(self):
+        a = labelled("m", b=2, a=1)
+        b = labelled("m", a=1, b=2)
+        assert a == b  # same label set -> same series name
+
+    def test_structural_characters_are_scrubbed_from_values(self):
+        name = labelled("m", route="a=b,c|d\ne")
+        _, labels = split_labels(name)
+        assert labels == {"route": "a_b_c_d_e"}
+
+    def test_labelled_counters_render_as_one_family(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            labelled("serve.requests", route="POST /v1/complete", status=200)
+        ).inc(5)
+        registry.counter(
+            labelled("serve.requests", route="POST /v1/complete", status=429)
+        ).inc(2)
+        text = render_prometheus(registry)
+        assert (
+            'repro_serve_requests_total{route="POST /v1/complete",'
+            'status="200"} 5' in text
+        )
+        assert (
+            'repro_serve_requests_total{route="POST /v1/complete",'
+            'status="429"} 2' in text
+        )
+        # One shared header for the family, not one per series.
+        assert text.count("# TYPE repro_serve_requests_total counter") == 1
+
+    def test_labelled_histogram_renders_with_labels(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            labelled("serve.latency_ms", route="POST /v1/complete")
+        )
+        histogram.observe(1.5)
+        histogram.observe(2.5)
+        text = render_prometheus(registry)
+        assert 'route="POST /v1/complete"' in text
+        assert "repro_serve_latency_ms_count" in text

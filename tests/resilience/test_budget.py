@@ -103,17 +103,35 @@ class TestBudgetMeter:
         clock.advance(2.0)
         assert meter.tripped(2, 0, 0) == TruncationReason.DEADLINE
 
-    def test_deadline_is_sampled_every_check_interval(self):
+    def test_deadline_sampling_starts_at_stride_one(self):
         clock = FakeClock()
         meter = Budget(
             max_seconds=1.0, clock=clock, check_interval=4
         ).start()
         clock.advance(5.0)  # already past the deadline...
-        # ...but the next three calls don't read the clock.
-        assert meter.tripped(1, 0, 0) is None
-        assert meter.tripped(2, 0, 0) is None
-        assert meter.tripped(3, 0, 0) is None
-        assert meter.tripped(4, 0, 0) == TruncationReason.DEADLINE
+        # ...and the adaptive stride starts at 1, so the very first
+        # check reads the clock and trips — a blown deadline is never
+        # carried for check_interval - 1 further calls.
+        assert meter.tripped(1, 0, 0) == TruncationReason.DEADLINE
+
+    def test_deadline_sampling_widens_while_inside_deadline(self):
+        reads = 0
+        clock = FakeClock()
+
+        def counting_clock() -> float:
+            nonlocal reads
+            reads += 1
+            return clock()
+
+        meter = Budget(
+            max_seconds=1.0, clock=counting_clock, check_interval=64
+        ).start()
+        # Far from the deadline the stride grows geometrically toward
+        # check_interval: 1000 cheap calls cost far fewer clock reads.
+        for call in range(1, 1001):
+            clock.advance(0.00001)
+            assert meter.tripped(call, 0, 0) is None
+        assert reads < 100
 
     def test_trip_reason_latches(self):
         meter = Budget(max_nodes=5).start()

@@ -1,0 +1,145 @@
+"""Regression tests for the adaptive deadline-sampling stride.
+
+The old meter sampled the clock every ``check_interval`` calls
+unconditionally, so a small deadline could be overshot by up to
+``check_interval - 1`` un-sampled calls — at 64 calls of real traversal
+work, a 10 ms serving deadline could blow past its budget several times
+over before the trip was noticed.  The adaptive stride starts at 1 and
+only widens (doubling up to ``check_interval``) while the measured
+per-call cost says the deadline is comfortably far, which bounds the
+overshoot to roughly one stride of calls near the deadline.
+"""
+
+import pytest
+
+from repro.resilience.budget import Budget, TruncationReason
+from repro.resilience.faults import FakeClock
+
+
+def run_until_trip(meter, clock, dt: float, max_calls: int = 100_000):
+    """Advance the clock by ``dt`` per call until the meter trips.
+
+    Returns (calls_made, clock_time_at_trip).
+    """
+    for call in range(1, max_calls + 1):
+        clock.advance(dt)
+        if meter.tripped(call, 0, 0) is not None:
+            return call, clock()
+    raise AssertionError("meter never tripped")
+
+
+class TestOvershootBound:
+    @pytest.mark.parametrize("dt_ms", [0.1, 0.5, 2.0])
+    def test_small_deadline_overshoot_is_bounded(self, dt_ms):
+        """A 10 ms deadline with per-call cost dt trips within ~2 calls
+        of the deadline, regardless of the 64-call check_interval."""
+        dt = dt_ms / 1000.0
+        clock = FakeClock()
+        meter = Budget(
+            max_seconds=0.010, clock=clock, check_interval=64
+        ).start()
+        calls, tripped_at = run_until_trip(meter, clock, dt)
+        overshoot = tripped_at - 0.010
+        assert meter.reason == TruncationReason.DEADLINE
+        # Stride retuning guarantees the next read lands at most
+        # remaining/2 ahead, so the trip is discovered within about
+        # two per-call steps past the deadline.
+        assert overshoot <= 2 * dt + 1e-9
+        # Sanity: the meter did not trip early either.
+        assert tripped_at >= 0.010
+
+    def test_old_fixed_stride_would_have_overshot(self):
+        """Document the bug being fixed: with dt = 1 ms and a 10 ms
+        deadline, a fixed 64-call stride would first read the clock at
+        64 ms — 6.4x the deadline.  The adaptive meter trips at 11 ms."""
+        clock = FakeClock()
+        meter = Budget(
+            max_seconds=0.010, clock=clock, check_interval=64
+        ).start()
+        calls, tripped_at = run_until_trip(meter, clock, dt=0.001)
+        assert calls <= 12  # not 64
+        assert tripped_at <= 0.012
+
+    def test_overshoot_scales_with_cost_spike(self):
+        """If per-call cost spikes 100x right before the deadline, the
+        overshoot is still one stride of the *new* cost, because the
+        stride was tuned when calls were cheap."""
+        clock = FakeClock()
+        meter = Budget(
+            max_seconds=0.010, clock=clock, check_interval=64
+        ).start()
+        calls = 0
+        for _ in range(40):  # cheap phase: 0.1 ms per call
+            calls += 1
+            clock.advance(0.0001)
+            assert meter.tripped(calls, 0, 0) is None
+        reason = None
+        spike_calls = 0
+        while reason is None:
+            calls += 1
+            spike_calls += 1
+            clock.advance(0.01)  # each call now costs a full deadline
+            reason = meter.tripped(calls, 0, 0)
+        assert reason == TruncationReason.DEADLINE
+        # The stride tuned during the cheap phase is what bounds the
+        # detection lag; it can never exceed check_interval.
+        assert spike_calls <= 64
+
+
+class TestStrideAdaptation:
+    def test_clock_reads_stay_sparse_far_from_deadline(self):
+        reads = 0
+        clock = FakeClock()
+
+        def counting_clock() -> float:
+            nonlocal reads
+            reads += 1
+            return clock()
+
+        meter = Budget(
+            max_seconds=100.0, clock=counting_clock, check_interval=64
+        ).start()
+        for call in range(1, 10_001):
+            clock.advance(0.0001)
+            assert meter.tripped(call, 0, 0) is None
+        # 10k calls cover 1 s of a 100 s deadline: the stride pins at
+        # the 64-call cap, so reads stay two orders below calls.
+        assert reads < 10_000 / 32
+
+    def test_check_interval_one_reads_every_call(self):
+        reads = 0
+        clock = FakeClock()
+
+        def counting_clock() -> float:
+            nonlocal reads
+            reads += 1
+            return clock()
+
+        meter = Budget(
+            max_seconds=1.0, clock=counting_clock, check_interval=1
+        ).start()
+        for call in range(1, 11):
+            meter.tripped(call, 0, 0)
+        assert reads >= 10  # cap 1 keeps the legacy sample-every-call
+
+    def test_caps_only_budgets_never_read_the_clock(self):
+        reads = 0
+
+        def counting_clock() -> float:
+            nonlocal reads
+            reads += 1
+            return 0.0
+
+        meter = Budget(max_nodes=100, clock=counting_clock).start()
+        for call in range(1, 51):
+            meter.tripped(call, 0, 0)
+        # start() samples once for started_at; tripped() never does.
+        assert reads <= 1
+
+    def test_node_caps_still_trip_exactly(self):
+        clock = FakeClock()
+        meter = Budget(
+            max_nodes=5, max_seconds=100.0, clock=clock, check_interval=64
+        ).start()
+        assert meter.tripped(4, 0, 0) is None
+        assert meter.tripped(5, 0, 0) == TruncationReason.NODES

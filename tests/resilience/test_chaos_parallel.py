@@ -1,0 +1,179 @@
+"""Chaos for the parallel completion paths.
+
+:meth:`Disambiguator.complete_batch` with ``jobs > 1`` and
+:func:`repro.core.parallel.prewarm` fan completions out on thread
+pools; faults injected into the shared artifact must keep the same
+contract the sequential path keeps:
+
+* per-input isolation — one input's fault never corrupts another
+  input's answer;
+* deterministic surfacing — ``complete_batch`` raises the earliest
+  failing input in submission order, not whichever thread lost a race;
+* the shared completion cache never holds a truncated result;
+* once the faults clear, answers are byte-identical to a fault-free
+  engine's.
+"""
+
+import pytest
+
+from repro.core.compiled import CompiledSchema
+from repro.core.engine import Disambiguator
+from repro.core.parallel import prewarm
+from repro.errors import InjectedFaultError, ReproError
+from repro.resilience.budget import Budget, use_budget
+from repro.resilience.faults import FaultPlan, inject
+
+SEEDS = (0, 1, 7)
+
+QUERIES = [
+    "ta ~ name",
+    "student.take.teacher",
+    "student ~ dept",
+    "teacher ~ name",
+]
+
+
+def _assert_cache_is_clean(compiled):
+    cache = getattr(compiled.cache, "_cache", compiled.cache)
+    for value in cache._data.values():
+        assert value.exhausted, value.truncation_reason
+
+
+class TestBatchUnderFaults:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_batch_faults_are_typed_and_cache_stays_clean(
+        self, university, seed
+    ):
+        compiled = CompiledSchema(university)
+        plan = FaultPlan(seed=seed, edge_fail_rate=0.2)
+        survived = failed = 0
+        with inject(compiled, plan):
+            # Engines bind their searcher at construction: build inside
+            # the injection so the faulty graph governs the traversals.
+            engine = Disambiguator(compiled)
+            for _ in range(8):
+                try:
+                    batch = engine.complete_batch(QUERIES, jobs=4)
+                    assert len(batch.results) == len(QUERIES)
+                    survived += 1
+                except ReproError:
+                    failed += 1
+                _assert_cache_is_clean(compiled)
+        assert survived + failed == 8
+        _assert_cache_is_clean(compiled)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_clean_parallel_batch_matches_sequential_after_storm(
+        self, university, seed
+    ):
+        compiled = CompiledSchema(university)
+        plan = FaultPlan(
+            seed=seed,
+            edge_fail_rate=0.3,
+            cache_miss_rate=0.5,
+            cache_drop_rate=0.5,
+        )
+        with inject(compiled, plan):
+            storm_engine = Disambiguator(compiled)
+            for _ in range(5):
+                try:
+                    storm_engine.complete_batch(QUERIES, jobs=4)
+                except ReproError:
+                    pass
+        # Storm over: a fresh engine on the restored artifact answers
+        # byte-identically to a private fault-free engine.
+        reference = Disambiguator(CompiledSchema(university))
+        engine = Disambiguator(compiled)
+        batch = engine.complete_batch(QUERIES, jobs=4)
+        for query, result in zip(QUERIES, batch.results):
+            expected = reference.complete(query)
+            assert [str(p) for p in result.paths] == [
+                str(p) for p in expected.paths
+            ]
+            assert result.exhausted
+        _assert_cache_is_clean(compiled)
+
+    def test_batch_raises_earliest_failing_input_in_order(self, university):
+        """Submission order, not thread-completion order, decides which
+        exception a failing parallel batch surfaces."""
+        compiled = CompiledSchema(university)
+        engine = Disambiguator(compiled)
+        # Two invalid expressions among valid ones: the first invalid
+        # one in submission order must be the exception that surfaces.
+        inputs = [
+            "ta ~ name",
+            "zzz_first_bad ~ nope",
+            "student.take.teacher",
+            "zzz_second_bad ~ nope",
+        ]
+        for _ in range(4):  # deterministic across repeats
+            with pytest.raises(ReproError) as exc:
+                engine.complete_batch(inputs, jobs=4)
+            assert "zzz_first_bad" in str(exc.value)
+            assert "zzz_second_bad" not in str(exc.value)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_budgeted_parallel_batch_never_caches_truncation(
+        self, cupid, seed
+    ):
+        """Tiny ambient node budgets under jobs=4: whatever trips, no
+        truncated result may land in the shared cache."""
+        compiled = CompiledSchema(cupid)
+        engine = Disambiguator(compiled, e=2)
+        budget = Budget(max_nodes=5, partial_ok=True)
+        with use_budget(budget):
+            batch = engine.complete_batch(
+                ["experiment ~ conductance", "experiment ~ temperature"],
+                jobs=4,
+            )
+        assert any(not r.exhausted for r in batch.results)
+        _assert_cache_is_clean(compiled)
+        # A later unbudgeted run completes fully and repopulates.
+        full = engine.complete_batch(["experiment ~ conductance"], jobs=2)
+        assert all(r.exhausted for r in full.results)
+        _assert_cache_is_clean(compiled)
+
+
+class TestPrewarmUnderFaults:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_prewarm_swallows_faults_and_keeps_cache_clean(
+        self, university, seed
+    ):
+        compiled = CompiledSchema(university)
+        plan = FaultPlan(seed=seed, edge_fail_rate=0.3)
+        with inject(compiled, plan):
+            warmed = prewarm(Disambiguator(compiled), QUERIES, jobs=4)
+            _assert_cache_is_clean(compiled)
+        assert 0 <= warmed <= len(QUERIES)
+        _assert_cache_is_clean(compiled)
+        # The failures were swallowed, not cached: a clean pass still
+        # produces exhaustive, reference-identical answers.
+        reference = Disambiguator(CompiledSchema(university))
+        engine = Disambiguator(compiled)
+        for query in QUERIES:
+            result = engine.complete(query)
+            assert result.exhausted
+            assert [str(p) for p in result.paths] == [
+                str(p) for p in reference.complete(query).paths
+            ]
+
+    def test_prewarm_with_total_failure_warms_nothing(self, university):
+        compiled = CompiledSchema(university)
+        plan = FaultPlan(seed=0, edge_fail_rate=1.0)
+        compiled.cache.clear()
+        with inject(compiled, plan):
+            warmed = prewarm(Disambiguator(compiled), QUERIES, jobs=4)
+        assert warmed == 0
+        assert len(compiled.cache) == 0
+
+    def test_prewarm_total_failure_surfaces_nothing_to_caller(
+        self, university
+    ):
+        """prewarm never raises — the sequential pass owns the error."""
+        compiled = CompiledSchema(university)
+        with inject(compiled, FaultPlan(seed=1, edge_fail_rate=1.0)):
+            engine = Disambiguator(compiled)
+            assert prewarm(engine, ["ta ~ name"], jobs=2) == 0
+            # The sequential pass hits the very fault prewarm swallowed.
+            with pytest.raises(InjectedFaultError):
+                engine.complete("ta ~ name")

@@ -1,0 +1,137 @@
+"""Graceful drain: refuse new work, finish in-flight, degrade at the
+drain deadline, exit clean.
+"""
+
+import threading
+import time
+
+from repro.serve import ServeConfig
+
+from tests.serve.conftest import gate_tenant, make_tier, raw_client
+
+
+class TestDrainRefusal:
+    def test_draining_tier_answers_503_with_retry_after(self, university):
+        tier = make_tier({"university": university})
+        try:
+            client = raw_client(tier)
+            assert client.complete("ta ~ name").status == 200
+            tier.request_drain()
+            for _ in range(100):
+                if tier.draining:
+                    break
+                time.sleep(0.01)
+            response = client.complete("ta ~ name")
+            assert response.status == 503
+            assert response.json["draining"] is True
+            assert response.retry_after is not None
+            health = client.healthz()
+            assert health.json["serving"]["state"] == "draining"
+        finally:
+            tier.stop(drain=False)
+
+    def test_drain_is_idempotent(self, university):
+        tier = make_tier({"university": university})
+        try:
+            tier.request_drain()
+            tier.request_drain()
+            for _ in range(100):
+                if tier.draining:
+                    break
+                time.sleep(0.01)
+            assert tier.draining
+        finally:
+            tier.stop(drain=False)
+
+
+class TestInFlightCompletion:
+    def test_in_flight_request_finishes_during_drain(self, university):
+        """A request admitted before the drain runs to completion —
+        drain never drops work that was already accepted."""
+        config = ServeConfig(drain_deadline_s=30.0)
+        tier = make_tier({"university": university}, config=config)
+        gate = gate_tenant(tier.tenants.get("university"))
+        try:
+            client = raw_client(tier)
+            result = {}
+
+            def worker() -> None:
+                result["response"] = client.complete("ta ~ name")
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            assert gate.entered.acquire(timeout=10.0)
+
+            tier.request_drain()
+            for _ in range(100):
+                if tier.draining:
+                    break
+                time.sleep(0.01)
+            # New work refused while the old request is still running...
+            assert client.complete("ta ~ name").status == 503
+            # ...then the gate opens and the in-flight request succeeds.
+            gate.release()
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert result["response"].status == 200
+            assert result["response"].json["paths"]
+        finally:
+            gate.release()
+            tier.stop(drain=False)
+
+    def test_drain_deadline_degrades_in_flight_to_206(self, university):
+        """Past the drain hard deadline the server clock expires every
+        armed budget: the stuck request returns 206 best-so-far instead
+        of holding the drain open."""
+        config = ServeConfig(drain_deadline_s=0.2)
+        tier = make_tier({"university": university}, config=config)
+        gate = gate_tenant(tier.tenants.get("university"))
+        try:
+            client = raw_client(tier)
+            result = {}
+
+            def worker() -> None:
+                result["response"] = client.complete("ta ~ name")
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            assert gate.entered.acquire(timeout=10.0)
+
+            tier.request_drain()
+            # Hold the gate until the drain hard deadline has passed,
+            # so the engine starts its traversal on an already-expired
+            # clock.
+            time.sleep(0.5)
+            gate.release()
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            response = result["response"]
+            assert response.status == 206
+            assert response.json["exhausted"] is False
+            assert response.json["truncation_reason"]
+        finally:
+            gate.release()
+            tier.stop(drain=False)
+
+    def test_stop_with_drain_completes_in_flight(self, university):
+        """tier.stop() performs the full graceful drain end to end."""
+        tier = make_tier({"university": university})
+        gate = gate_tenant(tier.tenants.get("university"))
+        client = raw_client(tier)
+        result = {}
+
+        def worker() -> None:
+            result["response"] = client.complete("ta ~ name")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert gate.entered.acquire(timeout=10.0)
+
+        stopper = threading.Thread(target=tier.stop)
+        stopper.start()
+        time.sleep(0.1)  # let the drain begin refusing new work
+        gate.release()
+        thread.join(timeout=30.0)
+        stopper.join(timeout=30.0)
+        assert not thread.is_alive() and not stopper.is_alive()
+        assert result["response"].status in (200, 206)

@@ -1,0 +1,179 @@
+"""Tenant registry: residency, cross-tenant LRU, prewarm retries."""
+
+import pytest
+
+from repro.core.compiled import CompiledSchema
+from repro.core.engine import Disambiguator
+from repro.errors import InjectedFaultError, NoCompletionError
+from repro.resilience.retry import RetryPolicy
+from repro.serve.tenants import (
+    TenantRegistry,
+    UnknownTenantError,
+    prewarm_tenant,
+)
+
+
+def fill_cache(tenant, expressions):
+    engine = tenant.engine(1)
+    for expression in expressions:
+        engine.complete(expression)
+
+
+UNIVERSITY_QUERIES = [
+    "ta ~ name",
+    "student.take.teacher",
+    "student ~ dept",
+    "teacher ~ name",
+]
+
+
+class TestRegistry:
+    def test_unknown_tenant_raises_with_known_names(self, university):
+        registry = TenantRegistry(max_cache_bytes=1 << 20)
+        registry.add("university", CompiledSchema(university))
+        with pytest.raises(UnknownTenantError) as exc:
+            registry.get("ghost")
+        assert "university" in str(exc.value)
+
+    def test_get_touches_recency(self, university, cupid):
+        registry = TenantRegistry(max_cache_bytes=1 << 20)
+        registry.add("a", CompiledSchema(university))
+        registry.add("b", CompiledSchema(cupid))
+        first = registry.get("a")
+        second = registry.get("b")
+        assert second.last_touch > first.last_touch
+        again = registry.get("a")
+        assert again.last_touch > second.last_touch
+
+    def test_shared_schema_shares_one_artifact_and_is_counted_once(
+        self, university
+    ):
+        registry = TenantRegistry(max_cache_bytes=1 << 20)
+        compiled = CompiledSchema(university)
+        registry.add("a", compiled)
+        registry.add("b", compiled)
+        fill_cache(registry.get("a"), UNIVERSITY_QUERIES[:2])
+        assert (
+            registry.total_cache_bytes()
+            == compiled.cache.estimated_bytes()
+        )
+
+    def test_describe_is_json_shaped(self, university):
+        registry = TenantRegistry(max_cache_bytes=1 << 20)
+        tenant = registry.add("university", CompiledSchema(university))
+        entry = tenant.describe()
+        assert entry["tenant"] == "university"
+        assert entry["classes"] > 0
+        assert "size" in entry["completion_cache"]
+
+
+class TestMemoryGovernor:
+    def test_eviction_targets_least_recently_touched_tenant(
+        self, university, cupid
+    ):
+        registry = TenantRegistry(max_cache_bytes=1 << 30)
+        cold = registry.add("cold", CompiledSchema(university))
+        hot = registry.add("hot", CompiledSchema(cupid))
+        fill_cache(cold, UNIVERSITY_QUERIES)
+        fill_cache(hot, ["experiment ~ conductance"])
+        hot_bytes = hot.compiled.cache.estimated_bytes()
+        registry.get("hot")  # hot is the most recently touched
+
+        # Bound chosen so the governor must evict, and evicting the
+        # cold tenant entirely is enough to satisfy it.
+        registry.max_cache_bytes = hot_bytes
+        evicted, freed = registry.enforce_memory_bound()
+        assert evicted > 0 and freed > 0
+        assert len(hot.compiled.cache) == 1  # hot tenant untouched
+        assert registry.total_cache_bytes() <= hot_bytes
+
+    def test_bound_already_satisfied_is_a_noop(self, university):
+        registry = TenantRegistry(max_cache_bytes=1 << 30)
+        tenant = registry.add("university", CompiledSchema(university))
+        fill_cache(tenant, UNIVERSITY_QUERIES[:1])
+        assert registry.enforce_memory_bound() == (0, 0)
+
+    def test_tiny_bound_with_empty_caches_terminates(self, university):
+        registry = TenantRegistry(max_cache_bytes=1)
+        registry.add("university", CompiledSchema(university))
+        assert registry.enforce_memory_bound() == (0, 0)
+
+    def test_estimated_bytes_shrinks_on_eviction(self, university):
+        registry = TenantRegistry(max_cache_bytes=1 << 30)
+        tenant = registry.add("university", CompiledSchema(university))
+        fill_cache(tenant, UNIVERSITY_QUERIES)
+        before = registry.total_cache_bytes()
+        registry.max_cache_bytes = 1
+        evicted, freed = registry.enforce_memory_bound()
+        assert evicted > 0
+        assert registry.total_cache_bytes() == before - freed
+
+
+class FlakyEngine:
+    """Fails with an injected fault N times, then delegates."""
+
+    def __init__(self, engine, failures: int) -> None:
+        self._engine = engine
+        self.failures = failures
+        self.calls = 0
+
+    def complete(self, expression):
+        self.calls += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise InjectedFaultError("graph.edges_from", "flaky backend")
+        return self._engine.complete(expression)
+
+
+class TestPrewarm:
+    def _tenant(self, schema):
+        registry = TenantRegistry(max_cache_bytes=1 << 20)
+        return registry.add("t", CompiledSchema(schema))
+
+    def test_prewarm_fills_the_cache(self, university):
+        tenant = self._tenant(university)
+        warmed = prewarm_tenant(tenant, UNIVERSITY_QUERIES)
+        assert warmed == len(UNIVERSITY_QUERIES)
+        assert len(tenant.compiled.cache) >= warmed
+
+    def test_transient_faults_are_retried(self, university):
+        tenant = self._tenant(university)
+        flaky = FlakyEngine(tenant.engine(1), failures=2)
+        tenant._engines[1] = flaky
+        policy = RetryPolicy(max_attempts=4, base_delay=0.0, seed=0)
+        warmed = prewarm_tenant(
+            tenant, ["ta ~ name"], policy=policy
+        )
+        assert warmed == 1
+        assert flaky.calls == 3  # two faults + one success
+
+    def test_exhausted_retries_skip_the_expression(self, university):
+        tenant = self._tenant(university)
+        flaky = FlakyEngine(tenant.engine(1), failures=99)
+        tenant._engines[1] = flaky
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, seed=0)
+        warmed = prewarm_tenant(tenant, ["ta ~ name"], policy=policy)
+        assert warmed == 0
+
+    def test_hard_errors_are_not_retried(self, university):
+        tenant = self._tenant(university)
+        calls = []
+        real = tenant.engine(1)
+
+        class Recorder:
+            def complete(self, expression):
+                calls.append(expression)
+                raise NoCompletionError("no completion for student.ghost")
+
+            def __getattr__(self, name):
+                return getattr(real, name)
+
+        tenant._engines[1] = Recorder()
+        warmed = prewarm_tenant(tenant, ["student.ghost"])
+        assert warmed == 0
+        assert len(calls) == 1  # no retry on a definitive failure
+
+    def test_duplicate_expressions_warm_once(self, university):
+        tenant = self._tenant(university)
+        warmed = prewarm_tenant(tenant, ["ta ~ name", "ta ~ name"])
+        assert warmed == 1
