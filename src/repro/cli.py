@@ -503,6 +503,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
         response = client.schemas()
     elif args.action == "healthz":
         response = client.healthz()
+    elif args.action == "debug":
+        response = client.debug()
     else:  # metrics
         print(client.metrics_text(), end="")
         return 0
@@ -667,7 +669,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "action",
-        choices=("complete", "query", "schemas", "healthz", "metrics"),
+        choices=(
+            "complete",
+            "query",
+            "schemas",
+            "healthz",
+            "debug",
+            "metrics",
+        ),
     )
     client.add_argument(
         "text",

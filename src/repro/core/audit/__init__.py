@@ -9,7 +9,10 @@ and budget) receives one compact record per decision the
 
 ``search``
     One header per :meth:`~repro.core.completion.CompletionSearch.run`
-    (root, target, E, effective pruning mode).
+    (root, target, E, effective pruning mode).  When an ambient
+    request identity is set (:mod:`repro.obs.reqlog`), the header also
+    carries ``request_id`` so serving-tier audit streams correlate
+    with the access log and slow-query log.
 ``expand``
     A node entered by the DFS (the paper's recursive ``traverse`` call),
     with its depth, arriving edge, and accumulated label.
@@ -86,6 +89,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 
 from repro.algebra.labels import IDENTITY_LABEL
+from repro.obs.reqlog import get_request_id
 
 __all__ = [
     "AuditNode",
@@ -146,6 +150,10 @@ class SearchAuditLog:
 
     def record(self, kind: str, **attrs) -> dict:
         entry = {"seq": len(self.records), "kind": kind}
+        if kind == "search":
+            request_id = get_request_id()
+            if request_id is not None:
+                entry["request_id"] = request_id
         entry.update(attrs)
         self.records.append(entry)
         return entry

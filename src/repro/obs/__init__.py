@@ -19,8 +19,15 @@ effectiveness).  This package makes that visible at every layer:
   Prometheus text exposition format, on stdout or over a stdlib HTTP
   scrape endpoint (``python -m repro.obs.serve``).
 * :mod:`repro.obs.slowlog` — tail-based slow-query retention: only
-  queries over a latency threshold or in the current top-K keep their
-  full span tree, query text, E, and budget outcome.
+  queries over a latency threshold, in the current top-K, or promoted
+  (head-sampled or failed) keep their full span tree, query text, E,
+  and budget outcome.
+* :mod:`repro.obs.reqlog` — request-scoped identity: request IDs on an
+  ambient contextvar, Bernoulli head sampling, and the structured
+  JSONL access log the serving tier writes per request.
+* :mod:`repro.obs.slo` — rolling-window SLO monitoring with
+  multi-window burn-rate alerting (availability and latency
+  objectives), rendered into ``/healthz`` and Prometheus gauges.
 * :mod:`repro.obs.profile` — cProfile attached to a named span
   taxonomy, exported as flamegraph-ready collapsed stacks.
 * :mod:`repro.obs.perf` — the benchmark-history ledger
@@ -45,6 +52,18 @@ from repro.obs.metrics import (
     use_metrics,
 )
 from repro.obs.profile import DEFAULT_PROFILED_SPANS, SpanProfiler
+from repro.obs.reqlog import (
+    ACCESS_LOG_VERSION,
+    REQUEST_ID_HEADER,
+    AccessLog,
+    HeadSampler,
+    RequestContext,
+    clean_request_id,
+    get_request,
+    get_request_id,
+    mint_request_id,
+    use_request,
+)
 from repro.obs.promtext import (
     DEFAULT_BUCKET_BOUNDS,
     render_prometheus,
@@ -54,13 +73,22 @@ from repro.obs.schema import (
     SchemaValidationError,
     load_builtin_schema,
     validate,
+    validate_access_records,
     validate_audit_records,
     validate_bench_records,
     validate_metrics_summary,
+    validate_slo_status,
     validate_slowlog_entries,
     validate_trace_events,
 )
+from repro.obs.slo import (
+    SLO_STATUS_VERSION,
+    Objective,
+    SLOMonitor,
+)
 from repro.obs.slowlog import (
+    RETAINED_PROMOTED,
+    RETAINED_SAMPLED,
     SLOWLOG_VERSION,
     NullSlowQueryLog,
     SlowLogEntry,
@@ -98,16 +126,26 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "ACCESS_LOG_VERSION",
+    "AccessLog",
     "BenchRecord",
     "DEFAULT_BUCKET_BOUNDS",
     "DEFAULT_PROFILED_SPANS",
+    "HeadSampler",
     "MetricsRegistry",
     "MetricsServer",
     "NullMetricsRegistry",
     "NullSlowQueryLog",
     "NullTracer",
+    "Objective",
+    "REQUEST_ID_HEADER",
+    "RETAINED_PROMOTED",
+    "RETAINED_SAMPLED",
     "RecordingTracer",
+    "RequestContext",
+    "SLOMonitor",
     "SLOWLOG_VERSION",
+    "SLO_STATUS_VERSION",
     "SUMMARY_VERSION",
     "SchemaValidationError",
     "SlowLogEntry",
@@ -115,22 +153,29 @@ __all__ = [
     "Span",
     "SpanProfiler",
     "append_records",
+    "clean_request_id",
     "compare",
     "environment_fingerprint",
     "get_metrics",
+    "get_request",
+    "get_request_id",
     "get_slowlog",
     "get_tracer",
     "load_builtin_schema",
     "load_history",
+    "mint_request_id",
     "new_run_id",
     "render_prometheus",
     "use_metrics",
+    "use_request",
     "use_slowlog",
     "use_tracer",
     "validate",
+    "validate_access_records",
     "validate_audit_records",
     "validate_bench_records",
     "validate_metrics_summary",
+    "validate_slo_status",
     "validate_slowlog_entries",
     "validate_trace_events",
     "write_prometheus",

@@ -30,9 +30,11 @@ __all__ = [
     "SchemaValidationError",
     "load_builtin_schema",
     "validate",
+    "validate_access_records",
     "validate_audit_records",
     "validate_bench_records",
     "validate_metrics_summary",
+    "validate_slo_status",
     "validate_slowlog_entries",
     "validate_trace_events",
 ]
@@ -256,6 +258,66 @@ def validate_audit_records(records: list) -> None:
                     f"$[{index}]: score deltas sum to {sum(deltas)}, "
                     f"not the reported total {record.get('total')!r}"
                 )
+    if problems:
+        raise SchemaValidationError(problems)
+
+
+def validate_access_records(records: list) -> None:
+    """Validate a parsed JSON-lines structured access log.
+
+    Beyond ``access_record.schema.json`` this enforces the cross-field
+    rules the schema subset cannot express: a shed/drain outcome must
+    name its reason, and a ``partial`` outcome must carry the budget's
+    ``truncation_reason`` — an access log that says *what* degraded
+    without saying *why* cannot anchor an incident walkthrough.
+    """
+    schema = load_builtin_schema("access_record")
+    problems: list[str] = []
+    for index, record in enumerate(records):
+        problems.extend(validate(record, schema, path=f"$[{index}]"))
+        if not isinstance(record, dict):
+            continue
+        outcome = record.get("outcome")
+        if outcome in ("shed", "drain") and not record.get("shed_reason"):
+            problems.append(
+                f"$[{index}]: {outcome} outcome missing its 'shed_reason'"
+            )
+        if outcome == "partial" and not record.get("truncation_reason"):
+            problems.append(
+                f"$[{index}]: partial outcome missing 'truncation_reason'"
+            )
+    if problems:
+        raise SchemaValidationError(problems)
+
+
+def validate_slo_status(payload: object) -> None:
+    """Validate one ``slo_status`` payload (``/healthz``, ``/v1/debug``,
+    ``BENCH_slo.json``), including the burn-rate arithmetic the schema
+    cannot check: each window's reported ``burn_rate`` must equal its
+    ``error_rate`` scaled by the objective's error budget."""
+    problems = validate(payload, load_builtin_schema("slo_status"))
+    if isinstance(payload, dict):
+        for at, objective in enumerate(payload.get("objectives", [])):
+            if not isinstance(objective, dict):
+                continue
+            target = objective.get("target")
+            if not isinstance(target, (int, float)) or not 0 < target < 1:
+                continue
+            budget = 1.0 - target
+            for wat, window in enumerate(objective.get("windows", [])):
+                if not isinstance(window, dict):
+                    continue
+                rate = window.get("error_rate")
+                burn = window.get("burn_rate")
+                if isinstance(rate, (int, float)) and isinstance(
+                    burn, (int, float)
+                ):
+                    if abs(burn - rate / budget) > 0.01 + 0.01 * burn:
+                        problems.append(
+                            f"$.objectives[{at}].windows[{wat}]: burn_rate "
+                            f"{burn!r} is not error_rate/budget "
+                            f"({rate / budget:.3f})"
+                        )
     if problems:
         raise SchemaValidationError(problems)
 

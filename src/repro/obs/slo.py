@@ -1,0 +1,261 @@
+"""Rolling-window SLO monitoring with multi-window burn rates.
+
+The serving tier promises two things per window of traffic: requests
+are *answered* (availability — no 500s, no sheds) and answered *fast
+enough* (a latency threshold).  This module measures both as SLOs in
+the SRE style:
+
+* every response lands in a coarse time bucket (``bucket_s`` seconds)
+  as ``total`` plus one ``bad`` count per objective;
+* an **error rate** over a window is ``bad / total``; the **burn
+  rate** is the error rate divided by the objective's error budget
+  (``1 - target``) — burn 1.0 means the budget is being consumed
+  exactly as provisioned, 14.4 means a 30-day budget burns in 2 days;
+* alerting is **multi-window**: ``page`` requires the burn to exceed
+  ``page_burn`` over *both* the long window (sustained damage) and the
+  short window (still happening right now), which is what keeps a
+  recovered incident from paging an hour later.  ``warn`` applies
+  ``warn_burn`` the same way.
+
+The monitor is clock-injectable (tests drive a fake monotonic clock
+through arbitrary windows in microseconds), thread-safe, and bounded:
+buckets older than the longest window are pruned on every record, so
+memory is ``O(slow_window / bucket_s)`` regardless of uptime.
+
+:meth:`SLOMonitor.status` renders the whole evaluation as one JSON
+payload (validated against the checked-in ``slo_status.schema.json``)
+— the ``/healthz`` and ``/v1/debug`` endpoints embed it verbatim — and
+:meth:`SLOMonitor.export_gauges` mirrors the numbers into labelled
+Prometheus gauges through the existing promtext path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections.abc import Callable
+
+from repro.obs.metrics import labelled
+
+__all__ = ["Objective", "SLOMonitor", "SLO_STATUS_VERSION"]
+
+#: Format version stamped on every exported ``slo_status`` payload.
+SLO_STATUS_VERSION = 1
+
+#: Alert states, mild to severe (the gauge exports the index).
+STATES = ("ok", "warn", "page")
+
+#: Statuses counted against the availability objective: genuine server
+#: failure (5xx) and load shedding (429) both mean "the caller did not
+#: get an answer"; 4xx client errors and 206 anytime answers do not.
+_UNAVAILABLE_OVER = 500
+_SHED_STATUS = 429
+
+
+@dataclasses.dataclass(frozen=True)
+class Objective:
+    """One SLO: a success-ratio target, optionally latency-bounded.
+
+    ``threshold_ms`` of ``None`` makes this an *availability*
+    objective (bad = 5xx or shed); otherwise it is a *latency*
+    objective (bad = the response took longer than the threshold).
+    """
+
+    name: str
+    target: float
+    threshold_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"target must be in (0, 1), got {self.target!r}"
+            )
+        if self.threshold_ms is not None and self.threshold_ms <= 0:
+            raise ValueError("threshold_ms must be positive")
+
+    def is_bad(self, status: int, latency_ms: float) -> bool:
+        if self.threshold_ms is None:
+            return status >= _UNAVAILABLE_OVER or status == _SHED_STATUS
+        return latency_ms > self.threshold_ms
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+
+class SLOMonitor:
+    """Availability + latency SLOs over rolling windows.
+
+    Parameters
+    ----------
+    availability_target:
+        Fraction of requests that must be answered (non-5xx, non-shed).
+    latency_threshold_ms, latency_target:
+        The latency objective: ``latency_target`` of requests must
+        finish within ``latency_threshold_ms``.
+    windows:
+        Window lengths in seconds, shortest to longest.  The shortest
+        and longest are the multi-window alerting pair; the rest are
+        reported for operators.
+    bucket_s:
+        Bucket granularity; window sums are exact to one bucket.
+    page_burn, warn_burn:
+        Burn-rate thresholds for the two alert levels.
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        availability_target: float = 0.999,
+        latency_threshold_ms: float = 250.0,
+        latency_target: float = 0.99,
+        windows: tuple[float, ...] = (60.0, 300.0, 3600.0),
+        bucket_s: float = 5.0,
+        page_burn: float = 14.4,
+        warn_burn: float = 6.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not windows or any(w <= 0 for w in windows):
+            raise ValueError("windows must be positive and non-empty")
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        if page_burn <= warn_burn or warn_burn <= 0:
+            raise ValueError("need page_burn > warn_burn > 0")
+        self.objectives: tuple[Objective, ...] = (
+            Objective("availability", availability_target),
+            Objective(
+                "latency", latency_target, threshold_ms=latency_threshold_ms
+            ),
+        )
+        self.windows = tuple(sorted(windows))
+        self.bucket_s = bucket_s
+        self.page_burn = page_burn
+        self.warn_burn = warn_burn
+        self._clock = clock
+        #: bucket index -> [total, bad_obj0, bad_obj1, ...]
+        self._buckets: dict[int, list[int]] = {}
+        self._lock = threading.Lock()
+
+    # -- recording ----------------------------------------------------
+
+    def record(self, status: int, latency_ms: float) -> None:
+        """Count one finished response into the current bucket."""
+        index = int(self._clock() / self.bucket_s)
+        with self._lock:
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                bucket = [0] * (1 + len(self.objectives))
+                self._buckets[index] = bucket
+                self._prune(index)
+            bucket[0] += 1
+            for at, objective in enumerate(self.objectives, start=1):
+                if objective.is_bad(status, latency_ms):
+                    bucket[at] += 1
+
+    def _prune(self, now_index: int) -> None:
+        """Drop buckets past the longest window (called under the lock,
+        only when a new bucket opens — amortized O(1) per request)."""
+        horizon = now_index - int(self.windows[-1] / self.bucket_s) - 1
+        for index in [i for i in self._buckets if i < horizon]:
+            del self._buckets[index]
+
+    # -- evaluation ---------------------------------------------------
+
+    def _window_counts(self, window_s: float) -> tuple[int, list[int]]:
+        """(total, bad-per-objective) over the trailing ``window_s``."""
+        now_index = int(self._clock() / self.bucket_s)
+        first = now_index - int(window_s / self.bucket_s)
+        total = 0
+        bad = [0] * len(self.objectives)
+        with self._lock:
+            for index, bucket in self._buckets.items():
+                if first < index <= now_index:
+                    total += bucket[0]
+                    for at in range(len(self.objectives)):
+                        bad[at] += bucket[1 + at]
+        return total, bad
+
+    @staticmethod
+    def _burn(bad: int, total: int, budget: float) -> tuple[float, float]:
+        """(error_rate, burn_rate) with the empty-window convention
+        that no traffic burns no budget."""
+        if total == 0:
+            return 0.0, 0.0
+        error_rate = bad / total
+        return error_rate, error_rate / budget
+
+    def status(self) -> dict:
+        """The full evaluation as the ``slo_status`` JSON payload."""
+        per_window: dict[float, tuple[int, list[int]]] = {
+            window: self._window_counts(window) for window in self.windows
+        }
+        objectives = []
+        overall = 0
+        for at, objective in enumerate(self.objectives):
+            windows = []
+            burns: dict[float, float] = {}
+            for window in self.windows:
+                total, bad = per_window[window]
+                error_rate, burn = self._burn(
+                    bad[at], total, objective.error_budget
+                )
+                burns[window] = burn
+                windows.append(
+                    {
+                        "window_s": window,
+                        "total": total,
+                        "bad": bad[at],
+                        "error_rate": round(error_rate, 6),
+                        "burn_rate": round(burn, 3),
+                    }
+                )
+            fast, slow = self.windows[0], self.windows[-1]
+            if burns[fast] > self.page_burn and burns[slow] > self.page_burn:
+                state = 2
+            elif burns[fast] > self.warn_burn and burns[slow] > self.warn_burn:
+                state = 1
+            else:
+                state = 0
+            overall = max(overall, state)
+            entry: dict = {
+                "name": objective.name,
+                "target": objective.target,
+                "threshold_ms": objective.threshold_ms,
+                "state": STATES[state],
+                "windows": windows,
+            }
+            objectives.append(entry)
+        return {
+            "version": SLO_STATUS_VERSION,
+            "state": STATES[overall],
+            "page_burn": self.page_burn,
+            "warn_burn": self.warn_burn,
+            "objectives": objectives,
+        }
+
+    def export_gauges(self, metrics) -> None:
+        """Mirror the evaluation into labelled Prometheus gauges."""
+        payload = self.status()
+        metrics.gauge("slo.state").set(
+            float(STATES.index(payload["state"]))
+        )
+        for objective in payload["objectives"]:
+            for window in objective["windows"]:
+                labels = {
+                    "objective": objective["name"],
+                    "window": f"{window['window_s']:g}s",
+                }
+                metrics.gauge(
+                    labelled("slo.burn_rate", **labels)
+                ).set(window["burn_rate"])
+                metrics.gauge(
+                    labelled("slo.error_rate", **labels)
+                ).set(window["error_rate"])
+
+    def __repr__(self) -> str:
+        return (
+            f"SLOMonitor(windows={self.windows}, "
+            f"state={self.status()['state']})"
+        )

@@ -68,6 +68,13 @@ SLOWLOG_VERSION = 2
 #: Reasons an entry was retained.
 RETAINED_THRESHOLD = "threshold"
 RETAINED_TOP_K = "top_k"
+#: Head-sampled request: the serving tier decided at admission to keep
+#: a representative trace regardless of latency.
+RETAINED_SAMPLED = "sampled"
+#: Tail-promoted request: it ended truncated or errored, so the trace
+#: is kept no matter how fast it was (``promote_failures`` or an
+#: explicit :meth:`Observation.promote`).
+RETAINED_PROMOTED = "promoted"
 
 
 def _ambient_modes() -> tuple[str, str]:
@@ -182,6 +189,7 @@ class Observation:
         "truncation_reason",
         "error",
         "stats",
+        "promoted",
     )
 
     def __init__(
@@ -203,9 +211,20 @@ class Observation:
         self.truncation_reason: str | None = None
         self.error: str | None = None
         self.stats: dict | None = None
+        self.promoted: str | None = None
 
     def set(self, **attrs: object) -> "Observation":
         self.attrs.update(attrs)
+        return self
+
+    def promote(self, reason: str = RETAINED_PROMOTED) -> "Observation":
+        """Force retention of this query's entry regardless of latency.
+
+        ``reason`` becomes the entry's ``retained`` label
+        (:data:`RETAINED_SAMPLED` for head-sampled requests,
+        :data:`RETAINED_PROMOTED` for explicit tail promotion).
+        """
+        self.promoted = reason
         return self
 
     def record_result(self, result: object) -> None:
@@ -226,6 +245,9 @@ class _NullObservation:
     __slots__ = ()
 
     def set(self, **attrs: object) -> "_NullObservation":
+        return self
+
+    def promote(self, reason: str = RETAINED_PROMOTED) -> "_NullObservation":
         return self
 
     def record_result(self, result: object) -> None:
@@ -253,7 +275,12 @@ class SlowQueryLog:
         the threshold; when a new query outranks the current minimum,
         the minimum is evicted (unless it also cleared the threshold).
     capacity:
-        Ring-buffer bound on threshold-retained entries.
+        Ring-buffer bound on threshold- and promotion-retained entries.
+    promote_failures:
+        When set, a query that ended truncated (``exhausted=False``) or
+        errored is retained even below the latency threshold — the
+        serving tier's *tail promotion*: a 206 or a 5xx is worth its
+        trace no matter how quickly it failed.
     """
 
     enabled = True
@@ -264,12 +291,14 @@ class SlowQueryLog:
         threshold_ms: float | None = None,
         top_k: int = 10,
         capacity: int = 256,
+        promote_failures: bool = False,
     ) -> None:
         if top_k < 0 or capacity < 1:
             raise ValueError("top_k must be >= 0 and capacity >= 1")
         self.threshold_ms = threshold_ms
         self.top_k = top_k
         self.capacity = capacity
+        self.promote_failures = promote_failures
         self._seq = 0
         self._observed = 0
         self._by_threshold: deque[SlowLogEntry] = deque(maxlen=capacity)
@@ -362,11 +391,22 @@ class SlowQueryLog:
                 self.threshold_ms is not None
                 and elapsed_ms >= self.threshold_ms
             )
+            promoted = observation.promoted
+            if promoted is None and self.promote_failures and (
+                observation.error is not None or not observation.exhausted
+            ):
+                promoted = RETAINED_PROMOTED
             in_top_k = self.top_k > 0 and (
                 len(self._heap) < self.top_k or elapsed_ms > self._heap[0][0]
             )
-            if not over_threshold and not in_top_k:
+            if not over_threshold and not in_top_k and promoted is None:
                 return  # drop: trace garbage-collects with the tracer
+            if over_threshold:
+                retained = RETAINED_THRESHOLD
+            elif promoted is not None:
+                retained = promoted
+            else:
+                retained = RETAINED_TOP_K
             entry = SlowLogEntry(
                 seq=seq,
                 kind=observation.kind,
@@ -378,12 +418,14 @@ class SlowQueryLog:
                 exhausted=observation.exhausted,
                 truncation_reason=observation.truncation_reason,
                 error=observation.error,
-                retained=RETAINED_THRESHOLD if over_threshold else RETAINED_TOP_K,
+                retained=retained,
                 stats=observation.stats,
                 attrs=_jsonable_attrs(observation.attrs),
                 spans=tracer.to_events(roots),
             )
-            if over_threshold:
+            if over_threshold or (promoted is not None and not in_top_k):
+                # Promotions share the threshold ring so `capacity`
+                # still bounds total retention under a failure storm.
                 self._by_threshold.append(entry)
             if in_top_k:
                 if len(self._heap) < self.top_k:

@@ -6,13 +6,14 @@ Usage::
     python -m repro.obs.validate FILE [FILE ...]
 
 ``*.jsonl`` files hold JSON-lines records whose kind is sniffed from
-the first record — trace logs (``type`` key), slow-query logs
-(``retained``/``elapsed_ms`` keys), search audit logs
-(``kind``/``seq`` keys), or benchmark-history rows (``run``/``value``
-keys); everything else is a metrics summary document.  Exit status 0
-when every file conforms, 1 otherwise — CI runs this over the
-quick-bench exports so a format drift fails the build until the schema
-files are updated deliberately.
+the first record — access logs (``request_id``/``route`` keys), trace
+logs (``type`` key), slow-query logs (``retained``/``elapsed_ms``
+keys), search audit logs (``kind``/``seq`` keys), or benchmark-history
+rows (``run``/``value`` keys).  ``*.json`` documents are SLO status
+payloads when they carry ``objectives``/``state`` keys, metrics
+summaries otherwise.  Exit status 0 when every file conforms, 1
+otherwise — CI runs this over the quick-bench exports so a format
+drift fails the build until the schema files are updated deliberately.
 """
 
 from __future__ import annotations
@@ -23,9 +24,11 @@ import sys
 
 from repro.obs.schema import (
     SchemaValidationError,
+    validate_access_records,
     validate_audit_records,
     validate_bench_records,
     validate_metrics_summary,
+    validate_slo_status,
     validate_slowlog_entries,
     validate_trace_events,
 )
@@ -37,6 +40,8 @@ def _jsonl_kind(records: list) -> str:
     """Sniff which JSON-lines format a record list is."""
     first = records[0] if records else {}
     if isinstance(first, dict):
+        if "request_id" in first and "route" in first:
+            return "access log"
         if "retained" in first and "elapsed_ms" in first:
             return "slow-query log"
         if "kind" in first and "seq" in first:
@@ -47,6 +52,7 @@ def _jsonl_kind(records: list) -> str:
 
 
 _JSONL_VALIDATORS = {
+    "access log": validate_access_records,
     "slow-query log": validate_slowlog_entries,
     "search audit log": validate_audit_records,
     "benchmark history": validate_bench_records,
@@ -68,7 +74,14 @@ def _validate_file(path: str) -> tuple[str, list[str]]:
                 kind = _jsonl_kind(records)
                 _JSONL_VALIDATORS[kind](records)
             else:
-                validate_metrics_summary(json.load(handle))
+                document = json.load(handle)
+                if isinstance(document, dict) and (
+                    "objectives" in document and "state" in document
+                ):
+                    kind = "slo status"
+                    validate_slo_status(document)
+                else:
+                    validate_metrics_summary(document)
     except FileNotFoundError:
         return kind, [f"{path}: file not found"]
     except json.JSONDecodeError as error:

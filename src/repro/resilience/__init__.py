@@ -24,6 +24,7 @@ degradation ladder.
 from repro.resilience.budget import (
     Budget,
     BudgetMeter,
+    CancelSignal,
     TruncationReason,
     get_budget,
     use_budget,
@@ -40,6 +41,7 @@ from repro.resilience.retry import RetryExhaustedError, RetryPolicy
 __all__ = [
     "Budget",
     "BudgetMeter",
+    "CancelSignal",
     "FakeClock",
     "FaultPlan",
     "FaultyCache",

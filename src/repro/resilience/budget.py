@@ -43,6 +43,7 @@ deadline behavior is deterministic under test — see
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from collections.abc import Callable
 from contextlib import contextmanager
@@ -51,6 +52,7 @@ from contextvars import ContextVar
 __all__ = [
     "Budget",
     "BudgetMeter",
+    "CancelSignal",
     "TruncationReason",
     "get_budget",
     "use_budget",
@@ -72,15 +74,54 @@ class TruncationReason:
     NODES = "nodes"
     PATHS = "paths"
     DEPTH = "depth"
+    CANCELLED = "cancelled"
 
     #: Reasons a meter itself can report (degradation adds its own).
-    ALL = (DEADLINE, NODES, PATHS, DEPTH)
+    ALL = (DEADLINE, NODES, PATHS, DEPTH, CANCELLED)
 
     @staticmethod
     def degraded(e: int) -> str:
         """The reason recorded when the engine's degradation ladder
         answered at a lower relaxation than requested."""
         return f"degraded:e={e}"
+
+
+class CancelSignal:
+    """A cooperative, cross-thread cancel flag a :class:`Budget` carries.
+
+    The deadline is a *scheduled* stop; this is an *asynchronous* one —
+    the serving tier's drain path fires it so in-flight searches abort
+    at the very next expansion instead of waiting for the next clock
+    sample to observe the dilated drain clock.  :meth:`BudgetMeter.tripped`
+    checks it on every call (one attribute read plus an
+    ``Event.is_set`` when armed), and the trip latches like any other
+    truncation reason, so ``partial_ok`` semantics apply unchanged: the
+    caller still gets the best-so-far anytime answer, flagged with this
+    signal's ``reason``.
+
+    One signal may govern many budgets (the drain path shares a single
+    signal across all queued requests) — cancelling is idempotent and
+    there is no way to un-cancel.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason = TruncationReason.CANCELLED
+
+    def cancel(self, reason: str = TruncationReason.CANCELLED) -> None:
+        """Fire the signal; every meter checking it trips from now on."""
+        self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        state = f"cancelled:{self.reason}" if self.cancelled else "armed"
+        return f"CancelSignal({state})"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -111,6 +152,10 @@ class Budget:
         *Maximum* node expansions between deadline reads.  The armed
         meter adapts the actual stride between 1 and this bound based
         on the observed per-expansion cost (see :class:`BudgetMeter`).
+    cancel:
+        An optional :class:`CancelSignal` checked on *every* expansion
+        (not just at clock samples), so an external event — serving-tier
+        drain — aborts a search mid-expansion.
     """
 
     max_seconds: float | None = None
@@ -120,6 +165,7 @@ class Budget:
     partial_ok: bool = False
     clock: Callable[[], float] = time.monotonic
     check_interval: int = DEFAULT_CHECK_INTERVAL
+    cancel: CancelSignal | None = None
 
     def __post_init__(self) -> None:
         for name in ("max_seconds", "max_nodes", "max_paths", "max_stack_depth"):
@@ -133,12 +179,18 @@ class Budget:
 
     @property
     def is_unlimited(self) -> bool:
-        """True when no dimension is bounded (the meter never trips)."""
+        """True when no dimension is bounded (the meter never trips).
+
+        A budget carrying a :class:`CancelSignal` is never unlimited —
+        callers gate meter creation on this property, and the signal
+        can only trip a meter that exists.
+        """
         return (
             self.max_seconds is None
             and self.max_nodes is None
             and self.max_paths is None
             and self.max_stack_depth is None
+            and self.cancel is None
         )
 
     @classmethod
@@ -235,13 +287,17 @@ class BudgetMeter:
 
         ``nodes``/``paths``/``depth`` are the traversal's current node
         expansion count, recorded complete paths, and stack depth.
-        Caps are checked on every call (integer compares); the deadline
-        is read on the adaptive stride described on the class.
+        The cancel signal and caps are checked on every call (an event
+        read and integer compares); the deadline is read on the
+        adaptive stride described on the class.
         """
         if self.reason is not None:
             return self.reason
         budget = self.budget
-        if budget.max_nodes is not None and nodes >= budget.max_nodes:
+        cancel = budget.cancel
+        if cancel is not None and cancel.cancelled:
+            self.reason = cancel.reason
+        elif budget.max_nodes is not None and nodes >= budget.max_nodes:
             self.reason = TruncationReason.NODES
         elif budget.max_paths is not None and paths >= budget.max_paths:
             self.reason = TruncationReason.PATHS
@@ -284,7 +340,10 @@ class BudgetMeter:
         """An unsampled deadline read (segment boundaries, retries)."""
         if self.reason is not None:
             return self.reason
-        if self.deadline is not None and self.budget.clock() >= self.deadline:
+        cancel = self.budget.cancel
+        if cancel is not None and cancel.cancelled:
+            self.reason = cancel.reason
+        elif self.deadline is not None and self.budget.clock() >= self.deadline:
             self.reason = TruncationReason.DEADLINE
         return self.reason
 

@@ -44,7 +44,18 @@ class RetryExhaustedError(ReproError):
 
     ``attempts`` is how many times the callable ran; ``last`` is the
     exception the final attempt raised (also the ``__cause__``).
+
+    ``response``/``status``/``retry_after`` are the structured surface
+    for callers that retried against a server: they default to ``None``
+    and the raiser (the serving tier's client) fills them in with the
+    last *server* answer seen across the attempts — a transport error
+    on the final attempt must not erase the ``Retry-After`` guidance an
+    earlier shed response carried.
     """
+
+    response = None
+    status: int | None = None
+    retry_after: float | None = None
 
     def __init__(self, attempts: int, last: BaseException) -> None:
         super().__init__(

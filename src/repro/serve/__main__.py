@@ -146,6 +146,33 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="complete EXPRESSION for tenant NAME at boot, with retry "
         "on transient faults (repeatable)",
     )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="probability a request gets a recording tracer; slow or "
+        "failed requests are tail-promoted regardless (default 0)",
+    )
+    parser.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="append every structured access record to PATH as JSONL "
+        "(the in-memory ring is always kept unless --no-access-log)",
+    )
+    parser.add_argument(
+        "--no-access-log",
+        action="store_true",
+        help="disable the structured access log entirely",
+    )
+    parser.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=250.0,
+        help="latency-objective threshold for SLO burn-rate monitoring "
+        "(default 250)",
+    )
 
 
 def _parse_pair(raw: str, option: str) -> tuple[str, str]:
@@ -175,6 +202,10 @@ def build_tier(args: argparse.Namespace) -> ServingTier:
         drain_deadline_s=args.drain_deadline,
         max_cache_bytes=args.cache_bytes,
         slow_ms=args.slow_ms,
+        trace_sample_rate=args.trace_sample_rate,
+        access_log=not args.no_access_log,
+        access_log_path=args.access_log,
+        slo_latency_ms=args.slo_latency_ms,
     )
     registry = TenantRegistry(max_cache_bytes=config.max_cache_bytes)
 

@@ -40,15 +40,34 @@ instead of collapsing it*:
   evicts least-recently-used completion-cache entries from the least
   recently touched tenant until the fleet fits ``max_cache_bytes``.
 
+* **Request-scoped observability.**  Every request carries a request
+  ID (inbound ``X-Request-Id`` honoured after sanitation, minted
+  otherwise) stamped into the response header, the structured access
+  log (:class:`~repro.obs.reqlog.AccessLog`), the slow-log entry, and
+  the audit stream.  ``trace_sample_rate`` head-samples requests into
+  a per-request :class:`~repro.obs.tracer.RecordingTracer`; slow,
+  truncated, or errored requests are *tail-promoted* into the slow log
+  regardless of the sampling decision.  A rolling-window
+  :class:`~repro.obs.slo.SLOMonitor` evaluates availability and
+  latency burn rates into ``/healthz``, ``/metrics``, and the
+  ``GET /v1/debug`` ops endpoint.
+
+* **Cooperative drain cancellation.**  Past the drain hard deadline a
+  :class:`~repro.resilience.budget.CancelSignal` shared by every
+  admitted budget fires, so in-flight searches abort at their very
+  next expansion — the dilated drain clock remains as the backstop for
+  meters between clock samples.
+
 Endpoints: ``POST /v1/complete``, ``POST /v1/query``,
-``GET /v1/schemas``, plus the scrape pair absorbed from
-:mod:`repro.obs.serve` — ``GET /metrics`` (Prometheus text, with
+``GET /v1/schemas``, ``GET /v1/debug``, plus the scrape pair absorbed
+from :mod:`repro.obs.serve` — ``GET /metrics`` (Prometheus text, with
 per-route/status labels) and ``GET /healthz``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import contextvars
 import json
 import signal
@@ -69,10 +88,22 @@ from repro.obs.metrics import (
     use_metrics,
 )
 from repro.obs.promtext import render_prometheus
+from repro.obs.reqlog import (
+    REQUEST_ID_HEADER,
+    AccessLog,
+    HeadSampler,
+    RequestContext,
+    clean_request_id,
+    get_request,
+    mint_request_id,
+    use_request,
+)
 from repro.obs.serve import health_snapshot
-from repro.obs.slowlog import SlowQueryLog, use_slowlog
+from repro.obs.slo import SLOMonitor
+from repro.obs.slowlog import RETAINED_SAMPLED, SlowQueryLog, use_slowlog
+from repro.obs.tracer import RecordingTracer, get_tracer, use_tracer
 from repro.query.language import run_query
-from repro.resilience.budget import use_budget
+from repro.resilience.budget import CancelSignal, use_budget
 from repro.serve.config import ServeConfig
 from repro.serve.http import (
     HttpError,
@@ -126,8 +157,27 @@ class ServingTier:
         self.slowlog = (
             slowlog
             if slowlog is not None
-            else SlowQueryLog(threshold_ms=self.config.slow_ms)
+            else SlowQueryLog(
+                threshold_ms=self.config.slow_ms, promote_failures=True
+            )
         )
+        self.access_log = AccessLog(
+            capacity=self.config.access_log_capacity,
+            path=self.config.access_log_path,
+        )
+        self.access_log.enabled = self.config.access_log
+        self.sampler = HeadSampler(
+            self.config.trace_sample_rate,
+            seed=self.config.trace_sample_seed,
+        )
+        self.slo = SLOMonitor(
+            availability_target=self.config.slo_availability_target,
+            latency_threshold_ms=self.config.slo_latency_ms,
+            latency_target=self.config.slo_latency_target,
+        )
+        #: One cancel signal shared by every admitted budget; fired
+        #: when a drain crosses its hard deadline.
+        self._drain_cancel = CancelSignal()
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-serve"
         )
@@ -205,6 +255,13 @@ class ServingTier:
         self._drain_hard_at = (
             time.monotonic() + self.config.drain_deadline_s
         )
+        # At the hard deadline the shared cancel signal fires, so every
+        # in-flight search trips at its next expansion — not merely at
+        # its next deadline *clock sample* under the dilated clock.
+        if self._loop is not None:
+            self._loop.call_later(
+                self.config.drain_deadline_s, self._drain_cancel.cancel
+            )
         self.metrics.counter("serve.drains").inc()
 
     def request_drain(self) -> None:
@@ -396,39 +453,60 @@ class ServingTier:
     # -- routing and error mapping ------------------------------------
 
     async def _dispatch(self, request: Request) -> tuple[bytes, bool]:
-        """Route one request; map every failure to a status code."""
+        """Route one request; map every failure to a status code.
+
+        The request's identity is resolved here — an inbound
+        ``X-Request-Id`` honoured after sanitation, a fresh ID minted
+        otherwise — installed as the ambient :class:`RequestContext`
+        (the executor's ``copy_context`` carries it into the worker
+        job), stamped into the response header, and recorded with the
+        outcome in the access log and SLO windows.
+        """
         route = f"{request.method} {request.path}"
         started = time.monotonic()
         content_type = "application/json"
         body: bytes | None = None
         extra: dict[str, str] | None = None
-        try:
-            outcome = await self._route(request)
-            status, payload, content_type, extra = outcome
-            if isinstance(payload, bytes):
-                body = payload
-        except HttpError as error:
-            status, payload = error.status, {"error": error.message}
-        except UnknownTenantError as error:
-            status, payload = 404, {"error": str(error)}
-        except BudgetExceededError as error:
-            # partial_ok is always set, so this is belt and braces for
-            # a future engine path that refuses partial answers.
-            status = 206
-            payload = {"error": str(error), "truncation_reason": "deadline"}
-        except InjectedFaultError as error:
-            status = 503
-            payload = {"error": str(error), "transient": True}
-            extra = {"Retry-After": str(self.config.retry_after_s)}
-        except (ReproError, ValueError) as error:
-            status = 400
-            payload = {"error": str(error), "kind": type(error).__name__}
-        except asyncio.CancelledError:
-            raise
-        except Exception as error:  # noqa: BLE001 - last-resort mapping
-            status = 500
-            payload = {"error": f"internal error: {type(error).__name__}"}
-            self.metrics.counter("serve.internal_errors").inc()
+        request_id = (
+            clean_request_id(request.headers.get(REQUEST_ID_HEADER))
+            or mint_request_id()
+        )
+        sampled = (
+            request.method == "POST"
+            and request.path in ("/v1/complete", "/v1/query")
+            and self.sampler.sample()
+        )
+        with use_request(RequestContext(request_id, sampled=sampled)):
+            try:
+                outcome = await self._route(request)
+                status, payload, content_type, extra = outcome
+                if isinstance(payload, bytes):
+                    body = payload
+            except HttpError as error:
+                status, payload = error.status, {"error": error.message}
+            except UnknownTenantError as error:
+                status, payload = 404, {"error": str(error)}
+            except BudgetExceededError as error:
+                # partial_ok is always set, so this is belt and braces
+                # for a future engine path that refuses partial answers.
+                status = 206
+                payload = {
+                    "error": str(error),
+                    "truncation_reason": "deadline",
+                }
+            except InjectedFaultError as error:
+                status = 503
+                payload = {"error": str(error), "transient": True}
+                extra = {"Retry-After": str(self.config.retry_after_s)}
+            except (ReproError, ValueError) as error:
+                status = 400
+                payload = {"error": str(error), "kind": type(error).__name__}
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 - last-resort mapping
+                status = 500
+                payload = {"error": f"internal error: {type(error).__name__}"}
+                self.metrics.counter("serve.internal_errors").inc()
         if body is None:
             body = (json.dumps(payload, sort_keys=True) + "\n").encode(
                 "utf-8"
@@ -442,14 +520,59 @@ class ServingTier:
         self.metrics.histogram(
             labelled("serve.latency_ms", route=route)
         ).observe(elapsed_ms)
+        self.slo.record(status, elapsed_ms)
+        data = payload if isinstance(payload, dict) else {}
+        if self.access_log.enabled:
+            outcome_label, shed_reason = self._outcome_of(status, data)
+            stats = data.get("stats")
+            cache_hit = (
+                stats.get("cache_hits", 0) > 0
+                if isinstance(stats, dict)
+                else None
+            )
+            error_text = data.get("error")
+            self.access_log.record(
+                request_id=request_id,
+                method=request.method,
+                route=request.path,
+                status=status,
+                latency_ms=elapsed_ms,
+                outcome=outcome_label,
+                tenant=data.get("tenant"),
+                cache_hit=cache_hit,
+                truncation_reason=data.get("truncation_reason"),
+                shed_reason=shed_reason,
+                sampled=sampled,
+                error=str(error_text) if error_text is not None else None,
+            )
+        headers = {"X-Request-Id": request_id}
+        if extra:
+            headers.update(extra)
         response = render_response(
             status,
             body,
             content_type=content_type,
-            extra_headers=extra,
+            extra_headers=headers,
             keep_alive=keep_alive,
         )
         return response, keep_alive
+
+    @staticmethod
+    def _outcome_of(status: int, payload: dict) -> tuple[str, str | None]:
+        """(access-log outcome label, shed reason) for one response."""
+        if status == 206:
+            return "partial", None
+        if status == 429:
+            return "shed", "queue_full"
+        if status == 503:
+            if payload.get("draining"):
+                return "drain", "draining"
+            return "transient", None
+        if status >= 500:
+            return "error", None
+        if status >= 400:
+            return "client_error", None
+        return "ok", None
 
     async def _route(
         self, request: Request
@@ -457,11 +580,15 @@ class ServingTier:
         path = request.path
         if path == "/metrics":
             self._require_method(request, "GET")
+            self._export_obs_gauges()
             text = render_prometheus(self.metrics, namespace="repro")
             return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE, None
         if path == "/healthz":
             self._require_method(request, "GET")
             return 200, self._health_payload(), "application/json", None
+        if path == "/v1/debug":
+            self._require_method(request, "GET")
+            return 200, self._debug_payload(), "application/json", None
         if path == "/v1/schemas":
             self._require_method(request, "GET")
             payload = {
@@ -502,7 +629,58 @@ class ServingTier:
             "tenant_cache_bytes": self.tenants.total_cache_bytes(),
             "max_cache_bytes": self.tenants.max_cache_bytes,
         }
+        payload["slo"] = self.slo.status()
         return payload
+
+    def _debug_payload(self) -> dict:
+        """The ``GET /v1/debug`` ops snapshot: everything an operator
+        needs to correlate an incident without shelling into the box."""
+        return {
+            "serving": {
+                "state": "draining" if self._draining else "serving",
+                "pending": self._pending,
+                "queue_limit": self.config.queue_limit,
+                "workers": self.config.workers,
+                "drain_hard_at": self._drain_hard_at,
+                "drain_cancelled": self._drain_cancel.cancelled,
+            },
+            "slo": self.slo.status(),
+            "sampler": self.sampler.stats(),
+            "access_log": self.access_log.stats(),
+            "slowlog": {
+                "observed": self.slowlog.observed,
+                "retained": len(self.slowlog.entries()),
+                "threshold_ms": self.slowlog.threshold_ms,
+                "top_k": self.slowlog.top_k,
+                "capacity": self.slowlog.capacity,
+                "promote_failures": self.slowlog.promote_failures,
+            },
+            "tenants": {
+                "residency": [
+                    dict(
+                        tenant.describe(),
+                        last_touch=tenant.last_touch,
+                        estimated_bytes=tenant.estimated_cache_bytes(),
+                    )
+                    for tenant in self.tenants.tenants()
+                ],
+                "total_cache_bytes": self.tenants.total_cache_bytes(),
+                "max_cache_bytes": self.tenants.max_cache_bytes,
+            },
+        }
+
+    def _export_obs_gauges(self) -> None:
+        """Refresh the SLO and sampler gauges ahead of a scrape."""
+        self.slo.export_gauges(self.metrics)
+        sampler = self.sampler.stats()
+        self.metrics.gauge("serve.trace_sample_rate").set(sampler["rate"])
+        self.metrics.gauge("serve.trace_sampled_total").set(
+            float(sampler["sampled"])
+        )
+        log_stats = self.access_log.stats()
+        self.metrics.gauge("serve.access_log_records").set(
+            float(log_stats["recorded"])
+        )
 
     # -- admission and execution --------------------------------------
 
@@ -567,10 +745,43 @@ class ServingTier:
     def _request_budget(self, request: Request):
         try:
             return self.config.budget_for(
-                request.headers, clock=self.server_clock
+                request.headers,
+                clock=self.server_clock,
+                cancel=self._drain_cancel,
             )
         except ValueError as error:
             raise HttpError(400, str(error)) from error
+
+    @contextlib.contextmanager
+    def _request_scope(self, kind: str, query: str, **attrs):
+        """Worker-side ambient scope for one admitted request.
+
+        Installs the tier's metrics registry and slow log, a fresh
+        :class:`RecordingTracer` when the head sampler picked this
+        request, and opens the slow-log observation (stamped with the
+        ambient request ID) plus the ``request`` root span every
+        retained trace hangs from.  Sampled observations are promoted
+        so the slow log keeps them even when fast and healthy.
+        """
+        context = get_request()
+        request_id = context.request_id if context is not None else None
+        sampled = context.sampled if context is not None else False
+        if request_id is not None:
+            attrs["request_id"] = request_id
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(use_metrics(self.metrics))
+            stack.enter_context(use_slowlog(self.slowlog))
+            if sampled:
+                stack.enter_context(use_tracer(RecordingTracer()))
+            obs = stack.enter_context(
+                self.slowlog.observe(kind, query, **attrs)
+            )
+            if sampled:
+                obs.promote(RETAINED_SAMPLED)
+            with get_tracer().span(
+                "request", kind=kind, request_id=request_id or ""
+            ):
+                yield obs
 
     def _build_complete_job(self, request: Request):
         payload = json_body(request)
@@ -590,15 +801,12 @@ class ServingTier:
             cache = tenant.compiled.cache
             hits_before = cache.hits
             misses_before = cache.misses
-            with use_metrics(self.metrics), use_slowlog(self.slowlog):
+            with self._request_scope(
+                "serve.complete", expression, e=e, tenant=tenant.name
+            ) as obs:
                 with use_budget(budget):
-                    with self.slowlog.observe(
-                        "serve.complete",
-                        expression,
-                        e=e,
-                        tenant=tenant.name,
-                    ):
-                        result = tenant.engine(e).complete(expression)
+                    result = tenant.engine(e).complete(expression)
+                obs.record_result(result)
             self.tenants.enforce_memory_bound()
             status = 200 if result.exhausted else 206
             body = {
@@ -642,17 +850,16 @@ class ServingTier:
         budget = self._request_budget(request)
 
         def job() -> tuple[int, dict]:
-            with use_metrics(self.metrics), use_slowlog(self.slowlog):
+            with self._request_scope(
+                "serve.query", text, tenant=tenant.name
+            ):
                 with use_budget(budget):
-                    with self.slowlog.observe(
-                        "serve.query", text, tenant=tenant.name
-                    ):
-                        result = run_query(
-                            tenant.database,
-                            text,
-                            engine=tenant.engine(1),
-                            jobs=jobs,
-                        )
+                    result = run_query(
+                        tenant.database,
+                        text,
+                        engine=tenant.engine(1),
+                        jobs=jobs,
+                    )
             self.tenants.enforce_memory_bound()
             body = {
                 "tenant": tenant.name,

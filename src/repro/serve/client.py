@@ -146,6 +146,10 @@ class ServeClient:
     def healthz(self) -> ServerResponse:
         return self._retrying_request("GET", "/healthz")
 
+    def debug(self) -> ServerResponse:
+        """The ``GET /v1/debug`` ops snapshot (SLO, sampler, residency)."""
+        return self._retrying_request("GET", "/v1/debug")
+
     def metrics_text(self) -> str:
         """The raw Prometheus exposition from ``GET /metrics``."""
         response = self.request("GET", "/metrics")
@@ -194,12 +198,19 @@ class ServeClient:
         When retries run out on a *transient status*, the last ``429``/
         ``503`` response is returned (so callers and tests can inspect
         the shed/drain answer); exhausted *transport* failures raise
-        :class:`~repro.resilience.retry.RetryExhaustedError`.
+        :class:`~repro.resilience.retry.RetryExhaustedError` with its
+        structured surface filled in — ``response``, ``status``, and
+        ``retry_after`` carry the last *server* answer observed across
+        the attempts (``None`` if no attempt ever reached the server),
+        so a caller deciding when to come back does not have to parse
+        the exception message.
         """
+        last_transient: list[ServerResponse] = []
 
         def attempt() -> ServerResponse:
             response = self.request(method, path, payload, headers)
             if response.status in TRANSIENT_STATUSES:
+                last_transient[:] = [response]
                 raise TransientServerError(response)
             return response
 
@@ -213,4 +224,9 @@ class ServeClient:
         except RetryExhaustedError as error:
             if isinstance(error.last, TransientServerError):
                 return error.last.response
+            if last_transient:
+                response = last_transient[0]
+                error.response = response
+                error.status = response.status
+                error.retry_after = response.retry_after
             raise

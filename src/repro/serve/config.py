@@ -18,7 +18,7 @@ import dataclasses
 import time
 from collections.abc import Callable, Mapping
 
-from repro.resilience.budget import Budget
+from repro.resilience.budget import Budget, CancelSignal
 
 __all__ = ["ServeConfig"]
 
@@ -72,6 +72,29 @@ class ServeConfig:
         connections and slow-loris writers).
     max_body_bytes:
         Bound on one request body (``413`` beyond it).
+    trace_sample_rate:
+        Probability that a completion/query request gets a recording
+        tracer (head sampling).  ``0.0`` (the default) records no
+        traces up front; tail promotion still retains the trace of any
+        request that ends slow, truncated, or errored.
+    trace_sample_seed:
+        Optional RNG seed for the head sampler, for deterministic
+        sampling under test and in benchmarks.
+    access_log:
+        Whether the structured JSONL access log records requests at
+        all.  On by default; benchmarks measuring the bare serving
+        path turn it off.
+    access_log_capacity:
+        Ring-buffer bound on in-memory access-log records.
+    access_log_path:
+        Optional file sink — every access record is also appended (one
+        JSON object per line, line-flushed) to this path.
+    slo_availability_target:
+        Availability objective (fraction of requests that must not be
+        5xx/shed), e.g. ``0.999``.
+    slo_latency_ms, slo_latency_target:
+        Latency objective: at least ``slo_latency_target`` of requests
+        must answer within ``slo_latency_ms``.
     """
 
     host: str = "127.0.0.1"
@@ -87,6 +110,14 @@ class ServeConfig:
     slow_ms: float = 0.0
     request_timeout_s: float = 10.0
     max_body_bytes: int = 1 << 20
+    trace_sample_rate: float = 0.0
+    trace_sample_seed: int | None = None
+    access_log: bool = True
+    access_log_capacity: int = 1024
+    access_log_path: str | None = None
+    slo_availability_target: float = 0.999
+    slo_latency_ms: float = 250.0
+    slo_latency_target: float = 0.99
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -109,11 +140,25 @@ class ServeConfig:
             raise ValueError("max_cache_bytes must be >= 1")
         if self.request_timeout_s <= 0 or self.max_body_bytes < 1:
             raise ValueError("request_timeout_s and max_body_bytes positive")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be in [0, 1], "
+                f"got {self.trace_sample_rate!r}"
+            )
+        if self.access_log_capacity < 1:
+            raise ValueError("access_log_capacity must be >= 1")
+        if not 0.0 < self.slo_availability_target < 1.0:
+            raise ValueError("slo_availability_target must be in (0, 1)")
+        if not 0.0 < self.slo_latency_target < 1.0:
+            raise ValueError("slo_latency_target must be in (0, 1)")
+        if self.slo_latency_ms <= 0:
+            raise ValueError("slo_latency_ms must be positive")
 
     def budget_for(
         self,
         headers: Mapping[str, str],
         clock: Callable[[], float] = time.monotonic,
+        cancel: CancelSignal | None = None,
     ) -> Budget:
         """The per-request budget derived from config and headers.
 
@@ -122,7 +167,10 @@ class ServeConfig:
         ``partial_ok`` is always on — a tripped request is a ``206``
         with the best-so-far answer, never a hung connection or a bare
         failure.  ``clock`` is the server's drain-aware clock so a
-        drain can expire every outstanding deadline at once.
+        drain can expire every outstanding deadline at once; ``cancel``
+        is the server's drain cancel signal so a drain past its hard
+        boundary aborts mid-expansion rather than at the next clock
+        sample.
         """
         deadline_ms = self.default_deadline_ms
         raw = headers.get(DEADLINE_HEADER)
@@ -156,4 +204,5 @@ class ServeConfig:
             max_nodes=max_nodes,
             partial_ok=True,
             clock=clock,
+            cancel=cancel,
         )

@@ -95,17 +95,28 @@ class Tenant:
             return engine
 
     def describe(self) -> dict:
-        """The ``/v1/schemas`` entry for this tenant."""
-        cache = self.compiled.cache.info()
+        """The ``/v1/schemas`` entry for this tenant.
+
+        Reads ``self.compiled`` exactly once: a concurrent hot-swap
+        (``evolve`` replacing the artifact) must never produce a *torn*
+        description mixing one artifact's fingerprint with another's
+        lineage depth — health snapshots race schema evolution by
+        design.
+        """
+        compiled = self.compiled
         return {
             "tenant": self.name,
-            "schema": self.compiled.schema.name,
-            "fingerprint": self.compiled.fingerprint[:12],
-            "classes": len(self.compiled.schema.class_names),
-            "lineage_depth": len(self.compiled.lineage),
+            "schema": compiled.schema.name,
+            "fingerprint": compiled.fingerprint[:12],
+            "classes": len(compiled.schema.class_names),
+            "lineage_depth": len(compiled.lineage),
             "has_database": self.database is not None,
-            "completion_cache": cache,
+            "completion_cache": compiled.cache.info(),
         }
+
+    def estimated_cache_bytes(self) -> int:
+        """This tenant's completion-cache byte estimate (ops endpoint)."""
+        return self.compiled.cache.estimated_bytes()
 
 
 class TenantRegistry:

@@ -1,0 +1,195 @@
+"""Unit tests for request identity, head sampling, and the access log."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.reqlog import (
+    ACCESS_LOG_VERSION,
+    AccessLog,
+    HeadSampler,
+    RequestContext,
+    clean_request_id,
+    get_request,
+    get_request_id,
+    mint_request_id,
+    use_request,
+)
+from repro.obs.schema import SchemaValidationError, validate_access_records
+
+
+class TestRequestIds:
+    def test_minted_ids_are_32_hex_and_unique(self):
+        first, second = mint_request_id(), mint_request_id()
+        assert len(first) == 32
+        assert all(ch in "0123456789abcdef" for ch in first)
+        assert first != second
+
+    def test_clean_accepts_conservative_ids(self):
+        for raw in ("abc123", "req-7.B_x", "A" * 128):
+            assert clean_request_id(raw) == raw
+
+    @pytest.mark.parametrize(
+        "raw",
+        [None, "", "A" * 129, "has space", "new\nline", "quote\"", "é"],
+    )
+    def test_clean_rejects_hostile_ids(self, raw):
+        assert clean_request_id(raw) is None
+
+    def test_ambient_default_is_none(self):
+        assert get_request() is None
+        assert get_request_id() is None
+
+    def test_use_request_installs_and_restores(self):
+        context = RequestContext("req-1", sampled=True)
+        with use_request(context) as installed:
+            assert installed is context
+            assert get_request() is context
+            assert get_request_id() == "req-1"
+            assert get_request().sampled
+        assert get_request() is None
+
+
+class TestHeadSampler:
+    def test_rate_bounds_are_validated(self):
+        with pytest.raises(ValueError):
+            HeadSampler(-0.1)
+        with pytest.raises(ValueError):
+            HeadSampler(1.5)
+
+    def test_zero_rate_never_samples_but_counts(self):
+        sampler = HeadSampler(0.0)
+        assert not any(sampler.sample() for _ in range(50))
+        assert sampler.stats() == {"rate": 0.0, "decisions": 50, "sampled": 0}
+
+    def test_full_rate_always_samples(self):
+        sampler = HeadSampler(1.0)
+        assert all(sampler.sample() for _ in range(50))
+        assert sampler.stats()["sampled"] == 50
+
+    def test_seed_makes_decisions_deterministic(self):
+        one, two = HeadSampler(0.5, seed=7), HeadSampler(0.5, seed=7)
+        first = [one.sample() for _ in range(100)]
+        second = [two.sample() for _ in range(100)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_partial_rate_counts_add_up(self):
+        sampler = HeadSampler(0.3, seed=11)
+        hits = sum(sampler.sample() for _ in range(200))
+        stats = sampler.stats()
+        assert stats["decisions"] == 200
+        assert stats["sampled"] == hits
+        assert 0 < hits < 200
+
+
+def _record(log: AccessLog, request_id: str = "r", **overrides) -> dict:
+    fields = dict(
+        request_id=request_id,
+        method="POST",
+        route="/v1/complete",
+        status=200,
+        latency_ms=1.25,
+        outcome="ok",
+    )
+    fields.update(overrides)
+    return log.record(**fields)
+
+
+class TestAccessLog:
+    def test_record_carries_every_schema_field(self):
+        log = AccessLog(capacity=4)
+        entry = _record(
+            log,
+            request_id="abc",
+            tenant="university",
+            cache_hit=True,
+            sampled=True,
+        )
+        assert entry["version"] == ACCESS_LOG_VERSION
+        assert entry["seq"] == 0
+        assert entry["ts"] > 0
+        assert entry["tenant"] == "university"
+        assert entry["cache_hit"] is True
+        validate_access_records(log.records())
+
+    def test_ring_is_bounded_and_seq_keeps_counting(self):
+        log = AccessLog(capacity=3)
+        for index in range(7):
+            _record(log, request_id=f"r{index}")
+        assert len(log) == 3
+        records = log.records()
+        assert [entry["request_id"] for entry in records] == [
+            "r4",
+            "r5",
+            "r6",
+        ]
+        assert records[-1]["seq"] == 6
+        assert log.stats()["recorded"] == 7
+
+    def test_find_returns_most_recent_match(self):
+        log = AccessLog()
+        _record(log, request_id="dup", status=200, outcome="ok")
+        _record(log, request_id="dup", status=429, outcome="shed",
+                shed_reason="queue_full")
+        found = log.find("dup")
+        assert found is not None and found["status"] == 429
+        assert log.find("missing") is None
+
+    def test_file_sink_appends_jsonl(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(capacity=8, path=str(path))
+        _record(log, request_id="a")
+        _record(log, request_id="b")
+        log.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert [entry["request_id"] for entry in lines] == ["a", "b"]
+        validate_access_records(lines)
+
+    def test_write_jsonl_round_trips_through_validation(self, tmp_path):
+        log = AccessLog()
+        _record(log, status=206, outcome="partial",
+                truncation_reason="deadline")
+        target = tmp_path / "export.jsonl"
+        assert log.write_jsonl(str(target)) == 1
+        validate_access_records(
+            [json.loads(line) for line in target.read_text().splitlines()]
+        )
+
+    def test_record_is_thread_safe(self):
+        log = AccessLog(capacity=1000)
+        threads = [
+            threading.Thread(
+                target=lambda: [_record(log) for _ in range(50)]
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert log.stats()["recorded"] == 200
+        seqs = [entry["seq"] for entry in log.records()]
+        assert seqs == sorted(seqs)
+
+    def test_validation_rejects_unreasoned_degradation(self):
+        log = AccessLog()
+        _record(log, status=429, outcome="shed")  # no shed_reason
+        with pytest.raises(SchemaValidationError):
+            validate_access_records(log.records())
+        partial_log = AccessLog()
+        _record(partial_log, status=206, outcome="partial")
+        with pytest.raises(SchemaValidationError):
+            validate_access_records(partial_log.records())
+
+    def test_validation_rejects_unknown_outcomes(self):
+        log = AccessLog()
+        entry = _record(log)
+        entry["outcome"] = "mystery"
+        with pytest.raises(SchemaValidationError):
+            validate_access_records([entry])

@@ -1,0 +1,195 @@
+"""Unit tests for multi-window burn-rate SLO monitoring."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, labelled
+from repro.obs.schema import validate_slo_status
+from repro.obs.slo import SLO_STATUS_VERSION, Objective, SLOMonitor
+from repro.resilience.faults import FakeClock
+
+
+def _objective(payload: dict, name: str) -> dict:
+    return next(o for o in payload["objectives"] if o["name"] == name)
+
+
+def _window(objective: dict, window_s: float) -> dict:
+    return next(
+        w for w in objective["windows"] if w["window_s"] == window_s
+    )
+
+
+class TestObjective:
+    def test_target_bounds(self):
+        with pytest.raises(ValueError):
+            Objective("x", 0.0)
+        with pytest.raises(ValueError):
+            Objective("x", 1.0)
+        with pytest.raises(ValueError):
+            Objective("x", 0.99, threshold_ms=0.0)
+
+    def test_availability_badness(self):
+        availability = Objective("availability", 0.999)
+        assert availability.is_bad(500, 1.0)
+        assert availability.is_bad(503, 1.0)
+        assert availability.is_bad(429, 1.0)
+        assert not availability.is_bad(200, 9999.0)
+        assert not availability.is_bad(206, 1.0)
+        assert not availability.is_bad(404, 1.0)
+
+    def test_latency_badness(self):
+        latency = Objective("latency", 0.99, threshold_ms=250.0)
+        assert latency.is_bad(200, 251.0)
+        assert not latency.is_bad(200, 250.0)
+        assert not latency.is_bad(500, 1.0)
+
+    def test_error_budget(self):
+        assert Objective("x", 0.99).error_budget == pytest.approx(0.01)
+
+
+class TestSLOMonitor:
+    def _monitor(self, clock, **overrides):
+        defaults = dict(
+            availability_target=0.9,
+            latency_threshold_ms=100.0,
+            latency_target=0.9,
+            windows=(60.0, 3600.0),
+            bucket_s=5.0,
+            clock=clock,
+        )
+        defaults.update(overrides)
+        return SLOMonitor(**defaults)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SLOMonitor(windows=())
+        with pytest.raises(ValueError):
+            SLOMonitor(windows=(60.0, -1.0))
+        with pytest.raises(ValueError):
+            SLOMonitor(bucket_s=0.0)
+        with pytest.raises(ValueError):
+            SLOMonitor(page_burn=2.0, warn_burn=3.0)
+
+    def test_empty_monitor_is_ok_with_zero_burn(self):
+        monitor = self._monitor(FakeClock())
+        payload = monitor.status()
+        assert payload["version"] == SLO_STATUS_VERSION
+        assert payload["state"] == "ok"
+        for objective in payload["objectives"]:
+            for window in objective["windows"]:
+                assert window == {
+                    "window_s": window["window_s"],
+                    "total": 0,
+                    "bad": 0,
+                    "error_rate": 0.0,
+                    "burn_rate": 0.0,
+                }
+        validate_slo_status(payload)
+
+    def test_all_success_traffic_stays_ok(self):
+        clock = FakeClock()
+        monitor = self._monitor(clock)
+        for _ in range(100):
+            monitor.record(200, 5.0)
+            clock.advance(0.1)
+        payload = monitor.status()
+        assert payload["state"] == "ok"
+        availability = _objective(payload, "availability")
+        assert _window(availability, 60.0)["total"] == 100
+        assert _window(availability, 60.0)["burn_rate"] == 0.0
+        validate_slo_status(payload)
+
+    def test_sustained_failures_page_on_both_windows(self):
+        clock = FakeClock()
+        monitor = self._monitor(clock)
+        # 50% failure rate against a 10% error budget: burn 5.0 — then
+        # crank it: all failures burn at 10.0 > warn 6.0; make them all
+        # fail for burn 1/0.1 = 10 > 6 (warn) but < 14.4 (page), so use
+        # a tighter budget for the paging case below.
+        for _ in range(40):
+            monitor.record(500, 5.0)
+            clock.advance(0.5)
+        payload = monitor.status()
+        availability = _objective(payload, "availability")
+        fast = _window(availability, 60.0)
+        assert fast["bad"] == fast["total"] == 40
+        assert fast["burn_rate"] == pytest.approx(10.0)
+        assert availability["state"] == "warn"
+        validate_slo_status(payload)
+
+    def test_total_failure_pages_with_tight_budget(self):
+        clock = FakeClock()
+        monitor = self._monitor(clock, availability_target=0.999)
+        for _ in range(40):
+            monitor.record(503, 5.0)
+            clock.advance(0.5)
+        payload = monitor.status()
+        assert _objective(payload, "availability")["state"] == "page"
+        assert payload["state"] == "page"
+        validate_slo_status(payload)
+
+    def test_recovered_incident_stops_paging(self):
+        clock = FakeClock()
+        monitor = self._monitor(clock, availability_target=0.999)
+        for _ in range(40):
+            monitor.record(500, 5.0)
+            clock.advance(0.5)
+        assert monitor.status()["state"] == "page"
+        # The incident ends; healthy traffic refills the short window.
+        clock.advance(70.0)
+        for _ in range(40):
+            monitor.record(200, 5.0)
+            clock.advance(0.5)
+        payload = monitor.status()
+        availability = _objective(payload, "availability")
+        # Long window still remembers the damage...
+        assert _window(availability, 3600.0)["bad"] == 40
+        # ...but the short window is clean, so no page (multi-window).
+        assert _window(availability, 60.0)["bad"] == 0
+        assert availability["state"] == "ok"
+
+    def test_latency_objective_counts_slow_answers(self):
+        clock = FakeClock()
+        monitor = self._monitor(clock, availability_target=0.9)
+        for _ in range(10):
+            monitor.record(200, 500.0)  # slow but successful
+            clock.advance(0.1)
+        payload = monitor.status()
+        assert _objective(payload, "availability")["state"] == "ok"
+        latency = _window(_objective(payload, "latency"), 60.0)
+        assert latency["bad"] == 10
+        assert latency["burn_rate"] == pytest.approx(10.0)
+
+    def test_buckets_expire_past_longest_window(self):
+        clock = FakeClock()
+        monitor = self._monitor(clock)
+        for _ in range(10):
+            monitor.record(500, 5.0)
+        clock.advance(4000.0)  # past the 3600s window
+        monitor.record(200, 5.0)  # opens a new bucket, triggers prune
+        payload = monitor.status()
+        long_window = _window(_objective(payload, "availability"), 3600.0)
+        assert long_window["total"] == 1
+        assert long_window["bad"] == 0
+        assert len(monitor._buckets) == 1
+
+    def test_export_gauges_mirrors_payload(self):
+        clock = FakeClock()
+        monitor = self._monitor(clock)
+        for _ in range(10):
+            monitor.record(500, 500.0)
+            clock.advance(0.1)
+        metrics = MetricsRegistry()
+        monitor.export_gauges(metrics)
+        gauges = metrics.as_dict()["gauges"]
+        assert gauges["slo.state"] == 1.0  # warn
+        burn = labelled(
+            "slo.burn_rate", objective="availability", window="60s"
+        )
+        assert gauges[burn] == pytest.approx(10.0)
+        rate = labelled(
+            "slo.error_rate", objective="latency", window="3600s"
+        )
+        assert gauges[rate] == pytest.approx(1.0)
+
+    def test_repr_mentions_state(self):
+        assert "state=ok" in repr(self._monitor(FakeClock()))

@@ -175,6 +175,7 @@ class TestTruncationReason:
             "nodes",
             "paths",
             "depth",
+            "cancelled",
         }
 
     def test_degraded_reason_carries_the_e_level(self):

@@ -1,0 +1,143 @@
+"""Tests for the cooperative cancel signal (satellite of the drain
+path): a :class:`CancelSignal` threaded into a :class:`Budget` must
+trip the meter on the very next ``tripped()`` call — every expansion
+checks it, not just the sampled clock reads."""
+
+import threading
+
+import pytest
+
+from repro.core.completion import CompletionSearch
+from repro.core.compiled import CompiledSchema
+from repro.core.engine import RelationshipTarget
+from repro.resilience.budget import (
+    Budget,
+    CancelSignal,
+    TruncationReason,
+)
+from repro.errors import BudgetExceededError
+from repro.resilience.faults import FakeClock
+from repro.schemas.cupid import build_cupid_schema
+
+
+class TestCancelSignal:
+    def test_starts_unset(self):
+        signal = CancelSignal()
+        assert not signal.cancelled
+        assert signal.reason == TruncationReason.CANCELLED
+
+    def test_cancel_is_idempotent(self):
+        signal = CancelSignal()
+        signal.cancel()
+        signal.cancel()
+        assert signal.cancelled
+
+    def test_custom_reason(self):
+        signal = CancelSignal()
+        signal.cancel(reason="deadline")
+        assert signal.cancelled
+        assert signal.reason == "deadline"
+
+    def test_repr_tracks_state(self):
+        signal = CancelSignal()
+        assert "armed" in repr(signal)
+        signal.cancel()
+        assert "cancelled" in repr(signal)
+
+    def test_cancelled_is_in_the_reason_enumeration(self):
+        assert TruncationReason.CANCELLED in TruncationReason.ALL
+
+
+class TestCancellableBudget:
+    def test_cancel_only_budget_is_not_unlimited(self):
+        # is_unlimited gates meter creation in the engine — a budget
+        # that can be cancelled must always arm a meter.
+        assert Budget().is_unlimited
+        assert not Budget(cancel=CancelSignal()).is_unlimited
+
+    def test_unfired_signal_never_trips(self):
+        meter = Budget(cancel=CancelSignal()).start()
+        for step in range(100):
+            assert meter.tripped(step, 0, 0) is None
+
+    def test_fired_signal_trips_on_the_next_check(self):
+        signal = CancelSignal()
+        meter = Budget(
+            cancel=signal, max_seconds=1000.0, check_interval=1_000_000
+        ).start()
+        assert meter.tripped(1, 0, 0) is None
+        signal.cancel()
+        # The cancel check is unconditional — it does not wait for the
+        # adaptive deadline-sampling stride to come around.
+        assert meter.tripped(2, 0, 0) == TruncationReason.CANCELLED
+
+    def test_trip_reason_latches(self):
+        signal = CancelSignal()
+        meter = Budget(cancel=signal).start()
+        signal.cancel()
+        assert meter.tripped(1, 0, 0) == TruncationReason.CANCELLED
+        assert meter.reason == TruncationReason.CANCELLED
+        assert meter.tripped(0, 0, 0) == TruncationReason.CANCELLED
+
+    def test_custom_reason_propagates_to_meter(self):
+        signal = CancelSignal()
+        signal.cancel(reason="deadline")
+        meter = Budget(cancel=signal).start()
+        assert meter.tripped(1, 0, 0) == "deadline"
+
+    def test_check_deadline_now_sees_the_cancel(self):
+        signal = CancelSignal()
+        clock = FakeClock()
+        meter = Budget(
+            cancel=signal, max_seconds=100.0, clock=clock
+        ).start()
+        assert meter.check_deadline_now() is None
+        signal.cancel()
+        assert meter.check_deadline_now() == TruncationReason.CANCELLED
+
+    def test_cancel_fires_across_threads(self):
+        signal = CancelSignal()
+        meter = Budget(cancel=signal).start()
+        seen = threading.Event()
+
+        def spin():
+            while meter.tripped(1, 0, 0) is None:
+                pass
+            seen.set()
+
+        worker = threading.Thread(target=spin)
+        worker.start()
+        signal.cancel()
+        worker.join(timeout=5.0)
+        assert seen.is_set()
+        assert meter.reason == TruncationReason.CANCELLED
+
+
+class TestCancelledSearch:
+    @pytest.fixture()
+    def compiled(self):
+        return CompiledSchema(build_cupid_schema())
+
+    def test_prefired_cancel_yields_partial_result(self, compiled):
+        budget = Budget(cancel=_fired(), partial_ok=True)
+        search = CompletionSearch(compiled.graph, order=compiled.order, e=1)
+        result = search.run(
+            "experiment", RelationshipTarget("conductance"), budget=budget
+        )
+        assert not result.exhausted
+        assert result.truncation_reason == TruncationReason.CANCELLED
+
+    def test_prefired_cancel_without_partial_raises(self, compiled):
+        budget = Budget(cancel=_fired())
+        search = CompletionSearch(compiled.graph, order=compiled.order, e=1)
+        with pytest.raises(BudgetExceededError) as info:
+            search.run(
+                "experiment", RelationshipTarget("conductance"), budget=budget
+            )
+        assert info.value.reason == TruncationReason.CANCELLED
+
+
+def _fired() -> CancelSignal:
+    signal = CancelSignal()
+    signal.cancel()
+    return signal

@@ -153,6 +153,55 @@ class TestTransientRetries:
         assert exc.value.attempts == 2
 
 
+class TestExhaustionSurface:
+    def test_exhausted_transport_carries_last_server_answer(self):
+        """Retries that end on a transport error still surface the last
+        *server* answer structurally: a caller deciding when to come
+        back reads ``error.status``/``error.retry_after`` instead of
+        parsing the message."""
+        server = CannedServer(
+            [canned(429, {"error": "full"}, retry_after=2.5)]
+        )
+        closed = []
+
+        def close_between_attempts(_delay):
+            if not closed:
+                server.close()
+                closed.append(True)
+
+        client = ServeClient(
+            server.host,
+            server.port,
+            policy=RetryPolicy(max_attempts=3, base_delay=0.0, seed=1),
+            sleep=close_between_attempts,
+        )
+        with pytest.raises(RetryExhaustedError) as exc:
+            client.healthz()
+        error = exc.value
+        assert isinstance(error.last, ConnectionError)
+        assert error.status == 429
+        assert error.retry_after == 2.5
+        assert error.response is not None
+        assert error.response.json == {"error": "full"}
+
+    def test_exhausted_without_any_server_answer_stays_bare(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        _, dead_port = probe.getsockname()
+        probe.close()
+        client = ServeClient(
+            "127.0.0.1",
+            dead_port,
+            policy=RetryPolicy(max_attempts=2, base_delay=0.0, seed=1),
+            sleep=lambda _: None,
+        )
+        with pytest.raises(RetryExhaustedError) as exc:
+            client.healthz()
+        assert exc.value.response is None
+        assert exc.value.status is None
+        assert exc.value.retry_after is None
+
+
 class TestPolicyDeterminism:
     def test_seeded_backoff_is_reproducible(self):
         a = RetryPolicy(max_attempts=5, base_delay=0.1, seed=42)

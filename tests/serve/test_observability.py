@@ -1,0 +1,425 @@
+"""Request-scoped observability end to end: request IDs, the access
+log, sampled tracing with tail promotion, SLO surfacing, the ops debug
+endpoint, drain cancellation, and healthz-vs-evolve consistency.
+
+The correlation contract under test: one ``X-Request-Id`` resolves to
+a schema-valid access-log record, and — for sampled or degraded
+requests — to a slow-log span tree and a search audit record carrying
+the same ID.
+"""
+
+import threading
+import time
+
+from repro.core.audit import SearchAuditLog, use_audit
+from repro.core.compiled import CompiledSchema, invalidate
+from repro.core.engine import Disambiguator
+from repro.model.delta import AddClass, SchemaDelta
+from repro.obs.reqlog import RequestContext, use_request
+from repro.obs.schema import validate_access_records, validate_slo_status
+from repro.obs.slowlog import RETAINED_PROMOTED, RETAINED_SAMPLED
+from repro.serve import ServeConfig
+
+from tests.serve.conftest import gate_tenant, make_tier, raw_client
+
+HEX = set("0123456789abcdef")
+
+
+def _is_minted(request_id: str) -> bool:
+    return len(request_id) == 32 and set(request_id) <= HEX
+
+
+class TestRequestIdentity:
+    def test_every_response_carries_a_minted_id(self, university_client):
+        for call in (
+            lambda: university_client.healthz(),
+            lambda: university_client.complete("ta ~ name"),
+            lambda: university_client.request("GET", "/nope"),
+        ):
+            response = call()
+            assert _is_minted(response.headers["x-request-id"])
+
+    def test_inbound_id_is_honoured_after_sanitation(
+        self, university_client
+    ):
+        response = university_client.request(
+            "GET", "/healthz", headers={"X-Request-Id": "caller-7"}
+        )
+        assert response.headers["x-request-id"] == "caller-7"
+
+    def test_hostile_inbound_id_is_replaced(self, university_client):
+        response = university_client.request(
+            "GET", "/healthz", headers={"X-Request-Id": "bad id!" * 40}
+        )
+        assert _is_minted(response.headers["x-request-id"])
+
+    def test_two_requests_get_distinct_ids(self, university_client):
+        first = university_client.healthz().headers["x-request-id"]
+        second = university_client.healthz().headers["x-request-id"]
+        assert first != second
+
+
+class TestAccessLogCorrelation:
+    def test_ok_request_is_recorded_with_tenant(self, university):
+        tier = make_tier({"university": university})
+        try:
+            client = raw_client(tier)
+            response = client.complete("ta ~ name")
+            request_id = response.headers["x-request-id"]
+            record = tier.access_log.find(request_id)
+            assert record is not None
+            assert record["route"] == "/v1/complete"
+            assert record["status"] == 200
+            assert record["outcome"] == "ok"
+            assert record["tenant"] == "university"
+            assert record["cache_hit"] is False
+            validate_access_records([record])
+        finally:
+            tier.stop(drain=False)
+
+    def test_cache_hit_is_visible_in_the_record(self, university):
+        tier = make_tier({"university": university})
+        try:
+            client = raw_client(tier)
+            client.complete("ta ~ name")
+            warm = client.complete("ta ~ name")
+            record = tier.access_log.find(warm.headers["x-request-id"])
+            assert record["cache_hit"] is True
+        finally:
+            tier.stop(drain=False)
+
+    def test_partial_answer_records_its_truncation_reason(self, university):
+        tier = make_tier({"university": university})
+        try:
+            response = raw_client(tier).complete("ta ~ name", max_nodes=1)
+            assert response.status == 206
+            record = tier.access_log.find(
+                response.headers["x-request-id"]
+            )
+            assert record["outcome"] == "partial"
+            assert record["truncation_reason"] == response.json[
+                "truncation_reason"
+            ]
+            validate_access_records([record])
+        finally:
+            tier.stop(drain=False)
+
+    def test_chaos_every_degraded_answer_correlates(self, university):
+        """The acceptance contract: every 4xx/5xx/206/shed response's
+        request ID resolves to a schema-valid access-log record."""
+        config = ServeConfig(queue_limit=1, workers=1)
+        tier = make_tier({"university": university}, config)
+        try:
+            client = raw_client(tier)
+            gated = gate_tenant(tier.tenants.get("university"))
+            responses = []
+
+            def slow():
+                responses.append(client.complete("ta ~ name"))
+
+            blocked = threading.Thread(target=slow)
+            blocked.start()
+            assert gated.entered.acquire(timeout=10.0)
+            shed = []
+            while len(shed) < 1:  # the queue drains fast; insist on a 429
+                answer = client.complete("ta ~ name")
+                if answer.status == 429:
+                    shed.append(answer)
+                responses.append(answer)
+            gated.release()
+            blocked.join(timeout=10.0)
+
+            # A fresh expression — the warm "ta ~ name" cache entry
+            # would answer 200 before the node cap could trip.
+            responses.append(
+                client.complete("professor ~ name", max_nodes=1)
+            )
+            responses.append(client.complete("student.ghost"))
+            responses.append(client.complete("ta ~ name", tenant="ghost"))
+            responses.append(client.request("GET", "/no-such-route"))
+            responses.append(client.request("PUT", "/healthz"))
+
+            statuses = {response.status for response in responses}
+            assert {200, 206, 400, 404, 429}.issubset(statuses)
+            for response in responses:
+                request_id = response.headers["x-request-id"]
+                record = tier.access_log.find(request_id)
+                assert record is not None, f"unlogged {response.status}"
+                assert record["status"] == response.status
+                validate_access_records([record])
+            shed_record = tier.access_log.find(
+                shed[0].headers["x-request-id"]
+            )
+            assert shed_record["outcome"] == "shed"
+            assert shed_record["shed_reason"] == "queue_full"
+        finally:
+            tier.stop(drain=False)
+
+    def test_disabled_access_log_records_nothing(self, university):
+        config = ServeConfig(access_log=False)
+        tier = make_tier({"university": university}, config)
+        try:
+            response = raw_client(tier).complete("ta ~ name")
+            # The request ID survives; only the log is off.
+            assert _is_minted(response.headers["x-request-id"])
+            assert len(tier.access_log) == 0
+            assert tier.access_log.stats()["enabled"] is False
+        finally:
+            tier.stop(drain=False)
+
+
+class TestSampledTracing:
+    def _tier(self, university, **config_overrides):
+        defaults = dict(
+            trace_sample_rate=1.0,
+            trace_sample_seed=7,
+            slow_ms=10_000.0,  # keep the threshold rule out of the way
+        )
+        defaults.update(config_overrides)
+        return make_tier({"university": university}, ServeConfig(**defaults))
+
+    def test_sampled_request_keeps_its_span_tree(self, university):
+        tier = self._tier(university)
+        try:
+            response = raw_client(tier).complete("ta ~ name")
+            request_id = response.headers["x-request-id"]
+            entries = tier.slowlog.entries()
+            assert len(entries) == 1
+            entry = entries[0]
+            assert entry.retained == RETAINED_SAMPLED
+            assert entry.attrs["request_id"] == request_id
+            spans = [
+                record for record in entry.spans
+                if record["type"] == "span"
+            ]
+            request_span = next(
+                span for span in spans if span["name"] == "request"
+            )
+            assert request_span["parent"] is None
+            assert request_span["attrs"]["request_id"] == request_id
+            nested = {
+                span["name"]
+                for span in spans
+                if span["parent"] is not None
+            }
+            assert "complete" in nested
+            record = tier.access_log.find(request_id)
+            assert record["sampled"] is True
+        finally:
+            tier.stop(drain=False)
+
+    def test_unsampled_fast_request_is_not_labelled_sampled(
+        self, university
+    ):
+        tier = self._tier(university, trace_sample_rate=0.0)
+        try:
+            response = raw_client(tier).complete("ta ~ name")
+            assert tier.slowlog.observed == 1
+            # Top-K ranking may still retain it, but never as a head
+            # sample, and the access log agrees.
+            for entry in tier.slowlog.entries():
+                assert entry.retained != RETAINED_SAMPLED
+            record = tier.access_log.find(
+                response.headers["x-request-id"]
+            )
+            assert record["sampled"] is False
+        finally:
+            tier.stop(drain=False)
+
+    def test_truncated_request_is_tail_promoted(self, university):
+        tier = self._tier(university, trace_sample_rate=0.0)
+        try:
+            response = raw_client(tier).complete("ta ~ name", max_nodes=1)
+            assert response.status == 206
+            entries = tier.slowlog.entries()
+            assert len(entries) == 1
+            entry = entries[0]
+            assert entry.retained == RETAINED_PROMOTED
+            assert entry.exhausted is False
+            assert entry.truncation_reason == response.json[
+                "truncation_reason"
+            ]
+            assert entry.attrs["request_id"] == response.headers[
+                "x-request-id"
+            ]
+        finally:
+            tier.stop(drain=False)
+
+    def test_audit_search_records_carry_the_request_id(self, university):
+        engine = Disambiguator(CompiledSchema(university))
+        audit = SearchAuditLog()
+        with use_request(RequestContext("req-correl-1")):
+            with use_audit(audit):
+                engine.complete("ta ~ name")
+        searches = audit.of_kind("search")
+        assert searches
+        assert all(
+            record["request_id"] == "req-correl-1" for record in searches
+        )
+        # Outside a request scope the field is simply absent.
+        audit.clear()
+        with use_audit(audit):
+            engine.complete("professor ~ name")
+        assert all(
+            "request_id" not in record
+            for record in audit.of_kind("search")
+        )
+
+
+class TestSLOAndDebugSurfaces:
+    def test_healthz_embeds_a_valid_slo_payload(self, university_client):
+        health = university_client.healthz()
+        assert health.status == 200
+        payload = health.json
+        validate_slo_status(payload["slo"])
+        # The serving block keeps its shape for existing dashboards.
+        assert payload["serving"]["tenants"] == ["university"]
+
+    def test_debug_endpoint_snapshot(self, university):
+        tier = make_tier({"university": university})
+        try:
+            client = raw_client(tier)
+            client.complete("ta ~ name")
+            debug = client.debug()
+            assert debug.status == 200
+            payload = debug.json
+            assert payload["serving"]["state"] == "serving"
+            assert payload["serving"]["drain_cancelled"] is False
+            validate_slo_status(payload["slo"])
+            assert payload["sampler"]["rate"] == 0.0
+            assert payload["access_log"]["enabled"] is True
+            assert payload["slowlog"]["observed"] == 1
+            residency = payload["tenants"]["residency"]
+            assert [entry["tenant"] for entry in residency] == [
+                "university"
+            ]
+            assert residency[0]["estimated_bytes"] >= 0
+            assert payload["tenants"]["total_cache_bytes"] >= 0
+        finally:
+            tier.stop(drain=False)
+
+    def test_debug_rejects_other_methods(self, university_client):
+        response = university_client.request("POST", "/v1/debug")
+        assert response.status == 405
+
+    def test_shed_traffic_burns_the_availability_budget(self, university):
+        tier = make_tier({"university": university})
+        try:
+            for _ in range(20):
+                tier.slo.record(429, 1.0)
+            payload = tier.slo.status()
+            availability = next(
+                o
+                for o in payload["objectives"]
+                if o["name"] == "availability"
+            )
+            assert availability["windows"][0]["bad"] == 20
+            assert payload["state"] in ("warn", "page")
+        finally:
+            tier.stop(drain=False)
+
+    def test_metrics_scrape_exports_slo_gauges(self, university_client):
+        university_client.healthz()
+        text = university_client.metrics_text()
+        assert "repro_slo_state" in text
+        assert "repro_slo_burn_rate" in text
+        assert "repro_serve_trace_sample_rate" in text
+        assert "repro_serve_access_log_records" in text
+
+
+class TestDrainCancellation:
+    def test_drain_deadline_cancels_in_flight_work(self, university):
+        """A request parked past the drain deadline is cancelled
+        cooperatively: the next expansion trips the meter and a 206
+        best-so-far answer comes back (not a hang, not a dropped
+        connection)."""
+        config = ServeConfig(drain_deadline_s=0.3)
+        tier = make_tier({"university": university}, config)
+        try:
+            client = raw_client(tier)
+            gated = gate_tenant(tier.tenants.get("university"))
+            answers = []
+
+            def blocked():
+                answers.append(client.complete("ta ~ name"))
+
+            worker = threading.Thread(target=blocked)
+            worker.start()
+            assert gated.entered.acquire(timeout=10.0)
+            tier.request_drain()
+            deadline = time.monotonic() + 10.0
+            while (
+                not tier._drain_cancel.cancelled
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert tier._drain_cancel.cancelled
+            gated.release()
+            worker.join(timeout=10.0)
+            assert len(answers) == 1
+            response = answers[0]
+            assert response.status == 206
+            assert response.json["truncation_reason"] == "cancelled"
+            record = tier.access_log.find(
+                response.headers["x-request-id"]
+            )
+            assert record["outcome"] == "partial"
+            assert record["truncation_reason"] == "cancelled"
+        finally:
+            tier.stop(drain=False)
+
+
+class TestHealthzDuringEvolve:
+    def test_concurrent_snapshots_are_never_torn(self, university):
+        """Hot-swapping a tenant's artifact via ``evolve`` while
+        ``/healthz`` and ``/v1/schemas`` poll must never produce a
+        snapshot mixing one artifact's fingerprint with another's
+        lineage depth, and observed lineage depth is monotone."""
+        invalidate()
+        try:
+            tier = make_tier({"university": university})
+            try:
+                client = raw_client(tier)
+                tenant = tier.tenants.get("university")
+                by_fingerprint = {
+                    tenant.compiled.fingerprint[:12]: len(
+                        tenant.compiled.lineage
+                    )
+                }
+                stop = threading.Event()
+                torn: list = []
+                depths: list[int] = []
+
+                def poll():
+                    while not stop.is_set():
+                        snapshot = client.schemas().json["tenants"][0]
+                        pair = (
+                            snapshot["fingerprint"],
+                            snapshot["lineage_depth"],
+                        )
+                        if by_fingerprint.get(pair[0]) != pair[1]:
+                            torn.append(pair)
+                            return
+                        depths.append(pair[1])
+
+                poller = threading.Thread(target=poll)
+                poller.start()
+                for step in range(12):
+                    evolved = tenant.compiled.evolve(
+                        SchemaDelta.of(AddClass(f"annex_{step}"))
+                    )
+                    by_fingerprint[evolved.fingerprint[:12]] = len(
+                        evolved.lineage
+                    )
+                    tenant.compiled = evolved
+                    client.healthz()  # keep traffic interleaving
+                stop.set()
+                poller.join(timeout=10.0)
+                assert torn == [], f"torn snapshot(s): {torn}"
+                assert depths == sorted(depths)
+                final = client.schemas().json["tenants"][0]
+                assert final["lineage_depth"] == 12
+            finally:
+                tier.stop(drain=False)
+        finally:
+            invalidate()
