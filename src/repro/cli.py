@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -52,6 +53,8 @@ from repro.core.compiled import compile_schema
 from repro.core.domain import DomainKnowledge
 from repro.core.engine import Disambiguator
 from repro.core.enumerate import enumerate_consistent_paths
+from repro.core.kernel import KERNEL_MODES
+from repro.core.procpool import EXECUTOR_ENV_VAR, EXECUTOR_MODES
 from repro.core.parser import parse_path_expression
 from repro.core.printer import format_result
 from repro.core.target import RelationshipTarget
@@ -194,10 +197,34 @@ def _add_jobs_option(parser: argparse.ArgumentParser) -> None:
         default=1,
         metavar="N",
         help=(
-            "worker threads for cold completions (results are "
+            "pool workers for cold completions (results are "
             "byte-identical to a sequential run)"
         ),
     )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_MODES,
+        default=None,
+        help=(
+            "worker-pool backend for every cold-completion fan-out this "
+            "command runs: 'thread' (default) or 'process' (shards cold "
+            "misses across cores; falls back to threads when ambient "
+            "state cannot cross the process boundary); defaults to "
+            "$REPRO_EXECUTOR"
+        ),
+    )
+
+
+def _apply_executor(args: argparse.Namespace) -> None:
+    """Make ``--executor`` ambient for the rest of this CLI process.
+
+    The knob already resolves through the ``REPRO_EXECUTOR`` environment
+    variable at every pool site (batch, prewarm, figure workloads), so
+    setting it once here governs them all uniformly.
+    """
+    executor = getattr(args, "executor", None)
+    if executor is not None:
+        os.environ[EXECUTOR_ENV_VAR] = executor
 
 
 def _budget_from(args: argparse.Namespace) -> Budget | None:
@@ -302,9 +329,10 @@ def _cmd_complete(args: argparse.Namespace) -> int:
         if args.exclude
         else DomainKnowledge.none()
     )
+    _apply_executor(args)
     with _observability(args) as registry:
         compiled = compile_schema(schema, domain_knowledge=knowledge)
-        engine = Disambiguator(compiled, e=args.e)
+        engine = Disambiguator(compiled, e=args.e, kernel=args.kernel)
         batch = engine.complete_batch(args.expression, jobs=args.jobs)
         for index, result in enumerate(batch):
             if index:
@@ -370,6 +398,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     database = load_database(args.db)
+    _apply_executor(args)
     with _observability(args):
         result = run_query(database, args.query, jobs=args.jobs)
         for expression, values in result.per_completion:
@@ -410,6 +439,7 @@ def _cmd_fox(args: argparse.Namespace) -> int:
     from repro.query.fox import run_fox
 
     database = load_database(args.db)
+    _apply_executor(args)
     with _observability(args):
         rows = run_fox(database, args.query, jobs=args.jobs)
         for row in rows:
@@ -441,6 +471,7 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
 
+    _apply_executor(args)
     with _observability(args):
         run_all(quick=args.quick, jobs=args.jobs)
     return 0
@@ -544,6 +575,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     complete.add_argument("--verbose", action="store_true")
+    complete.add_argument(
+        "--kernel",
+        choices=KERNEL_MODES,
+        default=None,
+        help=(
+            "search-kernel implementation: 'interpreted' (reference "
+            "Algorithm 2 loop) or 'flat' (specialized integer-indexed "
+            "kernel, byte-identical paths); defaults to $REPRO_KERNEL"
+        ),
+    )
     _add_jobs_option(complete)
     _add_obs_options(complete)
     _add_budget_options(complete)

@@ -44,6 +44,12 @@ from repro.core.closure import (
     resolve_pruning,
 )
 from repro.core.inheritance_criterion import apply_preemption
+from repro.core.kernel import (
+    FlatTables,
+    KernelBudgetTrip,
+    resolve_kernel,
+    run_flat,
+)
 from repro.core.stats import TraversalStats
 from repro.core.target import Target
 from repro.errors import BudgetExceededError
@@ -226,6 +232,15 @@ class CompletionSearch:
         for ``graph`` (a compiled artifact shares one across all its
         searches).  Ignored when ``pruning="none"``; built on demand
         (content-cached) otherwise.
+    kernel:
+        ``"interpreted"`` (the default) runs the pure-Python loops;
+        ``"flat"`` runs the integer-specialized kernel
+        (:mod:`repro.core.kernel`) wherever the closure loop would run
+        — byte-identical results and stats, selected per search and
+        part of every completion-cache key.  ``None`` resolves via the
+        ``REPRO_KERNEL`` environment variable.  Audited searches always
+        take the interpreted loop (the audit log instruments its
+        decision sites), as do ``pruning="none"`` and dynamic graphs.
     """
 
     def __init__(
@@ -239,6 +254,7 @@ class CompletionSearch:
         caution_sets: CautionSets | None = None,
         pruning: str | None = None,
         closure: SchemaClosure | None = None,
+        kernel: str | None = None,
     ) -> None:
         self.graph = graph
         self.order = order if order is not None else DEFAULT_ORDER
@@ -252,6 +268,7 @@ class CompletionSearch:
         self.apply_inheritance_criterion = apply_inheritance_criterion
         self.max_depth = max_depth
         self.pruning = resolve_pruning(pruning)
+        self.kernel = resolve_kernel(kernel)
         if self.pruning == "closure" and has_static_adjacency(graph):
             self.closure = (
                 closure if closure is not None else SchemaClosure.for_graph(graph)
@@ -271,6 +288,11 @@ class CompletionSearch:
         # runs of this search instance; safe under concurrent runs (dict
         # get/set are atomic and rows for one label are interchangeable).
         self._ext_rows: dict[int, tuple[PathLabel, list]] = {}
+        # Flat-kernel adjacency, built lazily per TargetTables instance
+        # and keyed by its id — each entry pins the tables object, so
+        # the id can never be reused while the entry exists (the
+        # ``_ext_rows`` precedent).
+        self._flat: dict[int, tuple[TargetTables, FlatTables]] = {}
         # Memoized per-root support sets (reachable class names) for
         # result footprints; the adjacency is frozen, so each root's set
         # is computed at most once per search instance.
@@ -455,13 +477,39 @@ class CompletionSearch:
                 self._traverse_reference(
                     root, root_label, root_path, state, target, meter
                 )
+            elif self.kernel == "flat" and not get_audit().enabled:
+                # The flat integer kernel — byte-identical to the
+                # closure loop below (property-tested).  Audited runs
+                # stay interpreted: the audit log instruments the
+                # interpreted loop's decision sites.
+                get_metrics().counter("kernel.flat_runs").inc()
+                run_flat(
+                    root,
+                    self.closure.index[root],
+                    state,
+                    self._flat_tables(tables),
+                    self.aggregator,
+                    self.caution.masks if self.caution is not None else None,
+                    self.max_depth,
+                    meter,
+                )
             else:
                 self._traverse_closure(
                     root, root_label, root_path, state, target, meter, tables
                 )
         except _BudgetTrip as trip:
             return trip.reason
+        except KernelBudgetTrip as trip:
+            return trip.reason
         return None
+
+    def _flat_tables(self, tables: TargetTables) -> FlatTables:
+        """The flat-kernel view of ``tables``, built once per instance."""
+        entry = self._flat.get(id(tables))
+        if entry is None or entry[0] is not tables:
+            entry = (tables, FlatTables.build(self.closure, tables))
+            self._flat[id(tables)] = entry
+        return entry[1]
 
     def _traverse_reference(
         self,
@@ -1193,6 +1241,7 @@ def complete_paths(
     max_depth: int | None = None,
     budget: Budget | None = None,
     pruning: str | None = None,
+    kernel: str | None = None,
 ) -> CompletionResult:
     """One-shot convenience wrapper around :class:`CompletionSearch`."""
     search = CompletionSearch(
@@ -1203,5 +1252,6 @@ def complete_paths(
         apply_inheritance_criterion=apply_inheritance_criterion,
         max_depth=max_depth,
         pruning=pruning,
+        kernel=kernel,
     )
     return search.run(root, target, budget=budget)

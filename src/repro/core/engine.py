@@ -34,11 +34,17 @@ from repro.core.closure import resolve_pruning
 from repro.core.compiled import CompiledSchema, compile_schema
 from repro.core.completion import CompletionResult
 from repro.core.domain import DomainKnowledge
+from repro.core.kernel import resolve_kernel
 from repro.core.multi import complete_general
 from repro.core.parser import parse_path_expression
+from repro.core.procpool import process_batch, resolve_executor
 from repro.core.stats import TraversalStats
 from repro.core.target import ClassTarget, RelationshipTarget, Target
-from repro.errors import BudgetExceededError, NoCompletionError
+from repro.errors import (
+    BudgetExceededError,
+    NoCompletionError,
+    PathExpressionError,
+)
 from repro.model.schema import Schema
 from repro.obs.metrics import get_metrics
 from repro.obs.slowlog import get_slowlog
@@ -122,6 +128,15 @@ class Disambiguator:
         Algorithm 2 verbatim.  Both modes return byte-identical ranked
         paths; the mode is part of every cache key.  ``None`` defers to
         the ``REPRO_PRUNING`` environment variable, then the default.
+    kernel:
+        Search-kernel implementation for every completion this engine
+        runs: ``"interpreted"`` (the default) is the reference
+        Algorithm 2 loop over node objects; ``"flat"`` is the
+        specialized integer-indexed kernel (see
+        :mod:`repro.core.kernel`) — byte-identical ranked paths,
+        materially faster cold.  Part of every cache key.  ``None``
+        defers to the ``REPRO_KERNEL`` environment variable, then the
+        default.
 
     Examples
     --------
@@ -143,6 +158,7 @@ class Disambiguator:
         max_depth: int | None = None,
         budget: Budget | None = None,
         pruning: str | None = None,
+        kernel: str | None = None,
     ) -> None:
         if isinstance(schema, CompiledSchema):
             if order is not None and order is not schema.order:
@@ -173,12 +189,14 @@ class Disambiguator:
         self.max_depth = max_depth
         self.budget = budget
         self.pruning = resolve_pruning(pruning)
+        self.kernel = resolve_kernel(kernel)
         self._search = self.compiled.searcher(
             e=e,
             use_caution_sets=use_caution_sets,
             apply_inheritance_criterion=apply_inheritance_criterion,
             max_depth=max_depth,
             pruning=self.pruning,
+            kernel=self.kernel,
         )
 
     # ------------------------------------------------------------------
@@ -280,6 +298,7 @@ class Disambiguator:
         self,
         expressions: Iterable[str | PathExpression],
         jobs: int = 1,
+        executor: str | None = None,
     ) -> BatchCompletionResult:
         """Complete a workload of expressions through the shared cache.
 
@@ -287,24 +306,47 @@ class Disambiguator:
         and the artifact's compile time, so benchmarks can report
         warm-vs-cold behavior directly.
 
-        ``jobs > 1`` runs the cache misses on a thread pool (cold
-        completions release the GIL in bursts and overlap well on
-        multi-core machines; warm hits are near-free either way).
-        Results come back in input order regardless of completion
-        order, and every worker runs in a copy of the submitting
-        thread's context, so an ambient budget
-        (:func:`repro.resilience.budget.use_budget`) or metrics/tracer
-        installation governs the workers exactly as it would the
-        sequential loop.  Each expression is governed independently —
-        one input tripping its budget flags (or raises for) that input
-        alone; with ``partial_ok=False`` budgets the exception
-        surfacing is deterministic: the earliest failing input in
-        submission order wins.
+        ``jobs > 1`` runs the cache misses on a worker pool.  The
+        ``executor`` knob picks the backend (``None`` defers to the
+        ``REPRO_EXECUTOR`` environment variable, then ``"thread"``):
+
+        ``"thread"``
+            Workers are threads; each runs in a copy of the submitting
+            thread's context, so an ambient budget
+            (:func:`repro.resilience.budget.use_budget`) or
+            metrics/tracer installation governs the workers exactly as
+            it would the sequential loop.  Cold completions are
+            GIL-bound pure-Python loops, so threads mostly interleave —
+            this backend wins on warm caches and tiny schemas where
+            pool start-up dominates.
+        ``"process"``
+            Cache misses are sharded across worker *processes* (see
+            :mod:`repro.core.procpool` for the hand-off protocol), so
+            cold batches scale with cores.  Warm hits are still served
+            from the shared parent cache, each worker's exhausted
+            results are adopted back into it, and truncated results
+            are never adopted.  When ambient state cannot cross the
+            pickle boundary (live tracer/audit/slow-log, a budget with
+            a cancel signal or injected clock) the call silently falls
+            back to the thread backend, preserving semantics.
+
+        Either way results come back in input order regardless of
+        completion order, and each expression is governed
+        independently — one input tripping its budget flags (or raises
+        for) that input alone; with ``partial_ok=False`` budgets the
+        exception surfacing is deterministic: the earliest failing
+        input in submission order wins.
         """
+        executor = resolve_executor(executor)
         expressions = list(expressions)
         hits_before = self.compiled.cache.hits
         misses_before = self.compiled.cache.misses
-        if jobs <= 1 or len(expressions) <= 1:
+        results: tuple[CompletionResult, ...] | None = None
+        if executor == "process" and jobs > 1 and len(expressions) > 1:
+            results = self._complete_batch_process(expressions, jobs)
+        if results is not None:
+            pass
+        elif jobs <= 1 or len(expressions) <= 1:
             results = tuple(
                 self.complete(expression) for expression in expressions
             )
@@ -328,6 +370,62 @@ class Disambiguator:
         stats.cache_misses = self.compiled.cache.misses - misses_before
         stats.compile_seconds = self.compiled.compile_seconds
         return BatchCompletionResult(results=results, stats=stats)
+
+    def _complete_batch_process(
+        self, expressions: list[str | PathExpression], jobs: int
+    ) -> tuple[CompletionResult, ...] | None:
+        """Run a batch on the process backend; ``None`` → thread fallback.
+
+        The parent parses every input first (parse errors are cheap and
+        :class:`~repro.errors.PathSyntaxError` is not picklable, so
+        they never cross the boundary — they join the outcome list at
+        their position and obey the same earliest-error policy), then
+        ships only the parseable texts to
+        :func:`repro.core.procpool.process_batch`.  On the way back it
+        adopts every worker's exhausted cache entries *before* raising
+        any error, so one failing input does not discard its siblings'
+        completed work.
+        """
+        budget = self._effective_budget(None)
+        outcomes: list[tuple | None] = [None] * len(expressions)
+        slots: list[int] = []
+        texts: list[str] = []
+        for position, expression in enumerate(expressions):
+            try:
+                if isinstance(expression, str):
+                    expression = parse_path_expression(expression)
+            except PathExpressionError as err:
+                outcomes[position] = ("err", err)
+                continue
+            slots.append(position)
+            texts.append(str(expression))
+        shipped = process_batch(self, texts, jobs, budget)
+        if shipped is None:
+            return None
+        for position, outcome in zip(slots, shipped):
+            outcomes[position] = outcome
+        metrics = get_metrics()
+        cache = self.compiled.cache
+        error: Exception | None = None
+        results: list[CompletionResult] = []
+        for outcome in outcomes:
+            assert outcome is not None
+            kind = outcome[0]
+            if kind == "err":
+                if error is None:
+                    error = outcome[1]
+                continue
+            result = outcome[1]
+            if kind == "ok":
+                for key, value in outcome[2]:
+                    cache.put(key, value)
+                metrics.record_completion(result.stats, cached=False)
+            else:  # parent-cache warm hit
+                metrics.record_completion(result.stats, cached=True)
+            results.append(result)
+        if error is not None:
+            raise error
+        return tuple(results)
 
     def complete_between(self, root: str, target_class: str) -> CompletionResult:
         """Class-to-class completion (the formalization's node target)."""
@@ -406,6 +504,7 @@ class Disambiguator:
             apply_inheritance_criterion=self.apply_inheritance_criterion,
             max_depth=self.max_depth,
             pruning=self.pruning,
+            kernel=self.kernel,
         )
 
     def evolved(self, delta, mode: str | None = None) -> "Disambiguator":
@@ -427,6 +526,7 @@ class Disambiguator:
             max_depth=self.max_depth,
             budget=self.budget,
             pruning=self.pruning,
+            kernel=self.kernel,
         )
 
     # ------------------------------------------------------------------
@@ -457,6 +557,7 @@ class Disambiguator:
             self.apply_inheritance_criterion,
             self.max_depth,
             self.pruning,
+            self.kernel,
         )
 
     def _effective_budget(self, budget: Budget | None) -> Budget | None:
@@ -548,6 +649,7 @@ class Disambiguator:
                     apply_inheritance_criterion=self.apply_inheritance_criterion,
                     max_depth=self.max_depth,
                     pruning=self.pruning,
+                    kernel=self.kernel,
                 )
             )
             return search.run(
@@ -563,6 +665,7 @@ class Disambiguator:
             apply_inheritance_criterion=self.apply_inheritance_criterion,
             meter=meter,
             pruning=self.pruning,
+            kernel=self.kernel,
         )
         return CompletionResult(
             root=expression.root,

@@ -1,0 +1,672 @@
+"""The flat search kernel — an integer-specialized expansion loop.
+
+:meth:`CompletionSearch._traverse_closure
+<repro.core.completion.CompletionSearch._traverse_closure>` is the hot
+loop of every cold completion, and even after the closure-pruning win it
+spends most of its time on CPython object traffic: ``PathLabel``
+attribute chains, per-entry :class:`~repro.core.ast.ConcretePath`
+allocation, string-keyed ``visited``/``best[u]`` containers.  This
+module is a byte-identical rewrite of that loop over dense integers:
+
+* nodes are closure indexes, ``visited`` is one int bitset;
+* a path label is a single small int — the *lstate* — encoding
+  ``(composed connector index, seam class of the last edge)``; label
+  composition and the :meth:`SemanticLengthState.join
+  <repro.algebra.semantic_length.SemanticLengthState.join>` seam
+  arithmetic are precomputed into flat lookup tables
+  (:data:`EXT_LSTATE`, :data:`EXT_DELTA`) at import time;
+* adjacency comes preflattened per node
+  (:class:`FlatTables`) so the inner loop unpacks int tuples only;
+* ``best[u]`` and the ``best[T]`` frontier are the same AGG*-reduced
+  ``(length, sort rank, connector index)`` triples the interpreted
+  closure loop already uses, held in index-addressed lists;
+* complete paths are recorded as ``(edge prefix, edge, connector,
+  length)`` tuples and materialized into :class:`ConcretePath` objects
+  (with their labels preset) only after the traversal.
+
+Selection is the ``kernel`` knob — ``"interpreted"`` (default) or
+``"flat"`` — resolved like ``pruning``: explicit argument, else the
+``REPRO_KERNEL`` environment variable.  The knob is part of searcher
+and completion-cache keys, so A/B runs never serve each other warm.
+The flat kernel only ever runs where the closure loop would
+(``pruning="closure"``, static adjacency, closure tables built) and the
+interpreted loops remain the reference; equivalence — identical ranked
+paths, labels, stats counters, and truncation behavior — is
+property-tested in ``tests/core/test_kernel.py``.
+
+An optionally compiled twin (mypyc or Cython, built by ``python -m
+repro.core.kernel compile``) is imported when present; absence is not
+an error — the pure-Python kernel is the always-available fallback and
+:func:`kernel_backend` reports which one is live.
+
+The audit log instruments the interpreted loops' decision sites;
+running flat would silence it, so audited searches always take the
+interpreted path (the dispatch in ``CompletionSearch._traverse``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.algebra.connectors import ALL_CONNECTORS, PRIMARY_CONNECTORS
+from repro.algebra.labels import PathLabel
+from repro.algebra.semantic_length import _TAXONOMIC, SemanticLengthState
+from repro.core.ast import ConcretePath
+from repro.core.closure import (
+    _CONI,
+    _LAST_CLASS_BY_INDEX,
+    _LAST_OTHER,
+    _N_CONNECTORS,
+    _SORT_RANK,
+    _seam_adjustment,
+    SchemaClosure,
+    TargetTables,
+)
+
+__all__ = [
+    "KERNEL_MODES",
+    "KERNEL_ENV_VAR",
+    "FlatTables",
+    "KernelBudgetTrip",
+    "kernel_backend",
+    "resolve_kernel",
+    "run_flat",
+]
+
+#: Accepted values of the ``kernel`` knob.
+KERNEL_MODES = ("interpreted", "flat")
+
+#: Environment override consulted when no explicit mode is given — CI's
+#: flat matrix leg runs the whole suite with ``REPRO_KERNEL=flat``.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Cutoff sentinel, shared with the interpreted loop's table semantics.
+_NO_CUTOFF = 1 << 30
+
+
+def resolve_kernel(kernel: str | None) -> str:
+    """Resolve the ``kernel`` knob: explicit value, else the
+    ``REPRO_KERNEL`` environment override, else ``"interpreted"``."""
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV_VAR) or "interpreted"
+    if kernel not in KERNEL_MODES:
+        raise ValueError(
+            f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+        )
+    return kernel
+
+
+class KernelBudgetTrip(Exception):
+    """Internal control flow: unwinds the flat loop on a tripped meter.
+
+    The flat kernel's twin of the interpreted loops' ``_BudgetTrip``;
+    caught in ``CompletionSearch._traverse`` and converted into the
+    anytime truncation reason.  (Defined here, not imported from
+    ``completion``, so the dependency arrow stays completion → kernel.)
+    """
+
+    def __init__(self, reason: str) -> None:
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# The lstate encoding and its composition tables
+# ----------------------------------------------------------------------
+#
+# A traversal label is fully determined, for every decision the loop
+# makes, by (composed connector index, semantic length, seam class of
+# the last collapsed edge).  The length is carried separately as an
+# int; the other two pack into one *lstate*:
+#
+#     lstate = connector_index * 6 + ls,   ls = 0 (empty path)
+#                                               or seam class + 1
+#
+# giving 14 * 6 = 84 states.  IDENTITY_LABEL is lstate 0 (ISA has
+# index 0, empty state).  Extending by an edge with connector c moves
+# to ``EXT_LSTATE[lstate * 14 + c]`` and adds ``EXT_DELTA[...]`` to the
+# length — exactly ``label.extend(c)``'s connector composition and
+# seam arithmetic, precomputed.
+
+_N_LSTATES = _N_CONNECTORS * 6
+
+
+def _build_ext_tables() -> tuple[tuple[int, ...], tuple[int, ...]]:
+    ext_lstate = [0] * (_N_LSTATES * _N_CONNECTORS)
+    ext_delta = [0] * (_N_LSTATES * _N_CONNECTORS)
+    for ci in range(_N_CONNECTORS):
+        for ls in range(6):
+            base_index = (ci * 6 + ls) * _N_CONNECTORS
+            for c in range(_N_CONNECTORS):
+                edge_conn = ALL_CONNECTORS[c]
+                delta = 0 if edge_conn in _TAXONOMIC else 1
+                if ls > 0 and ls - 1 != _LAST_OTHER:
+                    # Classes 0..3 are the singleton collapsible
+                    # connectors, so the class representative *is* the
+                    # last connector; class 4 ("other") always seams 0.
+                    delta += _seam_adjustment(
+                        PRIMARY_CONNECTORS[ls - 1], edge_conn
+                    )
+                ext_lstate[base_index + c] = _CONI[ci][c] * 6 + (
+                    _LAST_CLASS_BY_INDEX[c] + 1
+                )
+                ext_delta[base_index + c] = delta
+    return tuple(ext_lstate), tuple(ext_delta)
+
+
+#: ``EXT_LSTATE[lstate * 14 + c]`` — the lstate after extending by an
+#: edge with connector index ``c``.
+#: ``EXT_DELTA[lstate * 14 + c]`` — the semantic-length increment of
+#: that extension (``base(c) + seam(last, c)``, always 0, 1, or -1+1).
+EXT_LSTATE, EXT_DELTA = _build_ext_tables()
+
+#: Composed connector index of an lstate (``lstate // 6``).
+CI_OF: tuple[int, ...] = tuple(
+    lstate // 6 for lstate in range(_N_LSTATES)
+)
+
+#: Label-bound row base of an lstate: ``last class * 14``, the offset
+#: into ``TargetTables.rows[u]`` for a prefix in this state.  Only
+#: meaningful for non-empty lstates (``ls > 0``); the traversal never
+#: bound-checks the empty root label.
+LB_ROWBASE: tuple[int, ...] = tuple(
+    (max(lstate % 6 - 1, 0)) * _N_CONNECTORS for lstate in range(_N_LSTATES)
+)
+
+
+class FlatTables:
+    """Per-(closure, target) adjacency preflattened for the flat loop.
+
+    Built once from a :class:`~repro.core.closure.TargetTables` and
+    cached by the owning search (the tables are themselves memoized per
+    target, so this adds one small build per (schema, target) pair):
+
+    * ``completing[u]`` — tuples ``(target node index, connector index,
+      edge)`` for the completing edges out of node ``u``;
+    * ``interior[u]`` — tuples ``(child index, connector index, edge)``
+      for the reachability-surviving interior edges;
+    * ``rows``, ``conns``, ``reach_pruned`` — shared with the
+      interpreted loop's tables (already index-addressed).
+    """
+
+    __slots__ = ("completing", "interior", "rows", "conns", "reach_pruned")
+
+    def __init__(
+        self,
+        completing: tuple,
+        interior: tuple,
+        rows,
+        conns,
+        reach_pruned,
+    ) -> None:
+        self.completing = completing
+        self.interior = interior
+        self.rows = rows
+        self.conns = conns
+        self.reach_pruned = reach_pruned
+
+    @classmethod
+    def build(
+        cls, closure: SchemaClosure, tables: TargetTables
+    ) -> "FlatTables":
+        index = closure.index
+        completing = tuple(
+            tuple(
+                (index[edge_target], connector_i, edge)
+                for edge, edge_target, connector_i in row
+            )
+            for row in tables.completing
+        )
+        interior = tuple(
+            tuple(
+                (child_i, connector_i, edge)
+                for _child, child_i, connector_i, edge in row
+            )
+            for row in tables.interior
+        )
+        return cls(
+            completing,
+            interior,
+            tables.rows,
+            tables.conns,
+            tables.reach_pruned,
+        )
+
+
+# ----------------------------------------------------------------------
+# The flat expansion loop
+# ----------------------------------------------------------------------
+
+
+def run_flat(
+    root: str,
+    root_i: int,
+    state,
+    flat: FlatTables,
+    aggregator,
+    caution_masks,
+    max_depth: int | None,
+    meter,
+) -> None:
+    """Algorithm 2 with closure cuts, on flat integer state.
+
+    Byte-identical in results *and* stats counters to
+    ``CompletionSearch._traverse_closure`` (the interpreted closure
+    loop) — the best[u] triple update, the cutoff-table rewrite of
+    ``keeps`` against ``best[T]``, and both cut rules are literal
+    translations; only the data representation changes.  Fills
+    ``state.complete`` and ``state.stats`` (also on a budget trip, so
+    truncation keeps the best-so-far anytime answer) and raises
+    :class:`KernelBudgetTrip` when ``meter`` trips.
+    """
+    stats = state.stats
+    complete = state.complete
+    e_param = aggregator.e
+    beaten_by = aggregator.beaten_by
+    sort_rank = _SORT_RANK
+    coni = _CONI
+    ext_lstate = EXT_LSTATE
+    ext_delta = EXT_DELTA
+    ci_of = CI_OF
+    lb_rowbase = LB_ROWBASE
+    n_conn = _N_CONNECTORS
+    no_cutoff = _NO_CUTOFF
+    # Depth sentinel: one compare per edge instead of a None test plus
+    # a compare (the bound is unreachable when max_depth is None).
+    depth_limit = no_cutoff if max_depth is None else max_depth
+    completing = flat.completing
+    interior = flat.interior
+    reach_pruned = flat.reach_pruned
+    rows_ = flat.rows
+    conns = flat.conns
+
+    visited = 0
+    best: list = [None] * len(interior)
+    bt: list = []  # best[T] as AGG*-reduced triples
+    bt_mask = 0
+    bt_dirty = False
+    cutoffs = [no_cutoff] * n_conn
+    # Recorded complete paths: (edge prefix tuple, completing edge,
+    # composed connector index, semantic length), materialized at exit.
+    complete_rec: list = []
+    complete_rec_append = complete_rec.append
+
+    recursive_calls = 0
+    edges_considered = 0
+    pruned_visited = 0
+    pruned_target_bound = 0
+    pruned_best_bound = 0
+    rescued_by_caution = 0
+    nodes_pruned_reachability = 0
+    nodes_pruned_bound = 0
+
+    path_edges: list = []
+    path_edges_append = path_edges.append
+    path_edges_pop = path_edges.pop
+    stack: list = []
+    stack_append = stack.append
+    stack_pop = stack.pop
+
+    try:
+        # -- enter(root): lines 1-5 on the identity label (lstate 0) --
+        visited = 1 << root_i
+        recursive_calls = 1
+        nodes_pruned_reachability = reach_pruned[root_i]
+        if meter is not None:
+            reason = meter.tripped(1, 0, 0)
+            if reason is not None:
+                raise KernelBudgetTrip(reason)
+        for t_i, c_i, cedge in completing[root_i]:
+            if visited >> t_i & 1:
+                continue
+            cand_lstate = ext_lstate[c_i]
+            cand_ci = ci_of[cand_lstate]
+            cand_length = ext_delta[c_i]
+            cand_triple = (cand_length, sort_rank[cand_ci], cand_ci)
+            # Line-5 frontier update: merge(candidate, best[T]).
+            if not bt:
+                bt = [cand_triple]
+                bt_dirty = True
+            elif cand_triple not in bt:
+                merged = [cand_triple]
+                for t in bt:
+                    if t[2] != cand_ci or t[0] != cand_length:
+                        merged.append(t)
+                present = 0
+                for t in merged:
+                    present |= 1 << t[2]
+                survivors = [
+                    t for t in merged if not (present & beaten_by[t[2]])
+                ]
+                if len(survivors) > 1:
+                    lengths = sorted({t[0] for t in survivors})
+                    if len(lengths) > e_param:
+                        allowed = set(lengths[:e_param])
+                        survivors = [t for t in survivors if t[0] in allowed]
+                survivors.sort()
+                if survivors != bt:
+                    bt = survivors
+                    bt_dirty = True
+            # keeps(candidate, best[T]) on the updated frontier.
+            present = 1 << cand_ci
+            for t in bt:
+                present |= 1 << t[2]
+            if present & beaten_by[cand_ci]:
+                kept = False
+            else:
+                lengths = {cand_length}
+                for t in bt:
+                    if not (present & beaten_by[t[2]]):
+                        lengths.add(t[0])
+                kept = (
+                    len(lengths) <= e_param
+                    or cand_length <= sorted(lengths)[e_param - 1]
+                )
+            if kept:
+                complete_rec_append(((), cedge, cand_ci, cand_length))
+        stack_append((root_i, 0, 0, 0, 0))
+
+        while stack:
+            node_i, lstate, length, depth, edge_index = stack_pop()
+            edges = interior[node_i]
+            n_edges = len(edges)
+            # Frame-constant hoists for the per-edge loop below.
+            ls_base = lstate * n_conn
+            child_depth = depth + 1
+            advanced = False
+            while edge_index < n_edges:
+                child_i, c_i, edge = edges[edge_index]
+                edge_index += 1
+                edges_considered += 1
+                if visited >> child_i & 1:
+                    pruned_visited += 1
+                    continue
+                if child_depth >= depth_limit:
+                    continue
+                e_idx = ls_base + c_i
+                child_lstate = ext_lstate[e_idx]
+                child_length = length + ext_delta[e_idx]
+                child_ci = ci_of[child_lstate]
+                if bt:
+                    if bt_dirty:
+                        # Rewrite keeps(·, best[T]) as per-connector
+                        # cutoffs (the interpreted _rebuild_cutoffs).
+                        bt_dirty = False
+                        bt_mask = 0
+                        for t in bt:
+                            bt_mask |= 1 << t[2]
+                        for ci in range(n_conn):
+                            present = bt_mask | (1 << ci)
+                            if present & beaten_by[ci]:
+                                cutoffs[ci] = -1
+                                continue
+                            lengths = {
+                                t[0]
+                                for t in bt
+                                if not (present & beaten_by[t[2]])
+                            }
+                            if len(lengths) < e_param:
+                                cutoffs[ci] = no_cutoff
+                            else:
+                                cutoffs[ci] = sorted(lengths)[e_param - 1]
+                    # Line 9, via the cutoff table.
+                    if child_length > cutoffs[child_ci]:
+                        pruned_target_bound += 1
+                        continue
+                # Lines 10-11: bound against best[u], rescued by caution.
+                child_bit = 1 << child_ci
+                entry = best[child_i]
+                if entry is not None:
+                    stored_mask, triples = entry
+                    candidate_triple = (
+                        child_length,
+                        sort_rank[child_ci],
+                        child_ci,
+                    )
+                    if candidate_triple not in triples:
+                        present = stored_mask | child_bit
+                        if present & beaten_by[child_ci]:
+                            kept = False
+                        else:
+                            lengths = {child_length}
+                            for known_length, _, known_ci in triples:
+                                if not (present & beaten_by[known_ci]):
+                                    lengths.add(known_length)
+                            kept = (
+                                len(lengths) <= e_param
+                                or child_length
+                                <= sorted(lengths)[e_param - 1]
+                            )
+                        if not kept:
+                            if (
+                                caution_masks is not None
+                                and stored_mask & caution_masks[child_ci]
+                            ):
+                                rescued_by_caution += 1
+                            else:
+                                pruned_best_bound += 1
+                                continue
+                        # Line 12: best[u] := AGG*({l_u} ∪ best[u]).
+                        survivors = []
+                        if not (present & beaten_by[child_ci]):
+                            survivors.append(candidate_triple)
+                        for triple in triples:
+                            if not (present & beaten_by[triple[2]]):
+                                survivors.append(triple)
+                        if len(survivors) > e_param:
+                            s_lengths = sorted(
+                                {triple[0] for triple in survivors}
+                            )
+                            if len(s_lengths) > e_param:
+                                cut = s_lengths[e_param - 1]
+                                survivors = [
+                                    triple
+                                    for triple in survivors
+                                    if triple[0] <= cut
+                                ]
+                        survivors.sort()
+                        new_mask = 0
+                        for triple in survivors:
+                            new_mask |= 1 << triple[2]
+                        best[child_i] = (new_mask, survivors)
+                else:
+                    best[child_i] = (
+                        child_bit,
+                        [(child_length, sort_rank[child_ci], child_ci)],
+                    )
+                # Label-bound pruning (after line 12, as interpreted).
+                if bt:
+                    row = rows_[child_i]
+                    base = lb_rowbase[child_lstate]
+                    composed_row = coni[child_ci]
+                    survives = False
+                    for suffix_ci in conns[child_i]:
+                        composed_i = composed_row[suffix_ci]
+                        if (
+                            caution_masks is not None
+                            and bt_mask & caution_masks[composed_i]
+                        ):
+                            survives = True  # caution exemption
+                            break
+                        if (
+                            child_length + row[base + suffix_ci]
+                            <= cutoffs[composed_i]
+                        ):
+                            survives = True
+                            break
+                    if not survives:
+                        nodes_pruned_bound += 1
+                        continue
+                # Line 13: recurse — push the parent frame back, then
+                # enter the child (lines 1-5 inlined).
+                stack_append((node_i, lstate, length, depth, edge_index))
+                path_edges_append(edge)
+                visited |= 1 << child_i
+                recursive_calls += 1
+                nodes_pruned_reachability += reach_pruned[child_i]
+                if meter is not None:
+                    reason = meter.tripped(
+                        recursive_calls, len(complete_rec), len(stack)
+                    )
+                    if reason is not None:
+                        raise KernelBudgetTrip(reason)
+                prefix = None
+                ex_base = child_lstate * n_conn
+                for t_i, cc_i, cedge in completing[child_i]:
+                    if visited >> t_i & 1:
+                        continue
+                    cand_lstate = ext_lstate[ex_base + cc_i]
+                    cand_ci = ci_of[cand_lstate]
+                    cand_length = child_length + ext_delta[ex_base + cc_i]
+                    cand_triple = (cand_length, sort_rank[cand_ci], cand_ci)
+                    if not bt:
+                        bt = [cand_triple]
+                        bt_dirty = True
+                    elif cand_triple not in bt:
+                        merged = [cand_triple]
+                        for t in bt:
+                            if t[2] != cand_ci or t[0] != cand_length:
+                                merged.append(t)
+                        present = 0
+                        for t in merged:
+                            present |= 1 << t[2]
+                        survivors = [
+                            t
+                            for t in merged
+                            if not (present & beaten_by[t[2]])
+                        ]
+                        if len(survivors) > 1:
+                            lengths = sorted({t[0] for t in survivors})
+                            if len(lengths) > e_param:
+                                allowed = set(lengths[:e_param])
+                                survivors = [
+                                    t for t in survivors if t[0] in allowed
+                                ]
+                        survivors.sort()
+                        if survivors != bt:
+                            bt = survivors
+                            bt_dirty = True
+                    present = 1 << cand_ci
+                    for t in bt:
+                        present |= 1 << t[2]
+                    if present & beaten_by[cand_ci]:
+                        kept = False
+                    else:
+                        lengths = {cand_length}
+                        for t in bt:
+                            if not (present & beaten_by[t[2]]):
+                                lengths.add(t[0])
+                        kept = (
+                            len(lengths) <= e_param
+                            or cand_length <= sorted(lengths)[e_param - 1]
+                        )
+                    if kept:
+                        if prefix is None:
+                            prefix = tuple(path_edges)
+                        complete_rec_append(
+                            (prefix, cedge, cand_ci, cand_length)
+                        )
+                stack_append(
+                    (child_i, child_lstate, child_length, child_depth, 0)
+                )
+                advanced = True
+                break
+            if not advanced:
+                visited &= ~(1 << node_i)  # line 15
+                if depth:
+                    path_edges_pop()
+    finally:
+        stats.recursive_calls += recursive_calls
+        stats.edges_considered += edges_considered
+        stats.pruned_visited += pruned_visited
+        stats.pruned_target_bound += pruned_target_bound
+        stats.pruned_best_bound += pruned_best_bound
+        stats.rescued_by_caution += rescued_by_caution
+        stats.nodes_pruned_reachability += nodes_pruned_reachability
+        stats.nodes_pruned_bound += nodes_pruned_bound
+        stats.complete_paths_found += len(complete_rec)
+        # Materialize the recorded paths — also on a budget trip, so
+        # the anytime best-so-far answer survives truncation.
+        all_connectors = ALL_CONNECTORS
+        concrete_path = ConcretePath
+        path_label = PathLabel
+        length_state = SemanticLengthState
+        set_attr = object.__setattr__
+        for prefix, cedge, cand_ci, cand_length in complete_rec:
+            edges = prefix + (cedge,)
+            path = concrete_path(root, edges)
+            set_attr(
+                path,
+                "_label",
+                path_label(
+                    all_connectors[cand_ci],
+                    length_state(
+                        cand_length,
+                        edges[0].connector,
+                        edges[-1].connector,
+                    ),
+                ),
+            )
+            complete.append(path)
+
+
+# ----------------------------------------------------------------------
+# Optional compiled twin
+# ----------------------------------------------------------------------
+
+_run_flat_python = run_flat
+
+try:  # pragma: no cover - exercised only when a compiled twin exists
+    from repro.core._kernel_c import run_flat as _run_flat_compiled  # type: ignore
+
+    run_flat = _run_flat_compiled  # noqa: F811
+    _BACKEND = "compiled"
+except Exception:  # ImportError normally; any failure falls back
+    _run_flat_compiled = None
+    _BACKEND = "python"
+
+
+def kernel_backend() -> str:
+    """Which flat-kernel implementation is live: ``"compiled"`` when an
+    ahead-of-time build (mypyc/Cython) of :func:`run_flat` was importable
+    as ``repro.core._kernel_c``, else ``"python"``."""
+    return _BACKEND
+
+
+def try_compile() -> str:
+    """Attempt an ahead-of-time build of this module (best effort).
+
+    Tries mypyc, then Cython, writing the extension next to this file
+    as ``repro.core._kernel_c``.  Neither toolchain is a dependency —
+    a missing compiler returns a message instead of raising, and the
+    pure-Python kernel remains the fallback either way.
+    """
+    here = os.path.abspath(__file__)
+    try:
+        from mypyc.build import mypycify  # type: ignore  # noqa: F401
+    except Exception:
+        pass
+    else:
+        return (
+            "mypyc available: build with "
+            f"`mypyc {here}` and install the extension as "
+            "repro.core._kernel_c"
+        )
+    try:
+        import Cython  # type: ignore  # noqa: F401
+    except Exception:
+        pass
+    else:
+        return (
+            "Cython available: cythonize this module and install it as "
+            "repro.core._kernel_c"
+        )
+    return "no compiler available (mypyc/Cython not installed); using the pure-Python kernel"
+
+
+if __name__ == "__main__":  # pragma: no cover - operational helper
+    import sys
+
+    if len(sys.argv) > 1 and sys.argv[1] == "compile":
+        print(try_compile())
+    else:
+        print(f"kernel backend: {kernel_backend()}")

@@ -1,4 +1,4 @@
-"""Thread-pool helpers for fanning a completion workload out.
+"""Worker-pool helpers for fanning a completion workload out.
 
 :meth:`Disambiguator.complete_batch` is the strict entry point — input
 order, one result per input, exceptions propagated.  This module holds
@@ -8,11 +8,21 @@ fill the artifact's shared completion cache, swallowing per-expression
 :class:`~repro.errors.ReproError` so the failure surfaces later at the
 point of use, exactly where the sequential code would have raised it.
 
-Threads (not processes) are the right pool here: a completion is pure
-Python over shared immutable structures, the artifact cache is
-thread-safe, and the closure-pruned cold searches are short enough that
-process spawn plus schema pickling would dominate.  See the ROADMAP
-open item on process-pool escalation for when that trade-off flips.
+Two backends, selected by the ``executor`` knob (default ``"thread"``,
+env ``REPRO_EXECUTOR``):
+
+* **Threads** cost nothing to start and share the artifact cache
+  in-place, but a cold completion is a pure-Python search loop holding
+  the GIL, so thread workers mostly interleave rather than overlap.
+  They win when the cache is already warm, the schema is tiny, or the
+  batch is too small to amortize any pool start-up.
+* **Processes** (:mod:`repro.core.procpool`) shard the cold misses
+  across cores.  Warming is exactly the workload that justifies the
+  hand-off cost: by definition it is a batch of cold completions, and
+  the adopted entries land in the same shared cache the sequential
+  pass reads.  When ambient state cannot cross the pickle boundary
+  (live tracer/audit/slow-log, cancel-bearing budgets) the call falls
+  back to threads automatically.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ import contextvars
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
+from repro.core.procpool import process_batch, resolve_executor
 from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime
@@ -35,6 +46,7 @@ def prewarm(
     engine: "Disambiguator",
     expressions: Iterable["str | PathExpression"],
     jobs: int,
+    executor: str | None = None,
 ) -> int:
     """Complete ``expressions`` concurrently to warm the shared cache.
 
@@ -42,9 +54,12 @@ def prewarm(
     not); expressions raising a :class:`~repro.errors.ReproError` are
     skipped — a caller's own sequential pass will hit the same error at
     its usual place with its usual handling (retries, per-query error
-    records, ...).  Duplicate expressions are submitted once.  Each
-    worker runs in a copy of the calling thread's context, so ambient
-    budgets, metrics, and tracers govern the warming runs too.
+    records, ...).  Duplicate expressions are submitted once, on either
+    backend.  Thread workers run in a copy of the calling thread's
+    context, so ambient budgets, metrics, and tracers govern the
+    warming runs too; the process backend recreates the effective
+    budget worker-side and falls back to threads when ambient state
+    cannot cross the process boundary.
 
     With ``jobs <= 1`` this is a no-op returning 0: the sequential pass
     is about to do the same work anyway, so there is nothing to overlap.
@@ -54,6 +69,10 @@ def prewarm(
     unique = list(dict.fromkeys(expressions))
     if not unique:
         return 0
+    if resolve_executor(executor) == "process":
+        warmed = _prewarm_process(engine, unique, jobs)
+        if warmed is not None:
+            return warmed
 
     def complete_one(expression) -> bool:
         try:
@@ -72,3 +91,43 @@ def prewarm(
             for expression in unique
         ]
         return sum(future.result() for future in futures)
+
+
+def _prewarm_process(
+    engine: "Disambiguator",
+    unique: "list[str | PathExpression]",
+    jobs: int,
+) -> int | None:
+    """Warm via the process backend; ``None`` → fall back to threads.
+
+    Unparseable expressions count as skipped without being dispatched
+    (parse errors cannot cross the pickle boundary, and the sequential
+    pass will re-raise them at the point of use anyway).
+    """
+    from repro.core.parser import parse_path_expression
+
+    texts: list[str] = []
+    for expression in unique:
+        try:
+            if isinstance(expression, str):
+                expression = parse_path_expression(expression)
+        except ReproError:
+            continue
+        texts.append(str(expression))
+    if not texts:
+        return 0
+    outcomes = process_batch(
+        engine, texts, jobs, engine._effective_budget(None)
+    )
+    if outcomes is None:
+        return None
+    cache = engine.compiled.cache
+    warmed = 0
+    for outcome in outcomes:
+        if outcome[0] == "err":
+            continue
+        if outcome[0] == "ok":
+            for key, value in outcome[2]:
+                cache.put(key, value)
+        warmed += 1
+    return warmed

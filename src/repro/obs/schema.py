@@ -33,6 +33,7 @@ __all__ = [
     "validate_access_records",
     "validate_audit_records",
     "validate_bench_records",
+    "validate_kernel_bench",
     "validate_metrics_summary",
     "validate_slo_status",
     "validate_slowlog_entries",
@@ -318,6 +319,26 @@ def validate_slo_status(payload: object) -> None:
                             f"{burn!r} is not error_rate/budget "
                             f"({rate / budget:.3f})"
                         )
+    if problems:
+        raise SchemaValidationError(problems)
+
+
+def validate_kernel_bench(payload: object) -> None:
+    """Validate one ``BENCH_kernel.json`` report, including the
+    cross-field fact the schema cannot express: a non-null process
+    timing must come with its speedup and required bar."""
+    problems = validate(payload, load_builtin_schema("kernel_bench"))
+    if isinstance(payload, dict):
+        batch = payload.get("batch")
+        if isinstance(batch, dict) and batch.get(
+            "process_jobs4_seconds"
+        ) is not None:
+            for key in ("speedup", "required"):
+                if key not in batch:
+                    problems.append(
+                        f"$.batch: missing {key!r} alongside a measured "
+                        "process timing"
+                    )
     if problems:
         raise SchemaValidationError(problems)
 

@@ -10,8 +10,9 @@ the first record — access logs (``request_id``/``route`` keys), trace
 logs (``type`` key), slow-query logs (``retained``/``elapsed_ms``
 keys), search audit logs (``kind``/``seq`` keys), or benchmark-history
 rows (``run``/``value`` keys).  ``*.json`` documents are SLO status
-payloads when they carry ``objectives``/``state`` keys, metrics
-summaries otherwise.  Exit status 0 when every file conforms, 1
+payloads when they carry ``objectives``/``state`` keys, kernel bench
+reports when they carry ``kernel``/``batch`` keys, metrics summaries
+otherwise.  Exit status 0 when every file conforms, 1
 otherwise — CI runs this over the quick-bench exports so a format
 drift fails the build until the schema files are updated deliberately.
 """
@@ -27,6 +28,7 @@ from repro.obs.schema import (
     validate_access_records,
     validate_audit_records,
     validate_bench_records,
+    validate_kernel_bench,
     validate_metrics_summary,
     validate_slo_status,
     validate_slowlog_entries,
@@ -80,6 +82,11 @@ def _validate_file(path: str) -> tuple[str, list[str]]:
                 ):
                     kind = "slo status"
                     validate_slo_status(document)
+                elif isinstance(document, dict) and (
+                    "kernel" in document and "batch" in document
+                ):
+                    kind = "kernel bench report"
+                    validate_kernel_bench(document)
                 else:
                     validate_metrics_summary(document)
     except FileNotFoundError:

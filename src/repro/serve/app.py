@@ -641,6 +641,7 @@ class ServingTier:
                 "pending": self._pending,
                 "queue_limit": self.config.queue_limit,
                 "workers": self.config.workers,
+                "executor": self.config.executor,
                 "drain_hard_at": self._drain_hard_at,
                 "drain_cancelled": self._drain_cancel.cancelled,
             },

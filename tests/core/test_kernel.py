@@ -1,0 +1,299 @@
+"""The flat search kernel — equivalence, tables, and selection.
+
+The kernel contract is *byte-identity*: ``kernel="flat"`` must return
+exactly what the interpreted closure loop returns — ranked paths,
+labels, semantic lengths, anytime flags, and every traversal counter —
+across schemas, E levels, ablation flags, depth caps, and budget
+truncation points.  These tests enforce that property over the bundled
+schemas and a family of generated random schemas, verify the
+precomputed lstate composition tables against the real
+:meth:`PathLabel.extend`, and pin the selection plumbing: the knob, the
+``REPRO_KERNEL`` environment override, the cache-key separation between
+kernels, and the audited-search fallback to the interpreted loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.algebra.connectors import ALL_CONNECTORS, PRIMARY_CONNECTORS
+from repro.algebra.labels import PathLabel
+from repro.algebra.semantic_length import SemanticLengthState
+from repro.core import compiled as compiled_mod
+from repro.core.audit import SearchAuditLog, use_audit
+from repro.core.closure import (
+    _LAST_CLASS_BY_INDEX,
+    _LAST_OTHER,
+    _N_CONNECTORS,
+)
+from repro.core.compiled import CompiledSchema
+from repro.core.engine import Disambiguator
+from repro.core.kernel import (
+    EXT_DELTA,
+    EXT_LSTATE,
+    KERNEL_ENV_VAR,
+    KERNEL_MODES,
+    kernel_backend,
+    resolve_kernel,
+)
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.resilience.budget import Budget
+from repro.schemas.generator import GeneratorConfig, generate_schema
+
+QUERIES = [
+    "ta ~ name",
+    "student.take.teacher",
+    "student ~ dept",
+    "teacher ~ name",
+]
+
+
+def _snapshot(result):
+    return (
+        tuple(str(path) for path in result.paths),
+        tuple(str(label) for label in result.labels),
+        tuple(str(label.semantic_length) for label in result.labels),
+        result.exhausted,
+        result.truncation_reason,
+    )
+
+
+def _stats(result):
+    s = result.stats
+    return (
+        s.recursive_calls,
+        s.edges_considered,
+        s.complete_paths_found,
+        s.pruned_visited,
+        s.pruned_target_bound,
+        s.pruned_best_bound,
+        s.rescued_by_caution,
+        s.nodes_pruned_reachability,
+        s.nodes_pruned_bound,
+    )
+
+
+def _outcome(engine, text, budget=None):
+    """Snapshot+stats, or the typed error — both must match exactly."""
+    try:
+        result = engine.complete(text, budget=budget)
+    except ReproError as err:
+        return ("error", type(err).__name__, str(err))
+    return (_snapshot(result), _stats(result))
+
+
+def _paired_engines(schema, **kwargs):
+    """Fresh interpreted/flat engines that share no registry artifact.
+
+    Each gets its own :class:`CompiledSchema` built after an
+    ``invalidate()`` so neither inherits the other's warm closure
+    tables — the comparison covers cold table builds too.
+    """
+    compiled_mod.invalidate()
+    interpreted = Disambiguator(
+        CompiledSchema(schema), kernel="interpreted", **kwargs
+    )
+    compiled_mod.invalidate()
+    flat = Disambiguator(CompiledSchema(schema), kernel="flat", **kwargs)
+    return interpreted, flat
+
+
+class TestKernelSelection:
+    def test_resolve_explicit_env_and_default(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        assert resolve_kernel(None) == "interpreted"
+        assert resolve_kernel("flat") == "flat"
+        monkeypatch.setenv(KERNEL_ENV_VAR, "flat")
+        assert resolve_kernel(None) == "flat"
+        # Explicit beats the environment.
+        assert resolve_kernel("interpreted") == "interpreted"
+
+    def test_resolve_rejects_unknown_mode(self, monkeypatch):
+        with pytest.raises(ValueError, match="kernel"):
+            resolve_kernel("native")
+        monkeypatch.setenv(KERNEL_ENV_VAR, "bogus")
+        with pytest.raises(ValueError, match="kernel"):
+            resolve_kernel(None)
+
+    def test_engine_honors_env_override(self, university, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "flat")
+        assert Disambiguator(university).kernel == "flat"
+        monkeypatch.delenv(KERNEL_ENV_VAR)
+        assert Disambiguator(university).kernel == "interpreted"
+
+    def test_backend_reports_a_known_implementation(self):
+        assert kernel_backend() in ("python", "compiled")
+
+    def test_kernel_is_part_of_the_cache_key(self, university):
+        compiled = CompiledSchema(university)
+        interpreted = Disambiguator(compiled, kernel="interpreted")
+        flat = Disambiguator(compiled, kernel="flat")
+        text = "ta ~ name"
+        assert interpreted._cache_key(text) != flat._cache_key(text)
+        # Sharing one artifact, the two kernels fill distinct entries —
+        # an A/B run never serves the other side's warm results.
+        compiled.cache.clear()
+        interpreted.complete(text)
+        assert len(compiled.cache) == 1
+        flat.complete(text)
+        assert len(compiled.cache) == 2
+
+    def test_derived_engines_inherit_the_kernel(self, university):
+        engine = Disambiguator(CompiledSchema(university), kernel="flat")
+        assert engine.with_e(3).kernel == "flat"
+
+
+class TestExtensionTables:
+    def test_tables_match_label_extend_for_every_state(self):
+        """EXT_LSTATE/EXT_DELTA are ``PathLabel.extend`` precomputed.
+
+        For every lstate (composed connector × last-edge seam class,
+        plus the empty state) and every edge connector, the table's
+        composed connector, new seam class, and length delta must equal
+        what the real label algebra computes.
+        """
+        # A representative last connector per seam class: classes 0..3
+        # are the singleton collapsible connectors; class 4 ("other")
+        # can be any connector that classifies as 4.
+        others = [
+            index
+            for index in range(_N_CONNECTORS)
+            if _LAST_CLASS_BY_INDEX[index] == _LAST_OTHER
+        ]
+        assert others, "expected at least one non-collapsible connector"
+        representative = list(PRIMARY_CONNECTORS[:4]) + [
+            ALL_CONNECTORS[others[0]]
+        ]
+        base_length = 5
+        checked = 0
+        for ci in range(_N_CONNECTORS):
+            for ls in range(6):
+                if ls == 0:
+                    state = SemanticLengthState()
+                    length = 0
+                else:
+                    last = representative[ls - 1]
+                    state = SemanticLengthState(base_length, last, last)
+                    length = base_length
+                label = PathLabel(ALL_CONNECTORS[ci], state)
+                row = (ci * 6 + ls) * _N_CONNECTORS
+                for c in range(_N_CONNECTORS):
+                    extended = label.extend(ALL_CONNECTORS[c])
+                    new_lstate = EXT_LSTATE[row + c]
+                    assert extended.connector is ALL_CONNECTORS[
+                        new_lstate // 6
+                    ], (ci, ls, c)
+                    assert new_lstate % 6 - 1 == _LAST_CLASS_BY_INDEX[c]
+                    assert (
+                        extended.semantic_length - length
+                        == EXT_DELTA[row + c]
+                    ), (ci, ls, c)
+                    checked += 1
+        assert checked == _N_CONNECTORS * 6 * _N_CONNECTORS
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("e", (1, 2, 3))
+    @pytest.mark.parametrize("caution", (True, False))
+    def test_university_byte_identity(self, university, e, caution):
+        interpreted, flat = _paired_engines(
+            university, e=e, use_caution_sets=caution
+        )
+        for text in QUERIES:
+            assert _outcome(flat, text) == _outcome(interpreted, text), (
+                text,
+                e,
+                caution,
+            )
+
+    @pytest.mark.parametrize("max_depth", (2, 4, None))
+    def test_cupid_depth_caps(self, cupid, oracle_texts, max_depth):
+        interpreted, flat = _paired_engines(cupid, e=2, max_depth=max_depth)
+        for text in oracle_texts[:5]:
+            assert _outcome(flat, text) == _outcome(interpreted, text), (
+                text,
+                max_depth,
+            )
+
+    @pytest.mark.parametrize("seed", (0, 3, 11))
+    def test_generated_schemas_byte_identity(self, seed):
+        """Property check over random schemas the kernel never saw."""
+        schema = generate_schema(
+            GeneratorConfig(classes=18, seed=seed, association_factor=1.2)
+        )
+        texts = [
+            "cls_000 ~ label",
+            "cls_005 ~ label",
+            "cls_010 ~ rel_000",
+            "cls_003 ~ attr_000",
+        ]
+        for e in (1, 3):
+            interpreted, flat = _paired_engines(schema, e=e)
+            for text in texts:
+                assert _outcome(flat, text) == _outcome(
+                    interpreted, text
+                ), (seed, e, text)
+
+    def test_budget_truncation_points_byte_identity(self, cupid):
+        """Anytime truncation at many node budgets: identical best-so-far
+        answers, truncation reasons, and counters at every trip point."""
+        text = "experiment ~ conductance"
+        truncated = 0
+        for limit in (1, 2, 5, 10, 40, 200):
+            interpreted, flat = _paired_engines(cupid, e=3)
+            budget = Budget(max_nodes=limit, partial_ok=True)
+            a = _outcome(interpreted, text, budget=budget)
+            b = _outcome(
+                flat, text, budget=Budget(max_nodes=limit, partial_ok=True)
+            )
+            assert a == b, limit
+            if a[0][4] is not None:  # truncation_reason
+                truncated += 1
+        assert truncated > 0, "no budget actually tripped"
+
+    def test_hard_budget_raises_identically(self, cupid):
+        interpreted, flat = _paired_engines(cupid, e=3)
+        budget = Budget(max_nodes=3, partial_ok=False)
+        a = _outcome(interpreted, "experiment ~ conductance", budget=budget)
+        b = _outcome(
+            flat,
+            "experiment ~ conductance",
+            budget=Budget(max_nodes=3, partial_ok=False),
+        )
+        assert a == b
+        assert a[0] == "error"
+
+
+class TestAuditFallback:
+    def test_audited_searches_run_interpreted(self, university):
+        """A live audit log silences the flat kernel (its decision-site
+        instrumentation lives in the interpreted loop) — and the results
+        stay byte-identical either way."""
+        # Pin closure pruning: the flat kernel only runs where the
+        # closure loop would, so the REPRO_PRUNING=none CI leg must not
+        # leak into this test's precondition that flat actually fires.
+        engine = Disambiguator(
+            CompiledSchema(university), kernel="flat", pruning="closure"
+        )
+        with use_metrics(MetricsRegistry()) as metrics:
+            with use_audit(SearchAuditLog()):
+                audited = engine.complete("ta ~ name")
+            assert metrics.counter("kernel.flat_runs").value == 0
+            engine.compiled.cache.clear()
+            plain = engine.complete("ta ~ name")
+            assert metrics.counter("kernel.flat_runs").value > 0
+        assert _snapshot(audited) == _snapshot(plain)
+
+
+@pytest.fixture(scope="session")
+def oracle_texts():
+    from repro.experiments.workload import build_cupid_workload
+
+    return [query.text for query in build_cupid_workload().queries]
+
+
+def test_kernel_modes_are_the_documented_pair():
+    assert KERNEL_MODES == ("interpreted", "flat")

@@ -88,8 +88,12 @@ class TestEngineIntegration:
         log = SlowQueryLog(threshold_ms=0.0)
         # A fresh (non-memoized) artifact so the completion cache is
         # cold and the span tree shows a full traverse, regardless of
-        # what earlier tests completed.
-        engine = Disambiguator(CompiledSchema(build_university_schema()))
+        # what earlier tests completed.  Pruning is pinned so the
+        # stamped-mode assertion below holds under the REPRO_PRUNING
+        # matrix legs too.
+        engine = Disambiguator(
+            CompiledSchema(build_university_schema()), pruning="closure"
+        )
         with use_slowlog(log):
             engine.complete("ta ~ name")
         (entry,) = log.entries()
@@ -162,7 +166,9 @@ class TestEngineIntegration:
 class TestExport:
     def test_jsonl_validates_against_checked_in_schema(self):
         log = SlowQueryLog(threshold_ms=0.0)
-        engine = Disambiguator(build_university_schema())
+        # Pinned pruning: the exported records' stamped mode is
+        # asserted literally below, independent of REPRO_PRUNING.
+        engine = Disambiguator(build_university_schema(), pruning="closure")
         with use_slowlog(log):
             engine.complete("ta ~ name")
             engine.complete("student ~ name")

@@ -12,11 +12,19 @@ contract the sequential path keeps:
 * the shared completion cache never holds a truncated result;
 * once the faults clear, answers are byte-identical to a fault-free
   engine's.
+
+The non-fault contracts run as an executor matrix — ``"thread"`` and
+``"process"`` backends must be indistinguishable.  The fault-injection
+tests stay thread-only by design: an injected ``FaultyGraph`` wraps the
+parent's artifact in place and cannot follow a ``WorkerSpec`` across
+the pickle boundary (workers recompile from the schema, which has no
+faults), so a process batch under injection would simply not observe
+the storm.
 """
 
 import pytest
 
-from repro.core.compiled import CompiledSchema
+from repro.core.compiled import CompiledSchema, invalidate
 from repro.core.engine import Disambiguator
 from repro.core.parallel import prewarm
 from repro.errors import InjectedFaultError, ReproError
@@ -24,6 +32,9 @@ from repro.resilience.budget import Budget, use_budget
 from repro.resilience.faults import FaultPlan, inject
 
 SEEDS = (0, 1, 7)
+
+#: The non-fault contracts run against both pool backends.
+EXECUTORS = ("thread", "process")
 
 QUERIES = [
     "ta ~ name",
@@ -93,9 +104,13 @@ class TestBatchUnderFaults:
             assert result.exhausted
         _assert_cache_is_clean(compiled)
 
-    def test_batch_raises_earliest_failing_input_in_order(self, university):
-        """Submission order, not thread-completion order, decides which
-        exception a failing parallel batch surfaces."""
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_batch_raises_earliest_failing_input_in_order(
+        self, university, executor
+    ):
+        """Submission order, not worker-completion order, decides which
+        exception a failing parallel batch surfaces — identically on
+        both pool backends."""
         compiled = CompiledSchema(university)
         engine = Disambiguator(compiled)
         # Two invalid expressions among valid ones: the first invalid
@@ -108,16 +123,22 @@ class TestBatchUnderFaults:
         ]
         for _ in range(4):  # deterministic across repeats
             with pytest.raises(ReproError) as exc:
-                engine.complete_batch(inputs, jobs=4)
+                engine.complete_batch(inputs, jobs=4, executor=executor)
             assert "zzz_first_bad" in str(exc.value)
             assert "zzz_second_bad" not in str(exc.value)
 
+    @pytest.mark.parametrize("executor", EXECUTORS)
     @pytest.mark.parametrize("seed", SEEDS)
     def test_budgeted_parallel_batch_never_caches_truncation(
-        self, cupid, seed
+        self, cupid, seed, executor
     ):
         """Tiny ambient node budgets under jobs=4: whatever trips, no
-        truncated result may land in the shared cache."""
+        truncated result may land in the shared cache — on either pool
+        backend (workers rebuild the budget from its shipped limits)."""
+        # Forked workers inherit the parent's compile registry; a
+        # warm inherited cache would serve exhausted answers and mask
+        # the truncation this test is about.
+        invalidate()
         compiled = CompiledSchema(cupid)
         engine = Disambiguator(compiled, e=2)
         budget = Budget(max_nodes=5, partial_ok=True)
@@ -125,12 +146,36 @@ class TestBatchUnderFaults:
             batch = engine.complete_batch(
                 ["experiment ~ conductance", "experiment ~ temperature"],
                 jobs=4,
+                executor=executor,
             )
         assert any(not r.exhausted for r in batch.results)
         _assert_cache_is_clean(compiled)
         # A later unbudgeted run completes fully and repopulates.
         full = engine.complete_batch(["experiment ~ conductance"], jobs=2)
         assert all(r.exhausted for r in full.results)
+        _assert_cache_is_clean(compiled)
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_per_input_budget_isolation(self, cupid, executor):
+        """Each input gets its own freshly armed meter: a budget that
+        truncates the expensive query must not bleed into (or starve)
+        the cheap ones sharing its batch, on either backend."""
+        invalidate()  # cold workers — see the budgeted test above
+        compiled = CompiledSchema(cupid)
+        engine = Disambiguator(compiled, e=3)
+        cheap = Disambiguator(CompiledSchema(cupid), e=3)
+        nodes_for_cheap = (
+            cheap.complete("site ~ name").stats.recursive_calls + 2
+        )
+        with use_budget(Budget(max_nodes=nodes_for_cheap, partial_ok=True)):
+            batch = engine.complete_batch(
+                ["experiment ~ conductance", "site ~ name"],
+                jobs=4,
+                executor=executor,
+            )
+        heavy, light = batch.results
+        assert not heavy.exhausted  # its own meter tripped
+        assert light.exhausted  # unaffected by its neighbor's trip
         _assert_cache_is_clean(compiled)
 
 
